@@ -1,0 +1,52 @@
+// Shared plumbing for the benchmark/reproduction binaries.
+//
+// Every bench binary prints its paper-shaped tables first (the rows the
+// experiment index in DESIGN.md promises), then runs its google-benchmark
+// microbenchmarks. UCW_BENCH_MAIN wires that order up.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "net/scheduler.hpp"
+#include "runtime/set_family.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace ucw::bench {
+
+/// Runs `ops` random insert/remove operations against every node of a
+/// cluster, spacing them `gap_us` apart in virtual time, then drains.
+inline void drive_set_cluster(SetCluster& cluster, SimScheduler& scheduler,
+                              std::uint64_t seed, std::size_t ops,
+                              int value_range = 6, double gap_us = 40.0,
+                              double insert_ratio = 0.55) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto p = static_cast<ProcessId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cluster.size()) - 1));
+    const int v = static_cast<int>(rng.uniform_int(0, value_range - 1));
+    if (rng.chance(insert_ratio)) {
+      cluster.node(p).insert(v);
+    } else {
+      cluster.node(p).remove(v);
+    }
+    scheduler.run_until(scheduler.now() + gap_us);
+  }
+  scheduler.run();
+}
+
+}  // namespace ucw::bench
+
+/// Print the reproduction tables, then hand over to google-benchmark.
+#define UCW_BENCH_MAIN(print_tables_fn)                       \
+  int main(int argc, char** argv) {                           \
+    print_tables_fn();                                        \
+    ::benchmark::Initialize(&argc, argv);                     \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                    \
+    ::benchmark::Shutdown();                                  \
+    return 0;                                                 \
+  }

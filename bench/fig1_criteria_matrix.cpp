@@ -1,0 +1,56 @@
+// E1 — Figure 1 (and Figure 2): the consistency-criteria matrix.
+//
+// Reproduces the paper's Figure 1 classification table: each of the five
+// example histories checked against EC / SEC / PC / UC / SUC by the
+// exact decision procedures, next to the classification the paper's
+// captions state. The microbenchmarks time each checker on each figure —
+// the cost of deciding a criterion on a figure-sized history.
+#include "bench_common.hpp"
+
+#include "criteria/all.hpp"
+#include "history/figures.hpp"
+
+namespace {
+
+using namespace ucw;
+
+void print_tables() {
+  print_banner(std::cout, "E1: Figure 1 / Figure 2 criteria matrix "
+                          "(computed vs paper)");
+  TextTable table({"history", "caption", "EC", "SEC", "PC", "UC", "SUC",
+                   "matches paper"});
+  for (const auto& [h, expect] : paper_figures()) {
+    const auto row = check_all_criteria(h);
+    const bool match =
+        row.ec.yes() == expect.ec && row.sec.yes() == expect.sec &&
+        row.pc.yes() == expect.pc && row.uc.yes() == expect.uc &&
+        row.suc.yes() == expect.suc;
+    table.add(expect.label, expect.caption, to_string(row.ec.verdict),
+              to_string(row.sec.verdict), to_string(row.pc.verdict),
+              to_string(row.uc.verdict), to_string(row.suc.verdict),
+              match ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference: Figure 1 captions (a: EC only; b: +SEC; "
+               "c: +UC; d: +SUC) and Figure 2 (PC but not EC).\n";
+}
+
+void BM_CheckCriterion(benchmark::State& state) {
+  const auto figures = paper_figures();
+  const auto& h = figures[static_cast<std::size_t>(state.range(0))].first;
+  const auto criterion = kAllCriteria[static_cast<std::size_t>(state.range(1))];
+  for (auto _ : state) {
+    auto result = check_criterion(h, criterion);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(figures[static_cast<std::size_t>(state.range(0))]
+                     .second.label +
+                 "/" + to_string(criterion));
+}
+BENCHMARK(BM_CheckCriterion)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+UCW_BENCH_MAIN(print_tables)

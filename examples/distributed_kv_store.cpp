@@ -1,0 +1,92 @@
+// A replicated key-value store on Algorithm 2, surviving crashes and a
+// network partition.
+//
+//   $ ./distributed_kv_store [--replicas=5] [--seed=3]
+//
+// Algorithm 2 is the paper's practical payoff: an update-consistent
+// shared memory with constant-time reads and writes and memory bounded
+// by the number of registers. This example runs a 5-replica store,
+// partitions it Dynamo-style (both sides keep accepting writes — no
+// quorum, no unavailability), heals the partition, crashes a replica,
+// and shows the survivors converge to the same last-writer-wins state.
+#include <iostream>
+#include <memory>
+
+#include "core/memory_object.hpp"
+#include "net/scheduler.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ucw;
+  using KV = SimUcMemory<std::string, std::string>;
+  const Flags flags = Flags::parse(argc, argv);
+  const std::size_t n =
+      static_cast<std::size_t>(flags.get_int("replicas", 5));
+  const std::uint64_t seed = flags.get_int("seed", 3);
+
+  SimScheduler scheduler;
+  SimNetwork<KV::Message>::Config cfg;
+  cfg.n_processes = n;
+  cfg.latency = LatencyModel::exponential(800.0);
+  cfg.seed = seed;
+  SimNetwork<KV::Message> net(scheduler, cfg);
+
+  std::vector<std::unique_ptr<KV>> store;
+  for (ProcessId p = 0; p < n; ++p) {
+    store.push_back(std::make_unique<KV>(p, std::string("<unset>"), net));
+  }
+
+  std::cout << "== update-consistent KV store, " << n << " replicas ==\n\n";
+
+  store[0]->write("user:42/name", "Ada");
+  store[1]->write("user:42/plan", "free");
+  scheduler.run();
+  std::cout << "after initial writes: name="
+            << store[2]->read("user:42/name")
+            << " plan=" << store[2]->read("user:42/plan") << "\n\n";
+
+  // Partition {0,1} | {2,3,4} for 50 ms; both sides keep writing — the
+  // store stays available on both sides of the split.
+  std::vector<std::size_t> groups(n, 0);
+  for (ProcessId p = 2; p < n; ++p) groups[p] = 1;
+  net.partition(groups, scheduler.now() + 50'000.0);
+
+  store[0]->write("user:42/plan", "pro");       // side A upgrades
+  store[2]->write("user:42/plan", "enterprise");  // side B upgrades harder
+  store[3]->write("user:42/quota", "100GB");
+
+  scheduler.run_until(scheduler.now() + 10'000.0);
+  std::cout << "during the partition (split brain, both available):\n"
+            << "  side A reads plan=" << store[0]->read("user:42/plan")
+            << "\n  side B reads plan=" << store[2]->read("user:42/plan")
+            << "\n\n";
+
+  scheduler.run();  // heal + drain
+
+  std::cout << "after healing, every replica agrees:\n";
+  for (ProcessId p = 0; p < n; ++p) {
+    std::cout << "  replica " << p << ": plan="
+              << store[p]->read("user:42/plan")
+              << " quota=" << store[p]->read("user:42/quota") << '\n';
+  }
+  std::cout << "(the winner is the write with the largest (clock, pid) "
+               "stamp — deterministic, no coordination)\n\n";
+
+  // Crash a replica; the rest never notice operationally.
+  net.crash(1);
+  store[4]->write("user:42/name", "Ada Lovelace");
+  scheduler.run();
+
+  bool agree = true;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p == 1) continue;
+    agree &= store[p]->read("user:42/name") == "Ada Lovelace";
+  }
+  std::cout << "replica 1 crashed; survivors converged on name="
+            << store[0]->read("user:42/name")
+            << (agree ? "" : "  (DIVERGED — BUG)") << '\n';
+  std::cout << "cells per replica: " << store[0]->replica().cell_count()
+            << " (bounded by live keys, not by " << net.stats().broadcasts
+            << " total writes)\n";
+  return agree ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Quickstart: a wait-free replicated set shared by four simulated
+// processes (the paper's running example).
+//
+//   $ ./quickstart [--processes=4] [--seed=1]
+//
+// Walks through the core promise of update consistency: operations never
+// wait for the network, every replica applies every update, and once the
+// traffic drains all replicas agree on the state of one common
+// linearization of the updates — even though they disagreed transiently.
+#include <iostream>
+#include <memory>
+
+#include "core/wrappers.hpp"
+#include "net/scheduler.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ucw;
+  const Flags flags = Flags::parse(argc, argv);
+  const std::size_t n =
+      static_cast<std::size_t>(flags.get_int("processes", 4));
+  const std::uint64_t seed = flags.get_int("seed", 1);
+
+  SimScheduler scheduler;
+  SimNetwork<UcSet<int>::Message>::Config cfg;
+  cfg.n_processes = n;
+  cfg.latency = LatencyModel::exponential(1'000.0);  // ~1 ms WAN-ish
+  cfg.seed = seed;
+  SimNetwork<UcSet<int>::Message> net(scheduler, cfg);
+
+  std::vector<std::unique_ptr<UcSet<int>>> replicas;
+  for (ProcessId p = 0; p < n; ++p) {
+    replicas.push_back(std::make_unique<UcSet<int>>(p, net));
+  }
+
+  std::cout << "== update-consistent shared set, " << n
+            << " wait-free replicas ==\n\n";
+
+  // Every process updates concurrently; no operation waits.
+  replicas[0]->insert(1);
+  replicas[1 % n]->insert(2);
+  replicas[2 % n]->remove(1);  // concurrent with the insert of 1!
+  replicas[3 % n]->insert(3);
+
+  std::cout << "immediately after the (wait-free) calls:\n";
+  for (ProcessId p = 0; p < n; ++p) {
+    std::cout << "  replica " << p << " reads "
+              << format_value(replicas[p]->read()) << '\n';
+  }
+
+  scheduler.run();  // drain the network
+
+  std::cout << "\nafter the network drains (t=" << scheduler.now()
+            << " virtual µs):\n";
+  for (ProcessId p = 0; p < n; ++p) {
+    std::cout << "  replica " << p << " reads "
+              << format_value(replicas[p]->read()) << '\n';
+  }
+
+  std::cout << "\nThe common state is the result of replaying all updates "
+               "in (Lamport clock, pid) order\n"
+            << "— the agreed linearization of Algorithm 1. Messages "
+               "broadcast: "
+            << net.stats().broadcasts << ", delivered: "
+            << net.stats().messages_delivered << ".\n";
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Explicit instantiations of the common ADT configurations: catches
+// template errors at library-build time rather than first use.
+#include "adt/all.hpp"
+
+namespace ucw {
+
+template struct SetAdt<int>;
+template struct SetAdt<std::string>;
+template struct GSetAdt<int>;
+template struct RegisterAdt<int>;
+template struct MemoryAdt<std::string, int>;
+template struct AppendLogAdt<int>;
+template struct QueueAdt<int>;
+template struct StackAdt<int>;
+template class SequentialReplayer<SetAdt<int>>;
+template class SequentialReplayer<CounterAdt>;
+template class SequentialReplayer<DocumentAdt>;
+
+}  // namespace ucw

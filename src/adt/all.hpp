@@ -1,0 +1,13 @@
+// Umbrella header for the UQ-ADT library.
+#pragma once
+
+#include "adt/concepts.hpp"    // IWYU pragma: export
+#include "adt/counter.hpp"     // IWYU pragma: export
+#include "adt/document.hpp"    // IWYU pragma: export
+#include "adt/format.hpp"      // IWYU pragma: export
+#include "adt/log.hpp"         // IWYU pragma: export
+#include "adt/queue.hpp"       // IWYU pragma: export
+#include "adt/register.hpp"    // IWYU pragma: export
+#include "adt/replayer.hpp"    // IWYU pragma: export
+#include "adt/set.hpp"         // IWYU pragma: export
+#include "adt/stack.hpp"       // IWYU pragma: export

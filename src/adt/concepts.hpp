@@ -1,0 +1,83 @@
+// UQ-ADT: update-query abstract data types (paper, Definition 1).
+//
+// An abstract data type O = (U, Qi, Qo, S, s0, T, G) is modeled as a small
+// value type exposing:
+//   State    — S, value-semantic, equality-comparable and hashable;
+//   Update   — U, the update alphabet (usually a std::variant of ops);
+//   QueryIn  — Qi, the query-input alphabet;
+//   QueryOut — Qo, the query-output alphabet;
+//   initial()            — s0;
+//   transition(s, u)     — T : S × U → S;
+//   output(s, qi)        — G : S × Qi → Qo.
+//
+// Updates return no value and queries are read-only, exactly the split the
+// paper requires (operations like a classical pop are modeled as a
+// lookup-query plus a delete-update; see StackAdt).
+#pragma once
+
+#include <concepts>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace ucw {
+
+template <typename A>
+concept UqAdt = requires(const A a, const typename A::State& s,
+                         const typename A::Update& u,
+                         const typename A::QueryIn& qi,
+                         const typename A::QueryOut& qo) {
+  typename A::State;
+  typename A::Update;
+  typename A::QueryIn;
+  typename A::QueryOut;
+  { a.initial() } -> std::convertible_to<typename A::State>;
+  { a.transition(s, u) } -> std::convertible_to<typename A::State>;
+  { a.output(s, qi) } -> std::convertible_to<typename A::QueryOut>;
+  { s == s } -> std::convertible_to<bool>;
+  { qo == qo } -> std::convertible_to<bool>;
+  { a.name() } -> std::convertible_to<std::string>;
+  { a.format_update(u) } -> std::convertible_to<std::string>;
+  { a.format_query(qi, qo) } -> std::convertible_to<std::string>;
+  { a.format_state(s) } -> std::convertible_to<std::string>;
+};
+
+/// One query observation: input together with the value it returned.
+///
+/// Deliberately unconstrained: ADT definitions mention it inside their own
+/// class bodies (in satisfying_state), where the type is still incomplete
+/// and a UqAdt<A> constraint would be self-referential.
+template <typename A>
+using QueryObservation =
+    std::pair<typename A::QueryIn, typename A::QueryOut>;
+
+/// Optional ADT capability used by the SEC/EC checkers: find *some* state
+/// (any s ∈ S, not necessarily reachable) whose outputs match every
+/// observation, or nullopt if the observations are jointly unsatisfiable.
+///
+/// Definition 6 (strong convergence) quantifies over arbitrary states, so
+/// checkers cannot restrict themselves to reachable ones. For ADTs whose
+/// single read query returns the whole state (set, counter, register, …)
+/// this is a one-liner; ADTs without the capability fall back to the
+/// reachable-state search in the checker, which is sound but may answer
+/// Unknown.
+template <typename A>
+concept HasSatisfyingState = UqAdt<A> &&
+    requires(const A a, const std::vector<QueryObservation<A>>& obs) {
+      {
+        a.satisfying_state(obs)
+      } -> std::convertible_to<std::optional<typename A::State>>;
+    };
+
+/// Checks an observation against a concrete state.
+template <UqAdt A>
+[[nodiscard]] bool observation_holds(const A& adt,
+                                     const typename A::State& s,
+                                     const QueryObservation<A>& obs) {
+  return adt.output(s, obs.first) == obs.second;
+}
+
+}  // namespace ucw

@@ -1,0 +1,76 @@
+// Shared counter UQ-ADT.
+//
+// Increments and decrements commute, so the counter is a pure CRDT: every
+// linearization of a fixed multiset of updates reaches the same state.
+// The paper (Section VII-C) notes that for such objects a naive
+// apply-on-delivery implementation already achieves update consistency —
+// our benchmarks use the counter to measure exactly that gap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adt/concepts.hpp"
+#include "adt/format.hpp"
+#include "util/hash.hpp"
+
+namespace ucw {
+
+struct CounterAdd {
+  std::int64_t delta = 0;
+  friend bool operator==(const CounterAdd&, const CounterAdd&) = default;
+};
+
+struct CounterRead {
+  friend bool operator==(const CounterRead&, const CounterRead&) = default;
+};
+
+inline std::size_t hash_value(const CounterAdd& u) {
+  return std::hash<std::int64_t>{}(u.delta) ^ 0xADD;
+}
+inline std::size_t hash_value(const CounterRead&) { return 0xC0; }
+
+struct CounterAdt {
+  using State = std::int64_t;
+  using Update = CounterAdd;
+  using QueryIn = CounterRead;
+  using QueryOut = std::int64_t;
+
+  [[nodiscard]] State initial() const { return 0; }
+  [[nodiscard]] State transition(State s, const Update& u) const {
+    return s + u.delta;
+  }
+  [[nodiscard]] QueryOut output(const State& s, const QueryIn&) const {
+    return s;
+  }
+  [[nodiscard]] std::optional<State> satisfying_state(
+      const std::vector<QueryObservation<CounterAdt>>& obs) const {
+    if (obs.empty()) return 0;
+    for (const auto& o : obs) {
+      if (o.second != obs.front().second) return std::nullopt;
+    }
+    return obs.front().second;
+  }
+
+  [[nodiscard]] std::string name() const { return "Counter"; }
+  [[nodiscard]] std::string format_update(const Update& u) const {
+    return (u.delta >= 0 ? "Add(+" : "Add(") + std::to_string(u.delta) + ")";
+  }
+  [[nodiscard]] std::string format_query(const QueryIn&,
+                                         const QueryOut& out) const {
+    return "Read/" + std::to_string(out);
+  }
+  [[nodiscard]] std::string format_state(const State& s) const {
+    return std::to_string(s);
+  }
+
+  [[nodiscard]] static Update add(std::int64_t d) { return CounterAdd{d}; }
+  [[nodiscard]] static QueryIn read() { return CounterRead{}; }
+};
+
+static_assert(UqAdt<CounterAdt>);
+static_assert(HasSatisfyingState<CounterAdt>);
+
+}  // namespace ucw

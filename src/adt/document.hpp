@@ -1,0 +1,114 @@
+// Collaborative text document UQ-ADT.
+//
+// The paper motivates update consistency with collaborative editing
+// (Section I's discussion of intention preservation). The document is a
+// character sequence with positional insert/erase; positions are clamped
+// so every update is total (T must be a function on all of S × U). Under
+// update consistency all replicas converge to the document produced by
+// the agreed linearization of edits — concurrent edits may interleave,
+// but never diverge.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "adt/concepts.hpp"
+#include "adt/format.hpp"
+#include "util/hash.hpp"
+
+namespace ucw {
+
+struct DocInsert {
+  std::size_t pos = 0;
+  std::string text;
+  friend bool operator==(const DocInsert&, const DocInsert&) = default;
+};
+
+struct DocErase {
+  std::size_t pos = 0;
+  std::size_t count = 1;
+  friend bool operator==(const DocErase&, const DocErase&) = default;
+};
+
+struct DocRead {
+  friend bool operator==(const DocRead&, const DocRead&) = default;
+};
+
+inline std::size_t hash_value(const DocInsert& u) {
+  std::size_t seed = std::hash<std::size_t>{}(u.pos);
+  hash_combine(seed, std::hash<std::string>{}(u.text));
+  return seed;
+}
+inline std::size_t hash_value(const DocErase& u) {
+  std::size_t seed = std::hash<std::size_t>{}(u.pos) ^ 0xE3A5E;
+  hash_combine(seed, std::hash<std::size_t>{}(u.count));
+  return seed;
+}
+inline std::size_t hash_value(const DocRead&) { return 0xD0C; }
+
+struct DocumentAdt {
+  using State = std::string;
+  using Update = std::variant<DocInsert, DocErase>;
+  using QueryIn = DocRead;
+  using QueryOut = std::string;
+
+  [[nodiscard]] State initial() const { return {}; }
+
+  [[nodiscard]] State transition(State s, const Update& u) const {
+    if (const auto* ins = std::get_if<DocInsert>(&u)) {
+      const std::size_t p = std::min(ins->pos, s.size());
+      s.insert(p, ins->text);
+    } else {
+      const auto& er = std::get<DocErase>(u);
+      const std::size_t p = std::min(er.pos, s.size());
+      const std::size_t n = std::min(er.count, s.size() - p);
+      s.erase(p, n);
+    }
+    return s;
+  }
+
+  [[nodiscard]] QueryOut output(const State& s, const QueryIn&) const {
+    return s;
+  }
+
+  [[nodiscard]] std::optional<State> satisfying_state(
+      const std::vector<QueryObservation<DocumentAdt>>& obs) const {
+    if (obs.empty()) return State{};
+    for (const auto& o : obs) {
+      if (!(o.second == obs.front().second)) return std::nullopt;
+    }
+    return obs.front().second;
+  }
+
+  [[nodiscard]] std::string name() const { return "Document"; }
+  [[nodiscard]] std::string format_update(const Update& u) const {
+    if (const auto* ins = std::get_if<DocInsert>(&u)) {
+      return "Ins(" + std::to_string(ins->pos) + ",\"" + ins->text + "\")";
+    }
+    const auto& er = std::get<DocErase>(u);
+    return "Del(" + std::to_string(er.pos) + "," + std::to_string(er.count) +
+           ")";
+  }
+  [[nodiscard]] std::string format_query(const QueryIn&,
+                                         const QueryOut& out) const {
+    return "R/\"" + out + "\"";
+  }
+  [[nodiscard]] std::string format_state(const State& s) const {
+    return "\"" + s + "\"";
+  }
+
+  [[nodiscard]] static Update insert_at(std::size_t pos, std::string text) {
+    return DocInsert{pos, std::move(text)};
+  }
+  [[nodiscard]] static Update erase_at(std::size_t pos, std::size_t n = 1) {
+    return DocErase{pos, n};
+  }
+  [[nodiscard]] static QueryIn read() { return DocRead{}; }
+};
+
+static_assert(UqAdt<DocumentAdt>);
+
+}  // namespace ucw

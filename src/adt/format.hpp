@@ -1,0 +1,73 @@
+// Formatting helpers shared by the ADT definitions.
+//
+// Keeps human-readable renderings of states and operations uniform across
+// the library: sets as "{1, 2}", sequences as "[a, b]", optionals as
+// "none"/value. Used by history dumps, checker diagnostics and examples.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ucw {
+
+inline std::string format_value(const std::string& s) { return s; }
+inline std::string format_value(const char* s) { return s; }
+inline std::string format_value(bool b) { return b ? "true" : "false"; }
+inline std::string format_value(char c) { return std::string(1, c); }
+
+template <typename T>
+  requires std::is_arithmetic_v<T>
+std::string format_value(T v) {
+  return std::to_string(v);
+}
+
+template <typename T>
+std::string format_value(const std::optional<T>& o) {
+  return o ? format_value(*o) : std::string("none");
+}
+
+template <typename T>
+std::string format_value(const std::set<T>& s) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& e : s) {
+    if (!first) os << ", ";
+    os << format_value(e);
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+template <typename T>
+std::string format_value(const std::vector<T>& v) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << format_value(v[i]);
+  }
+  os << ']';
+  return os.str();
+}
+
+template <typename K, typename V>
+std::string format_value(const std::map<K, V>& m) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) os << ", ";
+    os << format_value(k) << ":" << format_value(v);
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace ucw

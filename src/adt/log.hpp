@@ -1,0 +1,81 @@
+// Append-only log UQ-ADT.
+//
+// Appends do not commute (the order of elements matters), yet every
+// interleaving is a valid sequence — the log makes the *arbitration*
+// aspect of update consistency visible: all replicas converge to the same
+// total order of appended entries, the Lamport order of Algorithm 1.
+// Used by the collaborative-editing example and the criteria tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adt/concepts.hpp"
+#include "adt/format.hpp"
+#include "util/hash.hpp"
+
+namespace ucw {
+
+template <typename V>
+struct LogAppend {
+  V value;
+  friend bool operator==(const LogAppend&, const LogAppend&) = default;
+};
+
+struct LogRead {
+  friend bool operator==(const LogRead&, const LogRead&) = default;
+};
+
+template <typename V>
+std::size_t hash_value(const LogAppend<V>& u) {
+  std::size_t seed = 0xA99;
+  hash_combine(seed, hash_value(u.value));
+  return seed;
+}
+inline std::size_t hash_value(const LogRead&) { return 0x106; }
+
+template <typename V = int>
+struct AppendLogAdt {
+  using Value = V;
+  using State = std::vector<V>;
+  using Update = LogAppend<V>;
+  using QueryIn = LogRead;
+  using QueryOut = std::vector<V>;
+
+  [[nodiscard]] State initial() const { return {}; }
+  [[nodiscard]] State transition(State s, const Update& u) const {
+    s.push_back(u.value);
+    return s;
+  }
+  [[nodiscard]] QueryOut output(const State& s, const QueryIn&) const {
+    return s;
+  }
+  [[nodiscard]] std::optional<State> satisfying_state(
+      const std::vector<QueryObservation<AppendLogAdt>>& obs) const {
+    if (obs.empty()) return State{};
+    for (const auto& o : obs) {
+      if (!(o.second == obs.front().second)) return std::nullopt;
+    }
+    return obs.front().second;
+  }
+
+  [[nodiscard]] std::string name() const { return "AppendLog"; }
+  [[nodiscard]] std::string format_update(const Update& u) const {
+    return "App(" + format_value(u.value) + ")";
+  }
+  [[nodiscard]] std::string format_query(const QueryIn&,
+                                         const QueryOut& out) const {
+    return "R/" + format_value(out);
+  }
+  [[nodiscard]] std::string format_state(const State& s) const {
+    return format_value(s);
+  }
+
+  [[nodiscard]] static Update append(V v) { return LogAppend<V>{std::move(v)}; }
+  [[nodiscard]] static QueryIn read() { return LogRead{}; }
+};
+
+static_assert(UqAdt<AppendLogAdt<int>>);
+
+}  // namespace ucw

@@ -1,0 +1,102 @@
+// FIFO queue UQ-ADT with the update/query split the paper mandates.
+//
+// A classical dequeue both mutates and returns — exactly the combination
+// Definition 1 excludes. Following the paper's stack remark (Section I,
+// "lookup top and delete top"), the queue is split into:
+//   updates:  Enqueue(v), Dequeue()  (Dequeue on an empty queue is a no-op)
+//   query:    Front() → optional<V>  (nullopt when empty)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "adt/concepts.hpp"
+#include "adt/format.hpp"
+#include "util/hash.hpp"
+
+namespace ucw {
+
+template <typename V>
+struct Enqueue {
+  V value;
+  friend bool operator==(const Enqueue&, const Enqueue&) = default;
+};
+
+struct Dequeue {
+  friend bool operator==(const Dequeue&, const Dequeue&) = default;
+};
+
+struct QueueFront {
+  friend bool operator==(const QueueFront&, const QueueFront&) = default;
+};
+
+template <typename V>
+std::size_t hash_value(const Enqueue<V>& u) {
+  std::size_t seed = 0xE19;
+  hash_combine(seed, hash_value(u.value));
+  return seed;
+}
+inline std::size_t hash_value(const Dequeue&) { return 0xD0; }
+inline std::size_t hash_value(const QueueFront&) { return 0xF2; }
+
+template <typename V = int>
+struct QueueAdt {
+  using Value = V;
+  using State = std::vector<V>;  // front at index 0
+  using Update = std::variant<Enqueue<V>, Dequeue>;
+  using QueryIn = QueueFront;
+  using QueryOut = std::optional<V>;
+
+  [[nodiscard]] State initial() const { return {}; }
+
+  [[nodiscard]] State transition(State s, const Update& u) const {
+    if (const auto* e = std::get_if<Enqueue<V>>(&u)) {
+      s.push_back(e->value);
+    } else if (!s.empty()) {
+      s.erase(s.begin());
+    }
+    return s;
+  }
+
+  [[nodiscard]] QueryOut output(const State& s, const QueryIn&) const {
+    if (s.empty()) return std::nullopt;
+    return s.front();
+  }
+
+  /// Front observations are satisfiable by [v] (or the empty queue for
+  /// nullopt) as long as they agree; used by the SEC/EC checkers.
+  [[nodiscard]] std::optional<State> satisfying_state(
+      const std::vector<QueryObservation<QueueAdt>>& obs) const {
+    if (obs.empty()) return State{};
+    for (const auto& o : obs) {
+      if (!(o.second == obs.front().second)) return std::nullopt;
+    }
+    if (!obs.front().second.has_value()) return State{};
+    return State{*obs.front().second};
+  }
+
+  [[nodiscard]] std::string name() const { return "Queue"; }
+  [[nodiscard]] std::string format_update(const Update& u) const {
+    if (const auto* e = std::get_if<Enqueue<V>>(&u)) {
+      return "Enq(" + format_value(e->value) + ")";
+    }
+    return "Deq()";
+  }
+  [[nodiscard]] std::string format_query(const QueryIn&,
+                                         const QueryOut& out) const {
+    return "Front/" + format_value(out);
+  }
+  [[nodiscard]] std::string format_state(const State& s) const {
+    return format_value(s);
+  }
+
+  [[nodiscard]] static Update enqueue(V v) { return Enqueue<V>{std::move(v)}; }
+  [[nodiscard]] static Update dequeue() { return Dequeue{}; }
+  [[nodiscard]] static QueryIn front() { return QueueFront{}; }
+};
+
+static_assert(UqAdt<QueueAdt<int>>);
+
+}  // namespace ucw

@@ -1,0 +1,173 @@
+// Register and multi-register shared memory UQ-ADTs.
+//
+// RegisterAdt is a single read/write cell; MemoryAdt is the object of the
+// paper's Algorithm 2: a set X of registers holding values from V, where
+// read(x) returns the last written value or the initial value v0. Writes
+// do not commute, so neither type is a CRDT — they are the canonical
+// motivation for the last-writer-wins arbitration Algorithm 2 applies.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adt/concepts.hpp"
+#include "adt/format.hpp"
+#include "util/hash.hpp"
+
+namespace ucw {
+
+template <typename V>
+struct RegWrite {
+  V value;
+  friend bool operator==(const RegWrite&, const RegWrite&) = default;
+};
+
+struct RegRead {
+  friend bool operator==(const RegRead&, const RegRead&) = default;
+};
+
+template <typename V>
+std::size_t hash_value(const RegWrite<V>& u) {
+  std::size_t seed = 0x3217;
+  hash_combine(seed, hash_value(u.value));
+  return seed;
+}
+inline std::size_t hash_value(const RegRead&) { return 0x4E6; }
+
+/// Single register with initial value v0.
+template <typename V = int>
+struct RegisterAdt {
+  using Value = V;
+  using State = V;
+  using Update = RegWrite<V>;
+  using QueryIn = RegRead;
+  using QueryOut = V;
+
+  V v0{};
+
+  [[nodiscard]] State initial() const { return v0; }
+  [[nodiscard]] State transition(State, const Update& u) const {
+    return u.value;
+  }
+  [[nodiscard]] QueryOut output(const State& s, const QueryIn&) const {
+    return s;
+  }
+  [[nodiscard]] std::optional<State> satisfying_state(
+      const std::vector<QueryObservation<RegisterAdt>>& obs) const {
+    if (obs.empty()) return v0;
+    for (const auto& o : obs) {
+      if (!(o.second == obs.front().second)) return std::nullopt;
+    }
+    return obs.front().second;
+  }
+
+  [[nodiscard]] std::string name() const { return "Register"; }
+  [[nodiscard]] std::string format_update(const Update& u) const {
+    return "W(" + format_value(u.value) + ")";
+  }
+  [[nodiscard]] std::string format_query(const QueryIn&,
+                                         const QueryOut& out) const {
+    return "R/" + format_value(out);
+  }
+  [[nodiscard]] std::string format_state(const State& s) const {
+    return format_value(s);
+  }
+
+  [[nodiscard]] static Update write(V v) { return RegWrite<V>{std::move(v)}; }
+  [[nodiscard]] static QueryIn read() { return RegRead{}; }
+};
+
+template <typename K, typename V>
+struct MemWrite {
+  K reg;
+  V value;
+  friend bool operator==(const MemWrite&, const MemWrite&) = default;
+};
+
+template <typename K>
+struct MemRead {
+  K reg;
+  friend bool operator==(const MemRead&, const MemRead&) = default;
+};
+
+template <typename K, typename V>
+std::size_t hash_value(const MemWrite<K, V>& u) {
+  std::size_t seed = 0x111E;
+  hash_combine(seed, hash_value(u.reg));
+  hash_combine(seed, hash_value(u.value));
+  return seed;
+}
+template <typename K>
+std::size_t hash_value(const MemRead<K>& q) {
+  std::size_t seed = 0x22EA;
+  hash_combine(seed, hash_value(q.reg));
+  return seed;
+}
+
+/// Shared memory mem(X, V, v0): the object implemented by Algorithm 2.
+///
+/// State maps registers to values; absent keys hold the initial value, so
+/// the state space stays finite for any finite execution.
+template <typename K = std::string, typename V = int>
+struct MemoryAdt {
+  using Key = K;
+  using Value = V;
+  using State = std::map<K, V>;
+  using Update = MemWrite<K, V>;
+  using QueryIn = MemRead<K>;
+  using QueryOut = V;
+
+  V v0{};
+
+  [[nodiscard]] State initial() const { return {}; }
+  [[nodiscard]] State transition(State s, const Update& u) const {
+    s[u.reg] = u.value;
+    return s;
+  }
+  [[nodiscard]] QueryOut output(const State& s, const QueryIn& q) const {
+    auto it = s.find(q.reg);
+    return it == s.end() ? v0 : it->second;
+  }
+
+  /// Builds the partial assignment implied by the observations; reads of
+  /// distinct registers never conflict, reads of the same register must
+  /// agree (or equal v0, which the empty map also satisfies).
+  [[nodiscard]] std::optional<State> satisfying_state(
+      const std::vector<QueryObservation<MemoryAdt>>& obs) const {
+    State s;
+    for (const auto& [qi, qo] : obs) {
+      auto it = s.find(qi.reg);
+      if (it != s.end()) {
+        if (!(it->second == qo)) return std::nullopt;
+      } else {
+        s[qi.reg] = qo;
+      }
+    }
+    return s;
+  }
+
+  [[nodiscard]] std::string name() const { return "Memory"; }
+  [[nodiscard]] std::string format_update(const Update& u) const {
+    return "write(" + format_value(u.reg) + "," + format_value(u.value) + ")";
+  }
+  [[nodiscard]] std::string format_query(const QueryIn& qi,
+                                         const QueryOut& qo) const {
+    return "read(" + format_value(qi.reg) + ")/" + format_value(qo);
+  }
+  [[nodiscard]] std::string format_state(const State& s) const {
+    return format_value(s);
+  }
+
+  [[nodiscard]] static Update write(K k, V v) {
+    return MemWrite<K, V>{std::move(k), std::move(v)};
+  }
+  [[nodiscard]] static QueryIn read(K k) { return MemRead<K>{std::move(k)}; }
+};
+
+static_assert(UqAdt<RegisterAdt<int>>);
+static_assert(UqAdt<MemoryAdt<std::string, int>>);
+static_assert(HasSatisfyingState<MemoryAdt<std::string, int>>);
+
+}  // namespace ucw

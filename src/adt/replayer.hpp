@@ -1,0 +1,99 @@
+// Sequential replay: membership in L(O) for concrete words.
+//
+// A word w over U ∪ Q is recognized by the UQ-ADT (Definition 1) when the
+// updates drive the transition system from s0 and every query q_i/q_o in
+// the word satisfies G(s, q_i) = q_o at its position. The replayer decides
+// recognition for concrete finite words and returns the reached state —
+// it is both the reference oracle the checkers are tested against and the
+// engine Algorithm 1 uses to rebuild a replica's state from its log.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "adt/concepts.hpp"
+
+namespace ucw {
+
+/// One letter of a sequential word: an update or a query observation.
+template <UqAdt A>
+using SeqOp = std::variant<typename A::Update, QueryObservation<A>>;
+
+template <UqAdt A>
+[[nodiscard]] bool is_update_op(const SeqOp<A>& op) {
+  return op.index() == 0;
+}
+
+/// Result of replaying a word: the final state, or the index of the first
+/// query whose recorded output contradicts the state reached.
+template <UqAdt A>
+struct ReplayResult {
+  std::optional<typename A::State> final_state;  // nullopt on mismatch
+  std::size_t failed_at = 0;                     // valid when mismatch
+
+  [[nodiscard]] bool recognized() const { return final_state.has_value(); }
+};
+
+template <UqAdt A>
+class SequentialReplayer {
+ public:
+  explicit SequentialReplayer(A adt) : adt_(std::move(adt)) {}
+
+  [[nodiscard]] const A& adt() const { return adt_; }
+
+  /// Replays `word` from s0; decides w ∈ L(O).
+  [[nodiscard]] ReplayResult<A> replay(
+      const std::vector<SeqOp<A>>& word) const {
+    return replay_from(adt_.initial(), word);
+  }
+
+  /// Replays from an arbitrary start state (used by snapshot recovery).
+  [[nodiscard]] ReplayResult<A> replay_from(
+      typename A::State state, const std::vector<SeqOp<A>>& word) const {
+    for (std::size_t i = 0; i < word.size(); ++i) {
+      const auto& op = word[i];
+      if (const auto* u = std::get_if<typename A::Update>(&op)) {
+        state = adt_.transition(std::move(state), *u);
+      } else {
+        const auto& obs = std::get<QueryObservation<A>>(op);
+        if (!(adt_.output(state, obs.first) == obs.second)) {
+          return ReplayResult<A>{std::nullopt, i};
+        }
+      }
+    }
+    return ReplayResult<A>{std::move(state), word.size()};
+  }
+
+  /// Applies a pure update sequence (no queries to falsify).
+  [[nodiscard]] typename A::State apply_updates(
+      const std::vector<typename A::Update>& updates) const {
+    auto state = adt_.initial();
+    for (const auto& u : updates) {
+      state = adt_.transition(std::move(state), u);
+    }
+    return state;
+  }
+
+  /// Renders a word as "I(1)·R/{1}·D(1)" for diagnostics.
+  [[nodiscard]] std::string format_word(
+      const std::vector<SeqOp<A>>& word) const {
+    std::string out;
+    for (std::size_t i = 0; i < word.size(); ++i) {
+      if (i != 0) out += "·";
+      if (const auto* u = std::get_if<typename A::Update>(&word[i])) {
+        out += adt_.format_update(*u);
+      } else {
+        const auto& obs = std::get<QueryObservation<A>>(word[i]);
+        out += adt_.format_query(obs.first, obs.second);
+      }
+    }
+    return out;
+  }
+
+ private:
+  A adt_;
+};
+
+}  // namespace ucw

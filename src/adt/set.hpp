@@ -1,0 +1,162 @@
+// The replicated set (paper, Example 1) and the grow-only set (G-Set).
+//
+// SetAdt is the paper's running example S_Val: updates are I(v) and D(v),
+// the single query R returns the whole content. GSetAdt is its restriction
+// to insertions; since insertions commute it is a pure CRDT (Section VI)
+// and a naive apply-on-delivery implementation is already update
+// consistent (Section VII-C's remark on commuting updates).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "adt/concepts.hpp"
+#include "adt/format.hpp"
+#include "util/hash.hpp"
+
+namespace ucw {
+
+/// Insert(value) — T(s, I(v)) = s ∪ {v}.
+template <typename V>
+struct SetInsert {
+  V value;
+  friend bool operator==(const SetInsert&, const SetInsert&) = default;
+};
+
+/// Delete(value) — T(s, D(v)) = s \ {v}.
+template <typename V>
+struct SetDelete {
+  V value;
+  friend bool operator==(const SetDelete&, const SetDelete&) = default;
+};
+
+/// Read — G(s, R) = s.
+struct SetRead {
+  friend bool operator==(const SetRead&, const SetRead&) = default;
+};
+
+namespace detail {
+template <typename V>
+struct set_hash_help {};
+}  // namespace detail
+
+/// The set UQ-ADT S_Val of Example 1.
+template <typename V = int>
+struct SetAdt {
+  using Value = V;
+  using State = std::set<V>;
+  using Update = std::variant<SetInsert<V>, SetDelete<V>>;
+  using QueryIn = SetRead;
+  using QueryOut = std::set<V>;
+
+  [[nodiscard]] State initial() const { return {}; }
+
+  [[nodiscard]] State transition(State s, const Update& u) const {
+    if (const auto* ins = std::get_if<SetInsert<V>>(&u)) {
+      s.insert(ins->value);
+    } else {
+      s.erase(std::get<SetDelete<V>>(u).value);
+    }
+    return s;
+  }
+
+  [[nodiscard]] QueryOut output(const State& s, const QueryIn&) const {
+    return s;
+  }
+
+  /// R returns the whole state, so the only satisfying state is the common
+  /// output (all observations must agree).
+  [[nodiscard]] std::optional<State> satisfying_state(
+      const std::vector<QueryObservation<SetAdt>>& obs) const {
+    if (obs.empty()) return State{};
+    for (const auto& o : obs) {
+      if (!(o.second == obs.front().second)) return std::nullopt;
+    }
+    return obs.front().second;
+  }
+
+  [[nodiscard]] std::string name() const { return "Set"; }
+  [[nodiscard]] std::string format_update(const Update& u) const {
+    if (const auto* ins = std::get_if<SetInsert<V>>(&u)) {
+      return "I(" + format_value(ins->value) + ")";
+    }
+    return "D(" + format_value(std::get<SetDelete<V>>(u).value) + ")";
+  }
+  [[nodiscard]] std::string format_query(const QueryIn&,
+                                         const QueryOut& out) const {
+    return "R/" + format_value(out);
+  }
+  [[nodiscard]] std::string format_state(const State& s) const {
+    return format_value(s);
+  }
+
+  /// Convenience constructors for the operation alphabet.
+  [[nodiscard]] static Update insert(V v) { return SetInsert<V>{std::move(v)}; }
+  [[nodiscard]] static Update remove(V v) { return SetDelete<V>{std::move(v)}; }
+  [[nodiscard]] static QueryIn read() { return SetRead{}; }
+};
+
+template <typename V>
+std::size_t hash_value(const SetInsert<V>& u) {
+  std::size_t seed = 0x1A5;
+  hash_combine(seed, hash_value(u.value));
+  return seed;
+}
+template <typename V>
+std::size_t hash_value(const SetDelete<V>& u) {
+  std::size_t seed = 0xDE1;
+  hash_combine(seed, hash_value(u.value));
+  return seed;
+}
+inline std::size_t hash_value(const SetRead&) { return 0x4EAD; }
+
+/// Grow-only set: the deletion-free restriction of SetAdt.
+template <typename V = int>
+struct GSetAdt {
+  using Value = V;
+  using State = std::set<V>;
+  using Update = SetInsert<V>;
+  using QueryIn = SetRead;
+  using QueryOut = std::set<V>;
+
+  [[nodiscard]] State initial() const { return {}; }
+  [[nodiscard]] State transition(State s, const Update& u) const {
+    s.insert(u.value);
+    return s;
+  }
+  [[nodiscard]] QueryOut output(const State& s, const QueryIn&) const {
+    return s;
+  }
+  [[nodiscard]] std::optional<State> satisfying_state(
+      const std::vector<QueryObservation<GSetAdt>>& obs) const {
+    if (obs.empty()) return State{};
+    for (const auto& o : obs) {
+      if (!(o.second == obs.front().second)) return std::nullopt;
+    }
+    return obs.front().second;
+  }
+
+  [[nodiscard]] std::string name() const { return "GSet"; }
+  [[nodiscard]] std::string format_update(const Update& u) const {
+    return "I(" + format_value(u.value) + ")";
+  }
+  [[nodiscard]] std::string format_query(const QueryIn&,
+                                         const QueryOut& out) const {
+    return "R/" + format_value(out);
+  }
+  [[nodiscard]] std::string format_state(const State& s) const {
+    return format_value(s);
+  }
+
+  [[nodiscard]] static Update insert(V v) { return SetInsert<V>{std::move(v)}; }
+  [[nodiscard]] static QueryIn read() { return SetRead{}; }
+};
+
+static_assert(UqAdt<SetAdt<int>>);
+static_assert(UqAdt<GSetAdt<int>>);
+static_assert(HasSatisfyingState<SetAdt<int>>);
+
+}  // namespace ucw

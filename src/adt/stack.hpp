@@ -1,0 +1,101 @@
+// Stack UQ-ADT split into lookup-top / delete-top.
+//
+// This is the paper's own example of turning a combined update+query
+// operation (pop) into a query (Top) and an update (Pop); Section I notes
+// the split loses nothing because weak consistency cannot provide the
+// atomicity a combined pop would need anyway.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "adt/concepts.hpp"
+#include "adt/format.hpp"
+#include "util/hash.hpp"
+
+namespace ucw {
+
+template <typename V>
+struct Push {
+  V value;
+  friend bool operator==(const Push&, const Push&) = default;
+};
+
+struct Pop {  // delete-top; no-op on the empty stack
+  friend bool operator==(const Pop&, const Pop&) = default;
+};
+
+struct StackTop {  // lookup-top
+  friend bool operator==(const StackTop&, const StackTop&) = default;
+};
+
+template <typename V>
+std::size_t hash_value(const Push<V>& u) {
+  std::size_t seed = 0x9054;
+  hash_combine(seed, hash_value(u.value));
+  return seed;
+}
+inline std::size_t hash_value(const Pop&) { return 0x90b; }
+inline std::size_t hash_value(const StackTop&) { return 0x702; }
+
+template <typename V = int>
+struct StackAdt {
+  using Value = V;
+  using State = std::vector<V>;  // top at the back
+  using Update = std::variant<Push<V>, Pop>;
+  using QueryIn = StackTop;
+  using QueryOut = std::optional<V>;
+
+  [[nodiscard]] State initial() const { return {}; }
+
+  [[nodiscard]] State transition(State s, const Update& u) const {
+    if (const auto* p = std::get_if<Push<V>>(&u)) {
+      s.push_back(p->value);
+    } else if (!s.empty()) {
+      s.pop_back();
+    }
+    return s;
+  }
+
+  [[nodiscard]] QueryOut output(const State& s, const QueryIn&) const {
+    if (s.empty()) return std::nullopt;
+    return s.back();
+  }
+
+  /// Top observations are satisfiable by [v] (or the empty stack for
+  /// nullopt) as long as they agree; used by the SEC/EC checkers.
+  [[nodiscard]] std::optional<State> satisfying_state(
+      const std::vector<QueryObservation<StackAdt>>& obs) const {
+    if (obs.empty()) return State{};
+    for (const auto& o : obs) {
+      if (!(o.second == obs.front().second)) return std::nullopt;
+    }
+    if (!obs.front().second.has_value()) return State{};
+    return State{*obs.front().second};
+  }
+
+  [[nodiscard]] std::string name() const { return "Stack"; }
+  [[nodiscard]] std::string format_update(const Update& u) const {
+    if (const auto* p = std::get_if<Push<V>>(&u)) {
+      return "Push(" + format_value(p->value) + ")";
+    }
+    return "Pop()";
+  }
+  [[nodiscard]] std::string format_query(const QueryIn&,
+                                         const QueryOut& out) const {
+    return "Top/" + format_value(out);
+  }
+  [[nodiscard]] std::string format_state(const State& s) const {
+    return format_value(s);
+  }
+
+  [[nodiscard]] static Update push(V v) { return Push<V>{std::move(v)}; }
+  [[nodiscard]] static Update pop() { return Pop{}; }
+  [[nodiscard]] static QueryIn top() { return StackTop{}; }
+};
+
+static_assert(UqAdt<StackAdt<int>>);
+
+}  // namespace ucw

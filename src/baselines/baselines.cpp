@@ -1,0 +1,11 @@
+// Explicit instantiations of the common configurations.
+#include "baselines/pipelined.hpp"
+
+#include "adt/all.hpp"
+
+namespace ucw {
+
+template class PipelinedReplica<SetAdt<int>>;
+template class PipelinedReplica<CounterAdt>;
+
+}  // namespace ucw

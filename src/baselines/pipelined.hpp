@@ -1,0 +1,57 @@
+// Pipelined-consistency baseline (paper, Section IV).
+//
+// The cheapest meaningful implementation: apply every update the moment
+// it is delivered, in delivery order. Over FIFO links this yields
+// pipelined consistency (PRAM generalized to UQ-ADTs): each process's
+// view is a valid interleaving of its own operations with everybody's
+// updates. It does *not* converge — replicas that receive concurrent
+// non-commuting updates in different orders keep different states forever
+// (Figure 2), and Proposition 1 shows no wait-free implementation can fix
+// that while staying pipelined consistent. The E2 bench replays exactly
+// that scenario.
+#pragma once
+
+#include "adt/concepts.hpp"
+#include "clock/timestamp.hpp"
+#include "net/sim_network.hpp"
+
+namespace ucw {
+
+template <UqAdt A>
+class PipelinedReplica {
+ public:
+  struct Message {
+    typename A::Update update;
+  };
+
+  PipelinedReplica(A adt, ProcessId pid)
+      : adt_(std::move(adt)), pid_(pid), state_(adt_.initial()) {}
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+  [[nodiscard]] const A& adt() const { return adt_; }
+
+  [[nodiscard]] Message local_update(typename A::Update u) {
+    return Message{std::move(u)};
+  }
+
+  /// Applies in delivery order — no reordering, no log.
+  void apply(ProcessId /*from*/, const Message& m) {
+    state_ = adt_.transition(std::move(state_), m.update);
+    ++applied_;
+  }
+
+  [[nodiscard]] typename A::QueryOut query(
+      const typename A::QueryIn& qi) const {
+    return adt_.output(state_, qi);
+  }
+  [[nodiscard]] const typename A::State& state() const { return state_; }
+  [[nodiscard]] std::uint64_t applied() const { return applied_; }
+
+ private:
+  A adt_;
+  ProcessId pid_;
+  typename A::State state_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace ucw

@@ -1,0 +1,5 @@
+// Convenience alias header: the Lamport clock lives with the timestamp
+// definition it produces.
+#pragma once
+
+#include "clock/timestamp.hpp"  // IWYU pragma: export

@@ -1,0 +1,61 @@
+#include "clock/matrix_clock.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ucw {
+
+MatrixClock::MatrixClock(ProcessId self, std::size_t n_processes)
+    : self_(self), rows_(n_processes, 0), crashed_(n_processes, false) {
+  UCW_CHECK(self < n_processes);
+}
+
+void MatrixClock::advance_self(LogicalTime t) {
+  rows_[self_] = std::max(rows_[self_], t);
+}
+
+void MatrixClock::observe_direct(ProcessId j, LogicalTime t) {
+  UCW_CHECK(j < rows_.size());
+  rows_[j] = std::max(rows_[j], t);
+}
+
+void MatrixClock::merge_rows(const std::vector<LogicalTime>& their_rows) {
+  UCW_CHECK(their_rows.size() == rows_.size());
+  for (std::size_t j = 0; j < rows_.size(); ++j) {
+    rows_[j] = std::max(rows_[j], their_rows[j]);
+  }
+}
+
+LogicalTime MatrixClock::stability_floor() const {
+  LogicalTime floor = std::numeric_limits<LogicalTime>::max();
+  bool any_alive = false;
+  for (std::size_t j = 0; j < rows_.size(); ++j) {
+    if (crashed_[j]) continue;
+    any_alive = true;
+    floor = std::min(floor, rows_[j]);
+  }
+  return any_alive ? floor : rows_[self_];
+}
+
+void MatrixClock::mark_crashed(ProcessId j) {
+  UCW_CHECK(j < crashed_.size());
+  UCW_CHECK_MSG(j != self_, "a process cannot declare itself crashed");
+  crashed_[j] = true;
+}
+
+std::string MatrixClock::to_string() const {
+  std::ostringstream os;
+  os << "{self=" << self_ << " rows=[";
+  for (std::size_t j = 0; j < rows_.size(); ++j) {
+    if (j != 0) os << ',';
+    os << rows_[j];
+    if (crashed_[j]) os << "†";
+  }
+  os << "] floor=" << stability_floor() << '}';
+  return os.str();
+}
+
+}  // namespace ucw

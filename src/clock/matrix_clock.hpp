@@ -1,0 +1,68 @@
+// Matrix clock and stability detection (Section VII-C).
+//
+// Algorithm 1 keeps the whole update log. The paper observes that "after
+// some time old messages can be garbage collected": once every process is
+// known to have received all updates with Lamport time <= t, no message
+// with a smaller stamp can ever arrive (messages carry the sender's clock,
+// and clocks only move forward), so the log prefix up to t is *stable* and
+// can be folded into a base state.
+//
+// A matrix clock provides exactly that knowledge: row j holds the latest
+// Lamport time process i knows process j has reached. The stability floor
+// is the minimum over rows — every update stamped <= floor has been seen
+// by everyone (Wuu & Bernstein's replicated-log technique, the paper's
+// reference [18]).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clock/timestamp.hpp"
+
+namespace ucw {
+
+class MatrixClock {
+ public:
+  MatrixClock(ProcessId self, std::size_t n_processes);
+
+  [[nodiscard]] ProcessId self() const { return self_; }
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// Records that the local process reached logical time t.
+  void advance_self(LogicalTime t);
+
+  /// Records direct knowledge "process j has reached time t" (e.g. from a
+  /// message or heartbeat j sent with its clock value t).
+  void observe_direct(ProcessId j, LogicalTime t);
+
+  /// Merges gossiped knowledge: a row vector of what the sender knew
+  /// about every process. Component-wise maximum.
+  void merge_rows(const std::vector<LogicalTime>& their_rows);
+
+  /// This process's knowledge vector (what it would gossip).
+  [[nodiscard]] const std::vector<LogicalTime>& rows() const { return rows_; }
+
+  /// Largest logical time t such that, to this process's knowledge, every
+  /// process has advanced past t. Every update with stamp.clock <= t is
+  /// stable: it has been delivered everywhere and no smaller-stamped
+  /// update can appear.
+  [[nodiscard]] LogicalTime stability_floor() const;
+
+  /// Treats crashed processes as having reached +infinity, so a crash does
+  /// not freeze garbage collection forever (requires failure detection or
+  /// an administrative decision; see DESIGN.md). Callers must only declare
+  /// a crash once no message from the crashed process can still be in
+  /// flight (failure-detection timeouts exceeding the maximum delay give
+  /// exactly that), otherwise a straggler could land below the fold floor.
+  void mark_crashed(ProcessId j);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ProcessId self_;
+  std::vector<LogicalTime> rows_;
+  std::vector<bool> crashed_;
+};
+
+}  // namespace ucw

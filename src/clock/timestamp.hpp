@@ -1,0 +1,80 @@
+// Lamport timestamps: the total order on updates used by Algorithm 1.
+//
+// The paper timestamps every update with a pair (logical time, process id)
+// and orders them lexicographically: (cl, j) < (cl', j') iff cl < cl' or
+// (cl = cl' and j < j'). Because processes have unique ids and a process
+// never reuses a logical time for two of its own updates, this order is
+// total — it is the arbitration order all replicas converge on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/hash.hpp"
+
+namespace ucw {
+
+using ProcessId = std::uint32_t;
+using LogicalTime = std::uint64_t;
+
+/// Pair (logical clock, process id), totally ordered lexicographically.
+struct Stamp {
+  LogicalTime clock = 0;
+  ProcessId pid = 0;
+
+  friend constexpr auto operator<=>(const Stamp&, const Stamp&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "(" + std::to_string(clock) + "," + std::to_string(pid) + ")";
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Stamp& s) {
+  return os << s.to_string();
+}
+
+inline std::size_t hash_value(const Stamp& s) {
+  std::size_t seed = std::hash<LogicalTime>{}(s.clock);
+  hash_combine(seed, std::hash<ProcessId>{}(s.pid));
+  return seed;
+}
+
+/// Lamport logical clock (one per process).
+///
+/// `tick()` stamps a local event; `observe(remote)` merges a received
+/// timestamp ("clock_i <- max(clock_i, cl)" in Algorithm 1, line 9).
+class LamportClock {
+ public:
+  explicit LamportClock(ProcessId pid) : pid_(pid) {}
+
+  /// Advances the clock and returns the stamp for a new local event
+  /// (Algorithm 1, lines 5-6: "clock_i <- clock_i + 1").
+  [[nodiscard]] Stamp tick() {
+    ++time_;
+    return Stamp{time_, pid_};
+  }
+
+  /// Merges a remote logical time (Algorithm 1, line 9).
+  void observe(LogicalTime remote) {
+    if (remote > time_) time_ = remote;
+  }
+  void observe(const Stamp& remote) { observe(remote.clock); }
+
+  [[nodiscard]] LogicalTime now() const { return time_; }
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+
+ private:
+  ProcessId pid_;
+  LogicalTime time_ = 0;
+};
+
+}  // namespace ucw
+
+template <>
+struct std::hash<ucw::Stamp> {
+  std::size_t operator()(const ucw::Stamp& s) const {
+    return ucw::hash_value(s);
+  }
+};

@@ -1,0 +1,74 @@
+#include "clock/vector_clock.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ucw {
+
+void VectorClock::ensure_size(std::size_t n) {
+  if (counters_.size() < n) counters_.resize(n, 0);
+}
+
+LogicalTime VectorClock::tick(ProcessId pid) {
+  ensure_size(pid + 1);
+  return ++counters_[pid];
+}
+
+void VectorClock::merge(const VectorClock& other) {
+  ensure_size(other.size());
+  for (std::size_t i = 0; i < other.counters_.size(); ++i) {
+    counters_[i] = std::max(counters_[i], other.counters_[i]);
+  }
+}
+
+LogicalTime VectorClock::at(ProcessId pid) const {
+  return pid < counters_.size() ? counters_[pid] : 0;
+}
+
+void VectorClock::set(ProcessId pid, LogicalTime value) {
+  ensure_size(pid + 1);
+  counters_[pid] = value;
+}
+
+bool VectorClock::leq(const VectorClock& other) const {
+  const std::size_t n = std::max(counters_.size(), other.counters_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (at(static_cast<ProcessId>(i)) > other.at(static_cast<ProcessId>(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool VectorClock::before(const VectorClock& other) const {
+  return leq(other) && !(*this == other);
+}
+
+bool VectorClock::concurrent_with(const VectorClock& other) const {
+  return !leq(other) && !other.leq(*this);
+}
+
+bool VectorClock::operator==(const VectorClock& other) const {
+  const std::size_t n = std::max(counters_.size(), other.counters_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (at(static_cast<ProcessId>(i)) != other.at(static_cast<ProcessId>(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << counters_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace ucw

@@ -1,0 +1,55 @@
+// Vector clocks.
+//
+// Algorithm 1 itself only needs Lamport stamps, but the test and analysis
+// layers use vector clocks to (a) derive the happened-before relation of a
+// recorded run and (b) check causal-delivery properties of the transports.
+// The stability tracker (log GC, Section VII-C) builds on the matrix clock
+// in matrix_clock.hpp, which is a vector of these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clock/timestamp.hpp"
+
+namespace ucw {
+
+/// Per-process event counters; component i counts events of process i.
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n_processes) : counters_(n_processes, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return counters_.size(); }
+
+  /// Grows the vector if a larger process id appears (dynamic membership).
+  void ensure_size(std::size_t n);
+
+  /// Increments the local component and returns its new value.
+  LogicalTime tick(ProcessId pid);
+
+  /// Component-wise maximum with a received clock.
+  void merge(const VectorClock& other);
+
+  [[nodiscard]] LogicalTime at(ProcessId pid) const;
+  void set(ProcessId pid, LogicalTime value);
+
+  /// True when every component of *this is <= the other's.
+  [[nodiscard]] bool leq(const VectorClock& other) const;
+
+  /// Strict happened-before: leq and at least one strictly smaller.
+  [[nodiscard]] bool before(const VectorClock& other) const;
+
+  /// Neither leq in either direction: the clocks are concurrent.
+  [[nodiscard]] bool concurrent_with(const VectorClock& other) const;
+
+  [[nodiscard]] bool operator==(const VectorClock& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<LogicalTime> counters_;
+};
+
+}  // namespace ucw

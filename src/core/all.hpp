@@ -1,0 +1,11 @@
+// Umbrella header for the paper's constructions.
+#pragma once
+
+#include "core/memory_object.hpp"  // IWYU pragma: export
+#include "core/message.hpp"        // IWYU pragma: export
+#include "core/quorum_object.hpp"  // IWYU pragma: export
+#include "core/replica.hpp"        // IWYU pragma: export
+#include "core/stamped_log.hpp"    // IWYU pragma: export
+#include "core/thread_object.hpp"  // IWYU pragma: export
+#include "core/uc_object.hpp"      // IWYU pragma: export
+#include "core/wrappers.hpp"       // IWYU pragma: export

@@ -1,0 +1,16 @@
+// Explicit instantiations of the common configurations.
+#include "core/all.hpp"
+
+namespace ucw {
+
+template class ReplayReplica<SetAdt<int>>;
+template class ReplayReplica<CounterAdt>;
+template class ReplayReplica<DocumentAdt>;
+template class StampedLog<SetAdt<int>>;
+template class SimUcObject<SetAdt<int>>;
+template class MemoryReplica<std::string, int>;
+template class QuorumRegister<int>;
+template class UcSet<int>;
+template class UcRegister<int>;
+
+}  // namespace ucw

@@ -1,0 +1,128 @@
+// Algorithm 2: the update-consistent shared memory.
+//
+// Orders writes exactly like Algorithm 1 (Lamport stamp, last-writer-
+// wins per register) but exploits the register semantics: overwritten
+// values can never be read again, so only the newest (stamp, value) per
+// register is kept. Reads and write-applications are O(log |X|) map
+// operations (the paper says "constant time"; an unordered map would
+// make it expected O(1) — we keep determinism and ordering for the
+// examples), and memory is bounded by the number of registers, not by
+// history length.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "clock/timestamp.hpp"
+#include "net/sim_network.hpp"
+#include "util/assert.hpp"
+
+namespace ucw {
+
+template <typename K, typename V>
+struct MemWriteMessage {
+  Stamp stamp;
+  K reg;
+  V value;
+};
+
+struct MemoryStats {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t applied = 0;        ///< writes that won their register
+  std::uint64_t superseded = 0;     ///< writes older than the current cell
+};
+
+/// One replica of the shared memory mem(X, V, v0); wire it to a
+/// SimNetwork<MemWriteMessage<K,V>> like SimUcMemory does.
+template <typename K, typename V>
+class MemoryReplica {
+ public:
+  MemoryReplica(ProcessId pid, V v0) : pid_(pid), clock_(pid), v0_(v0) {}
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+  [[nodiscard]] const MemoryStats& stats() const { return stats_; }
+
+  /// Algorithm 2, write(x, v): stamp and return the message to broadcast.
+  [[nodiscard]] MemWriteMessage<K, V> local_write(K reg, V value) {
+    ++stats_.writes;
+    const Stamp stamp = clock_.tick();
+    return MemWriteMessage<K, V>{stamp, std::move(reg), std::move(value)};
+  }
+
+  /// Algorithm 2, on receive: keep the lexicographically newest write.
+  void apply(const MemWriteMessage<K, V>& m) {
+    clock_.observe(m.stamp);
+    auto it = cells_.find(m.reg);
+    if (it == cells_.end()) {
+      cells_.emplace(m.reg, Cell{m.stamp, m.value});
+      ++stats_.applied;
+    } else if (it->second.stamp < m.stamp) {
+      it->second = Cell{m.stamp, m.value};
+      ++stats_.applied;
+    } else {
+      ++stats_.superseded;
+    }
+  }
+
+  /// Algorithm 2, read(x): the locally newest value, v0 if never written.
+  [[nodiscard]] V read(const K& reg) const {
+    ++stats_.reads;
+    auto it = cells_.find(reg);
+    return it == cells_.end() ? v0_ : it->second.value;
+  }
+
+  /// Registers currently materialized (memory-complexity bench: bounded
+  /// by |X|, independent of the number of writes).
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+  [[nodiscard]] std::size_t approx_bytes() const {
+    return cells_.size() * (sizeof(K) + sizeof(Cell));
+  }
+
+ private:
+  struct Cell {
+    Stamp stamp;
+    V value;
+  };
+
+  ProcessId pid_;
+  LamportClock clock_;
+  V v0_;
+  std::map<K, Cell> cells_;
+  mutable MemoryStats stats_;
+};
+
+/// Facade wiring a MemoryReplica to the simulated network.
+template <typename K, typename V>
+class SimUcMemory {
+ public:
+  using Message = MemWriteMessage<K, V>;
+
+  SimUcMemory(ProcessId pid, V v0, SimNetwork<Message>& net)
+      : replica_(pid, std::move(v0)), net_(&net) {
+    net_->set_handler(pid, [this](ProcessId, const Message& m) {
+      replica_.apply(m);
+    });
+  }
+
+  SimUcMemory(const SimUcMemory&) = delete;
+  SimUcMemory& operator=(const SimUcMemory&) = delete;
+
+  void write(K reg, V value) {
+    auto m = replica_.local_write(std::move(reg), std::move(value));
+    net_->broadcast(replica_.pid(), m);
+  }
+
+  [[nodiscard]] V read(const K& reg) const { return replica_.read(reg); }
+
+  [[nodiscard]] MemoryReplica<K, V>& replica() { return replica_; }
+  [[nodiscard]] const MemoryReplica<K, V>& replica() const {
+    return replica_;
+  }
+
+ private:
+  MemoryReplica<K, V> replica_;
+  SimNetwork<Message>* net_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,174 @@
+// Majority-quorum linearizable register (ABD-style): the strong-
+// consistency baseline for experiment E8.
+//
+// The paper's introduction cites Attiya–Welch: under sequential
+// consistency or linearizability some operation class must wait Ω(network
+// latency), and availability is lost once a majority can crash. This
+// baseline makes that cost measurable on the same simulated network the
+// UC objects run on:
+//
+//   write(v): stamp with (local_max+1, pid), broadcast, complete on
+//             majority ack — one round trip.
+//   read():   broadcast a query, collect a majority of (stamp, value),
+//             adopt the maximum, write it back to a majority, complete —
+//             two round trips (the write-back keeps reads linearizable).
+//
+// Operations take completion callbacks because they genuinely wait; the
+// benchmark records the virtual-time span between invocation and
+// completion and contrasts it with the UC object's zero.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <variant>
+
+#include "clock/timestamp.hpp"
+#include "net/sim_network.hpp"
+
+namespace ucw {
+
+template <typename V>
+struct QuorumMessage {
+  enum class Type : std::uint8_t {
+    WriteReq,
+    WriteAck,
+    ReadReq,
+    ReadReply,
+    WriteBackReq,
+    WriteBackAck,
+  };
+  Type type;
+  std::uint64_t op_id = 0;  ///< (origin, op_id) identifies the operation
+  Stamp ts;
+  V value{};
+};
+
+template <typename V>
+class QuorumRegister {
+ public:
+  using Message = QuorumMessage<V>;
+  using Done = std::function<void()>;
+
+  QuorumRegister(ProcessId pid, V v0, SimNetwork<Message>& net)
+      : pid_(pid), value_(std::move(v0)), net_(&net) {
+    net_->set_handler(pid, [this](ProcessId from, const Message& m) {
+      on_message(from, m);
+    });
+  }
+
+  QuorumRegister(const QuorumRegister&) = delete;
+  QuorumRegister& operator=(const QuorumRegister&) = delete;
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+  [[nodiscard]] std::size_t majority() const { return net_->size() / 2 + 1; }
+
+  /// Linearizable write; `done` fires when a majority acknowledged.
+  void write(V v, Done done) {
+    const std::uint64_t op = next_op_++;
+    auto& pend = pending_[op];
+    pend.done = std::move(done);
+    pend.acks_needed = majority();
+    Message m{Message::Type::WriteReq, op, Stamp{ts_.clock + 1, pid_},
+              std::move(v)};
+    net_->broadcast(pid_, m);
+  }
+
+  /// Linearizable read; `done(value)` fires after query + write-back.
+  void read(std::function<void(V)> done) {
+    const std::uint64_t op = next_op_++;
+    auto& pend = pending_[op];
+    pend.read_done = std::move(done);
+    pend.acks_needed = majority();
+    pend.best = Stamp{0, 0};
+    Message m{Message::Type::ReadReq, op, Stamp{}, V{}};
+    net_->broadcast(pid_, m);
+  }
+
+  /// Local cell (for tests / convergence checks).
+  [[nodiscard]] const V& local_value() const { return value_; }
+  [[nodiscard]] Stamp local_stamp() const { return ts_; }
+
+ private:
+  struct Pending {
+    Done done;                          // write path
+    std::function<void(V)> read_done;   // read path
+    std::size_t acks_needed = 0;
+    std::size_t acks = 0;
+    Stamp best{};
+    V best_value{};
+    bool write_back_phase = false;
+  };
+
+  void on_message(ProcessId from, const Message& m) {
+    switch (m.type) {
+      case Message::Type::WriteReq:
+      case Message::Type::WriteBackReq: {
+        if (ts_ < m.ts) {
+          ts_ = m.ts;
+          value_ = m.value;
+        }
+        const auto ack_type = m.type == Message::Type::WriteReq
+                                  ? Message::Type::WriteAck
+                                  : Message::Type::WriteBackAck;
+        reply(from, Message{ack_type, m.op_id, ts_, V{}});
+        break;
+      }
+      case Message::Type::ReadReq:
+        reply(from, Message{Message::Type::ReadReply, m.op_id, ts_, value_});
+        break;
+      case Message::Type::WriteAck:
+      case Message::Type::WriteBackAck: {
+        auto it = pending_.find(m.op_id);
+        if (it == pending_.end()) break;
+        auto& p = it->second;
+        if (++p.acks >= p.acks_needed) {
+          if (p.write_back_phase || !p.read_done) {
+            // Operation complete.
+            if (p.done) p.done();
+            if (p.read_done) p.read_done(std::move(p.best_value));
+            pending_.erase(it);
+          }
+        }
+        break;
+      }
+      case Message::Type::ReadReply: {
+        auto it = pending_.find(m.op_id);
+        if (it == pending_.end()) break;
+        auto& p = it->second;
+        if (p.write_back_phase) break;  // stragglers from phase one
+        if (p.best < m.ts) {
+          p.best = m.ts;
+          p.best_value = m.value;
+        }
+        if (++p.acks >= p.acks_needed) {
+          // Phase two: write the adopted value back to a majority.
+          p.write_back_phase = true;
+          p.acks = 0;
+          Message wb{Message::Type::WriteBackReq, m.op_id, p.best,
+                     p.best_value};
+          net_->broadcast(pid_, wb);
+        }
+        break;
+      }
+    }
+  }
+
+  void reply(ProcessId to, Message m) {
+    if (to == pid_) {
+      on_message(pid_, m);
+    } else {
+      net_->send(pid_, to, m);
+    }
+  }
+
+  ProcessId pid_;
+  Stamp ts_{0, 0};
+  V value_;
+  SimNetwork<Message>* net_;
+  std::uint64_t next_op_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace ucw

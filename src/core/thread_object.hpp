@@ -1,0 +1,82 @@
+// ThreadUcObject: Algorithm 1 on the real-thread transport.
+//
+// One object per OS thread (the paper's processes are sequential, and
+// the replica is deliberately single-owner — no internal locking to
+// contend on). The owning thread calls update/query freely; remote
+// updates accumulate in the inbox and are folded in by `poll()`, which
+// update/query invoke opportunistically so a busy owner never needs to
+// schedule pumping. Wait-freedom carries over verbatim: update enqueues
+// to peers and returns; query answers from the local log.
+//
+//   ThreadNetwork<ThreadUcObject<SetAdt<int>>::Message> net(n);
+//   // thread p:
+//   ThreadUcObject<SetAdt<int>> obj(SetAdt<int>{}, p, net);
+//   obj.update(SetAdt<int>::insert(1));
+//   auto s = obj.query(SetAdt<int>::read());
+//   obj.drain_until(n_total_updates);   // quiescence barrier for tests
+#pragma once
+
+#include "core/replica.hpp"
+#include "net/thread_network.hpp"
+
+namespace ucw {
+
+template <UqAdt A>
+class ThreadUcObject {
+ public:
+  using Message = UpdateMessage<A>;
+
+  ThreadUcObject(A adt, ProcessId pid, ThreadNetwork<Message>& net,
+                 typename ReplayReplica<A>::Config config = {})
+      : replica_(std::move(adt), pid, config), net_(&net) {}
+
+  ThreadUcObject(const ThreadUcObject&) = delete;
+  ThreadUcObject& operator=(const ThreadUcObject&) = delete;
+
+  /// Wait-free update: apply locally, enqueue to every peer, return.
+  Stamp update(typename A::Update u) {
+    poll();
+    auto m = replica_.local_update(std::move(u));
+    replica_.apply(replica_.pid(), m);  // synchronous self-delivery
+    net_->broadcast_others(replica_.pid(), m);
+    return m.stamp;
+  }
+
+  /// Wait-free query from the local state (after folding the inbox in).
+  [[nodiscard]] typename A::QueryOut query(const typename A::QueryIn& qi) {
+    poll();
+    return replica_.query(qi);
+  }
+
+  /// Applies every remote update currently queued; never blocks.
+  std::size_t poll() {
+    std::size_t applied = 0;
+    while (auto env = net_->inbox(replica_.pid()).try_pop()) {
+      replica_.apply(env->from, env->payload);
+      ++applied;
+    }
+    return applied;
+  }
+
+  /// Blocks until the log holds `total_updates` entries (or the inbox is
+  /// closed): the quiescence barrier tests and shutdown paths use. Not
+  /// part of the wait-free operation surface.
+  void drain_until(std::size_t total_updates) {
+    poll();
+    while (replica_.log().size() < total_updates) {
+      auto env = net_->inbox(replica_.pid()).pop_wait();
+      if (!env.has_value()) return;  // closed
+      replica_.apply(env->from, env->payload);
+    }
+  }
+
+  [[nodiscard]] ReplayReplica<A>& replica() { return replica_; }
+  [[nodiscard]] const ReplayReplica<A>& replica() const { return replica_; }
+  [[nodiscard]] ProcessId pid() const { return replica_.pid(); }
+
+ private:
+  ReplayReplica<A> replica_;
+  ThreadNetwork<Message>* net_;
+};
+
+}  // namespace ucw

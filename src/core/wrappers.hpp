@@ -1,0 +1,104 @@
+// Typed conveniences over SimUcObject: the API most examples use.
+//
+// Each wrapper pins the ADT and exposes the natural verbs (insert/remove/
+// contains, add/value, write/read, …) while inheriting Algorithm 1's
+// guarantees: wait-free operations, one broadcast per update, convergence
+// to the state of the agreed update linearization.
+#pragma once
+
+#include "adt/all.hpp"
+#include "core/uc_object.hpp"
+
+namespace ucw {
+
+/// Update-consistent replicated set (the paper's running example).
+template <typename V = int>
+class UcSet {
+ public:
+  using Adt = SetAdt<V>;
+  using Message = UpdateMessage<Adt>;
+
+  UcSet(ProcessId pid, SimNetwork<Message>& net,
+        typename ReplayReplica<Adt>::Config config = {})
+      : object_(Adt{}, pid, net, config) {}
+
+  void insert(V v) { (void)object_.update(Adt::insert(std::move(v))); }
+  void remove(V v) { (void)object_.update(Adt::remove(std::move(v))); }
+  [[nodiscard]] std::set<V> read() { return object_.query(Adt::read()); }
+  [[nodiscard]] bool contains(const V& v) {
+    return read().count(v) > 0;
+  }
+
+  [[nodiscard]] SimUcObject<Adt>& object() { return object_; }
+
+ private:
+  SimUcObject<Adt> object_;
+};
+
+/// Update-consistent counter (a commuting-updates CRDT; Section VII-C).
+class UcCounter {
+ public:
+  using Adt = CounterAdt;
+  using Message = UpdateMessage<Adt>;
+
+  UcCounter(ProcessId pid, SimNetwork<Message>& net,
+            typename ReplayReplica<Adt>::Config config = {})
+      : object_(Adt{}, pid, net, config) {}
+
+  void add(std::int64_t delta) { (void)object_.update(Adt::add(delta)); }
+  void increment() { add(1); }
+  void decrement() { add(-1); }
+  [[nodiscard]] std::int64_t value() { return object_.query(Adt::read()); }
+
+  [[nodiscard]] SimUcObject<Adt>& object() { return object_; }
+
+ private:
+  SimUcObject<Adt> object_;
+};
+
+/// Update-consistent single register (last writer in Lamport order wins).
+template <typename V = int>
+class UcRegister {
+ public:
+  using Adt = RegisterAdt<V>;
+  using Message = UpdateMessage<Adt>;
+
+  UcRegister(ProcessId pid, SimNetwork<Message>& net, V v0 = V{},
+             typename ReplayReplica<Adt>::Config config = {})
+      : object_(Adt{std::move(v0)}, pid, net, config) {}
+
+  void write(V v) { (void)object_.update(Adt::write(std::move(v))); }
+  [[nodiscard]] V read() { return object_.query(Adt::read()); }
+
+  [[nodiscard]] SimUcObject<Adt>& object() { return object_; }
+
+ private:
+  SimUcObject<Adt> object_;
+};
+
+/// Update-consistent collaborative document (positional edits arbitrated
+/// by the update linearization).
+class UcDocument {
+ public:
+  using Adt = DocumentAdt;
+  using Message = UpdateMessage<Adt>;
+
+  UcDocument(ProcessId pid, SimNetwork<Message>& net,
+             typename ReplayReplica<Adt>::Config config = {})
+      : object_(Adt{}, pid, net, config) {}
+
+  void insert(std::size_t pos, std::string text) {
+    (void)object_.update(Adt::insert_at(pos, std::move(text)));
+  }
+  void erase(std::size_t pos, std::size_t count = 1) {
+    (void)object_.update(Adt::erase_at(pos, count));
+  }
+  [[nodiscard]] std::string text() { return object_.query(Adt::read()); }
+
+  [[nodiscard]] SimUcObject<Adt>& object() { return object_; }
+
+ private:
+  SimUcObject<Adt> object_;
+};
+
+}  // namespace ucw

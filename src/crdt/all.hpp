@@ -1,0 +1,11 @@
+// Umbrella header for the CRDT baselines of Section VI.
+#pragma once
+
+#include "crdt/counter.hpp"        // IWYU pragma: export
+#include "crdt/gset.hpp"           // IWYU pragma: export
+#include "crdt/lww_register.hpp"   // IWYU pragma: export
+#include "crdt/lww_set.hpp"        // IWYU pragma: export
+#include "crdt/or_set.hpp"         // IWYU pragma: export
+#include "crdt/pn_set.hpp"         // IWYU pragma: export
+#include "crdt/sim_object.hpp"     // IWYU pragma: export
+#include "crdt/two_phase_set.hpp"  // IWYU pragma: export

@@ -1,0 +1,36 @@
+// Op-based replicated counter: deltas commute, apply-on-delivery
+// converges (the "pure CRDT" example of Section VII-C). The ablation
+// bench contrasts it with running the same counter through Algorithm 1's
+// full log machinery to quantify what the log costs when it isn't needed.
+#pragma once
+
+#include <cstdint>
+
+#include "clock/timestamp.hpp"
+
+namespace ucw {
+
+class CounterCrdtReplica {
+ public:
+  struct Message {
+    std::int64_t delta = 0;
+  };
+
+  explicit CounterCrdtReplica(ProcessId pid) : pid_(pid) {}
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+
+  [[nodiscard]] Message local_add(std::int64_t delta) {
+    return Message{delta};
+  }
+
+  void apply(ProcessId /*from*/, const Message& m) { value_ += m.delta; }
+
+  [[nodiscard]] std::int64_t read() const { return value_; }
+
+ private:
+  ProcessId pid_;
+  std::int64_t value_ = 0;
+};
+
+}  // namespace ucw

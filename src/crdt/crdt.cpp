@@ -1,0 +1,13 @@
+// Explicit instantiations of the common configurations.
+#include "crdt/all.hpp"
+
+namespace ucw {
+
+template class GSetReplica<int>;
+template class TwoPhaseSetReplica<int>;
+template class PnSetReplica<int>;
+template class OrSetReplica<int>;
+template class LwwSetReplica<int>;
+template class LwwRegisterReplica<int>;
+
+}  // namespace ucw

@@ -1,0 +1,41 @@
+// G-Set: the grow-only set (paper Section VI, reference [9]).
+//
+// Insert-only, so all updates commute and apply-on-delivery is already
+// update consistent (Section VII-C's remark on commuting updates) — the
+// simplest possible CRDT and the baseline the other sets are built from.
+#pragma once
+
+#include <set>
+
+#include "clock/timestamp.hpp"
+
+namespace ucw {
+
+template <typename V>
+class GSetReplica {
+ public:
+  struct Message {
+    V value;
+  };
+
+  explicit GSetReplica(ProcessId pid) : pid_(pid) {}
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+
+  [[nodiscard]] Message local_insert(V v) { return Message{std::move(v)}; }
+
+  void apply(ProcessId /*from*/, const Message& m) {
+    elements_.insert(m.value);
+  }
+
+  [[nodiscard]] const std::set<V>& read() const { return elements_; }
+  [[nodiscard]] std::size_t approx_bytes() const {
+    return elements_.size() * sizeof(V);
+  }
+
+ private:
+  ProcessId pid_;
+  std::set<V> elements_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,46 @@
+// LWW register: the CRDT counterpart of Algorithm 2 restricted to one
+// cell. Kept separate from core so the comparison benches can pit the
+// paper's construction against the standard CRDT formulation on equal
+// footing (they coincide by design — a good cross-validation target).
+#pragma once
+
+#include "clock/timestamp.hpp"
+
+namespace ucw {
+
+template <typename V>
+class LwwRegisterReplica {
+ public:
+  struct Message {
+    Stamp stamp;
+    V value;
+  };
+
+  LwwRegisterReplica(ProcessId pid, V v0)
+      : pid_(pid), clock_(pid), stamp_{0, 0}, value_(std::move(v0)) {}
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+
+  [[nodiscard]] Message local_write(V v) {
+    return Message{clock_.tick(), std::move(v)};
+  }
+
+  void apply(ProcessId /*from*/, const Message& m) {
+    clock_.observe(m.stamp);
+    if (stamp_ < m.stamp) {
+      stamp_ = m.stamp;
+      value_ = m.value;
+    }
+  }
+
+  [[nodiscard]] const V& read() const { return value_; }
+  [[nodiscard]] Stamp stamp() const { return stamp_; }
+
+ private:
+  ProcessId pid_;
+  LamportClock clock_;
+  Stamp stamp_;
+  V value_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,72 @@
+// LWW-element-Set (paper Section VI, reference [9]): per-element
+// last-writer-wins arbitration.
+//
+// Each element carries the Lamport stamp of its latest insert/remove;
+// the later stamp decides membership. Unlike the OR-Set there is no
+// insert bias — a remove stamped later than a concurrent insert wins.
+// Per-element LWW converges, but (like the PN-Set) the combination
+// across elements need not match any single update linearization, which
+// is what the set-semantics bench (E9) measures.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "clock/timestamp.hpp"
+
+namespace ucw {
+
+template <typename V>
+class LwwSetReplica {
+ public:
+  struct Message {
+    Stamp stamp;
+    bool present = false;  ///< true: insert; false: remove
+    V value;
+  };
+
+  explicit LwwSetReplica(ProcessId pid) : pid_(pid), clock_(pid) {}
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+
+  [[nodiscard]] Message local_insert(V v) {
+    return Message{clock_.tick(), true, std::move(v)};
+  }
+  [[nodiscard]] Message local_remove(V v) {
+    return Message{clock_.tick(), false, std::move(v)};
+  }
+
+  void apply(ProcessId /*from*/, const Message& m) {
+    clock_.observe(m.stamp);
+    auto it = cells_.find(m.value);
+    if (it == cells_.end()) {
+      cells_.emplace(m.value, Cell{m.stamp, m.present});
+    } else if (it->second.stamp < m.stamp) {
+      it->second = Cell{m.stamp, m.present};
+    }
+  }
+
+  [[nodiscard]] std::set<V> read() const {
+    std::set<V> out;
+    for (const auto& [v, cell] : cells_) {
+      if (cell.present) out.insert(v);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t approx_bytes() const {
+    return cells_.size() * (sizeof(V) + sizeof(Cell));
+  }
+
+ private:
+  struct Cell {
+    Stamp stamp;
+    bool present;
+  };
+
+  ProcessId pid_;
+  LamportClock clock_;
+  std::map<V, Cell> cells_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,110 @@
+// OR-Set (Observed-Remove set; paper Section VI, references [9], [20]):
+// the best-documented eventually consistent set and the object whose
+// concurrent specification is Definition 10 (Insert-wins).
+//
+// Every insertion carries a globally unique tag (pid, seq); a removal
+// black-lists exactly the tags its replica has *observed*. A concurrent
+// insertion's tag is unknown to the remover, so the insertion survives —
+// insert wins. Tombstones keep removals effective against insertions
+// delivered later (the network is not causal), making apply idempotent
+// and order-insensitive, hence strong eventual consistency.
+//
+// The paper's Fig. 1b run shows the semantic gap to update consistency:
+// concurrent I(1)/D(1) and I(2)/D(2) pairs converge to {1,2} here, a
+// state no linearization of the four updates can reach.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "clock/timestamp.hpp"
+
+namespace ucw {
+
+struct OrSetTag {
+  ProcessId pid = 0;
+  std::uint64_t seq = 0;
+  friend constexpr auto operator<=>(const OrSetTag&, const OrSetTag&) =
+      default;
+};
+
+template <typename V>
+class OrSetReplica {
+ public:
+  struct Message {
+    bool is_remove = false;
+    V value;
+    std::vector<OrSetTag> tags;  ///< insert: the new tag; remove: observed
+  };
+
+  explicit OrSetReplica(ProcessId pid) : pid_(pid) {}
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+
+  /// Prepares an insertion with a fresh unique tag.
+  [[nodiscard]] Message local_insert(V v) {
+    return Message{false, std::move(v), {OrSetTag{pid_, next_seq_++}}};
+  }
+
+  /// Prepares a removal of the tags this replica currently observes for
+  /// v (possibly none: removing an unseen element is a no-op).
+  [[nodiscard]] Message local_remove(V v) {
+    Message m{true, v, {}};
+    auto it = live_.find(v);
+    if (it != live_.end()) {
+      m.tags.assign(it->second.begin(), it->second.end());
+    }
+    return m;
+  }
+
+  void apply(ProcessId /*from*/, const Message& m) {
+    if (m.is_remove) {
+      for (const OrSetTag& t : m.tags) {
+        tombstones_.insert(t);
+        auto it = live_.find(m.value);
+        if (it != live_.end()) {
+          it->second.erase(t);
+          if (it->second.empty()) live_.erase(it);
+        }
+      }
+    } else {
+      const OrSetTag& t = m.tags.front();
+      if (tombstones_.count(t) == 0) {
+        live_[m.value].insert(t);
+      }
+    }
+  }
+
+  [[nodiscard]] std::set<V> read() const {
+    std::set<V> out;
+    for (const auto& [v, tags] : live_) {
+      if (!tags.empty()) out.insert(v);
+    }
+    return out;
+  }
+
+  /// Tags this replica currently holds for `v` (tests / diagnostics).
+  [[nodiscard]] std::size_t tag_count(const V& v) const {
+    auto it = live_.find(v);
+    return it == live_.end() ? 0 : it->second.size();
+  }
+
+  [[nodiscard]] std::size_t approx_bytes() const {
+    std::size_t n = tombstones_.size() * sizeof(OrSetTag);
+    for (const auto& [v, tags] : live_) {
+      n += sizeof(V) + tags.size() * sizeof(OrSetTag);
+    }
+    return n;
+  }
+
+ private:
+  ProcessId pid_;
+  std::uint64_t next_seq_ = 0;
+  std::map<V, std::set<OrSetTag>> live_;
+  std::set<OrSetTag> tombstones_;
+};
+
+}  // namespace ucw

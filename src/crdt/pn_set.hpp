@@ -1,0 +1,57 @@
+// PN-Set / C-Set (paper Section VI, reference [19]): a counter per
+// element decides membership.
+//
+// Insert broadcasts +1, delete broadcasts −1; an element is present when
+// its counter is positive. Counters commute, so replicas converge — but
+// the converged state can defy any sequential explanation (two concurrent
+// inserts need two deletes to remove: not a set any linearization of
+// I/I/D can produce), which is exactly the Section VI critique.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "clock/timestamp.hpp"
+
+namespace ucw {
+
+template <typename V>
+class PnSetReplica {
+ public:
+  struct Message {
+    V value;
+    std::int32_t delta = 0;
+  };
+
+  explicit PnSetReplica(ProcessId pid) : pid_(pid) {}
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+
+  [[nodiscard]] Message local_insert(V v) { return Message{std::move(v), 1}; }
+  [[nodiscard]] Message local_remove(V v) {
+    return Message{std::move(v), -1};
+  }
+
+  void apply(ProcessId /*from*/, const Message& m) {
+    counts_[m.value] += m.delta;
+  }
+
+  [[nodiscard]] std::set<V> read() const {
+    std::set<V> out;
+    for (const auto& [v, c] : counts_) {
+      if (c > 0) out.insert(v);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t approx_bytes() const {
+    return counts_.size() * (sizeof(V) + sizeof(std::int64_t));
+  }
+
+ private:
+  ProcessId pid_;
+  std::map<V, std::int64_t> counts_;
+};
+
+}  // namespace ucw

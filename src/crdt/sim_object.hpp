@@ -1,0 +1,54 @@
+// Generic facade wiring an op-based CRDT replica to the simulated
+// network.
+//
+// Convention shared by every replica in this library (including the
+// Algorithm-1 replica): a local operation `local_*` *prepares* a message
+// (ticking clocks, generating tags, observing current state) without
+// mutating the replica; the mutation happens in `apply`, invoked by the
+// network's self-delivery and by every remote delivery. This keeps apply
+// the single mutation path, so exactly-once local application falls out
+// of the broadcast semantics instead of being each call-site's burden.
+//
+//   SimCrdtObject<OrSetReplica<int>> a(net, 0), b(net, 1);
+//   a.emit(a->local_insert(7));
+//   scheduler.run();
+//   assert(a->read() == b->read());
+#pragma once
+
+#include <utility>
+
+#include "net/sim_network.hpp"
+
+namespace ucw {
+
+template <typename R>
+class SimCrdtObject {
+ public:
+  using Message = typename R::Message;
+
+  template <typename... Args>
+  explicit SimCrdtObject(SimNetwork<Message>& net, Args&&... args)
+      : replica_(std::forward<Args>(args)...), net_(&net) {
+    net_->set_handler(replica_.pid(),
+                      [this](ProcessId from, const Message& m) {
+                        replica_.apply(from, m);
+                      });
+  }
+
+  SimCrdtObject(const SimCrdtObject&) = delete;
+  SimCrdtObject& operator=(const SimCrdtObject&) = delete;
+
+  /// Reliably broadcasts a prepared message (self-delivery applies it).
+  void emit(const Message& m) { net_->broadcast(replica_.pid(), m); }
+
+  [[nodiscard]] R* operator->() { return &replica_; }
+  [[nodiscard]] const R* operator->() const { return &replica_; }
+  [[nodiscard]] R& replica() { return replica_; }
+  [[nodiscard]] const R& replica() const { return replica_; }
+
+ private:
+  R replica_;
+  SimNetwork<Message>* net_;
+};
+
+}  // namespace ucw

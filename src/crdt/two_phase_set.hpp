@@ -1,0 +1,62 @@
+// 2P-Set / U-Set (paper Section VI, reference [18]): two G-Sets, a white
+// list of insertions and a black list of deletions.
+//
+// An element is present when inserted and never deleted; once deleted it
+// can never be re-inserted (the black list is permanent). Deletion
+// messages are broadcast even for locally-absent elements — the paper's
+// model has no causal delivery, so the deletion may reach a replica
+// before the insertion it cancels.
+#pragma once
+
+#include <set>
+
+#include "clock/timestamp.hpp"
+
+namespace ucw {
+
+template <typename V>
+class TwoPhaseSetReplica {
+ public:
+  struct Message {
+    bool is_remove = false;
+    V value;
+  };
+
+  explicit TwoPhaseSetReplica(ProcessId pid) : pid_(pid) {}
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+
+  [[nodiscard]] Message local_insert(V v) {
+    return Message{false, std::move(v)};
+  }
+  [[nodiscard]] Message local_remove(V v) {
+    return Message{true, std::move(v)};
+  }
+
+  void apply(ProcessId /*from*/, const Message& m) {
+    if (m.is_remove) {
+      removed_.insert(m.value);
+    } else {
+      added_.insert(m.value);
+    }
+  }
+
+  [[nodiscard]] std::set<V> read() const {
+    std::set<V> out;
+    for (const V& v : added_) {
+      if (removed_.count(v) == 0) out.insert(v);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t approx_bytes() const {
+    return (added_.size() + removed_.size()) * sizeof(V);
+  }
+
+ private:
+  ProcessId pid_;
+  std::set<V> added_;
+  std::set<V> removed_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,13 @@
+// Umbrella header for the consistency-criteria checkers.
+#pragma once
+
+#include "criteria/certificate.hpp"   // IWYU pragma: export
+#include "criteria/ec.hpp"            // IWYU pragma: export
+#include "criteria/insert_wins.hpp"   // IWYU pragma: export
+#include "criteria/matrix.hpp"        // IWYU pragma: export
+#include "criteria/pc.hpp"            // IWYU pragma: export
+#include "criteria/sc.hpp"            // IWYU pragma: export
+#include "criteria/sec.hpp"           // IWYU pragma: export
+#include "criteria/suc.hpp"           // IWYU pragma: export
+#include "criteria/uc.hpp"            // IWYU pragma: export
+#include "criteria/verdict.hpp"       // IWYU pragma: export

@@ -1,0 +1,230 @@
+// Certificate validation: polynomial-time consistency checking for
+// histories produced by instrumented runs.
+//
+// The exact SEC/SUC solvers search for a visibility witness; an
+// *implementation under test doesn't need to be searched* — it knows its
+// witness. Algorithm 1 replicas record, for every event, the set of
+// updates in their log at that moment (the visibility relation induced by
+// message delivery) and the Lamport stamp (the total order ≤). Validating
+// a certificate against Definitions 6/9/10 is then a linear scan plus one
+// log replay per query — this is what lets the property suites check
+// thousands of randomized multi-process runs.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adt/set.hpp"
+#include "clock/timestamp.hpp"
+#include "criteria/verdict.hpp"
+#include "history/history.hpp"
+
+namespace ucw {
+
+/// Witness data recorded by an instrumented run, indexed by event id.
+struct RunCertificate {
+  /// Lamport stamp of each event (updates: the broadcast timestamp;
+  /// queries: the clock at issue time). Must strictly increase along
+  /// every process chain and be globally unique.
+  std::vector<Stamp> stamps;
+  /// For each event, the update events in the replica's log when the
+  /// event executed (its visible set V(e)); must include the event
+  /// itself for updates.
+  std::vector<std::vector<EventId>> visible;
+};
+
+namespace detail {
+
+/// Structural checks shared by the SUC and insert-wins validators:
+/// stamps total + chain-monotone (≤ ⊇ vis ⊇ ↦), visibility reflexive,
+/// ↦-inclusive, growth-monotone, stamp-consistent (vis ⊆ ≤), and full at
+/// ω-events (eventual delivery).
+template <UqAdt A>
+[[nodiscard]] std::optional<std::string> structural_violation(
+    const History<A>& h, const RunCertificate& cert) {
+  const std::size_t n = h.size();
+  if (cert.stamps.size() != n || cert.visible.size() != n) {
+    return "certificate arity mismatch";
+  }
+  // Global stamp uniqueness.
+  std::vector<Stamp> sorted = cert.stamps;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return "duplicate stamps: the arbitration order is not total";
+  }
+  // Visible sets as sorted vectors for subset tests.
+  std::vector<std::vector<EventId>> vis(n);
+  for (EventId e = 0; e < n; ++e) {
+    vis[e] = cert.visible[e];
+    std::sort(vis[e].begin(), vis[e].end());
+    for (EventId u : vis[e]) {
+      if (u >= n || !h.event(u).is_update()) {
+        return "visible set of event " + std::to_string(e) +
+               " names a non-update event";
+      }
+      if (!(cert.stamps[u] < cert.stamps[e]) && u != e) {
+        return "event " + std::to_string(e) +
+               " sees an update with a larger stamp (vis ⊄ ≤)";
+      }
+    }
+    if (h.event(e).is_update() &&
+        !std::binary_search(vis[e].begin(), vis[e].end(), e)) {
+      return "update " + std::to_string(e) + " does not see itself";
+    }
+  }
+  for (ProcessId p = 0; p < h.process_count(); ++p) {
+    const auto& chain = h.chain(p);
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      if (!(cert.stamps[chain[i]] < cert.stamps[chain[i + 1]])) {
+        return "stamps not increasing along chain p" + std::to_string(p);
+      }
+      if (!std::includes(vis[chain[i + 1]].begin(), vis[chain[i + 1]].end(),
+                         vis[chain[i]].begin(), vis[chain[i]].end())) {
+        return "visibility shrinks along chain p" + std::to_string(p) +
+               " (growth violated)";
+      }
+    }
+  }
+  // Contains ↦: every update before e on e's own chain must be visible
+  // (cross-chain ↦ follows from growth over the recorded sets).
+  for (EventId e = 0; e < n; ++e) {
+    for (EventId u : h.update_ids()) {
+      if (u != e && h.prog_before(u, e) &&
+          !std::binary_search(vis[e].begin(), vis[e].end(), u)) {
+        return "event " + std::to_string(e) +
+               " does not see program-order predecessor update " +
+               std::to_string(u);
+      }
+    }
+  }
+  // Eventual delivery: ω-events see every update.
+  for (EventId e = 0; e < n; ++e) {
+    if (h.event(e).omega && vis[e].size() != h.update_ids().size()) {
+      return "omega event " + std::to_string(e) +
+             " misses updates (eventual delivery violated)";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace detail
+
+/// Validates a run against Definition 9 (strong update consistency):
+/// structural checks plus, for every query, replaying its visible set in
+/// stamp order must reproduce the recorded output.
+template <UqAdt A>
+[[nodiscard]] CheckResult validate_suc_certificate(const History<A>& h,
+                                                   const RunCertificate& cert) {
+  CheckResult result;
+  if (auto err = detail::structural_violation(h, cert)) {
+    result.verdict = Verdict::No;
+    result.explanation = *err;
+    return result;
+  }
+  for (EventId q : h.query_ids()) {
+    std::vector<EventId> order = cert.visible[q];
+    std::sort(order.begin(), order.end(), [&](EventId a, EventId b) {
+      return cert.stamps[a] < cert.stamps[b];
+    });
+    auto state = h.adt().initial();
+    for (EventId u : order) {
+      state = h.adt().transition(std::move(state), h.event(u).update());
+    }
+    const auto& obs = h.event(q).query();
+    if (!observation_holds(h.adt(), state, obs)) {
+      result.verdict = Verdict::No;
+      result.explanation =
+          "query event " + std::to_string(q) + " returned " +
+          h.adt().format_query(obs.first, obs.second) +
+          " but its visible log replays to " + h.adt().format_state(state);
+      return result;
+    }
+  }
+  result.verdict = Verdict::Yes;
+  result.explanation = "certificate satisfies Definition 9";
+  return result;
+}
+
+/// Validates a set-object run against Definition 10 (SEC for the
+/// Insert-wins set): structural checks, strong convergence (equal visible
+/// sets ⇒ equal outputs), and the insert-wins membership rule evaluated
+/// with u vis u′ ⟺ u ∈ V(u′).
+template <typename V>
+[[nodiscard]] CheckResult validate_insert_wins_certificate(
+    const History<SetAdt<V>>& h, const RunCertificate& cert) {
+  CheckResult result;
+  if (auto err = detail::structural_violation(h, cert)) {
+    result.verdict = Verdict::No;
+    result.explanation = *err;
+    return result;
+  }
+
+  // Strong convergence: group queries by visible set.
+  std::map<std::vector<EventId>, std::set<V>> group_output;
+  for (EventId q : h.query_ids()) {
+    std::vector<EventId> key = cert.visible[q];
+    std::sort(key.begin(), key.end());
+    const auto& out = h.event(q).query().second;
+    auto [it, fresh] = group_output.emplace(std::move(key), out);
+    if (!fresh && !(it->second == out)) {
+      result.verdict = Verdict::No;
+      result.explanation = "two queries with identical visible sets "
+                           "returned different values";
+      return result;
+    }
+  }
+
+  // Insert-wins rule per query.
+  for (EventId q : h.query_ids()) {
+    std::vector<EventId> vis_q = cert.visible[q];
+    std::sort(vis_q.begin(), vis_q.end());
+    const auto& out = h.event(q).query().second;
+
+    std::set<V> support;
+    for (EventId u : h.update_ids()) {
+      const auto& upd = h.event(u).update();
+      if (const auto* ins = std::get_if<SetInsert<V>>(&upd)) {
+        support.insert(ins->value);
+      } else {
+        support.insert(std::get<SetDelete<V>>(upd).value);
+      }
+    }
+    for (const V& x : out) support.insert(x);
+
+    for (const V& x : support) {
+      bool expected = false;
+      for (EventId a : vis_q) {
+        const auto* ins = std::get_if<SetInsert<V>>(&h.event(a).update());
+        if (ins == nullptr || !(ins->value == x)) continue;
+        bool superseded = false;
+        for (EventId b : vis_q) {
+          const auto* del = std::get_if<SetDelete<V>>(&h.event(b).update());
+          if (del == nullptr || !(del->value == x)) continue;
+          const auto& vb = cert.visible[b];
+          if (std::find(vb.begin(), vb.end(), a) != vb.end()) {
+            superseded = true;
+            break;
+          }
+        }
+        if (!superseded) {
+          expected = true;
+          break;
+        }
+      }
+      if (expected != (out.count(x) > 0)) {
+        result.verdict = Verdict::No;
+        result.explanation =
+            "query event " + std::to_string(q) + " violates insert-wins on " +
+            format_value(x);
+        return result;
+      }
+    }
+  }
+  result.verdict = Verdict::Yes;
+  result.explanation = "certificate satisfies Definition 10";
+  return result;
+}
+
+}  // namespace ucw

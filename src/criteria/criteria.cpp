@@ -1,0 +1,23 @@
+// Explicit instantiations for the common ADT configurations.
+#include "criteria/all.hpp"
+
+#include "adt/all.hpp"
+
+namespace ucw {
+
+template class VisibilitySolver<SetAdt<int>>;
+template class VisibilitySolver<CounterAdt>;
+template CheckResult check_ec(const History<SetAdt<int>>&, ExploreBudget);
+template CheckResult check_uc(const History<SetAdt<int>>&, ExploreBudget);
+template CheckResult check_pc(const History<SetAdt<int>>&, ExploreBudget);
+template CheckResult check_sc(const History<SetAdt<int>>&, ExploreBudget);
+template CheckResult check_sec(const History<SetAdt<int>>&, std::size_t);
+template CheckResult check_suc(const History<SetAdt<int>>&, std::size_t);
+template CheckResult check_sec_insert_wins(const History<SetAdt<int>>&,
+                                           std::size_t);
+template CheckResult validate_suc_certificate(const History<SetAdt<int>>&,
+                                              const RunCertificate&);
+template CheckResult validate_insert_wins_certificate(
+    const History<SetAdt<int>>&, const RunCertificate&);
+
+}  // namespace ucw

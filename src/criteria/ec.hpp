@@ -1,0 +1,101 @@
+// Eventual consistency checker (paper, Definition 5).
+//
+// H is EC when U_H is infinite, or some state s ∈ S disagrees with only
+// finitely many queries. With our finite-plus-ω encoding:
+//   * a history without ω-events is trivially EC (all queries form a
+//     finite set, so any state works);
+//   * otherwise exactly the ω-queries must agree with s — each stands for
+//     infinitely many copies, while every finite query may be charged to
+//     the "finitely many" allowance.
+//
+// Note s ranges over *all* states, reachable or not (the paper stresses
+// EC ignores the sequential specification). ADTs exposing
+// satisfying_state decide this exactly; otherwise we fall back to the
+// reachable states as a sound witness set and answer Unknown when none
+// fits but outputs do not outright conflict.
+#pragma once
+
+#include <vector>
+
+#include "criteria/verdict.hpp"
+#include "history/history.hpp"
+#include "lin/downset.hpp"
+
+namespace ucw {
+
+template <UqAdt A>
+[[nodiscard]] CheckResult check_ec(const History<A>& h,
+                                   ExploreBudget budget = {}) {
+  CheckResult result;
+  if (!h.has_omega()) {
+    result.verdict = Verdict::Yes;
+    result.explanation =
+        "finite history: every state disagrees with only finitely many "
+        "queries";
+    return result;
+  }
+
+  std::vector<QueryObservation<A>> omega_obs;
+  for (EventId id : h.query_ids()) {
+    if (h.event(id).omega) omega_obs.push_back(h.event(id).query());
+  }
+
+  if constexpr (HasSatisfyingState<A>) {
+    auto s = h.adt().satisfying_state(omega_obs);
+    if (s.has_value()) {
+      result.verdict = Verdict::Yes;
+      result.explanation =
+          "converged state " + h.adt().format_state(*s) +
+          " satisfies every infinitely-repeated query";
+    } else {
+      result.verdict = Verdict::No;
+      result.explanation =
+          "no single state satisfies all infinitely-repeated queries";
+    }
+    return result;
+  } else {
+    // Sound fallback: a reachable final state satisfying all ω-queries
+    // witnesses EC; absence is inconclusive because EC admits arbitrary
+    // states.
+    DownsetExplorer<A> explorer(h, budget);
+    const auto& finals = explorer.final_states();
+    result.stats = explorer.stats();
+    if (!explorer.stats().budget_exceeded) {
+      for (const auto& s : finals) {
+        bool all = true;
+        for (const auto& obs : omega_obs) {
+          if (!observation_holds(h.adt(), s, obs)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          result.verdict = Verdict::Yes;
+          result.explanation = "reachable state " + h.adt().format_state(s) +
+                               " satisfies every infinitely-repeated query";
+          return result;
+        }
+      }
+    }
+    // Same query input answered with two different outputs forever can
+    // never be satisfied by any single state: G is a function.
+    for (std::size_t i = 0; i < omega_obs.size(); ++i) {
+      for (std::size_t j = i + 1; j < omega_obs.size(); ++j) {
+        if (omega_obs[i].first == omega_obs[j].first &&
+            !(omega_obs[i].second == omega_obs[j].second)) {
+          result.verdict = Verdict::No;
+          result.explanation =
+              "two infinitely-repeated queries with the same input return "
+              "different values";
+          return result;
+        }
+      }
+    }
+    result.verdict = Verdict::Unknown;
+    result.explanation =
+        "no reachable witness and the ADT exposes no satisfying_state";
+    return result;
+  }
+}
+
+}  // namespace ucw

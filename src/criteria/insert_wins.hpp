@@ -1,0 +1,110 @@
+// Strong eventual consistency for the Insert-wins set (Definition 10).
+//
+// Definition 10 is the concurrent specification of the OR-Set: H must be
+// SEC for the set *and* the witness visibility relation must satisfy, for
+// every value x and query q returning s:
+//
+//   x ∈ s  ⟺  ∃u ∈ vis(q, I(x)) such that ∀u′ ∈ vis(q, D(x)): u ̸vis→ u′
+//
+// i.e. x is present exactly when some visible insertion of x is not
+// superseded by any visible deletion of x. The predicate reads visibility
+// *between updates* (u vis u′), so the solver's exhaustive update-
+// visibility mode is required: minimizing update edges would wrongly rule
+// out histories that need an insertion to be covered by a deletion.
+#pragma once
+
+#include <variant>
+
+#include "adt/set.hpp"
+#include "criteria/verdict.hpp"
+#include "criteria/visibility_solver.hpp"
+
+namespace ucw {
+
+template <typename V>
+[[nodiscard]] bool insert_wins_holds(const History<SetAdt<V>>& h,
+                                     const VisibilityAssignment& vis) {
+  using S = SetAdt<V>;
+  UpdatePoset<S> poset(h);
+  // u vis u′ between updates: slot(u) ∈ V(event of u′), u ≠ u′.
+  auto update_vis = [&](std::size_t a, std::size_t b) {
+    return a != b &&
+           vis.visible[poset.event_id(b)].test(static_cast<unsigned>(a));
+  };
+
+  for (EventId qid : h.query_ids()) {
+    const auto& obs = h.event(qid).query();
+    const Bitset64 visible = vis.visible[qid];
+
+    // Values to examine: everything any update touches (a value that was
+    // never inserted must be absent, which the ⟺ also enforces).
+    std::set<V> support;
+    for (std::size_t k = 0; k < poset.count(); ++k) {
+      const auto& u = poset.update(k);
+      if (const auto* ins = std::get_if<SetInsert<V>>(&u)) {
+        support.insert(ins->value);
+      } else {
+        support.insert(std::get<SetDelete<V>>(u).value);
+      }
+    }
+    for (const V& x : obs.second) support.insert(x);
+
+    for (const V& x : support) {
+      bool should_be_present = false;
+      for (std::size_t a = 0; a < poset.count(); ++a) {
+        if (!visible.test(static_cast<unsigned>(a))) continue;
+        const auto* ins = std::get_if<SetInsert<V>>(&poset.update(a));
+        if (ins == nullptr || !(ins->value == x)) continue;
+        bool superseded = false;
+        for (std::size_t b = 0; b < poset.count(); ++b) {
+          if (!visible.test(static_cast<unsigned>(b))) continue;
+          const auto* del = std::get_if<SetDelete<V>>(&poset.update(b));
+          if (del == nullptr || !(del->value == x)) continue;
+          if (update_vis(a, b)) {
+            superseded = true;
+            break;
+          }
+        }
+        if (!superseded) {
+          should_be_present = true;
+          break;
+        }
+      }
+      if (should_be_present != (obs.second.count(x) > 0)) return false;
+    }
+  }
+  return true;
+}
+
+/// Decides Definition 10 for a set history.
+template <typename V>
+[[nodiscard]] CheckResult check_sec_insert_wins(
+    const History<SetAdt<V>>& h, std::size_t max_nodes = 5'000'000) {
+  using S = SetAdt<V>;
+  CheckResult result;
+  typename VisibilitySolver<S>::Options opt;
+  opt.search_update_visibility = true;
+  opt.max_nodes = max_nodes;
+  opt.extra_predicate = [](const History<S>& hist,
+                           const VisibilityAssignment& vis) {
+    return insert_wins_holds(hist, vis);
+  };
+  VisibilitySolver<S> solver(h, opt);
+  auto verdict = solver.solve();
+  result.stats.downsets_visited = solver.nodes_explored();
+  if (!verdict.has_value()) {
+    result.verdict = Verdict::Unknown;
+    result.explanation = "insert-wins visibility search budget exceeded";
+    result.stats.budget_exceeded = true;
+  } else if (*verdict) {
+    result.verdict = Verdict::Yes;
+    result.explanation =
+        "a visibility relation satisfies SEC plus the insert-wins rule";
+  } else {
+    result.verdict = Verdict::No;
+    result.explanation = "no visibility relation is insert-wins consistent";
+  }
+  return result;
+}
+
+}  // namespace ucw

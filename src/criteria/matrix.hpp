@@ -1,0 +1,95 @@
+// Run every criterion on one history: the "Figure 1 matrix".
+//
+// Produces the classification table the paper's Figure 1 presents — one
+// row per history, one column per criterion — and is reused by the
+// property tests exercising Proposition 2 (SUC ⇒ SEC ∧ UC, UC ⇒ EC).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "criteria/ec.hpp"
+#include "criteria/pc.hpp"
+#include "criteria/sec.hpp"
+#include "criteria/suc.hpp"
+#include "criteria/uc.hpp"
+#include "criteria/verdict.hpp"
+
+namespace ucw {
+
+enum class Criterion { EC, SEC, PC, UC, SUC };
+
+[[nodiscard]] inline std::string to_string(Criterion c) {
+  switch (c) {
+    case Criterion::EC:
+      return "EC";
+    case Criterion::SEC:
+      return "SEC";
+    case Criterion::PC:
+      return "PC";
+    case Criterion::UC:
+      return "UC";
+    case Criterion::SUC:
+      return "SUC";
+  }
+  return "?";
+}
+
+inline constexpr std::array<Criterion, 5> kAllCriteria = {
+    Criterion::EC, Criterion::SEC, Criterion::PC, Criterion::UC,
+    Criterion::SUC};
+
+struct CriteriaMatrixRow {
+  CheckResult ec, sec, pc, uc, suc;
+
+  [[nodiscard]] const CheckResult& get(Criterion c) const {
+    switch (c) {
+      case Criterion::EC:
+        return ec;
+      case Criterion::SEC:
+        return sec;
+      case Criterion::PC:
+        return pc;
+      case Criterion::UC:
+        return uc;
+      case Criterion::SUC:
+        return suc;
+    }
+    return ec;
+  }
+};
+
+template <UqAdt A>
+[[nodiscard]] CheckResult check_criterion(const History<A>& h, Criterion c,
+                                          ExploreBudget budget = {},
+                                          std::size_t solver_nodes =
+                                              5'000'000) {
+  switch (c) {
+    case Criterion::EC:
+      return check_ec(h, budget);
+    case Criterion::SEC:
+      return check_sec(h, solver_nodes);
+    case Criterion::PC:
+      return check_pc(h, budget);
+    case Criterion::UC:
+      return check_uc(h, budget);
+    case Criterion::SUC:
+      return check_suc(h, solver_nodes);
+  }
+  return {};
+}
+
+template <UqAdt A>
+[[nodiscard]] CriteriaMatrixRow check_all_criteria(
+    const History<A>& h, ExploreBudget budget = {},
+    std::size_t solver_nodes = 5'000'000) {
+  CriteriaMatrixRow row;
+  row.ec = check_ec(h, budget);
+  row.sec = check_sec(h, solver_nodes);
+  row.pc = check_pc(h, budget);
+  row.uc = check_uc(h, budget);
+  row.suc = check_suc(h, solver_nodes);
+  return row;
+}
+
+}  // namespace ucw

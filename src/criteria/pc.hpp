@@ -1,0 +1,53 @@
+// Pipelined consistency checker (paper, Definition 7).
+//
+// H is PC when, for every maximal chain p, some linearization of
+// H_{U_H ∪ p} — all updates of the history plus p's own events, ordered
+// consistently with the program order — is recognized by the ADT. PRAM
+// generalized beyond memory: each process must be able to explain its own
+// reads against everybody's writes, with no agreement across processes.
+#pragma once
+
+#include <string>
+
+#include "criteria/verdict.hpp"
+#include "history/history.hpp"
+#include "lin/chain.hpp"
+
+namespace ucw {
+
+template <UqAdt A>
+[[nodiscard]] CheckResult check_pc(const History<A>& h,
+                                   ExploreBudget budget = {}) {
+  CheckResult result;
+  ChainLinearizer<A> linearizer(h, budget);
+  bool unknown = false;
+  for (ProcessId p = 0; p < h.process_count(); ++p) {
+    if (h.chain(p).empty()) continue;
+    auto ok = linearizer.chain_has_linearization(p);
+    result.stats.downsets_visited += linearizer.stats().downsets_visited;
+    result.stats.states_stored += linearizer.stats().states_stored;
+    result.stats.transitions += linearizer.stats().transitions;
+    if (!ok.has_value()) {
+      unknown = true;
+      continue;
+    }
+    if (!*ok) {
+      result.verdict = Verdict::No;
+      result.explanation = "process p" + std::to_string(p) +
+                           " has no linearization of its events against all "
+                           "updates";
+      return result;
+    }
+  }
+  if (unknown) {
+    result.verdict = Verdict::Unknown;
+    result.explanation = "exploration budget exceeded on some chain";
+    result.stats.budget_exceeded = true;
+  } else {
+    result.verdict = Verdict::Yes;
+    result.explanation = "every process chain linearizes against all updates";
+  }
+  return result;
+}
+
+}  // namespace ucw

@@ -1,0 +1,43 @@
+// Sequential consistency checker.
+//
+// The paper's positioning (§VIII): update consistency is "stronger than
+// eventual consistency and weaker than sequential consistency". SC
+// demands one linearization of *all* events — updates and every query,
+// none removable — consistent with the program order and recognized by
+// the ADT. This checker makes the upper end of that hierarchy executable
+// so the lattice experiments can show SC ⫋ SUC ⫋ UC ⫋ EC on real
+// populations of histories.
+//
+// Implemented on the multi-chain downset DP (lin/multichain.hpp); exact
+// for checker-scale histories, Unknown beyond budget.
+#pragma once
+
+#include "criteria/verdict.hpp"
+#include "history/history.hpp"
+#include "lin/multichain.hpp"
+
+namespace ucw {
+
+template <UqAdt A>
+[[nodiscard]] CheckResult check_sc(const History<A>& h,
+                                   ExploreBudget budget = {}) {
+  CheckResult result;
+  MultiChainLinearizer<A> lin(h, budget);
+  auto ok = lin.whole_history_linearizes();
+  result.stats = lin.stats();
+  if (!ok.has_value()) {
+    result.verdict = Verdict::Unknown;
+    result.explanation = "whole-history exploration budget exceeded";
+  } else if (*ok) {
+    result.verdict = Verdict::Yes;
+    result.explanation =
+        "a linearization of every event (queries included) is recognized";
+  } else {
+    result.verdict = Verdict::No;
+    result.explanation =
+        "no linearization of all events is recognized by the ADT";
+  }
+  return result;
+}
+
+}  // namespace ucw

@@ -1,0 +1,41 @@
+// Strong eventual consistency checker (paper, Definition 6).
+//
+// H is SEC when some acyclic reflexive visibility relation containing the
+// program order satisfies eventual delivery, growth, and strong
+// convergence (queries seeing the same updates are answerable by one
+// state — any state, reachable or not). Decided exactly for small
+// histories by the visibility solver; see visibility_solver.hpp for the
+// search-space reduction and its justification.
+#pragma once
+
+#include "criteria/verdict.hpp"
+#include "criteria/visibility_solver.hpp"
+
+namespace ucw {
+
+template <UqAdt A>
+[[nodiscard]] CheckResult check_sec(const History<A>& h,
+                                    std::size_t max_nodes = 5'000'000) {
+  CheckResult result;
+  typename VisibilitySolver<A>::Options opt;
+  opt.max_nodes = max_nodes;
+  VisibilitySolver<A> solver(h, opt);
+  auto verdict = solver.solve();
+  result.stats.downsets_visited = solver.nodes_explored();
+  if (!verdict.has_value()) {
+    result.verdict = Verdict::Unknown;
+    result.explanation = "visibility search budget exceeded";
+    result.stats.budget_exceeded = true;
+  } else if (*verdict) {
+    result.verdict = Verdict::Yes;
+    result.explanation = "found a visibility relation with consistent "
+                         "per-visibility states";
+  } else {
+    result.verdict = Verdict::No;
+    result.explanation =
+        "no visibility relation reconciles the query outputs";
+  }
+  return result;
+}
+
+}  // namespace ucw

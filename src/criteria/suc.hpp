@@ -1,0 +1,49 @@
+// Strong update consistency checker (paper, Definition 9).
+//
+// SUC strengthens SEC with a total order ≤ ⊇ vis such that every query is
+// explained by executing exactly its visible updates in ≤-order (strong
+// sequential convergence). The solver reduces ≤ to a total order on the
+// updates constrained by ↦|U, vis|U and the query-through family
+// {u′ < u : u′ ∈ V(q), q ↦ u}; DESIGN.md sketches why the reduction is
+// exact in both directions.
+#pragma once
+
+#include <sstream>
+
+#include "criteria/verdict.hpp"
+#include "criteria/visibility_solver.hpp"
+
+namespace ucw {
+
+template <UqAdt A>
+[[nodiscard]] CheckResult check_suc(const History<A>& h,
+                                    std::size_t max_nodes = 5'000'000) {
+  CheckResult result;
+  typename VisibilitySolver<A>::Options opt;
+  opt.require_suc = true;
+  opt.max_nodes = max_nodes;
+  VisibilitySolver<A> solver(h, opt);
+  auto verdict = solver.solve();
+  result.stats.downsets_visited = solver.nodes_explored();
+  if (!verdict.has_value()) {
+    result.verdict = Verdict::Unknown;
+    result.explanation = "visibility/order search budget exceeded";
+    result.stats.budget_exceeded = true;
+  } else if (*verdict) {
+    result.verdict = Verdict::Yes;
+    std::ostringstream os;
+    os << "witness update order:";
+    UpdatePoset<A> poset(h);
+    for (unsigned k : solver.witness_order()) {
+      os << ' ' << h.adt().format_update(poset.update(k));
+    }
+    result.explanation = os.str();
+  } else {
+    result.verdict = Verdict::No;
+    result.explanation =
+        "no (visibility, total order) pair explains every query";
+  }
+  return result;
+}
+
+}  // namespace ucw

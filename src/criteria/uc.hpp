@@ -1,0 +1,104 @@
+// Update consistency checker (paper, Definition 8).
+//
+// H is UC when U_H is infinite, or a finite set of queries Q' can be
+// removed so that a linearization of the rest is recognized by the ADT.
+// With the finite-plus-ω encoding every finite query is removable (they
+// form a finite set), and ω-queries cannot be removed. An ω-query stands
+// for infinitely many trailing copies, and U_H is finite, so all but
+// finitely many copies follow every update: the reduced question is
+//
+//   does some linearization of the updates, consistent with the program
+//   order, reach a final state satisfying every ω-query?
+//
+// "⇒" any recognized linearization puts the updates in such an order;
+// "⇐" given such an order, schedule all updates first (respecting ↦ —
+// possible because ω-queries are chain-maximal) and append the ω copies.
+// The downset DP answers it without enumerating the n! orders.
+#pragma once
+
+#include <vector>
+
+#include "criteria/verdict.hpp"
+#include "history/history.hpp"
+#include "lin/downset.hpp"
+
+namespace ucw {
+
+template <UqAdt A>
+[[nodiscard]] CheckResult check_uc(const History<A>& h,
+                                   ExploreBudget budget = {}) {
+  CheckResult result;
+  if (!h.has_omega()) {
+    result.verdict = Verdict::Yes;
+    result.explanation =
+        "finite history: remove all queries; any topological order of the "
+        "updates is a recognized linearization";
+    return result;
+  }
+
+  std::vector<QueryObservation<A>> omega_obs;
+  for (EventId id : h.query_ids()) {
+    if (h.event(id).omega) omega_obs.push_back(h.event(id).query());
+  }
+
+  DownsetExplorer<A> explorer(h, budget);
+  const auto& finals = explorer.final_states();
+  result.stats = explorer.stats();
+  if (explorer.stats().budget_exceeded) {
+    result.verdict = Verdict::Unknown;
+    result.explanation = "exploration budget exceeded";
+    return result;
+  }
+
+  for (const auto& s : finals) {
+    bool all = true;
+    for (const auto& obs : omega_obs) {
+      if (!observation_holds(h.adt(), s, obs)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      result.verdict = Verdict::Yes;
+      result.explanation =
+          "some update linearization converges to " + h.adt().format_state(s);
+      return result;
+    }
+  }
+  result.verdict = Verdict::No;
+  result.explanation =
+      "none of the " + std::to_string(finals.size()) +
+      " reachable final states satisfies the infinitely-repeated queries";
+  return result;
+}
+
+/// Convenience used by the run harness: is `converged` explainable as a
+/// linearization of the recorded updates? (UC where the final reads are
+/// the ω-queries.)
+template <UqAdt A>
+[[nodiscard]] CheckResult check_uc_final_state(
+    const History<A>& h, const typename A::State& converged,
+    ExploreBudget budget = {}) {
+  CheckResult result;
+  DownsetExplorer<A> explorer(h, budget);
+  const auto& finals = explorer.final_states();
+  result.stats = explorer.stats();
+  if (explorer.stats().budget_exceeded) {
+    result.verdict = Verdict::Unknown;
+    result.explanation = "exploration budget exceeded";
+    return result;
+  }
+  if (finals.count(converged) > 0) {
+    result.verdict = Verdict::Yes;
+    result.explanation = "converged state is reachable by a linearization";
+  } else {
+    result.verdict = Verdict::No;
+    result.explanation =
+        "converged state " + h.adt().format_state(converged) +
+        " is not reachable by any update linearization (" +
+        std::to_string(finals.size()) + " reachable states)";
+  }
+  return result;
+}
+
+}  // namespace ucw

@@ -1,0 +1,46 @@
+// Tri-state verdicts for the consistency checkers.
+//
+// The exact checkers are small-model deciders: within their exploration
+// budget they answer Yes or No definitively; if the budget runs out they
+// answer Unknown — they never guess. Callers that need a boolean must
+// decide how to treat Unknown themselves.
+#pragma once
+
+#include <string>
+
+#include "lin/downset.hpp"
+
+namespace ucw {
+
+enum class Verdict { Yes, No, Unknown };
+
+[[nodiscard]] inline std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Yes:
+      return "yes";
+    case Verdict::No:
+      return "no";
+    case Verdict::Unknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+/// Conjunction with Unknown-propagation: No dominates, then Unknown.
+[[nodiscard]] inline Verdict operator&&(Verdict a, Verdict b) {
+  if (a == Verdict::No || b == Verdict::No) return Verdict::No;
+  if (a == Verdict::Unknown || b == Verdict::Unknown) return Verdict::Unknown;
+  return Verdict::Yes;
+}
+
+/// Result of one criterion check.
+struct CheckResult {
+  Verdict verdict = Verdict::Unknown;
+  std::string explanation;  ///< human-readable witness / refutation sketch
+  ExploreStats stats;
+
+  [[nodiscard]] bool yes() const { return verdict == Verdict::Yes; }
+  [[nodiscard]] bool no() const { return verdict == Verdict::No; }
+};
+
+}  // namespace ucw

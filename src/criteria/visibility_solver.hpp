@@ -1,0 +1,386 @@
+// Exact small-model solver for strong eventual consistency (Definition 6)
+// and strong update consistency (Definition 9).
+//
+// Both criteria quantify existentially over a visibility relation; SUC
+// additionally over a total order containing it. The solver searches for
+// a witness in a reduced — but provably sufficient — space:
+//
+//  * A visibility relation is represented by the updates visible to each
+//    event, V : E → 2^U (vis edges whose source is a query add nothing
+//    beyond the program order already required, so we never choose them).
+//  * V must be ⊇-monotone along ↦ (growth), contain {u : u ↦ e} and the
+//    event itself for updates (contains ↦, reflexivity), and equal U at
+//    ω-events (eventual delivery: an update may be missed by only
+//    finitely many events).
+//  * For plain SEC the updates' visibility is fixed at its forced minimum:
+//    extra update→update edges only propagate into later events' forced
+//    sets and add acyclicity constraints, and strong convergence reads
+//    only the queries' V — so if any witness exists, the minimized one
+//    does. The insert-wins check (Definition 10) *does* read update→update
+//    visibility in both directions, so it enables the exhaustive mode.
+//  * Strong convergence: queries with equal V must be jointly satisfiable
+//    by a single state, decided by the ADT's satisfying_state (any s ∈ S,
+//    reachable or not — Definition 6 allows an implementation that
+//    ignores updates altogether).
+//  * Acyclicity of vis ∪ ↦ is checked on the full event digraph.
+//
+// For SUC the witness total order ≤ restricted to updates must extend
+//    ↦|U  ∪  vis|U  ∪  { u′ → u : u′ ∈ V(q), q ↦ u }.
+// The third family is what makes ≤ extensible to all events: u′ must
+// precede q (vis ⊆ ≤), and q precedes u (↦ ⊆ ≤). Conversely any total
+// update order extending these three extends to a total order on E
+// (append queries right after their visible sets, respecting chains), so
+// the reduction is exact. Each query is then checked by executing V(q)
+// in ≤-order; that state must produce the recorded output (strong
+// sequential convergence).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "criteria/verdict.hpp"
+#include "history/history.hpp"
+#include "lin/update_poset.hpp"
+#include "util/bitset64.hpp"
+
+namespace ucw {
+
+/// A candidate witness: updates visible to each event, by event id.
+struct VisibilityAssignment {
+  std::vector<Bitset64> visible;
+};
+
+template <UqAdt A>
+class VisibilitySolver {
+ public:
+  struct Options {
+    bool require_suc = false;
+    /// Search update→update visibility exhaustively instead of using the
+    /// forced minimum (needed by predicates that read it, e.g.
+    /// insert-wins; exponentially more expensive).
+    bool search_update_visibility = false;
+    /// Extra acceptance predicate evaluated on complete assignments
+    /// (after the SEC conditions hold). Used for Definition 10.
+    std::function<bool(const History<A>&, const VisibilityAssignment&)>
+        extra_predicate;
+    std::size_t max_nodes = 5'000'000;
+  };
+
+  VisibilitySolver(const History<A>&&, Options) = delete;
+  VisibilitySolver(const History<A>& h, Options opt)
+      : history_(&h), poset_(h), opt_(std::move(opt)) {}
+
+  /// Searches for a witness; nullopt = budget exceeded (Unknown).
+  [[nodiscard]] std::optional<bool> solve() {
+    nodes_ = 0;
+    exhausted_ = false;
+    found_ = false;
+    build_topo();
+    assignment_.visible.assign(history_->size(), Bitset64{});
+    dfs(0);
+    if (found_) return true;
+    if (exhausted_) return std::nullopt;
+    return false;
+  }
+
+  [[nodiscard]] std::size_t nodes_explored() const { return nodes_; }
+
+  /// Witness of the last successful solve(): the visibility assignment
+  /// and, when require_suc, the update slots in ≤-order.
+  [[nodiscard]] const VisibilityAssignment& witness() const {
+    return witness_;
+  }
+  [[nodiscard]] const std::vector<unsigned>& witness_order() const {
+    return witness_order_;
+  }
+
+ private:
+  /// Events sorted so that every program-order predecessor comes first.
+  void build_topo() {
+    const std::size_t n = history_->size();
+    topo_.clear();
+    topo_.reserve(n);
+    std::vector<bool> placed(n, false);
+    for (std::size_t placed_count = 0; placed_count < n;) {
+      bool progress = false;
+      for (EventId e = 0; e < n; ++e) {
+        if (placed[e]) continue;
+        bool ready = true;
+        for (EventId d = 0; d < n; ++d) {
+          if (!placed[d] && d != e && history_->prog_before(d, e)) {
+            ready = false;
+            break;
+          }
+        }
+        if (ready) {
+          topo_.push_back(e);
+          placed[e] = true;
+          ++placed_count;
+          progress = true;
+        }
+      }
+      UCW_CHECK_MSG(progress, "program order must be acyclic");
+    }
+  }
+
+  [[nodiscard]] Bitset64 forced_visibility(EventId e) const {
+    Bitset64 forced;
+    for (EventId d = 0; d < history_->size(); ++d) {
+      if (d != e && history_->prog_before(d, e)) {
+        forced |= assignment_.visible[d];
+      }
+    }
+    if (history_->event(e).is_update()) {
+      forced.set(static_cast<unsigned>(history_->update_slot(e)));
+    }
+    return forced;
+  }
+
+  /// Updates that may legally be added to V(e): anything not forced and
+  /// not program-ordered after e (which would close a 2-cycle with
+  /// vis ⊇ ↦).
+  [[nodiscard]] Bitset64 candidate_mask(EventId e, Bitset64 forced) const {
+    Bitset64 mask;
+    for (std::size_t k = 0; k < poset_.count(); ++k) {
+      const EventId uid = poset_.event_id(static_cast<std::size_t>(k));
+      if (uid == e) continue;
+      if (forced.test(static_cast<unsigned>(k))) continue;
+      if (history_->prog_before(e, uid)) continue;
+      mask.set(static_cast<unsigned>(k));
+    }
+    return mask;
+  }
+
+  void dfs(std::size_t idx) {
+    if (found_ || exhausted_) return;
+    if (++nodes_ > opt_.max_nodes) {
+      exhausted_ = true;
+      return;
+    }
+    if (idx == topo_.size()) {
+      accept();
+      return;
+    }
+    const EventId e = topo_[idx];
+    const auto& ev = history_->event(e);
+    const Bitset64 forced = forced_visibility(e);
+
+    if (ev.omega) {
+      // Eventual delivery: an ω-event sees every update.
+      assignment_.visible[e] = poset_.full();
+      if (group_consistent(e)) dfs(idx + 1);
+      ungroup(e);
+      return;
+    }
+
+    const bool choose =
+        ev.is_query() || (ev.is_update() && opt_.search_update_visibility);
+    if (!choose) {
+      assignment_.visible[e] = forced;
+      dfs(idx + 1);
+      return;
+    }
+
+    // Enumerate V(e) = forced ∪ extra, extras ⊆ candidates, smallest
+    // first (minimal witnesses are found sooner and prune better).
+    const Bitset64 cand = candidate_mask(e, forced);
+    std::vector<Bitset64> subsets;
+    Bitset64 sub;
+    while (true) {
+      subsets.push_back(sub);
+      if (sub == cand) break;
+      sub = Bitset64((sub.raw() - cand.raw()) & cand.raw());
+    }
+    std::stable_sort(subsets.begin(), subsets.end(),
+                     [](Bitset64 a, Bitset64 b) {
+                       return a.count() < b.count();
+                     });
+    for (Bitset64 extra : subsets) {
+      if (found_ || exhausted_) return;
+      assignment_.visible[e] = forced | extra;
+      if (!ev.is_query() || group_consistent(e)) {
+        dfs(idx + 1);
+      }
+      if (ev.is_query()) ungroup(e);
+    }
+  }
+
+  /// Incrementally maintains query groups by V and checks the group of
+  /// event e stays jointly satisfiable when e joins it.
+  bool group_consistent(EventId e) {
+    auto& group = groups_[assignment_.visible[e]];
+    group.push_back(e);
+    std::vector<QueryObservation<A>> obs;
+    obs.reserve(group.size());
+    for (EventId q : group) obs.push_back(history_->event(q).query());
+    if constexpr (HasSatisfyingState<A>) {
+      return history_->adt().satisfying_state(obs).has_value();
+    } else {
+      // Conservative: only same-input/different-output conflicts refute.
+      for (std::size_t i = 0; i < obs.size(); ++i) {
+        for (std::size_t j = i + 1; j < obs.size(); ++j) {
+          if (obs[i].first == obs[j].first &&
+              !(obs[i].second == obs[j].second)) {
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+  }
+
+  void ungroup(EventId e) {
+    auto it = groups_.find(assignment_.visible[e]);
+    if (it != groups_.end() && !it->second.empty() && it->second.back() == e) {
+      it->second.pop_back();
+      if (it->second.empty()) groups_.erase(it);
+    }
+  }
+
+  /// Full-assignment checks: acyclicity, then SUC order search and the
+  /// extra predicate.
+  void accept() {
+    if (!vis_acyclic()) return;
+    if (opt_.require_suc) {
+      if (!suc_order_exists()) return;
+    }
+    if (opt_.extra_predicate &&
+        !opt_.extra_predicate(*history_, assignment_)) {
+      return;
+    }
+    found_ = true;
+    witness_ = assignment_;
+  }
+
+  [[nodiscard]] bool vis_acyclic() const {
+    // Digraph on events: program order plus u → e for u ∈ V(e).
+    const std::size_t n = history_->size();
+    std::vector<int> color(n, 0);
+    std::function<bool(EventId)> cyclic = [&](EventId v) -> bool {
+      color[v] = 1;
+      for (EventId w = 0; w < n; ++w) {
+        bool edge = v != w && history_->prog_before(v, w);
+        if (!edge && history_->event(v).is_update() && v != w) {
+          edge = assignment_.visible[w].test(
+              static_cast<unsigned>(history_->update_slot(v)));
+        }
+        if (!edge) continue;
+        if (color[w] == 1) return true;
+        if (color[w] == 0 && cyclic(w)) return true;
+      }
+      color[v] = 2;
+      return false;
+    };
+    for (EventId v = 0; v < n; ++v) {
+      if (color[v] == 0 && cyclic(v)) return false;
+    }
+    return true;
+  }
+
+  /// Enumerates total update orders extending the three constraint
+  /// families; each candidate order is checked against every query group.
+  bool suc_order_exists() {
+    const std::size_t m = poset_.count();
+    std::vector<Bitset64> pred(m);
+    for (std::size_t k = 0; k < m; ++k) pred[k] = poset_.pred_mask(k);
+    // vis|U: a ∈ V(update b) ⇒ a < b.
+    for (std::size_t b = 0; b < m; ++b) {
+      const EventId bid = poset_.event_id(b);
+      Bitset64 vis_b = assignment_.visible[bid];
+      vis_b.reset(static_cast<unsigned>(b));
+      pred[b] |= vis_b;
+    }
+    // Query-through: u′ ∈ V(q), q ↦ u ⇒ u′ < u.
+    for (EventId q : history_->query_ids()) {
+      for (std::size_t b = 0; b < m; ++b) {
+        if (history_->prog_before(q, poset_.event_id(b))) {
+          pred[b] |= assignment_.visible[q];
+          pred[b].reset(static_cast<unsigned>(b));
+        }
+      }
+    }
+
+    // Pre-compute the distinct query groups once per assignment.
+    struct Group {
+      Bitset64 vis;
+      std::vector<QueryObservation<A>> obs;
+    };
+    std::map<Bitset64, std::vector<QueryObservation<A>>> by_vis;
+    for (EventId q : history_->query_ids()) {
+      by_vis[assignment_.visible[q]].push_back(history_->event(q).query());
+    }
+    std::vector<Group> groups;
+    groups.reserve(by_vis.size());
+    for (auto& [vis, obs] : by_vis) {
+      groups.push_back(Group{vis, std::move(obs)});
+    }
+
+    std::vector<unsigned> order;
+    order.reserve(m);
+    Bitset64 placed;
+    bool ok = false;
+    std::function<void()> rec = [&]() {
+      if (ok || exhausted_) return;
+      if (++nodes_ > opt_.max_nodes) {
+        exhausted_ = true;
+        return;
+      }
+      if (order.size() == m) {
+        if (order_satisfies(order, groups)) {
+          ok = true;
+          witness_order_ = order;
+        }
+        return;
+      }
+      for (std::size_t k = 0; k < m; ++k) {
+        if (placed.test(static_cast<unsigned>(k))) continue;
+        if (!placed.contains(pred[k])) continue;
+        placed.set(static_cast<unsigned>(k));
+        order.push_back(static_cast<unsigned>(k));
+        rec();
+        order.pop_back();
+        placed.reset(static_cast<unsigned>(k));
+        if (ok || exhausted_) return;
+      }
+    };
+    rec();
+    return ok;
+  }
+
+  template <typename Groups>
+  [[nodiscard]] bool order_satisfies(const std::vector<unsigned>& order,
+                                     const Groups& groups) const {
+    for (const auto& g : groups) {
+      auto state = history_->adt().initial();
+      for (unsigned k : order) {
+        if (g.vis.test(k)) {
+          state = history_->adt().transition(std::move(state),
+                                             poset_.update(k));
+        }
+      }
+      for (const auto& obs : g.obs) {
+        if (!observation_holds(history_->adt(), state, obs)) return false;
+      }
+    }
+    return true;
+  }
+
+  const History<A>* history_;
+  UpdatePoset<A> poset_;
+  Options opt_;
+
+  std::vector<EventId> topo_;
+  VisibilityAssignment assignment_;
+  std::map<Bitset64, std::vector<EventId>> groups_;
+  std::size_t nodes_ = 0;
+  bool exhausted_ = false;
+  bool found_ = false;
+  VisibilityAssignment witness_;
+  std::vector<unsigned> witness_order_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,83 @@
+// Fluent construction of distributed histories.
+//
+// Mirrors how the paper draws its figures: one line of operations per
+// process, optional ω-suffix, optional cross-process order edges.
+//
+//   HistoryBuilder<SetAdt<int>> b{SetAdt<int>{}, 2};
+//   b.update(0, S::insert(1)).query(0, S::read(), {2});
+//   b.update(1, S::insert(2)).query_omega(1, S::read(), {});
+//   auto h = b.build();
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace ucw {
+
+template <UqAdt A>
+class HistoryBuilder {
+ public:
+  explicit HistoryBuilder(A adt, std::size_t n_processes)
+      : adt_(std::move(adt)), next_seq_(n_processes, 0) {}
+
+  HistoryBuilder& update(ProcessId p, typename A::Update u) {
+    push(p, EventLabel<A>(std::in_place_index<0>, std::move(u)), false);
+    return *this;
+  }
+
+  HistoryBuilder& query(ProcessId p, typename A::QueryIn qi,
+                        typename A::QueryOut qo) {
+    push(p,
+         EventLabel<A>(std::in_place_index<1>,
+                       QueryObservation<A>{std::move(qi), std::move(qo)}),
+         false);
+    return *this;
+  }
+
+  /// Query repeated infinitely often; must be the last event of p.
+  HistoryBuilder& query_omega(ProcessId p, typename A::QueryIn qi,
+                              typename A::QueryOut qo) {
+    push(p,
+         EventLabel<A>(std::in_place_index<1>,
+                       QueryObservation<A>{std::move(qi), std::move(qo)}),
+         true);
+    return *this;
+  }
+
+  /// Id of the most recently added event (to wire extra order edges).
+  [[nodiscard]] EventId last_id() const {
+    UCW_CHECK(!events_.empty());
+    return events_.back().id;
+  }
+
+  /// Adds a cross-process program-order edge a ↦ b (e.g. fork/join).
+  HistoryBuilder& order_edge(EventId a, EventId b) {
+    extra_edges_.emplace_back(a, b);
+    return *this;
+  }
+
+  [[nodiscard]] History<A> build() const {
+    return History<A>(adt_, events_, next_seq_.size(), extra_edges_);
+  }
+
+ private:
+  void push(ProcessId p, EventLabel<A> label, bool omega) {
+    UCW_CHECK_MSG(p < next_seq_.size(), "process id out of range");
+    Event<A> e;
+    e.id = static_cast<EventId>(events_.size());
+    e.pid = p;
+    e.seq = next_seq_[p]++;
+    e.label = std::move(label);
+    e.omega = omega;
+    events_.push_back(std::move(e));
+  }
+
+  A adt_;
+  std::vector<Event<A>> events_;
+  std::vector<std::uint32_t> next_seq_;
+  std::vector<std::pair<EventId, EventId>> extra_edges_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,79 @@
+// History export: Graphviz DOT rendering of distributed histories.
+//
+// Produces a figure in the style of the paper's diagrams: one horizontal
+// rank per process, events labelled with their operations, solid edges
+// for program order, and (optionally) dashed edges for a visibility
+// assignment produced by the SEC/SUC solvers — handy for inspecting why
+// a checker accepted or refuted a history.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "history/history.hpp"
+#include "util/bitset64.hpp"
+
+namespace ucw {
+
+struct DotOptions {
+  bool show_event_ids = false;
+  /// Per-event visible update masks (e.g. VisibilityAssignment::visible);
+  /// empty = no visibility edges drawn.
+  std::vector<Bitset64> visibility{};
+};
+
+template <UqAdt A>
+[[nodiscard]] std::string to_dot(const History<A>& h,
+                                 const DotOptions& opt = {}) {
+  std::ostringstream os;
+  os << "digraph history {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (ProcessId p = 0; p < h.process_count(); ++p) {
+    os << "  subgraph cluster_p" << p << " {\n"
+       << "    label=\"p" << p << "\";\n"
+       << "    style=dotted;\n";
+    for (EventId id : h.chain(p)) {
+      const auto& e = h.event(id);
+      std::string label =
+          e.is_update()
+              ? h.adt().format_update(e.update())
+              : h.adt().format_query(e.query().first, e.query().second);
+      if (e.omega) label += "^ω";
+      if (opt.show_event_ids) {
+        label = "#" + std::to_string(id) + " " + label;
+      }
+      os << "    e" << id << " [label=\"" << label << "\""
+         << (e.is_update() ? ", style=filled, fillcolor=lightgrey" : "")
+         << "];\n";
+    }
+    os << "  }\n";
+  }
+  // Program order: chain edges plus explicit extra edges.
+  for (ProcessId p = 0; p < h.process_count(); ++p) {
+    const auto& chain = h.chain(p);
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      os << "  e" << chain[i] << " -> e" << chain[i + 1] << ";\n";
+    }
+  }
+  for (const auto& [a, b] : h.extra_edges()) {
+    os << "  e" << a << " -> e" << b << " [constraint=false];\n";
+  }
+  // Visibility edges (update -> seeing event), beyond program order.
+  if (!opt.visibility.empty()) {
+    UCW_CHECK(opt.visibility.size() == h.size());
+    for (EventId e = 0; e < h.size(); ++e) {
+      opt.visibility[e].for_each([&](unsigned slot) {
+        const EventId u = h.update_ids()[slot];
+        if (u != e && !h.prog_before(u, e)) {
+          os << "  e" << u << " -> e" << e
+             << " [style=dashed, color=blue, constraint=false];\n";
+        }
+      });
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ucw

@@ -1,0 +1,106 @@
+#include "history/figures.hpp"
+
+#include "history/builder.hpp"
+
+namespace ucw {
+
+namespace {
+using S = SetAdt<int>;
+using Set = std::set<int>;
+}  // namespace
+
+FigureHistory figure_1a() {
+  // p0: I(1) · R/{2} · R/{1} · R/∅^ω
+  // p1: I(2) · R/{1} · R/{2} · R/∅^ω
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1))
+      .query(0, S::read(), Set{2})
+      .query(0, S::read(), Set{1})
+      .query_omega(0, S::read(), Set{});
+  b.update(1, S::insert(2))
+      .query(1, S::read(), Set{1})
+      .query(1, S::read(), Set{2})
+      .query_omega(1, S::read(), Set{});
+  return b.build();
+}
+
+FigureHistory figure_1b() {
+  // p0: I(1) · D(2) · R/{1,2}^ω
+  // p1: I(2) · D(1) · R/{1,2}^ω
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1))
+      .update(0, S::remove(2))
+      .query_omega(0, S::read(), Set{1, 2});
+  b.update(1, S::insert(2))
+      .update(1, S::remove(1))
+      .query_omega(1, S::read(), Set{1, 2});
+  return b.build();
+}
+
+FigureHistory figure_1c() {
+  // p0: I(1) · R/∅ · R/{1,2}^ω
+  // p1: I(2) · R/{1,2}^ω
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1))
+      .query(0, S::read(), Set{})
+      .query_omega(0, S::read(), Set{1, 2});
+  b.update(1, S::insert(2)).query_omega(1, S::read(), Set{1, 2});
+  return b.build();
+}
+
+FigureHistory figure_1d() {
+  // p0: I(1) · R/{1} · I(2) · R/{1,2}^ω
+  // p1: R/{2} · R/{1,2}^ω
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1))
+      .query(0, S::read(), Set{1})
+      .update(0, S::insert(2))
+      .query_omega(0, S::read(), Set{1, 2});
+  b.query(1, S::read(), Set{2}).query_omega(1, S::read(), Set{1, 2});
+  return b.build();
+}
+
+FigureHistory figure_2() {
+  // p0: I(1) · I(3) · R/{1,3} · R/{1,2,3} · R/{1,2}^ω
+  // p1: I(2) · D(3) · R/{2} · R/{1,2} · R/{1,2,3}^ω
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1))
+      .update(0, S::insert(3))
+      .query(0, S::read(), Set{1, 3})
+      .query(0, S::read(), Set{1, 2, 3})
+      .query_omega(0, S::read(), Set{1, 2});
+  b.update(1, S::insert(2))
+      .update(1, S::remove(3))
+      .query(1, S::read(), Set{2})
+      .query(1, S::read(), Set{1, 2})
+      .query_omega(1, S::read(), Set{1, 2, 3});
+  return b.build();
+}
+
+std::vector<std::pair<FigureHistory, FigureExpectation>> paper_figures() {
+  std::vector<std::pair<FigureHistory, FigureExpectation>> out;
+  // PC expectations are derived, not stated in the captions: 1a/1c read
+  // values that contradict their own process's updates, 1b's ω-read
+  // {1,2} is unreachable after all four updates, and 1d's p1 starts with
+  // R/{2} which no linearization containing I(1) before it explains --
+  // actually for 1d, p1 has no updates, and R/{2} requires I(2) before
+  // I(1)'s effect is visible; the caption itself says "SUC but not PC".
+  out.emplace_back(figure_1a(),
+                   FigureExpectation{"fig1a", "EC but not SEC nor UC",
+                                     true, false, false, false, false});
+  out.emplace_back(figure_1b(),
+                   FigureExpectation{"fig1b", "SEC but not UC", true, true,
+                                     false, false, false});
+  out.emplace_back(figure_1c(),
+                   FigureExpectation{"fig1c", "SEC and UC but not SUC", true,
+                                     true, true, false, false});
+  out.emplace_back(figure_1d(),
+                   FigureExpectation{"fig1d", "SUC but not PC", true, true,
+                                     true, true, false});
+  out.emplace_back(figure_2(), FigureExpectation{"fig2", "PC but not EC",
+                                                 false, false, false, false,
+                                                 true});
+  return out;
+}
+
+}  // namespace ucw

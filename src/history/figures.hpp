@@ -1,0 +1,43 @@
+// The paper's example histories (Figures 1 and 2), verbatim.
+//
+// Figure 1 shows four histories of a shared integer set with different
+// consistency strengths; Figure 2 shows the pipelined-consistent but not
+// eventually consistent history used by Proposition 1. These are the
+// ground-truth inputs of the criteria checkers' acceptance tests and of
+// the `fig1_criteria_matrix` / `fig2_pipelined_convergence` benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adt/set.hpp"
+#include "history/history.hpp"
+
+namespace ucw {
+
+using FigureHistory = History<SetAdt<int>>;
+
+/// Expected classification of one paper history (from the figure captions
+/// plus the PC column we derive in DESIGN.md).
+struct FigureExpectation {
+  std::string label;       ///< e.g. "fig1a"
+  std::string caption;     ///< the paper's caption
+  bool ec, sec, uc, suc, pc;
+};
+
+/// Fig. 1a — "EC but not SEC nor UC".
+[[nodiscard]] FigureHistory figure_1a();
+/// Fig. 1b — "SEC but not UC".
+[[nodiscard]] FigureHistory figure_1b();
+/// Fig. 1c — "SEC and UC but not SUC".
+[[nodiscard]] FigureHistory figure_1c();
+/// Fig. 1d — "SUC but not PC".
+[[nodiscard]] FigureHistory figure_1d();
+/// Fig. 2 — "PC but not EC".
+[[nodiscard]] FigureHistory figure_2();
+
+/// All five histories with their paper-expected classification.
+[[nodiscard]] std::vector<std::pair<FigureHistory, FigureExpectation>>
+paper_figures();
+
+}  // namespace ucw

@@ -1,0 +1,258 @@
+// Distributed histories (paper, Definition 2).
+//
+// A history is a countable set of events labelled by updates or query
+// observations, partially ordered by the program order ↦. This
+// implementation stores events grouped into per-process chains (the
+// common case: communicating sequential processes) plus optional extra
+// order edges (thread creation, peer join/leave), so the order is a
+// genuine partial order, not necessarily a union of disjoint chains.
+//
+// The paper's figures use ω-superscripts: an event repeated infinitely
+// often at the end of its process. We model that with an `omega` flag,
+// restricted to events that are maximal on their chain; the checkers give
+// ω-events the "all but finitely many" interpretation the definitions use
+// (e.g. an ω-query must hold in the final converged state, an update must
+// be visible to every ω-event).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "adt/concepts.hpp"
+#include "clock/timestamp.hpp"
+#include "util/assert.hpp"
+
+namespace ucw {
+
+using EventId = std::uint32_t;
+
+/// Label of an event: an update or a query observation q_i/q_o.
+template <UqAdt A>
+using EventLabel = std::variant<typename A::Update, QueryObservation<A>>;
+
+template <UqAdt A>
+struct Event {
+  EventId id = 0;          ///< dense index into History::events()
+  ProcessId pid = 0;       ///< process (maximal chain) that issued it
+  std::uint32_t seq = 0;   ///< position on that process's chain
+  EventLabel<A> label;
+  bool omega = false;      ///< repeated infinitely often (chain-maximal)
+
+  [[nodiscard]] bool is_update() const { return label.index() == 0; }
+  [[nodiscard]] bool is_query() const { return label.index() == 1; }
+
+  [[nodiscard]] const typename A::Update& update() const {
+    return std::get<typename A::Update>(label);
+  }
+  [[nodiscard]] const QueryObservation<A>& query() const {
+    return std::get<QueryObservation<A>>(label);
+  }
+};
+
+template <UqAdt A>
+class History {
+ public:
+  History(A adt, std::vector<Event<A>> events, std::size_t n_processes,
+          std::vector<std::pair<EventId, EventId>> extra_edges = {})
+      : adt_(std::move(adt)),
+        events_(std::move(events)),
+        n_processes_(n_processes),
+        extra_edges_(std::move(extra_edges)) {
+    index();
+    validate();
+  }
+
+  [[nodiscard]] const A& adt() const { return adt_; }
+  [[nodiscard]] const std::vector<Event<A>>& events() const { return events_; }
+  [[nodiscard]] const Event<A>& event(EventId id) const { return events_[id]; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t process_count() const { return n_processes_; }
+
+  /// Event ids of process p's chain, in program order.
+  [[nodiscard]] const std::vector<EventId>& chain(ProcessId p) const {
+    UCW_CHECK(p < n_processes_);
+    return chains_[p];
+  }
+
+  /// U_H — ids of update events, in id order.
+  [[nodiscard]] const std::vector<EventId>& update_ids() const {
+    return update_ids_;
+  }
+  /// Q_H — ids of query events, in id order.
+  [[nodiscard]] const std::vector<EventId>& query_ids() const {
+    return query_ids_;
+  }
+
+  /// Dense index of an update event among updates (for bitmask work);
+  /// only valid for ids in update_ids().
+  [[nodiscard]] std::size_t update_slot(EventId id) const {
+    UCW_DCHECK(events_[id].is_update());
+    return update_slot_[id];
+  }
+
+  [[nodiscard]] bool has_omega() const { return omega_count_ > 0; }
+  [[nodiscard]] std::size_t omega_count() const { return omega_count_; }
+
+  /// Program order ↦ (strict): true when a must precede b.
+  [[nodiscard]] bool prog_before(EventId a, EventId b) const {
+    if (a == b) return false;
+    const auto& ea = events_[a];
+    const auto& eb = events_[b];
+    if (ea.pid == eb.pid) return ea.seq < eb.seq;
+    if (extra_edges_.empty()) return false;
+    return closure_[a][b];
+  }
+
+  /// The extra (cross-chain) edges supplied at construction.
+  [[nodiscard]] const std::vector<std::pair<EventId, EventId>>& extra_edges()
+      const {
+    return extra_edges_;
+  }
+
+  /// Projection H_F of Definition 2: keep only the events in `keep`
+  /// (a sorted list of ids); events are re-numbered densely and the
+  /// program order is restricted.
+  [[nodiscard]] History restricted_to(const std::vector<EventId>& keep) const;
+
+  /// Renders one line per process: "p0: I(1) · R/{1} · R/{}^ω".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void index();
+  void validate() const;
+
+  A adt_;
+  std::vector<Event<A>> events_;
+  std::size_t n_processes_;
+  std::vector<std::pair<EventId, EventId>> extra_edges_;
+
+  std::vector<std::vector<EventId>> chains_;
+  std::vector<EventId> update_ids_;
+  std::vector<EventId> query_ids_;
+  std::vector<std::size_t> update_slot_;
+  std::size_t omega_count_ = 0;
+  // Transitive closure of (chain ∪ extra) edges; only built when extra
+  // edges exist — pure chain order is answered arithmetically.
+  std::vector<std::vector<bool>> closure_;
+};
+
+template <UqAdt A>
+void History<A>::index() {
+  chains_.assign(n_processes_, {});
+  update_slot_.assign(events_.size(), 0);
+  for (const auto& e : events_) {
+    UCW_CHECK_MSG(e.pid < n_processes_,
+                  "event pid out of range: " << e.pid);
+    chains_[e.pid].push_back(e.id);
+    if (e.is_update()) {
+      update_slot_[e.id] = update_ids_.size();
+      update_ids_.push_back(e.id);
+    } else {
+      query_ids_.push_back(e.id);
+    }
+    if (e.omega) ++omega_count_;
+  }
+  for (auto& chain : chains_) {
+    std::sort(chain.begin(), chain.end(), [this](EventId a, EventId b) {
+      return events_[a].seq < events_[b].seq;
+    });
+  }
+  if (!extra_edges_.empty()) {
+    // Floyd–Warshall-style closure; histories with extra edges are the
+    // small hand-built ones, so O(n^3) is irrelevant.
+    const std::size_t n = events_.size();
+    closure_.assign(n, std::vector<bool>(n, false));
+    for (const auto& chain : chains_) {
+      for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        closure_[chain[i]][chain[i + 1]] = true;
+      }
+    }
+    for (const auto& [a, b] : extra_edges_) {
+      UCW_CHECK(a < n && b < n);
+      closure_[a][b] = true;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!closure_[i][k]) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (closure_[k][j]) closure_[i][j] = true;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      UCW_CHECK_MSG(!closure_[i][i], "program order must be acyclic");
+    }
+  }
+}
+
+template <UqAdt A>
+void History<A>::validate() const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    UCW_CHECK_MSG(events_[i].id == i, "event ids must be dense and ordered");
+  }
+  for (const auto& chain : chains_) {
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      UCW_CHECK_MSG(events_[chain[i]].seq < events_[chain[i + 1]].seq,
+                    "duplicate seq on a chain");
+      UCW_CHECK_MSG(!events_[chain[i]].omega,
+                    "an omega event must be maximal on its chain");
+    }
+  }
+  for (const auto& e : events_) {
+    if (e.omega) {
+      UCW_CHECK_MSG(e.is_query(),
+                    "only queries may be repeated infinitely (an omega "
+                    "update would make U_H infinite, trivializing every "
+                    "criterion; see Definition 5)");
+    }
+  }
+}
+
+template <UqAdt A>
+History<A> History<A>::restricted_to(const std::vector<EventId>& keep) const {
+  std::vector<EventId> remap(events_.size(), static_cast<EventId>(-1));
+  std::vector<Event<A>> kept;
+  kept.reserve(keep.size());
+  for (EventId id : keep) {
+    UCW_CHECK(id < events_.size());
+    remap[id] = static_cast<EventId>(kept.size());
+    Event<A> e = events_[id];
+    e.id = remap[id];
+    kept.push_back(std::move(e));
+  }
+  std::vector<std::pair<EventId, EventId>> edges;
+  for (const auto& [a, b] : extra_edges_) {
+    if (remap[a] != static_cast<EventId>(-1) &&
+        remap[b] != static_cast<EventId>(-1)) {
+      edges.emplace_back(remap[a], remap[b]);
+    }
+  }
+  return History(adt_, std::move(kept), n_processes_, std::move(edges));
+}
+
+template <UqAdt A>
+std::string History<A>::to_string() const {
+  std::string out;
+  for (ProcessId p = 0; p < n_processes_; ++p) {
+    out += "p" + std::to_string(p) + ": ";
+    const auto& chain = chains_[p];
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (i != 0) out += " · ";
+      const auto& e = events_[chain[i]];
+      if (e.is_update()) {
+        out += adt_.format_update(e.update());
+      } else {
+        out += adt_.format_query(e.query().first, e.query().second);
+      }
+      if (e.omega) out += "^ω";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ucw

@@ -1,0 +1,101 @@
+#include "history/spec.hpp"
+
+#include <sstream>
+
+#include "history/builder.hpp"
+#include "util/assert.hpp"
+
+namespace ucw {
+
+namespace {
+
+using S = SetAdt<int>;
+
+std::set<int> parse_values(const std::string& text,
+                           const std::string& token) {
+  std::set<int> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    try {
+      out.insert(std::stoi(item));
+    } catch (const std::exception&) {
+      UCW_CHECK_MSG(false, "bad value list in token '" << token << "'");
+    }
+  }
+  return out;
+}
+
+int parse_int(const std::string& text, const std::string& token) {
+  try {
+    return std::stoi(text);
+  } catch (const std::exception&) {
+    UCW_CHECK_MSG(false, "bad integer in token '" << token << "'");
+  }
+  return 0;
+}
+
+}  // namespace
+
+History<SetAdt<int>> parse_set_history_spec(const std::string& spec) {
+  std::vector<std::vector<std::string>> processes(1);
+  std::stringstream ss(spec);
+  std::string token;
+  while (ss >> token) {
+    if (token == "|") {
+      processes.emplace_back();
+    } else {
+      processes.back().push_back(token);
+    }
+  }
+  HistoryBuilder<S> b{S{}, processes.size()};
+  for (ProcessId p = 0; p < processes.size(); ++p) {
+    for (const std::string& op : processes[p]) {
+      UCW_CHECK_MSG(!op.empty(), "empty token");
+      if (op[0] == 'I' && op.size() > 1) {
+        b.update(p, S::insert(parse_int(op.substr(1), op)));
+      } else if (op[0] == 'D' && op.size() > 1) {
+        b.update(p, S::remove(parse_int(op.substr(1), op)));
+      } else if (op.rfind("R:", 0) == 0) {
+        b.query(p, S::read(), parse_values(op.substr(2), op));
+      } else if (op.rfind("W:", 0) == 0) {
+        b.query_omega(p, S::read(), parse_values(op.substr(2), op));
+      } else {
+        UCW_CHECK_MSG(false, "cannot parse op '" << op << "'");
+      }
+    }
+  }
+  return b.build();
+}
+
+std::string to_spec(const History<SetAdt<int>>& h) {
+  std::ostringstream os;
+  for (ProcessId p = 0; p < h.process_count(); ++p) {
+    if (p != 0) os << " | ";
+    bool first = true;
+    for (EventId id : h.chain(p)) {
+      if (!first) os << ' ';
+      first = false;
+      const auto& e = h.event(id);
+      if (e.is_update()) {
+        if (const auto* ins = std::get_if<SetInsert<int>>(&e.update())) {
+          os << 'I' << ins->value;
+        } else {
+          os << 'D' << std::get<SetDelete<int>>(e.update()).value;
+        }
+      } else {
+        os << (e.omega ? "W:" : "R:");
+        bool first_v = true;
+        for (int v : e.query().second) {
+          if (!first_v) os << ',';
+          first_v = false;
+          os << v;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ucw

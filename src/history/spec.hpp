@@ -1,0 +1,29 @@
+// A tiny textual language for set histories.
+//
+// One '|'-separated segment per process; tokens:
+//   I<v>    insert v                 D<v>    delete v
+//   R:<vs>  read returning {vs}      W:<vs>  read returning {vs} forever (ω)
+// where <vs> is a comma-separated list of ints, possibly empty:
+//   "I1 R:1 | I2 W:1,2"  ≡  p0: I(1)·R/{1}   p1: I(2)·R/{1,2}^ω
+//
+// Used by the consistency_explorer example and anywhere a test wants a
+// history literal that reads like the paper's figures.
+#pragma once
+
+#include <string>
+
+#include "adt/set.hpp"
+#include "history/history.hpp"
+
+namespace ucw {
+
+/// Parses the spec; throws contract_error with a pointer to the
+/// offending token on malformed input.
+[[nodiscard]] History<SetAdt<int>> parse_set_history_spec(
+    const std::string& spec);
+
+/// Renders a history back into the spec language (round-trips with
+/// parse_set_history_spec up to whitespace).
+[[nodiscard]] std::string to_spec(const History<SetAdt<int>>& h);
+
+}  // namespace ucw

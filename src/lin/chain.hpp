@@ -1,0 +1,201 @@
+// Chain interleaving: the engine of the pipelined-consistency check.
+//
+// Definition 7 asks, for each maximal chain p, whether some linearization
+// of H_{U_H ∪ p} (all updates plus p's own events) is recognized by the
+// ADT. The chain's events are totally ordered, so a search state is the
+// pair (position on the chain, downset of executed updates) together with
+// the ADT states reachable there; the DP walks positions and downsets
+// forward, filtering states through the chain's query observations.
+//
+// ω handling: the chain's trailing ω-query (if any) stands for infinitely
+// many copies. Since U_H is finite, all but finitely many copies follow
+// every update, so the ω observation must hold in the final state reached
+// after executing *all* updates. Conversely placing all copies there is a
+// valid linearization, so the condition is exact, not just necessary.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lin/downset.hpp"
+#include "lin/update_poset.hpp"
+
+namespace ucw {
+
+template <UqAdt A>
+class ChainLinearizer {
+ public:
+  using State = typename A::State;
+
+  ChainLinearizer(const History<A>&&, ExploreBudget = {}) = delete;
+  ChainLinearizer(const History<A>& h, ExploreBudget budget = {})
+      : history_(&h), poset_(h), budget_(budget) {}
+
+  /// Decides lin(H_{U_H ∪ chain(p)}) ∩ L(O) ≠ ∅; nullopt = budget out.
+  [[nodiscard]] std::optional<bool> chain_has_linearization(ProcessId p) {
+    stats_ = ExploreStats{};
+    build_chain_view(p);
+
+    // seen[(pos, downset)] -> distinct ADT states reachable there.
+    std::unordered_map<Key, StateSet, KeyHash> seen;
+    std::vector<Key> frontier;
+    auto add = [&](std::size_t pos, Bitset64 done, State s) -> bool {
+      Key key{pos, done};
+      auto [it, fresh] = seen.try_emplace(key);
+      if (fresh) frontier.push_back(key);
+      if (it->second.insert(std::move(s)).second) {
+        if (++stats_.states_stored > budget_.max_states) {
+          stats_.budget_exceeded = true;
+          return false;
+        }
+      }
+      return true;
+    };
+
+    if (!add(0, Bitset64{}, history_->adt().initial())) return std::nullopt;
+
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const Key key = frontier[i];
+      // Copy: `seen` may rehash as successors are inserted.
+      const StateSet states = seen.at(key);
+      const auto [pos, done] = key;
+      ++stats_.downsets_visited;
+
+      // (a) consume the next finite chain event.
+      if (pos < chain_.size()) {
+        const ChainStep& step = chain_[pos];
+        if (done.contains(step.required_updates)) {
+          if (step.update_slot.has_value()) {
+            Bitset64 after = done;
+            after.set(*step.update_slot);
+            for (const auto& s : states) {
+              ++stats_.transitions;
+              auto next = history_->adt().transition(
+                  s, poset_.update(*step.update_slot));
+              if (!add(pos + 1, after, std::move(next))) return std::nullopt;
+            }
+          } else {
+            for (const auto& s : states) {
+              ++stats_.transitions;
+              if (history_->adt().output(s, step.query->first) ==
+                  step.query->second) {
+                if (!add(pos + 1, done, s)) return std::nullopt;
+              }
+            }
+          }
+        }
+      }
+
+      // (b) execute any enabled off-chain update.
+      for (unsigned k : offchain_) {
+        if (done.test(k)) continue;
+        if (!done.contains(poset_.pred_mask(k))) continue;
+        if (chain_pos_required_[k] > pos) continue;
+        Bitset64 after = done;
+        after.set(k);
+        for (const auto& s : states) {
+          ++stats_.transitions;
+          auto next = history_->adt().transition(s, poset_.update(k));
+          if (!add(pos, after, std::move(next))) return std::nullopt;
+        }
+      }
+    }
+
+    // Accept: whole chain consumed, every update executed, ω holds.
+    const Key goal{chain_.size(), poset_.full()};
+    auto it = seen.find(goal);
+    if (it != seen.end()) {
+      for (const auto& s : it->second) {
+        if (!omega_obs_.has_value() ||
+            history_->adt().output(s, omega_obs_->first) ==
+                omega_obs_->second) {
+          return true;
+        }
+      }
+    }
+    if (stats_.budget_exceeded) return std::nullopt;
+    return false;
+  }
+
+  [[nodiscard]] const ExploreStats& stats() const { return stats_; }
+
+ private:
+  using Key = std::pair<std::size_t, Bitset64>;
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t seed = std::hash<std::size_t>{}(k.first);
+      hash_combine(seed, hash_value(k.second));
+      return seed;
+    }
+  };
+  using StateSet = std::unordered_set<State, ValueHash>;
+
+  struct ChainStep {
+    std::optional<unsigned> update_slot;            // set when update
+    const QueryObservation<A>* query = nullptr;     // set when query
+    Bitset64 required_updates;  // off-chain updates that must precede
+  };
+
+  void build_chain_view(ProcessId p) {
+    chain_.clear();
+    offchain_.clear();
+    omega_obs_.reset();
+    chain_pos_required_.assign(poset_.count(), 0);
+
+    const auto& ids = history_->chain(p);
+    std::unordered_map<EventId, std::size_t> pos_of;  // finite chain events
+    for (EventId id : ids) {
+      const auto& e = history_->event(id);
+      if (e.omega) {
+        omega_obs_ = e.query();
+        continue;
+      }
+      ChainStep step;
+      if (e.is_update()) {
+        step.update_slot =
+            static_cast<unsigned>(history_->update_slot(id));
+      } else {
+        step.query = &e.query();
+      }
+      // Off-chain updates forced (via extra order edges) before this event.
+      for (std::size_t k = 0; k < poset_.count(); ++k) {
+        const EventId uid = poset_.event_id(k);
+        if (history_->event(uid).pid != p &&
+            history_->prog_before(uid, id)) {
+          step.required_updates.set(static_cast<unsigned>(k));
+        }
+      }
+      pos_of[id] = chain_.size();
+      chain_.push_back(step);
+    }
+
+    for (std::size_t k = 0; k < poset_.count(); ++k) {
+      const EventId uid = poset_.event_id(k);
+      if (history_->event(uid).pid == p) continue;
+      offchain_.push_back(static_cast<unsigned>(k));
+      // Chain events that must precede this off-chain update (via extra
+      // edges) pin the earliest chain position at which it may run.
+      std::size_t required = 0;
+      for (const auto& [eid, pos] : pos_of) {
+        if (history_->prog_before(eid, uid)) {
+          required = std::max(required, pos + 1);
+        }
+      }
+      chain_pos_required_[k] = required;
+    }
+  }
+
+  const History<A>* history_;
+  UpdatePoset<A> poset_;
+  ExploreBudget budget_;
+  ExploreStats stats_;
+
+  std::vector<ChainStep> chain_;
+  std::vector<unsigned> offchain_;
+  std::vector<std::size_t> chain_pos_required_;
+  std::optional<QueryObservation<A>> omega_obs_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,119 @@
+// Reachable-state computation over the downset lattice of the update poset.
+//
+// For a downset D of (U_H, ↦|U), states(D) is the set of distinct ADT
+// states reachable by executing the updates of D in *some* linearization
+// consistent with the program order. The recurrence
+//
+//     states(∅)       = { s0 }
+//     states(D ∪ {u}) ⊇ T(states(D), u)        for u maximal in D ∪ {u}
+//
+// is evaluated level by level (downsets of equal size), memoizing distinct
+// states only — this collapses the n! linearizations into at most
+// 2^n · |distinct states| work, which in practice is tiny because most
+// ADTs' states collide massively (a set forgets the order of commuting
+// inserts, a register keeps only the last write, …).
+//
+// This single primitive decides UC (Definition 8: some linearization of
+// the updates explains the converged state) and underpins the PC chain
+// checker.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lin/update_poset.hpp"
+#include "util/hash.hpp"
+
+namespace ucw {
+
+/// Work/quality report of an exploration; `budget_exceeded` means the
+/// caller must treat the answer as Unknown, never as No.
+struct ExploreStats {
+  std::size_t downsets_visited = 0;
+  std::size_t states_stored = 0;
+  std::size_t transitions = 0;
+  bool budget_exceeded = false;
+};
+
+/// Exploration limits; generous defaults handle every figure instantly
+/// and random histories with ~16 non-commuting updates in milliseconds.
+struct ExploreBudget {
+  std::size_t max_states = 4'000'000;
+};
+
+template <UqAdt A>
+class DownsetExplorer {
+ public:
+  using State = typename A::State;
+  using StateSet = std::unordered_set<State, ValueHash>;
+
+  DownsetExplorer(const History<A>&&, ExploreBudget = {}) = delete;
+  explicit DownsetExplorer(const History<A>& h, ExploreBudget budget = {})
+      : history_(&h), poset_(h), budget_(budget) {}
+
+  [[nodiscard]] const UpdatePoset<A>& poset() const { return poset_; }
+  [[nodiscard]] const ExploreStats& stats() const { return stats_; }
+
+  /// Distinct states reachable by linearizing all updates; empty result
+  /// with stats().budget_exceeded set means "ran out of budget".
+  [[nodiscard]] const StateSet& final_states() {
+    return states_for(poset_.full());
+  }
+
+  /// Distinct states reachable after executing exactly downset D.
+  [[nodiscard]] const StateSet& states_for(Bitset64 target) {
+    auto it = memo_.find(target);
+    if (it != memo_.end()) return it->second;
+    if (stats_.budget_exceeded) return empty_;
+
+    if (target.empty()) {
+      StateSet base;
+      base.insert(history_->adt().initial());
+      ++stats_.downsets_visited;
+      ++stats_.states_stored;
+      return memo_.emplace(target, std::move(base)).first->second;
+    }
+
+    // A state reaching D last executed some maximal element u of D.
+    StateSet result;
+    target.for_each([&](unsigned k) {
+      if (stats_.budget_exceeded) return;
+      Bitset64 without = target;
+      without.reset(k);
+      // u=k must be maximal in D: no successor of k inside D. Successor
+      // test via pred masks: j in D has k among its predecessors?
+      bool maximal = true;
+      without.for_each([&](unsigned j) {
+        if (poset_.pred_mask(j).test(k)) maximal = false;
+      });
+      if (!maximal) return;
+      if (!without.contains(poset_.pred_mask(k))) return;  // D not a downset
+      const StateSet& prior = states_for(without);
+      for (const auto& s : prior) {
+        ++stats_.transitions;
+        auto next = history_->adt().transition(s, poset_.update(k));
+        if (result.insert(std::move(next)).second) {
+          if (++stats_.states_stored > budget_.max_states) {
+            stats_.budget_exceeded = true;
+            return;
+          }
+        }
+      }
+    });
+    ++stats_.downsets_visited;
+    if (stats_.budget_exceeded) return empty_;
+    return memo_.emplace(target, std::move(result)).first->second;
+  }
+
+ private:
+  const History<A>* history_;
+  UpdatePoset<A> poset_;
+  ExploreBudget budget_;
+  ExploreStats stats_;
+  std::unordered_map<Bitset64, StateSet> memo_;
+  StateSet empty_;
+};
+
+}  // namespace ucw

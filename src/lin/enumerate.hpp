@@ -1,0 +1,92 @@
+// Brute-force linearization enumeration (Definition 3).
+//
+// Enumerates every linearization of a (small, ω-free) history in
+// lexicographic-by-event-id order, invoking a callback with each word.
+// Exponential by nature — it exists to cross-validate the DP-based
+// checkers on tiny histories in the property tests, not for production
+// checking.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "adt/replayer.hpp"
+#include "history/history.hpp"
+
+namespace ucw {
+
+/// Calls `fn` with each linearization (as a vector of event ids); `fn`
+/// returns false to stop early. Returns false when stopped early.
+template <UqAdt A>
+bool for_each_linearization(
+    const History<A>& h,
+    const std::function<bool(const std::vector<EventId>&)>& fn) {
+  UCW_CHECK_MSG(!h.has_omega(),
+                "brute-force enumeration handles finite histories only");
+  const std::size_t n = h.size();
+  std::vector<bool> used(n, false);
+  std::vector<EventId> word;
+  word.reserve(n);
+
+  std::function<bool()> rec = [&]() -> bool {
+    if (word.size() == n) return fn(word);
+    for (EventId e = 0; e < n; ++e) {
+      if (used[e]) continue;
+      bool enabled = true;
+      for (EventId d = 0; d < n; ++d) {
+        if (!used[d] && d != e && h.prog_before(d, e)) {
+          enabled = false;
+          break;
+        }
+      }
+      if (!enabled) continue;
+      used[e] = true;
+      word.push_back(e);
+      const bool keep_going = rec();
+      word.pop_back();
+      used[e] = false;
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  return rec();
+}
+
+/// Counts the linearizations of a small history (test helper).
+template <UqAdt A>
+std::size_t count_linearizations(const History<A>& h) {
+  std::size_t n = 0;
+  for_each_linearization(h, [&](const std::vector<EventId>&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+/// Brute-force recognition: does some linearization of the *whole*
+/// history (no query removed) belong to L(O)?
+template <UqAdt A>
+bool exists_recognized_linearization(const History<A>& h) {
+  const SequentialReplayer<A> replayer(h.adt());
+  bool found = false;
+  for_each_linearization(h, [&](const std::vector<EventId>& word) {
+    std::vector<SeqOp<A>> ops;
+    ops.reserve(word.size());
+    for (EventId id : word) {
+      const auto& e = h.event(id);
+      if (e.is_update()) {
+        ops.emplace_back(std::in_place_index<0>, e.update());
+      } else {
+        ops.emplace_back(std::in_place_index<1>, e.query());
+      }
+    }
+    if (replayer.replay(ops).recognized()) {
+      found = true;
+      return false;  // stop
+    }
+    return true;
+  });
+  return found;
+}
+
+}  // namespace ucw

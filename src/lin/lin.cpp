@@ -1,0 +1,16 @@
+// Explicit instantiations for the common ADT configurations.
+#include "lin/chain.hpp"
+#include "lin/downset.hpp"
+#include "lin/enumerate.hpp"
+
+#include "adt/all.hpp"
+
+namespace ucw {
+
+template class DownsetExplorer<SetAdt<int>>;
+template class DownsetExplorer<CounterAdt>;
+template class DownsetExplorer<MemoryAdt<std::string, int>>;
+template class ChainLinearizer<SetAdt<int>>;
+template class ChainLinearizer<CounterAdt>;
+
+}  // namespace ucw

@@ -1,0 +1,176 @@
+// Whole-history linearization over per-process chains.
+//
+// Decides lin(H) ∩ L(O) ≠ ∅ for a complete history — *no* query removed
+// — which is the sequential-consistency question the paper positions
+// update consistency against ("stronger than eventual consistency and
+// weaker than sequential consistency", §VIII).
+//
+// For a history whose program order is a union of k chains (plus
+// optional cross edges), a downset is exactly a tuple of per-chain
+// positions; the DP walks position tuples and memoizes the distinct ADT
+// states reachable at each, filtering through query observations as they
+// are consumed. Complexity ∏(L_i + 1) tuples times distinct states —
+// exact and fast for checker-scale histories, budget-guarded beyond.
+//
+// ω-queries are, as everywhere in this library, final-state conditions:
+// all but finitely many of their copies follow every finite event.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "adt/concepts.hpp"
+#include "history/history.hpp"
+#include "lin/downset.hpp"
+
+namespace ucw {
+
+template <UqAdt A>
+class MultiChainLinearizer {
+ public:
+  using State = typename A::State;
+
+  MultiChainLinearizer(const History<A>&&, ExploreBudget = {}) = delete;
+  explicit MultiChainLinearizer(const History<A>& h,
+                                ExploreBudget budget = {})
+      : history_(&h), budget_(budget) {}
+
+  /// Does some linearization of the *whole* history belong to L(O)?
+  /// nullopt = budget exceeded.
+  [[nodiscard]] std::optional<bool> whole_history_linearizes() {
+    stats_ = ExploreStats{};
+    build_chains();
+
+    std::unordered_map<Key, StateSet, KeyHash> seen;
+    std::vector<Key> frontier;
+    auto add = [&](Key key, State s) -> bool {
+      auto [it, fresh] = seen.try_emplace(key);
+      if (fresh) frontier.push_back(key);
+      if (it->second.insert(std::move(s)).second) {
+        if (++stats_.states_stored > budget_.max_states) {
+          stats_.budget_exceeded = true;
+          return false;
+        }
+      }
+      return true;
+    };
+
+    if (!add(Key{}, history_->adt().initial())) return std::nullopt;
+
+    const Key goal = goal_key();
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const Key key = frontier[i];
+      const StateSet states = seen.at(key);  // copy: `seen` may rehash
+      ++stats_.downsets_visited;
+
+      for (std::size_t c = 0; c < chains_.size(); ++c) {
+        const std::size_t pos = position(key, c);
+        if (pos >= chains_[c].size()) continue;
+        const EventId e = chains_[c][pos];
+        if (!enabled(key, e)) continue;
+        const Key next = advanced(key, c);
+        const auto& ev = history_->event(e);
+        for (const State& s : states) {
+          ++stats_.transitions;
+          if (ev.is_update()) {
+            auto out = history_->adt().transition(s, ev.update());
+            if (!add(next, std::move(out))) return std::nullopt;
+          } else if (history_->adt().output(s, ev.query().first) ==
+                     ev.query().second) {
+            if (!add(next, s)) return std::nullopt;
+          }
+        }
+      }
+    }
+
+    auto it = seen.find(goal);
+    if (it != seen.end()) {
+      for (const State& s : it->second) {
+        if (omega_holds(s)) return true;
+      }
+    }
+    if (stats_.budget_exceeded) return std::nullopt;
+    return false;
+  }
+
+  [[nodiscard]] const ExploreStats& stats() const { return stats_; }
+
+ private:
+  // Position tuple packed into 64 bits: 8 bits per chain, ≤ 8 chains of
+  // length ≤ 255 (checker-scale; enforced in build_chains).
+  using Key = std::uint64_t;
+  struct KeyHash {
+    std::size_t operator()(Key k) const {
+      return std::hash<std::uint64_t>{}(k * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  using StateSet = std::unordered_set<State, ValueHash>;
+
+  void build_chains() {
+    chains_.clear();
+    omega_obs_.clear();
+    for (ProcessId p = 0; p < history_->process_count(); ++p) {
+      std::vector<EventId> finite;
+      for (EventId id : history_->chain(p)) {
+        if (history_->event(id).omega) {
+          omega_obs_.push_back(&history_->event(id).query());
+        } else {
+          finite.push_back(id);
+        }
+      }
+      if (!finite.empty() || true) chains_.push_back(std::move(finite));
+    }
+    UCW_CHECK_MSG(chains_.size() <= 8,
+                  "whole-history linearizer supports <= 8 processes");
+    for (const auto& chain : chains_) {
+      UCW_CHECK_MSG(chain.size() <= 255,
+                    "whole-history linearizer supports chains <= 255");
+    }
+  }
+
+  [[nodiscard]] static std::size_t position(Key key, std::size_t chain) {
+    return (key >> (8 * chain)) & 0xFF;
+  }
+  [[nodiscard]] static Key advanced(Key key, std::size_t chain) {
+    return key + (Key{1} << (8 * chain));
+  }
+  [[nodiscard]] Key goal_key() const {
+    Key k = 0;
+    for (std::size_t c = 0; c < chains_.size(); ++c) {
+      k |= static_cast<Key>(chains_[c].size()) << (8 * c);
+    }
+    return k;
+  }
+
+  /// Cross-chain program-order predecessors (extra edges) consumed?
+  [[nodiscard]] bool enabled(Key key, EventId e) const {
+    if (history_->extra_edges().empty()) return true;
+    for (std::size_t c = 0; c < chains_.size(); ++c) {
+      const std::size_t pos = position(key, c);
+      for (std::size_t i = pos; i < chains_[c].size(); ++i) {
+        const EventId pending = chains_[c][i];
+        if (pending != e && history_->prog_before(pending, e)) return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool omega_holds(const State& s) const {
+    for (const QueryObservation<A>* obs : omega_obs_) {
+      if (!(history_->adt().output(s, obs->first) == obs->second)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const History<A>* history_;
+  ExploreBudget budget_;
+  ExploreStats stats_;
+  std::vector<std::vector<EventId>> chains_;
+  std::vector<const QueryObservation<A>*> omega_obs_;
+};
+
+}  // namespace ucw

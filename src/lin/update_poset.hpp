@@ -1,0 +1,73 @@
+// View of a history's updates as a partial order (U_H, ↦|U).
+//
+// The checkers reason about linearizations of the updates (Definition 8
+// imposes a total order on updates containing the program order). Updates
+// are numbered densely into *slots* so downsets of the poset fit in a
+// 64-bit mask; histories with more than 64 updates are rejected — the
+// exact checkers are small-model deciders (the paper's figures have ≤ 5
+// updates), while run-scale validation uses certificates instead.
+#pragma once
+
+#include <vector>
+
+#include "history/history.hpp"
+#include "util/bitset64.hpp"
+
+namespace ucw {
+
+inline constexpr std::size_t kMaxPosetUpdates = 64;
+
+template <UqAdt A>
+class UpdatePoset {
+ public:
+  UpdatePoset(const History<A>&&) = delete;  // views must outlive temporaries
+  explicit UpdatePoset(const History<A>& h) : history_(&h) {
+    const auto& ids = h.update_ids();
+    UCW_CHECK_MSG(ids.size() <= kMaxPosetUpdates,
+                  "exact checkers support at most 64 updates; got "
+                      << ids.size());
+    slots_.assign(ids.begin(), ids.end());
+    pred_.assign(slots_.size(), Bitset64{});
+    for (std::size_t b = 0; b < slots_.size(); ++b) {
+      for (std::size_t a = 0; a < slots_.size(); ++a) {
+        if (a != b && h.prog_before(slots_[a], slots_[b])) {
+          pred_[b].set(static_cast<unsigned>(a));
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t count() const { return slots_.size(); }
+  [[nodiscard]] Bitset64 full() const {
+    return Bitset64::all(static_cast<unsigned>(slots_.size()));
+  }
+
+  /// Mask of updates that must precede slot k (transitively closed,
+  /// because program order itself is transitive).
+  [[nodiscard]] Bitset64 pred_mask(std::size_t k) const { return pred_[k]; }
+
+  [[nodiscard]] EventId event_id(std::size_t k) const { return slots_[k]; }
+
+  [[nodiscard]] const typename A::Update& update(std::size_t k) const {
+    return history_->event(slots_[k]).update();
+  }
+
+  /// Updates executable next given that `done` are already executed.
+  [[nodiscard]] Bitset64 enabled(Bitset64 done) const {
+    Bitset64 e;
+    for (std::size_t k = 0; k < slots_.size(); ++k) {
+      if (!done.test(static_cast<unsigned>(k)) &&
+          done.contains(pred_[k])) {
+        e.set(static_cast<unsigned>(k));
+      }
+    }
+    return e;
+  }
+
+ private:
+  const History<A>* history_;
+  std::vector<EventId> slots_;
+  std::vector<Bitset64> pred_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,101 @@
+// Per-message latency models for the simulated asynchronous network.
+//
+// The paper's system model only assumes delays are finite and unbounded;
+// the simulator makes them concrete and seedable so every experiment can
+// sweep the delay distribution (uniform LAN jitter, exponential WAN,
+// lognormal tail, Pareto heavy tail) while staying exactly reproducible.
+// Times are virtual microseconds.
+#pragma once
+
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ucw {
+
+using SimTime = double;  ///< virtual microseconds
+
+class LatencyModel {
+ public:
+  enum class Kind { Constant, Uniform, Exponential, LogNormal, Pareto };
+
+  [[nodiscard]] static LatencyModel constant(SimTime value) {
+    return LatencyModel(Kind::Constant, value, 0.0);
+  }
+  [[nodiscard]] static LatencyModel uniform(SimTime lo, SimTime hi) {
+    UCW_CHECK(lo <= hi);
+    return LatencyModel(Kind::Uniform, lo, hi);
+  }
+  [[nodiscard]] static LatencyModel exponential(SimTime mean) {
+    UCW_CHECK(mean > 0);
+    return LatencyModel(Kind::Exponential, mean, 0.0);
+  }
+  [[nodiscard]] static LatencyModel lognormal(double mu, double sigma) {
+    return LatencyModel(Kind::LogNormal, mu, sigma);
+  }
+  [[nodiscard]] static LatencyModel pareto(SimTime scale, double shape) {
+    UCW_CHECK(scale > 0 && shape > 0);
+    return LatencyModel(Kind::Pareto, scale, shape);
+  }
+
+  [[nodiscard]] SimTime sample(Rng& rng) const {
+    switch (kind_) {
+      case Kind::Constant:
+        return a_;
+      case Kind::Uniform:
+        return rng.uniform_real(a_, b_);
+      case Kind::Exponential:
+        return rng.exponential(a_);
+      case Kind::LogNormal:
+        return rng.lognormal(a_, b_);
+      case Kind::Pareto:
+        return rng.pareto(a_, b_);
+    }
+    return a_;
+  }
+
+  /// Mean of the distribution (Pareto with shape <= 1 reported as inf).
+  [[nodiscard]] double mean() const {
+    switch (kind_) {
+      case Kind::Constant:
+        return a_;
+      case Kind::Uniform:
+        return (a_ + b_) / 2.0;
+      case Kind::Exponential:
+        return a_;
+      case Kind::LogNormal:
+        return std::exp(a_ + b_ * b_ / 2.0);
+      case Kind::Pareto:
+        return b_ > 1.0 ? b_ * a_ / (b_ - 1.0)
+                        : std::numeric_limits<double>::infinity();
+    }
+    return a_;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    switch (kind_) {
+      case Kind::Constant:
+        return "constant(" + std::to_string(a_) + ")";
+      case Kind::Uniform:
+        return "uniform(" + std::to_string(a_) + "," + std::to_string(b_) +
+               ")";
+      case Kind::Exponential:
+        return "exp(mean=" + std::to_string(a_) + ")";
+      case Kind::LogNormal:
+        return "lognormal(" + std::to_string(a_) + "," + std::to_string(b_) +
+               ")";
+      case Kind::Pareto:
+        return "pareto(" + std::to_string(a_) + "," + std::to_string(b_) +
+               ")";
+    }
+    return "?";
+  }
+
+ private:
+  LatencyModel(Kind k, double a, double b) : kind_(k), a_(a), b_(b) {}
+  Kind kind_;
+  double a_, b_;
+};
+
+}  // namespace ucw

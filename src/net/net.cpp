@@ -1,0 +1,15 @@
+// Explicit instantiations of the common payload configurations.
+#include "net/sim_network.hpp"
+#include "net/thread_network.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace ucw {
+
+template class SimNetwork<std::uint64_t>;
+template class SimNetwork<std::string>;
+template class Inbox<std::uint64_t>;
+template class ThreadNetwork<std::uint64_t>;
+
+}  // namespace ucw

@@ -1,0 +1,182 @@
+// Simulated asynchronous reliable message-passing network.
+//
+// Implements the paper's system model (Section VII-A): a complete,
+// reliable network between sequential crash-prone processes, with no
+// bound on transfer delays. Broadcast from a correct process is
+// eventually received by every correct process; a message the sender
+// broadcasts is "received instantaneously by the sender" (the proof of
+// Proposition 4 relies on this), so self-delivery is synchronous.
+//
+// Failure and topology injection:
+//  * crash(p): p stops acting; queued deliveries to p are discarded at
+//    delivery time, and p's future sends are dropped (crash-stop);
+//  * partition(groups, heal_at): cross-group messages are withheld until
+//    the heal time, then released with a fresh latency sample — the
+//    "partitions do occur" scenario of the introduction;
+//  * fifo_links: per-link FIFO delivery (needed by the pipelined
+//    baseline; Algorithm 1 works with or without it).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "clock/timestamp.hpp"
+#include "net/latency.hpp"
+#include "net/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ucw {
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;       ///< point-to-point transmissions
+  std::uint64_t broadcasts = 0;          ///< broadcast invocations
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped_crash = 0;
+  std::uint64_t messages_held_partition = 0;
+  std::uint64_t messages_duplicated = 0;  ///< at-least-once injections
+};
+
+template <typename Payload>
+class SimNetwork {
+ public:
+  using Handler = std::function<void(ProcessId from, const Payload&)>;
+
+  struct Config {
+    std::size_t n_processes = 2;
+    LatencyModel latency = LatencyModel::exponential(1000.0);  // 1 ms mean
+    bool fifo_links = false;
+    /// At-least-once delivery: probability that a point-to-point message
+    /// is delivered twice (independent latency for the duplicate).
+    /// Algorithm 1 absorbs duplicates (its log is a set keyed by stamp);
+    /// non-idempotent op-based replicas (e.g. PN-Set) visibly do not —
+    /// see the failure-injection tests.
+    double duplicate_probability = 0.0;
+    std::uint64_t seed = 1;
+  };
+
+  SimNetwork(SimScheduler& scheduler, Config config)
+      : scheduler_(&scheduler),
+        config_(config),
+        rng_(Rng(config.seed).fork("net-latency")),
+        handlers_(config.n_processes),
+        crashed_(config.n_processes, false),
+        group_of_(config.n_processes, 0),
+        last_delivery_(config.n_processes,
+                       std::vector<SimTime>(config.n_processes, 0.0)) {}
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return config_.n_processes; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] SimScheduler& scheduler() { return *scheduler_; }
+
+  void set_handler(ProcessId p, Handler h) {
+    UCW_CHECK(p < handlers_.size());
+    handlers_[p] = std::move(h);
+  }
+
+  /// Reliable broadcast from `from` to every process. Self-delivery is
+  /// synchronous (before this call returns); remote deliveries are
+  /// scheduled per-receiver with independent latency samples.
+  void broadcast(ProcessId from, const Payload& payload) {
+    UCW_CHECK(from < size());
+    if (crashed_[from]) return;
+    ++stats_.broadcasts;
+    if (handlers_[from]) {
+      ++stats_.messages_delivered;
+      handlers_[from](from, payload);
+    }
+    for (ProcessId to = 0; to < size(); ++to) {
+      if (to == from) continue;
+      send(from, to, payload);
+    }
+  }
+
+  /// Point-to-point send with a fresh latency sample.
+  void send(ProcessId from, ProcessId to, const Payload& payload) {
+    transmit(from, to, payload);
+    if (config_.duplicate_probability > 0.0 &&
+        rng_.chance(config_.duplicate_probability)) {
+      ++stats_.messages_duplicated;
+      transmit(from, to, payload);
+    }
+  }
+
+ private:
+  void transmit(ProcessId from, ProcessId to, const Payload& payload) {
+    UCW_CHECK(from < size() && to < size());
+    if (crashed_[from]) return;
+    ++stats_.messages_sent;
+    SimTime deliver_at = scheduler_->now() + config_.latency.sample(rng_);
+    if (group_of_[from] != group_of_[to]) {
+      // Held by the partition: released at heal time plus fresh latency.
+      ++stats_.messages_held_partition;
+      deliver_at =
+          std::max(deliver_at, heal_at_ + config_.latency.sample(rng_));
+    }
+    if (config_.fifo_links) {
+      deliver_at = std::max(deliver_at,
+                            last_delivery_[from][to] + kFifoEpsilon);
+      last_delivery_[from][to] = deliver_at;
+    }
+    scheduler_->at(deliver_at, [this, from, to, payload]() {
+      deliver(from, to, payload);
+    });
+  }
+
+ public:
+  /// Crash-stop failure: `p` neither sends nor receives from now on.
+  void crash(ProcessId p) {
+    UCW_CHECK(p < size());
+    crashed_[p] = true;
+  }
+  [[nodiscard]] bool crashed(ProcessId p) const { return crashed_[p]; }
+  [[nodiscard]] std::size_t crashed_count() const {
+    std::size_t n = 0;
+    for (bool c : crashed_) n += c ? 1 : 0;
+    return n;
+  }
+
+  /// Splits processes into groups; cross-group traffic is withheld until
+  /// `heal_at` (virtual time). Pass group 0 for everyone to heal early.
+  void partition(const std::vector<std::size_t>& group_of, SimTime heal_at) {
+    UCW_CHECK(group_of.size() == size());
+    group_of_ = group_of;
+    heal_at_ = heal_at;
+    scheduler_->at(heal_at, [this]() {
+      std::fill(group_of_.begin(), group_of_.end(), 0);
+    });
+  }
+
+ private:
+  static constexpr SimTime kFifoEpsilon = 1e-6;
+
+  void deliver(ProcessId from, ProcessId to, const Payload& payload) {
+    if (crashed_[to]) {
+      // Crash-stop: a crashed process receives nothing. Messages already
+      // in flight *from* a process that crashed later are still
+      // delivered — a crash happens between operations, so a broadcast
+      // is all-or-nothing and reliable broadcast (every correct process
+      // receives what any correct process received) is preserved.
+      ++stats_.messages_dropped_crash;
+      return;
+    }
+    ++stats_.messages_delivered;
+    if (handlers_[to]) handlers_[to](from, payload);
+  }
+
+  SimScheduler* scheduler_;
+  Config config_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  std::vector<bool> crashed_;
+  std::vector<std::size_t> group_of_;
+  SimTime heal_at_ = 0.0;
+  std::vector<std::vector<SimTime>> last_delivery_;
+  NetworkStats stats_;
+};
+
+}  // namespace ucw

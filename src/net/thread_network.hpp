@@ -1,0 +1,112 @@
+// Real-thread transport: one inbox per process, mutex + condition
+// variable MPSC queues.
+//
+// The DES makes every experiment deterministic; this transport runs the
+// same replicas under genuine concurrency (std::thread, real memory
+// reordering in the queue handoff) for the throughput benchmarks and the
+// stress tests. Operations on replicas remain wait-free: an update
+// enqueues into every peer inbox and returns — it never waits for
+// receivers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "clock/timestamp.hpp"
+#include "util/assert.hpp"
+
+namespace ucw {
+
+/// Unbounded thread-safe queue. Bounded-ness is deliberately not imposed:
+/// the paper's model has no back-pressure, and blocking a sender would
+/// break wait-freedom.
+template <typename T>
+class Inbox {
+ public:
+  void push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Non-blocking pop.
+  [[nodiscard]] std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  /// Blocking pop; returns nullopt when closed and drained.
+  [[nodiscard]] std::optional<T> pop_wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+/// N processes' inboxes plus broadcast; message = (from, payload).
+template <typename Payload>
+class ThreadNetwork {
+ public:
+  struct Envelope {
+    ProcessId from;
+    Payload payload;
+  };
+
+  explicit ThreadNetwork(std::size_t n_processes)
+      : inboxes_(n_processes) {}
+
+  [[nodiscard]] std::size_t size() const { return inboxes_.size(); }
+
+  /// Enqueues to every *other* process. Local delivery is the caller's
+  /// synchronous responsibility (matching SimNetwork's self-delivery).
+  void broadcast_others(ProcessId from, const Payload& payload) {
+    for (ProcessId to = 0; to < inboxes_.size(); ++to) {
+      if (to != from) inboxes_[to].push(Envelope{from, payload});
+    }
+  }
+
+  [[nodiscard]] Inbox<Envelope>& inbox(ProcessId p) {
+    UCW_CHECK(p < inboxes_.size());
+    return inboxes_[p];
+  }
+
+  void close_all() {
+    for (auto& inbox : inboxes_) inbox.close();
+  }
+
+ private:
+  std::vector<Inbox<Envelope>> inboxes_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,117 @@
+// Recording distributed histories (and their certificates) from runs.
+//
+// The harness notes every operation each process performs — updates with
+// their broadcast stamp, queries with their output, issue stamp and the
+// set of update stamps visible in the local log — and turns the whole
+// run into (a) a History (Definition 2) whose final quiescent reads are
+// flagged ω, and (b) a RunCertificate the polynomial validators check
+// against Definitions 9/10. Stamps are globally unique, so they double
+// as update identities when the certificate's visible sets are resolved
+// to event ids.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "criteria/certificate.hpp"
+#include "history/history.hpp"
+
+namespace ucw {
+
+template <UqAdt A>
+class HistoryRecorder {
+ public:
+  HistoryRecorder(A adt, std::size_t n_processes)
+      : adt_(std::move(adt)), per_process_(n_processes) {}
+
+  void record_update(ProcessId p, Stamp stamp, typename A::Update u,
+                     std::vector<Stamp> visible) {
+    UCW_CHECK(p < per_process_.size());
+    Pending e;
+    e.label = EventLabel<A>(std::in_place_index<0>, std::move(u));
+    e.stamp = stamp;
+    e.visible = std::move(visible);
+    e.omega = false;
+    per_process_[p].push_back(std::move(e));
+  }
+
+  void record_query(ProcessId p, Stamp stamp, typename A::QueryIn qi,
+                    typename A::QueryOut qo, std::vector<Stamp> visible,
+                    bool final_read = false) {
+    UCW_CHECK(p < per_process_.size());
+    Pending e;
+    e.label = EventLabel<A>(
+        std::in_place_index<1>,
+        QueryObservation<A>{std::move(qi), std::move(qo)});
+    e.stamp = stamp;
+    e.visible = std::move(visible);
+    e.omega = final_read;
+    per_process_[p].push_back(std::move(e));
+  }
+
+  [[nodiscard]] std::size_t event_count() const {
+    std::size_t n = 0;
+    for (const auto& v : per_process_) n += v.size();
+    return n;
+  }
+
+  struct Recorded {
+    History<A> history;
+    RunCertificate certificate;
+  };
+
+  /// Assembles the history and certificate. Updates' identities are
+  /// their stamps; a query whose visible set references an unrecorded
+  /// stamp indicates harness misuse and throws.
+  [[nodiscard]] Recorded build() const {
+    std::vector<Event<A>> events;
+    RunCertificate cert;
+    std::map<Stamp, EventId> update_by_stamp;
+
+    for (ProcessId p = 0; p < per_process_.size(); ++p) {
+      std::uint32_t seq = 0;
+      for (const auto& pending : per_process_[p]) {
+        Event<A> e;
+        e.id = static_cast<EventId>(events.size());
+        e.pid = p;
+        e.seq = seq++;
+        e.label = pending.label;
+        e.omega = pending.omega;
+        if (e.is_update()) update_by_stamp[pending.stamp] = e.id;
+        events.push_back(std::move(e));
+        cert.stamps.push_back(pending.stamp);
+      }
+    }
+    cert.visible.resize(events.size());
+    std::size_t idx = 0;
+    for (ProcessId p = 0; p < per_process_.size(); ++p) {
+      for (const auto& pending : per_process_[p]) {
+        auto& vis = cert.visible[idx++];
+        vis.reserve(pending.visible.size());
+        for (const Stamp& s : pending.visible) {
+          auto it = update_by_stamp.find(s);
+          UCW_CHECK_MSG(it != update_by_stamp.end(),
+                        "visible stamp " << s << " matches no recorded "
+                                            "update");
+          vis.push_back(it->second);
+        }
+      }
+    }
+    return Recorded{History<A>(adt_, std::move(events),
+                               per_process_.size()),
+                    std::move(cert)};
+  }
+
+ private:
+  struct Pending {
+    EventLabel<A> label{};
+    Stamp stamp;
+    std::vector<Stamp> visible;
+    bool omega = false;
+  };
+
+  A adt_;
+  std::vector<std::vector<Pending>> per_process_;
+};
+
+}  // namespace ucw

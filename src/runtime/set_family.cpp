@@ -1,0 +1,172 @@
+#include "runtime/set_family.hpp"
+
+namespace ucw {
+namespace {
+
+using S = SetAdt<int>;
+
+/// Cluster over an op-based CRDT replica R exposing local_insert /
+/// local_remove / read / approx_bytes.
+template <typename R>
+class CrdtSetCluster final : public SetCluster {
+ public:
+  CrdtSetCluster(SimScheduler& scheduler, std::size_t n, std::uint64_t seed,
+                 LatencyModel latency, bool fifo) {
+    typename SimNetwork<typename R::Message>::Config cfg;
+    cfg.n_processes = n;
+    cfg.latency = latency;
+    cfg.fifo_links = fifo;
+    cfg.seed = seed;
+    net_ = std::make_unique<SimNetwork<typename R::Message>>(scheduler, cfg);
+    for (ProcessId p = 0; p < n; ++p) {
+      nodes_.push_back(std::make_unique<Node>(*net_, p));
+    }
+  }
+
+  [[nodiscard]] AnySetNode& node(ProcessId p) override { return *nodes_[p]; }
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
+  [[nodiscard]] NetworkStats net_stats() const override {
+    return net_->stats();
+  }
+  [[nodiscard]] std::size_t approx_bytes(ProcessId p) const override {
+    return nodes_[p]->object->approx_bytes();
+  }
+
+ private:
+  struct Node final : AnySetNode {
+    Node(SimNetwork<typename R::Message>& net, ProcessId p)
+        : object(net, p) {}
+    void insert(int v) override { object.emit(object->local_insert(v)); }
+    void remove(int v) override { object.emit(object->local_remove(v)); }
+    [[nodiscard]] std::set<int> read() override { return object->read(); }
+    SimCrdtObject<R> object;
+  };
+
+  std::unique_ptr<SimNetwork<typename R::Message>> net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+class UcSetCluster final : public SetCluster {
+ public:
+  UcSetCluster(SimScheduler& scheduler, std::size_t n, std::uint64_t seed,
+               LatencyModel latency, bool fifo) {
+    typename SimNetwork<UpdateMessage<S>>::Config cfg;
+    cfg.n_processes = n;
+    cfg.latency = latency;
+    cfg.fifo_links = fifo;
+    cfg.seed = seed;
+    net_ = std::make_unique<SimNetwork<UpdateMessage<S>>>(scheduler, cfg);
+    for (ProcessId p = 0; p < n; ++p) {
+      nodes_.push_back(std::make_unique<Node>(*net_, p));
+    }
+  }
+
+  [[nodiscard]] AnySetNode& node(ProcessId p) override { return *nodes_[p]; }
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
+  [[nodiscard]] NetworkStats net_stats() const override {
+    return net_->stats();
+  }
+  [[nodiscard]] std::size_t approx_bytes(ProcessId p) const override {
+    return nodes_[p]->object.replica().approx_bytes();
+  }
+
+ private:
+  struct Node final : AnySetNode {
+    Node(SimNetwork<UpdateMessage<S>>& net, ProcessId p)
+        : object(S{}, p, net) {}
+    void insert(int v) override { (void)object.update(S::insert(v)); }
+    void remove(int v) override { (void)object.update(S::remove(v)); }
+    [[nodiscard]] std::set<int> read() override {
+      return object.query(S::read());
+    }
+    SimUcObject<S> object;
+  };
+
+  std::unique_ptr<SimNetwork<UpdateMessage<S>>> net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+class PipelinedSetCluster final : public SetCluster {
+ public:
+  PipelinedSetCluster(SimScheduler& scheduler, std::size_t n,
+                      std::uint64_t seed, LatencyModel latency, bool fifo) {
+    using M = PipelinedReplica<S>::Message;
+    typename SimNetwork<M>::Config cfg;
+    cfg.n_processes = n;
+    cfg.latency = latency;
+    cfg.fifo_links = fifo;
+    cfg.seed = seed;
+    net_ = std::make_unique<SimNetwork<M>>(scheduler, cfg);
+    for (ProcessId p = 0; p < n; ++p) {
+      nodes_.push_back(std::make_unique<Node>(*net_, p));
+    }
+  }
+
+  [[nodiscard]] AnySetNode& node(ProcessId p) override { return *nodes_[p]; }
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
+  [[nodiscard]] NetworkStats net_stats() const override {
+    return net_->stats();
+  }
+  [[nodiscard]] std::size_t approx_bytes(ProcessId) const override {
+    return sizeof(std::set<int>);
+  }
+
+ private:
+  struct Node final : AnySetNode {
+    Node(SimNetwork<PipelinedReplica<S>::Message>& net, ProcessId p)
+        : replica(S{}, p), net_(&net) {
+      net.set_handler(p, [this](ProcessId from,
+                                const PipelinedReplica<S>::Message& m) {
+        replica.apply(from, m);
+      });
+    }
+    void insert(int v) override {
+      net_->broadcast(replica.pid(), replica.local_update(S::insert(v)));
+    }
+    void remove(int v) override {
+      net_->broadcast(replica.pid(), replica.local_update(S::remove(v)));
+    }
+    [[nodiscard]] std::set<int> read() override {
+      return replica.query(S::read());
+    }
+    PipelinedReplica<S> replica;
+    SimNetwork<PipelinedReplica<S>::Message>* net_;
+  };
+
+  std::unique_ptr<SimNetwork<PipelinedReplica<S>::Message>> net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace
+
+std::unique_ptr<SetCluster> SetCluster::make(SetImplKind kind,
+                                             SimScheduler& scheduler,
+                                             std::size_t n_processes,
+                                             std::uint64_t seed,
+                                             LatencyModel latency,
+                                             bool fifo_links) {
+  switch (kind) {
+    case SetImplKind::UcSet:
+      return std::make_unique<UcSetCluster>(scheduler, n_processes, seed,
+                                            latency, fifo_links);
+    case SetImplKind::OrSet:
+      return std::make_unique<CrdtSetCluster<OrSetReplica<int>>>(
+          scheduler, n_processes, seed, latency, fifo_links);
+    case SetImplKind::TwoPhaseSet:
+      return std::make_unique<CrdtSetCluster<TwoPhaseSetReplica<int>>>(
+          scheduler, n_processes, seed, latency, fifo_links);
+    case SetImplKind::PnSet:
+      return std::make_unique<CrdtSetCluster<PnSetReplica<int>>>(
+          scheduler, n_processes, seed, latency, fifo_links);
+    case SetImplKind::LwwSet:
+      return std::make_unique<CrdtSetCluster<LwwSetReplica<int>>>(
+          scheduler, n_processes, seed, latency, fifo_links);
+    case SetImplKind::Pipelined:
+      return std::make_unique<PipelinedSetCluster>(scheduler, n_processes,
+                                                   seed, latency, fifo_links);
+  }
+  UCW_CHECK_MSG(false, "unknown SetImplKind");
+  return nullptr;
+}
+
+}  // namespace ucw

@@ -1,0 +1,90 @@
+// A uniform handle over every replicated-set implementation in the
+// library, for the Section VI comparison experiments (E9).
+//
+// Each implementation keeps its own message type and network instance;
+// the family erases those behind insert/remove/read so a single workload
+// driver can run the identical schedule of operations against all of
+// them and compare the converged states. Virtual dispatch costs nothing
+// measurable next to the simulated network.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adt/set.hpp"
+#include "baselines/pipelined.hpp"
+#include "core/uc_object.hpp"
+#include "crdt/all.hpp"
+#include "net/scheduler.hpp"
+#include "net/sim_network.hpp"
+
+namespace ucw {
+
+enum class SetImplKind {
+  UcSet,        ///< Algorithm 1 on SetAdt (this paper)
+  OrSet,        ///< insert-wins observed-remove set
+  TwoPhaseSet,  ///< white/black lists, no re-insertion
+  PnSet,        ///< per-element counters (C-Set/PN-Set)
+  LwwSet,       ///< per-element last-writer-wins
+  Pipelined,    ///< apply-on-delivery (Section IV baseline)
+};
+
+[[nodiscard]] inline std::string to_string(SetImplKind k) {
+  switch (k) {
+    case SetImplKind::UcSet:
+      return "UC-Set(Alg.1)";
+    case SetImplKind::OrSet:
+      return "OR-Set";
+    case SetImplKind::TwoPhaseSet:
+      return "2P-Set";
+    case SetImplKind::PnSet:
+      return "PN-Set";
+    case SetImplKind::LwwSet:
+      return "LWW-Set";
+    case SetImplKind::Pipelined:
+      return "Pipelined";
+  }
+  return "?";
+}
+
+inline constexpr std::array<SetImplKind, 6> kAllSetImpls = {
+    SetImplKind::UcSet,     SetImplKind::OrSet,  SetImplKind::TwoPhaseSet,
+    SetImplKind::PnSet,     SetImplKind::LwwSet, SetImplKind::Pipelined,
+};
+
+/// One replica's operations, implementation-erased.
+class AnySetNode {
+ public:
+  virtual ~AnySetNode() = default;
+  virtual void insert(int v) = 0;
+  virtual void remove(int v) = 0;
+  [[nodiscard]] virtual std::set<int> read() = 0;
+};
+
+/// N replicas of one implementation on a private simulated network.
+class SetCluster {
+ public:
+  virtual ~SetCluster() = default;
+  [[nodiscard]] virtual AnySetNode& node(ProcessId p) = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual NetworkStats net_stats() const = 0;
+  [[nodiscard]] virtual std::size_t approx_bytes(ProcessId p) const = 0;
+
+  /// True when every replica currently reads the same value.
+  [[nodiscard]] bool converged() {
+    const std::set<int> first = node(0).read();
+    for (ProcessId p = 1; p < size(); ++p) {
+      if (!(node(p).read() == first)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] static std::unique_ptr<SetCluster> make(
+      SetImplKind kind, SimScheduler& scheduler, std::size_t n_processes,
+      std::uint64_t seed, LatencyModel latency, bool fifo_links = false);
+};
+
+}  // namespace ucw

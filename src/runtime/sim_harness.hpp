@@ -1,0 +1,188 @@
+// End-to-end simulation harness for Algorithm-1 objects.
+//
+// Builds a scheduler + network + N SimUcObjects, drives a randomized
+// workload with per-process think times, optionally injects crashes and
+// partitions, quiesces, issues the final reads (recorded as ω-queries —
+// "the participants stopped updating, what do the replicas say now?"),
+// and returns everything the experiments need: the recorded history and
+// certificate, network statistics, per-replica statistics and the final
+// states.
+//
+// This is experiment E3's engine and the substrate of E4-E8.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/uc_object.hpp"
+#include "net/scheduler.hpp"
+#include "net/sim_network.hpp"
+#include "runtime/recorder.hpp"
+#include "runtime/workload.hpp"
+
+namespace ucw {
+
+struct CrashPlan {
+  ProcessId pid = 0;
+  SimTime at = 0.0;
+};
+
+struct RunConfig {
+  std::size_t n_processes = 4;
+  std::uint64_t seed = 1;
+  LatencyModel latency = LatencyModel::exponential(1000.0);
+  bool fifo_links = false;
+  double duplicate_probability = 0.0;  ///< at-least-once injection
+  WorkloadConfig workload{};
+  ReplayPolicy policy = ReplayPolicy::CachedPrefix;
+  std::size_t snapshot_interval = 64;
+  std::vector<CrashPlan> crashes{};
+  bool enable_gc = false;            ///< requires fifo_links
+  SimTime gc_period = 5'000.0;       ///< virtual µs between GC sweeps
+  /// Quiescence margin after the last scheduled op before final reads.
+  SimTime drain_margin = 1.0;
+};
+
+template <UqAdt A>
+struct RunOutput {
+  History<A> history;
+  RunCertificate certificate;
+  NetworkStats net;
+  std::vector<typename A::State> final_states;  ///< alive replicas only
+  bool converged = false;
+  std::vector<ReplicaStats> replica_stats;
+  SimTime duration = 0.0;
+};
+
+/// Runs one simulation. `gen` draws the next update for a process:
+/// gen(rng) -> A::Update. Queries are interleaved per workload ratio.
+template <UqAdt A, typename GenFn>
+[[nodiscard]] RunOutput<A> run_uc_simulation(A adt, const RunConfig& cfg,
+                                             GenFn gen) {
+  UCW_CHECK_MSG(!cfg.enable_gc || cfg.fifo_links,
+                "stability tracking requires FIFO links (see DESIGN.md)");
+  SimScheduler scheduler;
+  typename SimNetwork<UpdateMessage<A>>::Config net_cfg;
+  net_cfg.n_processes = cfg.n_processes;
+  net_cfg.latency = cfg.latency;
+  net_cfg.fifo_links = cfg.fifo_links;
+  net_cfg.duplicate_probability = cfg.duplicate_probability;
+  net_cfg.seed = cfg.seed;
+  SimNetwork<UpdateMessage<A>> net(scheduler, net_cfg);
+
+  typename ReplayReplica<A>::Config rep_cfg;
+  rep_cfg.policy = cfg.policy;
+  rep_cfg.snapshot_interval = cfg.snapshot_interval;
+
+  std::vector<std::unique_ptr<SimUcObject<A>>> objects;
+  objects.reserve(cfg.n_processes);
+  for (ProcessId p = 0; p < cfg.n_processes; ++p) {
+    objects.push_back(
+        std::make_unique<SimUcObject<A>>(adt, p, net, rep_cfg));
+    if (cfg.enable_gc) {
+      objects.back()->replica().enable_stability(cfg.n_processes);
+    }
+  }
+
+  HistoryRecorder<A> recorder(adt, cfg.n_processes);
+  Rng root(cfg.seed);
+
+  // Per-process operation schedules: think times drawn from each
+  // process's private stream. The issuing closures are heap-anchored so
+  // the scheduler may call them long after this loop scope ends.
+  //
+  // The harness uses A::QueryIn{} as "the" read — every bundled ADT with
+  // a single parameterless query satisfies this.
+  std::vector<std::shared_ptr<std::function<void(std::size_t)>>> issuers;
+  for (ProcessId p = 0; p < cfg.n_processes; ++p) {
+    auto rng = std::make_shared<Rng>(root.fork(p + 1));
+    auto issue = std::make_shared<std::function<void(std::size_t)>>();
+    *issue = [&, p, rng, issue](std::size_t remaining) {
+      if (remaining == 0 || net.crashed(p)) return;
+      auto& obj = *objects[p];
+      if (rng->chance(cfg.workload.update_ratio)) {
+        auto u = gen(*rng);
+        const auto msg = obj.replica().local_update(u);
+        auto visible = obj.replica().visible_stamps();
+        visible.push_back(msg.stamp);
+        recorder.record_update(p, msg.stamp, u, std::move(visible));
+        net.broadcast(p, msg);
+      } else {
+        // Query with a fresh stamp and the currently visible log.
+        auto visible = obj.replica().visible_stamps();
+        auto [qout, stamp] =
+            obj.replica().query_with_stamp(typename A::QueryIn{});
+        recorder.record_query(p, stamp, typename A::QueryIn{}, qout,
+                              std::move(visible), false);
+      }
+      scheduler.after(cfg.workload.think_time.sample(*rng),
+                      [issue, remaining] { (*issue)(remaining - 1); });
+    };
+    issuers.push_back(issue);
+    scheduler.after(cfg.workload.think_time.sample(*rng),
+                    [issue, n = cfg.workload.ops_per_process] {
+                      (*issue)(n);
+                    });
+  }
+
+  for (const CrashPlan& crash : cfg.crashes) {
+    scheduler.at(crash.at, [&net, pid = crash.pid] { net.crash(pid); });
+  }
+
+  auto sweep = std::make_shared<std::function<void()>>();
+  if (cfg.enable_gc) {
+    *sweep = [&, sweep]() {
+      for (auto& obj : objects) {
+        (void)obj->replica().collect_garbage();
+      }
+      if (scheduler.pending() > 0) {
+        scheduler.after(cfg.gc_period, *sweep);
+      }
+    };
+    scheduler.after(cfg.gc_period, *sweep);
+  }
+
+  scheduler.run();
+  scheduler.run_until(scheduler.now() + cfg.drain_margin);
+  // Break the self-referential closure cycles now that the run is over.
+  for (auto& i : issuers) *i = nullptr;
+  *sweep = nullptr;
+
+  RunOutput<A> out{
+      .history = History<A>(adt, {}, cfg.n_processes),
+      .certificate = {},
+      .net = net.stats(),
+      .final_states = {},
+      .converged = true,
+      .replica_stats = {},
+      .duration = scheduler.now(),
+  };
+
+  // Quiescent final reads — the ω-tail of the recorded history.
+  for (ProcessId p = 0; p < cfg.n_processes; ++p) {
+    if (net.crashed(p)) continue;
+    auto& obj = *objects[p];
+    auto visible = obj.replica().visible_stamps();
+    auto [qout, stamp] =
+        obj.replica().query_with_stamp(typename A::QueryIn{});
+    recorder.record_query(p, stamp, typename A::QueryIn{}, qout,
+                          std::move(visible), /*final_read=*/true);
+    out.final_states.push_back(obj.replica().current_state());
+  }
+  for (std::size_t i = 1; i < out.final_states.size(); ++i) {
+    if (!(out.final_states[i] == out.final_states[0])) {
+      out.converged = false;
+    }
+  }
+  for (auto& obj : objects) {
+    out.replica_stats.push_back(obj->replica().stats());
+  }
+
+  auto recorded = recorder.build();
+  out.history = std::move(recorded.history);
+  out.certificate = std::move(recorded.certificate);
+  return out;
+}
+
+}  // namespace ucw

@@ -1,0 +1,65 @@
+// Randomized workload generation.
+//
+// Each process draws an independent operation stream (update/query mix,
+// value distribution) and independent think times from its forked RNG
+// stream; everything is reproducible from the top-level seed. The value
+// range is kept deliberately small by default so concurrent updates
+// actually collide — a wide key space would make every run trivially
+// conflict-free and hide the semantic differences E9 measures.
+#pragma once
+
+#include <string>
+
+#include "adt/all.hpp"
+#include "net/latency.hpp"
+#include "util/rng.hpp"
+
+namespace ucw {
+
+struct WorkloadConfig {
+  std::size_t ops_per_process = 50;
+  double update_ratio = 0.7;        ///< else a query is issued
+  double insert_ratio = 0.6;        ///< among set updates: insert vs delete
+  int value_range = 8;              ///< values drawn from [0, range)
+  LatencyModel think_time = LatencyModel::exponential(500.0);
+};
+
+/// Draws a random set update (insert or delete of a random value).
+template <typename V = int>
+[[nodiscard]] typename SetAdt<V>::Update random_set_update(
+    Rng& rng, const WorkloadConfig& cfg) {
+  const int v = static_cast<int>(rng.uniform_int(0, cfg.value_range - 1));
+  if (rng.chance(cfg.insert_ratio)) {
+    return SetAdt<V>::insert(static_cast<V>(v));
+  }
+  return SetAdt<V>::remove(static_cast<V>(v));
+}
+
+/// Draws a random counter delta in [-3, +5] \ {0} (biased to grow).
+[[nodiscard]] inline CounterAdt::Update random_counter_update(Rng& rng) {
+  std::int64_t d = 0;
+  while (d == 0) d = rng.uniform_int(-3, 5);
+  return CounterAdt::add(d);
+}
+
+/// Draws a random register write.
+[[nodiscard]] inline MemoryAdt<std::string, int>::Update random_mem_update(
+    Rng& rng, const WorkloadConfig& cfg) {
+  const int reg = static_cast<int>(rng.uniform_int(0, cfg.value_range - 1));
+  const int val = static_cast<int>(rng.uniform_int(0, 999));
+  return MemoryAdt<std::string, int>::write("r" + std::to_string(reg), val);
+}
+
+/// Draws a random document edit (insert of a short string or erase).
+[[nodiscard]] inline DocumentAdt::Update random_doc_update(
+    Rng& rng, std::size_t doc_hint) {
+  const std::size_t pos = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(doc_hint)));
+  if (rng.chance(0.7)) {
+    const char c = static_cast<char>('a' + rng.uniform_int(0, 25));
+    return DocumentAdt::insert_at(pos, std::string(1, c));
+  }
+  return DocumentAdt::erase_at(pos, 1);
+}
+
+}  // namespace ucw

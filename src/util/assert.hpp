@@ -1,0 +1,51 @@
+// Lightweight contract-checking macros.
+//
+// UCW_CHECK is always on (it guards against API misuse and invalid input);
+// UCW_DCHECK compiles away in NDEBUG builds and guards internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ucw {
+
+/// Thrown when a UCW_CHECK contract is violated.
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "UCW_CHECK failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ucw
+
+#define UCW_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) ::ucw::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define UCW_CHECK_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream os_;                                           \
+      os_ << msg;                                                       \
+      ::ucw::detail::check_failed(#cond, __FILE__, __LINE__, os_.str()); \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define UCW_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define UCW_DCHECK(cond) UCW_CHECK(cond)
+#endif

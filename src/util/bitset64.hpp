@@ -1,0 +1,106 @@
+// Fixed-width bitset over a single 64-bit word.
+//
+// The linearization explorer and the visibility solvers index updates by
+// position and manipulate *downsets* of the update poset as bitmasks.
+// Histories with more than 64 updates are rejected by those solvers (the
+// paper's figures have at most four updates; the solvers are exact small-
+// model checkers, not scalable verifiers), so one word is enough and keeps
+// the DP tables dense and hashable.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace ucw {
+
+/// Set of indices in [0, 64), value-semantic, ordered and hashable.
+class Bitset64 {
+ public:
+  constexpr Bitset64() = default;
+  constexpr explicit Bitset64(std::uint64_t bits) : bits_(bits) {}
+
+  /// Set containing the single index i.
+  [[nodiscard]] static constexpr Bitset64 single(unsigned i) {
+    return Bitset64(1ULL << i);
+  }
+
+  /// Set containing all indices in [0, n).
+  [[nodiscard]] static constexpr Bitset64 all(unsigned n) {
+    return Bitset64(n >= 64 ? ~0ULL : (1ULL << n) - 1);
+  }
+
+  [[nodiscard]] constexpr bool test(unsigned i) const {
+    return (bits_ >> i) & 1ULL;
+  }
+  constexpr void set(unsigned i) { bits_ |= (1ULL << i); }
+  constexpr void reset(unsigned i) { bits_ &= ~(1ULL << i); }
+
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr int count() const { return std::popcount(bits_); }
+  [[nodiscard]] constexpr std::uint64_t raw() const { return bits_; }
+
+  [[nodiscard]] constexpr bool contains(Bitset64 other) const {
+    return (other.bits_ & ~bits_) == 0;
+  }
+  [[nodiscard]] constexpr bool intersects(Bitset64 other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  [[nodiscard]] constexpr Bitset64 operator|(Bitset64 o) const {
+    return Bitset64(bits_ | o.bits_);
+  }
+  [[nodiscard]] constexpr Bitset64 operator&(Bitset64 o) const {
+    return Bitset64(bits_ & o.bits_);
+  }
+  [[nodiscard]] constexpr Bitset64 operator~() const {
+    return Bitset64(~bits_);
+  }
+  [[nodiscard]] constexpr Bitset64 minus(Bitset64 o) const {
+    return Bitset64(bits_ & ~o.bits_);
+  }
+  constexpr Bitset64& operator|=(Bitset64 o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  constexpr Bitset64& operator&=(Bitset64 o) {
+    bits_ &= o.bits_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Bitset64&) const = default;
+
+  /// Index of the lowest set bit; undefined when empty.
+  [[nodiscard]] constexpr unsigned lowest() const {
+    UCW_DCHECK(bits_ != 0);
+    return static_cast<unsigned>(std::countr_zero(bits_));
+  }
+
+  /// Iterates set indices in increasing order.
+  template <typename Fn>
+  constexpr void for_each(Fn&& fn) const {
+    std::uint64_t b = bits_;
+    while (b != 0) {
+      unsigned i = static_cast<unsigned>(std::countr_zero(b));
+      fn(i);
+      b &= b - 1;
+    }
+  }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+inline std::size_t hash_value(const Bitset64& b) {
+  return std::hash<std::uint64_t>{}(b.raw() * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace ucw
+
+template <>
+struct std::hash<ucw::Bitset64> {
+  std::size_t operator()(const ucw::Bitset64& b) const {
+    return ucw::hash_value(b);
+  }
+};

@@ -1,0 +1,39 @@
+// Minimal command-line flag parsing for examples and bench binaries.
+//
+// Supports `--name=value`, `--name value` and boolean `--name`; anything
+// else is collected as a positional argument. Unknown flags are kept so
+// google-benchmark's own flags pass through untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ucw {
+
+class Flags {
+ public:
+  /// Parses argv; does not mutate it. Benchmark-style flags (starting
+  /// with "--benchmark") are ignored here and left for the caller.
+  static Flags parse(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,127 @@
+// Hash combinators for composite value types.
+//
+// The consistency checkers memoize on composite keys (downset bitmask,
+// ADT state, chain position); this header provides deterministic hashing
+// for the std containers those states are built from. All hashes are
+// stable within a process run, which is all memoization needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ucw {
+
+/// Mixes `v` into the running seed (boost::hash_combine recipe, 64-bit).
+inline void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+template <typename T>
+std::size_t hash_value(const T& t);
+
+namespace detail {
+
+template <typename T, typename = void>
+struct hasher {
+  std::size_t operator()(const T& t) const { return std::hash<T>{}(t); }
+};
+
+template <typename A, typename B>
+struct hasher<std::pair<A, B>> {
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t seed = hash_value(p.first);
+    hash_combine(seed, hash_value(p.second));
+    return seed;
+  }
+};
+
+template <typename... Ts>
+struct hasher<std::tuple<Ts...>> {
+  std::size_t operator()(const std::tuple<Ts...>& t) const {
+    std::size_t seed = 0x51ed2701;
+    std::apply(
+        [&seed](const auto&... elem) {
+          (hash_combine(seed, hash_value(elem)), ...);
+        },
+        t);
+    return seed;
+  }
+};
+
+template <typename T>
+struct hasher<std::vector<T>> {
+  std::size_t operator()(const std::vector<T>& v) const {
+    std::size_t seed = 0xa5a5a5a5;
+    for (const auto& e : v) hash_combine(seed, hash_value(e));
+    hash_combine(seed, v.size());
+    return seed;
+  }
+};
+
+template <typename T>
+struct hasher<std::set<T>> {
+  std::size_t operator()(const std::set<T>& s) const {
+    std::size_t seed = 0x5e75e7;
+    for (const auto& e : s) hash_combine(seed, hash_value(e));
+    hash_combine(seed, s.size());
+    return seed;
+  }
+};
+
+template <typename K, typename V>
+struct hasher<std::map<K, V>> {
+  std::size_t operator()(const std::map<K, V>& m) const {
+    std::size_t seed = 0x3a9d01;
+    for (const auto& [k, v] : m) {
+      hash_combine(seed, hash_value(k));
+      hash_combine(seed, hash_value(v));
+    }
+    hash_combine(seed, m.size());
+    return seed;
+  }
+};
+
+template <typename T>
+struct hasher<std::optional<T>> {
+  std::size_t operator()(const std::optional<T>& o) const {
+    return o ? hash_value(*o) + 1 : 0x0917;
+  }
+};
+
+template <typename... Ts>
+struct hasher<std::variant<Ts...>> {
+  std::size_t operator()(const std::variant<Ts...>& v) const {
+    std::size_t seed = v.index();
+    std::visit([&seed](const auto& x) { hash_combine(seed, hash_value(x)); },
+               v);
+    return seed;
+  }
+};
+
+struct hash_monostate_tag {};
+
+}  // namespace detail
+
+/// Entry point: hashes any supported composite or std::hash-able value.
+template <typename T>
+std::size_t hash_value(const T& t) {
+  return detail::hasher<T>{}(t);
+}
+
+/// Functor usable as the Hash parameter of unordered containers.
+struct ValueHash {
+  template <typename T>
+  std::size_t operator()(const T& t) const {
+    return hash_value(t);
+  }
+};
+
+}  // namespace ucw

@@ -1,0 +1,106 @@
+// Deterministic random-number streams.
+//
+// Every randomized component in libucw (latency models, workloads, crash
+// schedules, history mutators) draws from an Rng constructed from an
+// explicit seed, so any simulation, test or benchmark can be replayed
+// bit-for-bit from its seed. Substreams derived with `fork` are
+// statistically independent, which lets a cluster hand each process its
+// own stream without correlating their choices.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace ucw {
+
+/// splitmix64 step; used both as a seed scrambler and for `fork`.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic RNG wrapper around std::mt19937_64 with forkable streams.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xC0FFEEULL)
+      : seed_(seed), engine_(splitmix64(seed)) {}
+
+  /// The seed this stream was constructed from (for reporting/replay).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Derives an independent substream; `salt` distinguishes siblings.
+  [[nodiscard]] Rng fork(std::uint64_t salt) const {
+    return Rng(splitmix64(seed_ ^ splitmix64(salt + 0x1234567ULL)));
+  }
+
+  /// Derives a substream keyed by a name (e.g. "latency", "workload").
+  [[nodiscard]] Rng fork(std::string_view name) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+    for (char c : name) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    return fork(h);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponential variate with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Lognormal variate parameterized by the underlying normal (mu, sigma).
+  [[nodiscard]] double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Pareto variate (heavy tail) with scale xm > 0 and shape alpha > 0.
+  [[nodiscard]] double pareto(double xm, double alpha) {
+    double u = uniform_real(0.0, 1.0);
+    // Inverse CDF; clamp u away from 1 to avoid infinity.
+    if (u > 0.999999) u = 0.999999;
+    return xm / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights) {
+    std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  /// UniformRandomBitGenerator interface (usable with std::shuffle).
+  static constexpr result_type min() { return std::mt19937_64::min(); }
+  static constexpr result_type max() { return std::mt19937_64::max(); }
+  result_type operator()() { return engine_(); }
+
+  /// Fisher–Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    std::shuffle(c.begin(), c.end(), engine_);
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ucw

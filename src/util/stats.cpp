@@ -1,0 +1,82 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ucw {
+
+void StatsAccumulator::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+  sorted_valid_ = false;
+}
+
+void StatsAccumulator::merge(const StatsAccumulator& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  sorted_valid_ = false;
+}
+
+double StatsAccumulator::mean() const {
+  UCW_CHECK(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double StatsAccumulator::stddev() const {
+  UCW_CHECK(!samples_.empty());
+  const double n = static_cast<double>(samples_.size());
+  const double m = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+void StatsAccumulator::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double StatsAccumulator::min() const {
+  UCW_CHECK(!samples_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double StatsAccumulator::max() const {
+  UCW_CHECK(!samples_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double StatsAccumulator::percentile(double q) const {
+  UCW_CHECK(!samples_.empty());
+  UCW_CHECK(q >= 0.0 && q <= 100.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = q / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string StatsAccumulator::summary() const {
+  std::ostringstream os;
+  if (samples_.empty()) {
+    os << "n=0";
+    return os.str();
+  }
+  os << "n=" << count() << " mean=" << mean() << " p50=" << percentile(50)
+     << " p99=" << percentile(99) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace ucw

@@ -1,0 +1,61 @@
+// Plain-text table rendering for benchmark reports.
+//
+// Every bench binary prints the paper-shaped table (the rows/series the
+// paper reports) before or alongside its google-benchmark timings; this
+// helper keeps those tables aligned and uniform.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace ucw {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: stringifies arbitrary streamable cells.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(Ts));
+    (row.push_back(stringify(cells)), ...);
+    add_row(std::move(row));
+  }
+
+  /// Renders with a rule under the header, columns padded to content.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string stringify(const T& v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+template <typename T>
+std::string TextTable::stringify(const T& v) {
+  if constexpr (std::is_convertible_v<T, std::string>) {
+    return std::string(v);
+  } else {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+}
+
+/// Prints a section banner ("== title ==") used between bench tables.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace ucw

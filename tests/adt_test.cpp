@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "adt/all.hpp"
+
+namespace ucw {
+namespace {
+
+using IntSet = std::set<int>;
+
+TEST(SetAdt, TransitionsMatchExampleOne) {
+  SetAdt<int> s;
+  auto st = s.initial();
+  EXPECT_TRUE(st.empty());
+  st = s.transition(st, SetAdt<int>::insert(1));
+  st = s.transition(st, SetAdt<int>::insert(2));
+  EXPECT_EQ(st, (IntSet{1, 2}));
+  st = s.transition(st, SetAdt<int>::remove(1));
+  EXPECT_EQ(st, (IntSet{2}));
+  st = s.transition(st, SetAdt<int>::remove(7));  // delete absent: no-op
+  EXPECT_EQ(st, (IntSet{2}));
+  EXPECT_EQ(s.output(st, SetAdt<int>::read()), (IntSet{2}));
+}
+
+TEST(SetAdt, InsertIsIdempotent) {
+  SetAdt<int> s;
+  auto st = s.transition(s.initial(), SetAdt<int>::insert(1));
+  st = s.transition(st, SetAdt<int>::insert(1));
+  EXPECT_EQ(st, (IntSet{1}));
+}
+
+TEST(SetAdt, SatisfyingStateRequiresAgreement) {
+  SetAdt<int> s;
+  using Obs = QueryObservation<SetAdt<int>>;
+  std::vector<Obs> agree{{SetRead{}, IntSet{1}}, {SetRead{}, IntSet{1}}};
+  EXPECT_EQ(s.satisfying_state(agree), (IntSet{1}));
+  std::vector<Obs> conflict{{SetRead{}, IntSet{1}}, {SetRead{}, IntSet{2}}};
+  EXPECT_FALSE(s.satisfying_state(conflict).has_value());
+  EXPECT_EQ(s.satisfying_state({}), IntSet{});
+}
+
+TEST(SetAdt, Formatting) {
+  SetAdt<int> s;
+  EXPECT_EQ(s.format_update(SetAdt<int>::insert(3)), "I(3)");
+  EXPECT_EQ(s.format_update(SetAdt<int>::remove(4)), "D(4)");
+  EXPECT_EQ(s.format_query(SetRead{}, IntSet{1, 2}), "R/{1, 2}");
+}
+
+TEST(GSetAdt, GrowOnly) {
+  GSetAdt<int> g;
+  auto st = g.transition(g.initial(), SetInsert<int>{5});
+  st = g.transition(st, SetInsert<int>{6});
+  EXPECT_EQ(st, (IntSet{5, 6}));
+}
+
+TEST(CounterAdt, AddCommutes) {
+  CounterAdt c;
+  auto a = c.transition(c.transition(0, CounterAdd{3}), CounterAdd{-5});
+  auto b = c.transition(c.transition(0, CounterAdd{-5}), CounterAdd{3});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, -2);
+}
+
+TEST(RegisterAdt, LastWriteDefines) {
+  RegisterAdt<int> r{42};
+  EXPECT_EQ(r.initial(), 42);
+  auto st = r.transition(r.initial(), RegWrite<int>{7});
+  EXPECT_EQ(r.output(st, RegRead{}), 7);
+}
+
+TEST(MemoryAdt, ReadsDefaultToInitialValue) {
+  MemoryAdt<std::string, int> m{.v0 = -1};
+  auto st = m.initial();
+  EXPECT_EQ(m.output(st, MemoryAdt<std::string, int>::read("x")), -1);
+  st = m.transition(st, MemoryAdt<std::string, int>::write("x", 5));
+  EXPECT_EQ(m.output(st, MemoryAdt<std::string, int>::read("x")), 5);
+  EXPECT_EQ(m.output(st, MemoryAdt<std::string, int>::read("y")), -1);
+}
+
+TEST(MemoryAdt, SatisfyingStateJoinsDisjointReads) {
+  MemoryAdt<std::string, int> m;
+  using Obs = QueryObservation<MemoryAdt<std::string, int>>;
+  std::vector<Obs> obs{{MemRead<std::string>{"x"}, 1},
+                       {MemRead<std::string>{"y"}, 2}};
+  auto s = m.satisfying_state(obs);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ((*s)["x"], 1);
+  EXPECT_EQ((*s)["y"], 2);
+  std::vector<Obs> clash{{MemRead<std::string>{"x"}, 1},
+                         {MemRead<std::string>{"x"}, 2}};
+  EXPECT_FALSE(m.satisfying_state(clash).has_value());
+}
+
+TEST(AppendLogAdt, OrderSensitive) {
+  AppendLogAdt<int> l;
+  auto ab = l.transition(l.transition(l.initial(), LogAppend<int>{1}),
+                         LogAppend<int>{2});
+  auto ba = l.transition(l.transition(l.initial(), LogAppend<int>{2}),
+                         LogAppend<int>{1});
+  EXPECT_NE(ab, ba);
+}
+
+TEST(QueueAdt, FifoWithSplitOps) {
+  QueueAdt<int> q;
+  auto st = q.initial();
+  EXPECT_EQ(q.output(st, QueueFront{}), std::nullopt);
+  st = q.transition(st, QueueAdt<int>::enqueue(1));
+  st = q.transition(st, QueueAdt<int>::enqueue(2));
+  EXPECT_EQ(q.output(st, QueueFront{}), std::optional<int>(1));
+  st = q.transition(st, QueueAdt<int>::dequeue());
+  EXPECT_EQ(q.output(st, QueueFront{}), std::optional<int>(2));
+  st = q.transition(st, QueueAdt<int>::dequeue());
+  st = q.transition(st, QueueAdt<int>::dequeue());  // empty: no-op
+  EXPECT_EQ(q.output(st, QueueFront{}), std::nullopt);
+}
+
+TEST(StackAdt, LookupTopDeleteTopSplit) {
+  StackAdt<int> s;
+  auto st = s.initial();
+  st = s.transition(st, StackAdt<int>::push(1));
+  st = s.transition(st, StackAdt<int>::push(2));
+  EXPECT_EQ(s.output(st, StackTop{}), std::optional<int>(2));
+  st = s.transition(st, StackAdt<int>::pop());
+  EXPECT_EQ(s.output(st, StackTop{}), std::optional<int>(1));
+}
+
+TEST(DocumentAdt, PositionsClampToBounds) {
+  DocumentAdt d;
+  auto st = d.transition(d.initial(), DocumentAdt::insert_at(100, "abc"));
+  EXPECT_EQ(st, "abc");
+  st = d.transition(st, DocumentAdt::insert_at(1, "X"));
+  EXPECT_EQ(st, "aXbc");
+  st = d.transition(st, DocumentAdt::erase_at(2, 50));
+  EXPECT_EQ(st, "aX");
+  st = d.transition(st, DocumentAdt::erase_at(9, 1));  // no-op
+  EXPECT_EQ(st, "aX");
+}
+
+TEST(Replayer, RecognizesValidWords) {
+  using S = SetAdt<int>;
+  SequentialReplayer<S> r{S{}};
+  std::vector<SeqOp<S>> word;
+  word.emplace_back(std::in_place_index<0>, S::insert(1));
+  word.emplace_back(std::in_place_index<1>,
+                    QueryObservation<S>{SetRead{}, IntSet{1}});
+  word.emplace_back(std::in_place_index<0>, S::remove(1));
+  word.emplace_back(std::in_place_index<1>,
+                    QueryObservation<S>{SetRead{}, IntSet{}});
+  auto res = r.replay(word);
+  ASSERT_TRUE(res.recognized());
+  EXPECT_EQ(*res.final_state, IntSet{});
+}
+
+TEST(Replayer, RejectsContradictedQuery) {
+  using S = SetAdt<int>;
+  SequentialReplayer<S> r{S{}};
+  std::vector<SeqOp<S>> word;
+  word.emplace_back(std::in_place_index<0>, S::insert(1));
+  word.emplace_back(std::in_place_index<1>,
+                    QueryObservation<S>{SetRead{}, IntSet{2}});
+  auto res = r.replay(word);
+  EXPECT_FALSE(res.recognized());
+  EXPECT_EQ(res.failed_at, 1u);
+}
+
+TEST(Replayer, FormatWordReadable) {
+  using S = SetAdt<int>;
+  SequentialReplayer<S> r{S{}};
+  std::vector<SeqOp<S>> word;
+  word.emplace_back(std::in_place_index<0>, S::insert(1));
+  word.emplace_back(std::in_place_index<1>,
+                    QueryObservation<S>{SetRead{}, IntSet{1}});
+  EXPECT_EQ(r.format_word(word), "I(1)·R/{1}");
+}
+
+TEST(Replayer, ApplyUpdatesPureSequence) {
+  using S = SetAdt<int>;
+  SequentialReplayer<S> r{S{}};
+  EXPECT_EQ(r.apply_updates({S::insert(1), S::insert(2), S::remove(1)}),
+            (IntSet{2}));
+}
+
+}  // namespace
+}  // namespace ucw

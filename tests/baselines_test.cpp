@@ -1,0 +1,123 @@
+// The pipelined (apply-on-delivery) baseline: pipelined consistent over
+// FIFO links, but not convergent — Section IV's impossibility made
+// executable.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adt/replayer.hpp"
+#include "baselines/pipelined.hpp"
+#include "history/figures.hpp"
+#include "net/scheduler.hpp"
+
+namespace ucw {
+namespace {
+
+using S = SetAdt<int>;
+using IntSet = std::set<int>;
+using M = PipelinedReplica<S>::Message;
+
+struct Cluster {
+  SimScheduler scheduler;
+  std::unique_ptr<SimNetwork<M>> net;
+  std::vector<std::unique_ptr<PipelinedReplica<S>>> replicas;
+
+  explicit Cluster(std::size_t n, LatencyModel latency, std::uint64_t seed) {
+    SimNetwork<M>::Config cfg;
+    cfg.n_processes = n;
+    cfg.latency = latency;
+    cfg.fifo_links = true;  // pipelined consistency needs FIFO reception
+    cfg.seed = seed;
+    net = std::make_unique<SimNetwork<M>>(scheduler, cfg);
+    for (ProcessId p = 0; p < n; ++p) {
+      replicas.push_back(std::make_unique<PipelinedReplica<S>>(S{}, p));
+      auto* r = replicas.back().get();
+      net->set_handler(p, [r](ProcessId from, const M& m) {
+        r->apply(from, m);
+      });
+    }
+  }
+
+  void update(ProcessId p, typename S::Update u) {
+    net->broadcast(p, replicas[p]->local_update(std::move(u)));
+  }
+};
+
+TEST(Pipelined, CommutativeWorkloadsConverge) {
+  Cluster c(3, LatencyModel::exponential(100.0), 5);
+  for (int i = 0; i < 30; ++i) {
+    c.update(static_cast<ProcessId>(i % 3), S::insert(i));
+  }
+  c.scheduler.run();
+  for (auto& r : c.replicas) {
+    EXPECT_EQ(r->state().size(), 30u);
+  }
+}
+
+TEST(Pipelined, Figure2ScenarioDivergesForever) {
+  // p0: I(1) · I(3);  p1: I(2) · D(3) — issued before any cross-traffic
+  // arrives. p1 applies D(3) on an empty-of-3 state (no-op), then I(3)
+  // lands later: p1 keeps 3. p0 applies I(3) then D(3): drops it.
+  Cluster c(2, LatencyModel::constant(1000.0), 1);
+  c.update(0, S::insert(1));
+  c.update(0, S::insert(3));
+  c.update(1, S::insert(2));
+  c.update(1, S::remove(3));
+  c.scheduler.run();
+
+  EXPECT_EQ(c.replicas[0]->state(), (IntSet{1, 2}));
+  EXPECT_EQ(c.replicas[1]->state(), (IntSet{1, 2, 3}));
+  // All updates delivered everywhere, yet the states differ — eventual
+  // consistency is violated while each local view stays pipelined
+  // consistent (Proposition 1's obstruction).
+  EXPECT_EQ(c.replicas[0]->applied(), 4u);
+  EXPECT_EQ(c.replicas[1]->applied(), 4u);
+}
+
+TEST(Pipelined, DivergenceMatchesFigure2History) {
+  // The recorded stable reads of the diverged run are exactly the ω-tail
+  // of Figure 2, which the checkers classify PC-yes / EC-no.
+  const auto h = figure_2();
+  const auto expect_p0 = IntSet{1, 2};
+  const auto expect_p1 = IntSet{1, 2, 3};
+
+  Cluster c(2, LatencyModel::constant(1000.0), 1);
+  c.update(0, S::insert(1));
+  c.update(0, S::insert(3));
+  c.update(1, S::insert(2));
+  c.update(1, S::remove(3));
+  c.scheduler.run();
+  EXPECT_EQ(c.replicas[0]->query(S::read()), expect_p0);
+  EXPECT_EQ(c.replicas[1]->query(S::read()), expect_p1);
+
+  // Cross-check against the paper's figure: the ω-reads carry the same
+  // two values.
+  std::vector<IntSet> omega_reads;
+  for (EventId q : h.query_ids()) {
+    if (h.event(q).omega) omega_reads.push_back(h.event(q).query().second);
+  }
+  ASSERT_EQ(omega_reads.size(), 2u);
+  EXPECT_EQ(omega_reads[0], expect_p0);
+  EXPECT_EQ(omega_reads[1], expect_p1);
+}
+
+TEST(Pipelined, LocalViewIsAlwaysSequentiallyPlausible) {
+  // Each replica's own state always equals replaying the updates in its
+  // delivery order — the essence of pipelined consistency.
+  Cluster c(2, LatencyModel::exponential(50.0), 9);
+  SequentialReplayer<S> replayer{S{}};
+  std::vector<typename S::Update> delivered;
+  c.net->set_handler(0, [&](ProcessId from, const M& m) {
+    c.replicas[0]->apply(from, m);
+    delivered.push_back(m.update);
+    EXPECT_EQ(c.replicas[0]->state(), replayer.apply_updates(delivered));
+  });
+  for (int i = 0; i < 20; ++i) {
+    c.update(1, i % 2 == 0 ? S::insert(i) : S::remove(i - 1));
+  }
+  c.scheduler.run();
+  EXPECT_EQ(delivered.size(), 20u);
+}
+
+}  // namespace
+}  // namespace ucw

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "clock/lamport.hpp"
+#include "clock/matrix_clock.hpp"
+#include "clock/vector_clock.hpp"
+#include "util/assert.hpp"
+
+namespace ucw {
+namespace {
+
+TEST(Stamp, LexicographicTotalOrder) {
+  EXPECT_LT((Stamp{1, 5}), (Stamp{2, 0}));
+  EXPECT_LT((Stamp{2, 0}), (Stamp{2, 1}));
+  EXPECT_EQ((Stamp{3, 3}), (Stamp{3, 3}));
+  EXPECT_GT((Stamp{4, 0}), (Stamp{3, 9}));
+}
+
+TEST(LamportClock, TickIncreasesMonotonically) {
+  LamportClock c(2);
+  const Stamp a = c.tick();
+  const Stamp b = c.tick();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.pid, 2u);
+  EXPECT_EQ(b.clock, a.clock + 1);
+}
+
+TEST(LamportClock, ObserveJumpsForward) {
+  LamportClock c(0);
+  (void)c.tick();  // now=1
+  c.observe(10);
+  EXPECT_EQ(c.now(), 10u);
+  EXPECT_EQ(c.tick().clock, 11u);
+  c.observe(5);  // stale, no effect
+  EXPECT_EQ(c.now(), 11u);
+}
+
+TEST(LamportClock, HappenedBeforeImpliesSmallerStamp) {
+  // Classic property: if e1 → e2 (message from p0 to p1), stamp(e1) <
+  // stamp(e2).
+  LamportClock p0(0), p1(1);
+  const Stamp send = p0.tick();
+  p1.observe(send);
+  const Stamp recv_side = p1.tick();
+  EXPECT_LT(send, recv_side);
+}
+
+TEST(VectorClock, TickAndCompare) {
+  VectorClock a(2), b(2);
+  a.tick(0);
+  EXPECT_TRUE(b.before(a));
+  EXPECT_FALSE(a.before(b));
+  b.tick(1);
+  EXPECT_TRUE(a.concurrent_with(b));
+}
+
+TEST(VectorClock, MergeIsComponentwiseMax) {
+  VectorClock a(3), b(3);
+  a.tick(0);
+  a.tick(0);
+  b.tick(1);
+  a.merge(b);
+  EXPECT_EQ(a.at(0), 2u);
+  EXPECT_EQ(a.at(1), 1u);
+  EXPECT_EQ(a.at(2), 0u);
+  EXPECT_TRUE(b.leq(a));
+}
+
+TEST(VectorClock, GrowsDynamically) {
+  VectorClock a;
+  a.tick(4);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.at(4), 1u);
+  EXPECT_EQ(a.at(9), 0u);  // reads past the end are zero
+}
+
+TEST(VectorClock, EqualityIgnoresTrailingZeros) {
+  VectorClock a(2), b(5);
+  a.tick(0);
+  b.tick(0);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(MatrixClock, StabilityFloorIsMinimum) {
+  MatrixClock m(0, 3);
+  m.advance_self(10);
+  m.observe_direct(1, 7);
+  m.observe_direct(2, 5);
+  EXPECT_EQ(m.stability_floor(), 5u);
+  m.observe_direct(2, 20);
+  EXPECT_EQ(m.stability_floor(), 7u);
+}
+
+TEST(MatrixClock, MergeRowsGossips) {
+  MatrixClock a(0, 3), b(1, 3);
+  a.advance_self(4);
+  b.advance_self(9);
+  b.observe_direct(2, 6);
+  a.merge_rows(b.rows());
+  EXPECT_EQ(a.rows()[1], 9u);
+  EXPECT_EQ(a.rows()[2], 6u);
+  EXPECT_EQ(a.stability_floor(), 4u);
+}
+
+TEST(MatrixClock, CrashedProcessExcludedFromFloor) {
+  MatrixClock m(0, 3);
+  m.advance_self(10);
+  m.observe_direct(1, 8);
+  // Process 2 never acknowledged anything; floor pinned at 0.
+  EXPECT_EQ(m.stability_floor(), 0u);
+  m.mark_crashed(2);
+  EXPECT_EQ(m.stability_floor(), 8u);
+}
+
+TEST(MatrixClock, SelfCannotCrash) {
+  MatrixClock m(0, 2);
+  EXPECT_THROW(m.mark_crashed(0), contract_error);
+}
+
+}  // namespace
+}  // namespace ucw

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crdt/all.hpp"
+#include "net/scheduler.hpp"
+
+namespace ucw {
+namespace {
+
+using IntSet = std::set<int>;
+
+/// Builds n replicas of CRDT R on a fresh network.
+template <typename R>
+struct Cluster {
+  SimScheduler scheduler;
+  std::unique_ptr<SimNetwork<typename R::Message>> net;
+  std::vector<std::unique_ptr<SimCrdtObject<R>>> nodes;
+
+  explicit Cluster(std::size_t n,
+                   LatencyModel latency = LatencyModel::exponential(100.0),
+                   std::uint64_t seed = 1) {
+    typename SimNetwork<typename R::Message>::Config cfg;
+    cfg.n_processes = n;
+    cfg.latency = latency;
+    cfg.seed = seed;
+    net = std::make_unique<SimNetwork<typename R::Message>>(scheduler, cfg);
+    for (ProcessId p = 0; p < n; ++p) {
+      nodes.push_back(std::make_unique<SimCrdtObject<R>>(*net, p));
+    }
+  }
+};
+
+TEST(GSet, InsertOnlyConverges) {
+  Cluster<GSetReplica<int>> c(3);
+  for (int i = 0; i < 20; ++i) {
+    auto& n = *c.nodes[static_cast<std::size_t>(i % 3)];
+    n.emit(n->local_insert(i));
+  }
+  c.scheduler.run();
+  const auto expected = c.nodes[0]->replica().read();
+  for (auto& n : c.nodes) EXPECT_EQ((*n)->read(), expected);
+  EXPECT_EQ(expected.size(), 20u);
+}
+
+TEST(TwoPhaseSet, RemovedElementsNeverReturn) {
+  Cluster<TwoPhaseSetReplica<int>> c(2);
+  c.nodes[0]->emit(c.nodes[0]->replica().local_insert(1));
+  c.scheduler.run();
+  c.nodes[1]->emit(c.nodes[1]->replica().local_remove(1));
+  c.scheduler.run();
+  EXPECT_EQ(c.nodes[0]->replica().read(), IntSet{});
+  // Re-insertion is permanently blocked: the black list wins.
+  c.nodes[0]->emit(c.nodes[0]->replica().local_insert(1));
+  c.scheduler.run();
+  EXPECT_EQ(c.nodes[0]->replica().read(), IntSet{});
+  EXPECT_EQ(c.nodes[1]->replica().read(), IntSet{});
+}
+
+TEST(PnSet, ConcurrentInsertsNeedMatchingDeletes) {
+  Cluster<PnSetReplica<int>> c(2, LatencyModel::constant(100.0));
+  // Both insert 5 concurrently: counter reaches 2.
+  c.nodes[0]->emit(c.nodes[0]->replica().local_insert(5));
+  c.nodes[1]->emit(c.nodes[1]->replica().local_insert(5));
+  c.scheduler.run();
+  // One delete is not enough — the Section VI anomaly.
+  c.nodes[0]->emit(c.nodes[0]->replica().local_remove(5));
+  c.scheduler.run();
+  EXPECT_EQ(c.nodes[0]->replica().read(), IntSet{5});
+  EXPECT_EQ(c.nodes[1]->replica().read(), IntSet{5});
+  c.nodes[1]->emit(c.nodes[1]->replica().local_remove(5));
+  c.scheduler.run();
+  EXPECT_EQ(c.nodes[0]->replica().read(), IntSet{});
+}
+
+TEST(OrSet, InsertWinsAgainstConcurrentRemove) {
+  Cluster<OrSetReplica<int>> c(2, LatencyModel::constant(100.0));
+  c.nodes[0]->emit(c.nodes[0]->replica().local_insert(1));
+  c.scheduler.run();
+  // Concurrently: p0 removes 1 (observing its tag), p1 re-inserts 1.
+  c.nodes[0]->emit(c.nodes[0]->replica().local_remove(1));
+  c.nodes[1]->emit(c.nodes[1]->replica().local_insert(1));
+  c.scheduler.run();
+  // p1's fresh tag was not observed by the remove: the insert wins.
+  EXPECT_EQ(c.nodes[0]->replica().read(), IntSet{1});
+  EXPECT_EQ(c.nodes[1]->replica().read(), IntSet{1});
+}
+
+TEST(OrSet, Figure1bConvergesToBothElements) {
+  // The run shape of Fig. 1b: p0 does I(1)·D(2), p1 does I(2)·D(1),
+  // deliveries cross after both finished. The OR-Set keeps both — the
+  // state no update linearization explains (not UC), yet SEC+insert-wins.
+  Cluster<OrSetReplica<int>> c(2, LatencyModel::constant(1000.0));
+  c.nodes[0]->emit(c.nodes[0]->replica().local_insert(1));
+  c.nodes[0]->emit(c.nodes[0]->replica().local_remove(2));
+  c.nodes[1]->emit(c.nodes[1]->replica().local_insert(2));
+  c.nodes[1]->emit(c.nodes[1]->replica().local_remove(1));
+  c.scheduler.run();
+  EXPECT_EQ(c.nodes[0]->replica().read(), (IntSet{1, 2}));
+  EXPECT_EQ(c.nodes[1]->replica().read(), (IntSet{1, 2}));
+}
+
+TEST(OrSet, RemoveDeliveredBeforeInsertStillRemoves) {
+  // Tombstones make apply order-insensitive: feed the remove before the
+  // insert it cancels (the network is not causal).
+  OrSetReplica<int> a(0), b(1);
+  auto ins = a.local_insert(3);
+  OrSetReplica<int>::Message rem{true, 3, ins.tags};
+  b.apply(0, rem);
+  b.apply(0, ins);
+  EXPECT_EQ(b.read(), IntSet{});
+}
+
+TEST(OrSet, TagCountTracksDistinctInserts) {
+  OrSetReplica<int> a(0);
+  auto m1 = a.local_insert(5);
+  auto m2 = a.local_insert(5);
+  a.apply(0, m1);
+  a.apply(0, m2);
+  EXPECT_EQ(a.tag_count(5), 2u);
+  auto rem = a.local_remove(5);
+  EXPECT_EQ(rem.tags.size(), 2u);
+  a.apply(0, rem);
+  EXPECT_EQ(a.read(), IntSet{});
+}
+
+TEST(LwwSet, LaterStampWinsRegardlessOfKind) {
+  Cluster<LwwSetReplica<int>> c(2, LatencyModel::constant(100.0));
+  c.nodes[0]->emit(c.nodes[0]->replica().local_insert(1));
+  c.scheduler.run();
+  // Remove stamped later than the insert: remove wins (no insert bias).
+  c.nodes[1]->emit(c.nodes[1]->replica().local_remove(1));
+  c.scheduler.run();
+  EXPECT_EQ(c.nodes[0]->replica().read(), IntSet{});
+  EXPECT_EQ(c.nodes[1]->replica().read(), IntSet{});
+}
+
+TEST(LwwSet, ConvergesUnderRandomTraffic) {
+  Cluster<LwwSetReplica<int>> c(3, LatencyModel::exponential(150.0), 9);
+  Rng rng(21);
+  for (int i = 0; i < 150; ++i) {
+    auto& n = *c.nodes[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+    const int v = static_cast<int>(rng.uniform_int(0, 6));
+    if (rng.chance(0.6)) {
+      n.emit(n->local_insert(v));
+    } else {
+      n.emit(n->local_remove(v));
+    }
+    c.scheduler.run_until(c.scheduler.now() + 30.0);
+  }
+  c.scheduler.run();
+  const auto expected = c.nodes[0]->replica().read();
+  for (auto& n : c.nodes) EXPECT_EQ((*n)->read(), expected);
+}
+
+TEST(LwwRegister, NewestStampDefinesValue) {
+  LwwRegisterReplica<int> a(0, -1), b(1, -1);
+  EXPECT_EQ(a.read(), -1);
+  auto w1 = a.local_write(10);
+  auto w2 = b.local_write(20);  // same clock 1, pid 1 > pid 0
+  a.apply(0, w1);
+  a.apply(1, w2);
+  b.apply(1, w2);
+  b.apply(0, w1);
+  EXPECT_EQ(a.read(), 20);
+  EXPECT_EQ(b.read(), 20);
+}
+
+TEST(CounterCrdt, DeltasCommute) {
+  CounterCrdtReplica a(0), b(1);
+  auto m1 = a.local_add(5);
+  auto m2 = b.local_add(-2);
+  a.apply(0, m1);
+  a.apply(1, m2);
+  b.apply(1, m2);
+  b.apply(0, m1);
+  EXPECT_EQ(a.read(), 3);
+  EXPECT_EQ(b.read(), 3);
+}
+
+}  // namespace
+}  // namespace ucw

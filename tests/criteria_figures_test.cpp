@@ -1,0 +1,88 @@
+// Acceptance tests: the checkers must classify the paper's Figures 1–2
+// exactly as the captions do (PC column derived; see DESIGN.md).
+#include <gtest/gtest.h>
+
+#include "criteria/all.hpp"
+#include "history/figures.hpp"
+
+namespace ucw {
+namespace {
+
+struct FigureCase {
+  FigureHistory history;
+  FigureExpectation expect;
+};
+
+class FigureClassification
+    : public ::testing::TestWithParam<FigureExpectation> {};
+
+FigureHistory history_for(const std::string& label) {
+  if (label == "fig1a") return figure_1a();
+  if (label == "fig1b") return figure_1b();
+  if (label == "fig1c") return figure_1c();
+  if (label == "fig1d") return figure_1d();
+  return figure_2();
+}
+
+TEST_P(FigureClassification, MatchesPaper) {
+  const FigureExpectation& expect = GetParam();
+  const FigureHistory h = history_for(expect.label);
+  const CriteriaMatrixRow row = check_all_criteria(h);
+
+  EXPECT_EQ(row.ec.verdict, expect.ec ? Verdict::Yes : Verdict::No)
+      << "EC mismatch for " << expect.label << ": " << row.ec.explanation;
+  EXPECT_EQ(row.sec.verdict, expect.sec ? Verdict::Yes : Verdict::No)
+      << "SEC mismatch for " << expect.label << ": " << row.sec.explanation;
+  EXPECT_EQ(row.pc.verdict, expect.pc ? Verdict::Yes : Verdict::No)
+      << "PC mismatch for " << expect.label << ": " << row.pc.explanation;
+  EXPECT_EQ(row.uc.verdict, expect.uc ? Verdict::Yes : Verdict::No)
+      << "UC mismatch for " << expect.label << ": " << row.uc.explanation;
+  EXPECT_EQ(row.suc.verdict, expect.suc ? Verdict::Yes : Verdict::No)
+      << "SUC mismatch for " << expect.label << ": " << row.suc.explanation;
+}
+
+std::vector<FigureExpectation> all_expectations() {
+  std::vector<FigureExpectation> out;
+  for (auto& [h, e] : paper_figures()) out.push_back(e);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, FigureClassification, ::testing::ValuesIn(all_expectations()),
+    [](const ::testing::TestParamInfo<FigureExpectation>& info) {
+      return info.param.label;
+    });
+
+// Proposition 2 on the figures: SUC ⇒ SEC ∧ UC; UC ⇒ EC.
+TEST(Proposition2, InclusionsHoldOnFigures) {
+  for (const auto& [h, expect] : paper_figures()) {
+    const CriteriaMatrixRow row = check_all_criteria(h);
+    if (row.suc.yes()) {
+      EXPECT_TRUE(row.sec.yes()) << expect.label;
+      EXPECT_TRUE(row.uc.yes()) << expect.label;
+    }
+    if (row.uc.yes()) {
+      EXPECT_TRUE(row.ec.yes()) << expect.label;
+    }
+  }
+}
+
+// Definition 10 sanity on the figures: fig1b is the OR-Set's signature
+// history — it must be insert-wins consistent (concurrent I/D pairs, the
+// inserts win, both replicas converge to {1,2}) while not being UC.
+TEST(InsertWins, Fig1bIsInsertWinsButNotUC) {
+  const auto h = figure_1b();
+  EXPECT_EQ(check_sec_insert_wins(h).verdict, Verdict::Yes);
+  EXPECT_EQ(check_uc(h).verdict, Verdict::No);
+}
+
+// Proposition 3 direction: fig1d is SUC, hence must also be insert-wins
+// SEC (a strong update consistent set can replace an OR-Set).
+TEST(InsertWins, SucHistoryIsInsertWinsSec) {
+  const auto h = figure_1d();
+  EXPECT_EQ(check_suc(h).verdict, Verdict::Yes);
+  EXPECT_EQ(check_sec_insert_wins(h).verdict, Verdict::Yes);
+}
+
+}  // namespace
+}  // namespace ucw

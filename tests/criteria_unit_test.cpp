@@ -1,0 +1,378 @@
+// Targeted unit tests for the checkers beyond the paper's figures:
+// hand-built histories isolating each definitional clause, the SC
+// checker, budget behavior, and the certificate validator's rejection of
+// every class of malformed witness.
+#include <gtest/gtest.h>
+
+#include "adt/all.hpp"
+#include "criteria/all.hpp"
+#include "history/builder.hpp"
+#include "history/figures.hpp"
+#include "util/rng.hpp"
+
+namespace ucw {
+namespace {
+
+using S = SetAdt<int>;
+using IntSet = std::set<int>;
+
+// ---------------------------------------------------------------- EC --
+
+TEST(EcChecker, FiniteHistoriesTriviallyEc) {
+  HistoryBuilder<S> b{S{}, 1};
+  b.update(0, S::insert(1)).query(0, S::read(), IntSet{9});  // nonsense read
+  EXPECT_EQ(check_ec(b.build()).verdict, Verdict::Yes);
+}
+
+TEST(EcChecker, OmegaDisagreementRefutesEc) {
+  HistoryBuilder<S> b{S{}, 2};
+  b.query_omega(0, S::read(), IntSet{1});
+  b.query_omega(1, S::read(), IntSet{2});
+  EXPECT_EQ(check_ec(b.build()).verdict, Verdict::No);
+}
+
+TEST(EcChecker, OmegaStateNeedNotBeReachable) {
+  // Nothing was ever inserted, yet both processes forever read {7}: EC
+  // accepts any state s ∈ S, reachable or not (the paper's point that EC
+  // ignores the sequential specification).
+  HistoryBuilder<S> b{S{}, 2};
+  b.query_omega(0, S::read(), IntSet{7});
+  b.query_omega(1, S::read(), IntSet{7});
+  EXPECT_EQ(check_ec(b.build()).verdict, Verdict::Yes);
+}
+
+// ---------------------------------------------------------------- UC --
+
+TEST(UcChecker, OmegaMustMatchSomeLinearization) {
+  // I(1) ‖ D(1): finals are {} (I then D? no — D removes only if last)…
+  // reachable finals: {1} (D·I) and {} (I·D). Forever-{1} is fine,
+  // forever-{2} is not.
+  HistoryBuilder<S> ok{S{}, 2};
+  ok.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{1});
+  ok.update(1, S::remove(1)).query_omega(1, S::read(), IntSet{1});
+  EXPECT_EQ(check_uc(ok.build()).verdict, Verdict::Yes);
+
+  HistoryBuilder<S> bad{S{}, 2};
+  bad.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{2});
+  bad.update(1, S::remove(1)).query_omega(1, S::read(), IntSet{2});
+  EXPECT_EQ(check_uc(bad.build()).verdict, Verdict::No);
+}
+
+TEST(UcChecker, RespectsProgramOrderBetweenUpdates) {
+  // Chain forces I(1) ↦ D(1): the only final is {}; forever-{1} fails —
+  // with independent processes it would succeed.
+  HistoryBuilder<S> chained{S{}, 1};
+  chained.update(0, S::insert(1))
+      .update(0, S::remove(1))
+      .query_omega(0, S::read(), IntSet{1});
+  EXPECT_EQ(check_uc(chained.build()).verdict, Verdict::No);
+
+  HistoryBuilder<S> split{S{}, 2};
+  split.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{1});
+  split.update(1, S::remove(1));
+  EXPECT_EQ(check_uc(split.build()).verdict, Verdict::Yes);
+}
+
+TEST(UcChecker, FinalStateHelperAgreesWithReachability) {
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).update(0, S::remove(2));
+  b.update(1, S::insert(2)).update(1, S::remove(1));
+  const auto h = b.build();
+  EXPECT_EQ(check_uc_final_state(h, IntSet{}).verdict, Verdict::Yes);
+  EXPECT_EQ(check_uc_final_state(h, IntSet{1}).verdict, Verdict::Yes);
+  EXPECT_EQ(check_uc_final_state(h, IntSet{2}).verdict, Verdict::Yes);
+  EXPECT_EQ(check_uc_final_state(h, IntSet{1, 2}).verdict, Verdict::No);
+}
+
+TEST(UcChecker, BudgetExhaustionIsUnknownNotNo) {
+  HistoryBuilder<AppendLogAdt<int>> b{AppendLogAdt<int>{}, 5};
+  int v = 0;
+  for (ProcessId p = 0; p < 5; ++p) {
+    for (int i = 0; i < 4; ++i) {
+      b.update(p, AppendLogAdt<int>::append(v++));
+    }
+    b.query_omega(p, AppendLogAdt<int>::read(), {});
+  }
+  const auto h = b.build();
+  const auto result = check_uc(h, ExploreBudget{.max_states = 100});
+  EXPECT_EQ(result.verdict, Verdict::Unknown);
+  EXPECT_TRUE(result.stats.budget_exceeded);
+}
+
+// ---------------------------------------------------------------- SEC --
+
+TEST(SecChecker, IgnoringAllUpdatesIsSec) {
+  // Both processes forever read ∅ despite updates: visibility may simply
+  // never deliver the updates to the finite queries, and the ω-queries
+  // seeing everything can still be "answered" by the state ∅? No —
+  // strong convergence requires *some* state consistent with the reads;
+  // ∅ is a state of S. (SEC does not tie the state to the visible set.)
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{});
+  b.update(1, S::insert(2)).query_omega(1, S::read(), IntSet{});
+  EXPECT_EQ(check_sec(b.build()).verdict, Verdict::Yes);
+}
+
+TEST(SecChecker, SameVisibilityForcesSameAnswer) {
+  // One process, two successive reads with different values and no
+  // update in between: both reads have identical visible sets under any
+  // admissible visibility (growth + ↦), so SEC must fail.
+  HistoryBuilder<S> b{S{}, 1};
+  b.update(0, S::insert(1))
+      .query(0, S::read(), IntSet{1})
+      .query(0, S::read(), IntSet{2});
+  EXPECT_EQ(check_sec(b.build()).verdict, Verdict::No);
+}
+
+TEST(SecChecker, ConcurrentUpdateCanSplitVisibility) {
+  // Same two reads, but another process's update may become visible
+  // between them: now the answers may differ.
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1))
+      .query(0, S::read(), IntSet{1})
+      .query(0, S::read(), IntSet{1, 2});
+  b.update(1, S::insert(2));
+  EXPECT_EQ(check_sec(b.build()).verdict, Verdict::Yes);
+}
+
+TEST(SecChecker, OwnUpdateAlwaysVisible) {
+  // vis ⊇ ↦: a process cannot un-see its own insert.
+  HistoryBuilder<S> b{S{}, 1};
+  b.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{});
+  // ω-query must see I(1); but SEC's state is arbitrary — ∅ is a state
+  // satisfying R/∅ regardless of what is visible. SEC says yes!
+  EXPECT_EQ(check_sec(b.build()).verdict, Verdict::Yes);
+  // …which is precisely why the paper needed update consistency:
+  EXPECT_EQ(check_uc(b.build()).verdict, Verdict::No);
+}
+
+// ---------------------------------------------------------------- SUC --
+
+TEST(SucChecker, TiesVisibleSetToExecutedState) {
+  // The SEC-accepted "ignore the updates" history must fail SUC: the
+  // ω-query sees I(1) and executing {I(1)} yields {1} ≠ ∅.
+  HistoryBuilder<S> b{S{}, 1};
+  b.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{});
+  EXPECT_EQ(check_suc(b.build()).verdict, Verdict::No);
+}
+
+TEST(SucChecker, WitnessOrderRespectsQueryThroughConstraint) {
+  // p0: R/{2} ↦ I(1); p1: I(2). The read sees I(2), so ≤ must place
+  // I(2) before everything the read precedes — in particular before
+  // I(1). A witness exists (I(2) < I(1)); flipping the read's value to
+  // {1,2} is impossible since I(1) cannot precede the read it follows.
+  HistoryBuilder<S> ok{S{}, 2};
+  ok.query(0, S::read(), IntSet{2}).update(0, S::insert(1));
+  ok.update(1, S::insert(2));
+  EXPECT_EQ(check_suc(ok.build()).verdict, Verdict::Yes);
+
+  HistoryBuilder<S> bad{S{}, 2};
+  bad.query(0, S::read(), IntSet{1, 2}).update(0, S::insert(1));
+  bad.update(1, S::insert(2));
+  EXPECT_EQ(check_suc(bad.build()).verdict, Verdict::No);
+}
+
+TEST(SucChecker, ReportsWitnessOrder) {
+  const auto h = figure_1d();
+  const auto result = check_suc(h);
+  ASSERT_EQ(result.verdict, Verdict::Yes);
+  EXPECT_NE(result.explanation.find("witness update order"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------- SC --
+
+TEST(ScChecker, AcceptsGenuinelySequentialHistory) {
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).query(0, S::read(), IntSet{1});
+  b.query(1, S::read(), IntSet{1, 2}).update(1, S::insert(2));
+  // wait: the p1 read precedes its insert; value {1,2} impossible.
+  EXPECT_EQ(check_sc(b.build()).verdict, Verdict::No);
+
+  HistoryBuilder<S> b2{S{}, 2};
+  b2.update(0, S::insert(1)).query(0, S::read(), IntSet{1});
+  b2.update(1, S::insert(2)).query(1, S::read(), IntSet{1, 2});
+  EXPECT_EQ(check_sc(b2.build()).verdict, Verdict::Yes);
+}
+
+TEST(ScChecker, FiguresAreNotSc) {
+  // SC is the top of the hierarchy: every paper figure violates it
+  // (fig1d is SUC yet not SC — its R/{2} read cannot be linearized after
+  // I(1) ↦ I(2)).
+  for (const auto& [h, expect] : paper_figures()) {
+    EXPECT_EQ(check_sc(h).verdict, Verdict::No) << expect.label;
+  }
+}
+
+TEST(ScChecker, ScImpliesSucUcEcOnSamples) {
+  // On every history we can build quickly: SC ⇒ SUC ⇒ UC ⇒ EC.
+  for (std::uint64_t seed = 900; seed < 940; ++seed) {
+    Rng rng(seed);
+    HistoryBuilder<S> b{S{}, 2};
+    for (ProcessId p = 0; p < 2; ++p) {
+      for (int i = 0; i < 2; ++i) {
+        const int v = static_cast<int>(rng.uniform_int(1, 2));
+        if (rng.chance(0.5)) {
+          b.update(p, rng.chance(0.6) ? S::insert(v) : S::remove(v));
+        } else {
+          IntSet out;
+          if (rng.chance(0.5)) out.insert(1);
+          b.query(p, S::read(), out);
+        }
+      }
+      IntSet fin;
+      if (rng.chance(0.5)) fin.insert(1);
+      b.query_omega(p, S::read(), fin);
+    }
+    const auto h = b.build();
+    if (check_sc(h).verdict == Verdict::Yes) {
+      EXPECT_EQ(check_suc(h).verdict, Verdict::Yes) << h.to_string();
+      EXPECT_EQ(check_uc(h).verdict, Verdict::Yes) << h.to_string();
+      EXPECT_EQ(check_ec(h).verdict, Verdict::Yes) << h.to_string();
+    }
+  }
+}
+
+TEST(ScChecker, OmegaCheckedAtFinalState) {
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{1, 2});
+  b.update(1, S::insert(2)).query_omega(1, S::read(), IntSet{1, 2});
+  EXPECT_EQ(check_sc(b.build()).verdict, Verdict::Yes);
+
+  HistoryBuilder<S> b2{S{}, 2};
+  b2.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{1});
+  b2.update(1, S::insert(2)).query_omega(1, S::read(), IntSet{1, 2});
+  EXPECT_EQ(check_sc(b2.build()).verdict, Verdict::No);
+}
+
+// ------------------------------------------------------ insert-wins --
+
+TEST(InsertWinsChecker, RejectsDeleteWinsOutcome) {
+  // Concurrent I(1) and D(1) where D(1) did NOT observe the insert, yet
+  // the converged reads drop 1: that is delete-wins, not insert-wins.
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{});
+  b.update(1, S::remove(1)).query_omega(1, S::read(), IntSet{});
+  // For Def. 10 the delete would have to see the insert (u vis u'), but
+  // then the insert precedes it in any admissible vis… that is allowed!
+  // D observing I and winning IS insert-wins-consistent (the insert is
+  // superseded, not concurrent). So this history is OK:
+  EXPECT_EQ(check_sec_insert_wins(b.build()).verdict, Verdict::Yes);
+
+  // But a value present without any visible insert is not:
+  HistoryBuilder<S> b2{S{}, 1};
+  b2.update(0, S::remove(1)).query_omega(0, S::read(), IntSet{1});
+  EXPECT_EQ(check_sec_insert_wins(b2.build()).verdict, Verdict::No);
+}
+
+TEST(InsertWinsChecker, ConcurrentInsertSurvivesObservedDelete) {
+  // fig1b shape for one value: I(1) at p0; p1 deletes 1 *without* its
+  // insert being visible — both converge to {1}: insert wins.
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{1});
+  b.update(1, S::remove(1)).query_omega(1, S::read(), IntSet{1});
+  EXPECT_EQ(check_sec_insert_wins(b.build()).verdict, Verdict::Yes);
+}
+
+// ------------------------------------------------------ certificates --
+
+class CertificateNegative : public ::testing::Test {
+ protected:
+  // A valid 2-process run: p0 inserts 1 (stamp (1,0)), p1 inserts 2
+  // (stamp (1,1)), both read {1,2} forever.
+  void SetUp() override {
+    HistoryBuilder<S> b{S{}, 2};
+    b.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{1, 2});
+    b.update(1, S::insert(2)).query_omega(1, S::read(), IntSet{1, 2});
+    history_ = std::make_unique<History<S>>(b.build());
+    // events: 0=I(1)@p0, 1=Rω@p0, 2=I(2)@p1, 3=Rω@p1
+    cert_.stamps = {Stamp{1, 0}, Stamp{3, 0}, Stamp{1, 1}, Stamp{3, 1}};
+    cert_.visible = {{0}, {0, 2}, {2}, {0, 2}};
+  }
+
+  std::unique_ptr<History<S>> history_;
+  RunCertificate cert_;
+};
+
+TEST_F(CertificateNegative, ValidCertificateAccepted) {
+  EXPECT_EQ(validate_suc_certificate(*history_, cert_).verdict,
+            Verdict::Yes);
+}
+
+TEST_F(CertificateNegative, DuplicateStampsRejected) {
+  cert_.stamps[2] = Stamp{1, 0};  // collides with event 0
+  const auto r = validate_suc_certificate(*history_, cert_);
+  EXPECT_EQ(r.verdict, Verdict::No);
+  EXPECT_NE(r.explanation.find("duplicate"), std::string::npos);
+}
+
+TEST_F(CertificateNegative, NonMonotoneChainStampsRejected) {
+  cert_.stamps[1] = Stamp{0, 0};  // query stamped before its own insert
+  const auto r = validate_suc_certificate(*history_, cert_);
+  EXPECT_EQ(r.verdict, Verdict::No);
+}
+
+TEST_F(CertificateNegative, SelfInvisibleUpdateRejected) {
+  cert_.visible[0] = {};  // update does not see itself
+  const auto r = validate_suc_certificate(*history_, cert_);
+  EXPECT_EQ(r.verdict, Verdict::No);
+  EXPECT_NE(r.explanation.find("see itself"), std::string::npos);
+}
+
+TEST_F(CertificateNegative, ShrinkingVisibilityRejected) {
+  cert_.visible[1] = {2};  // drops program-order predecessor 0
+  const auto r = validate_suc_certificate(*history_, cert_);
+  EXPECT_EQ(r.verdict, Verdict::No);
+}
+
+TEST_F(CertificateNegative, OmegaMissingUpdateRejected) {
+  cert_.visible[3] = {2};  // ω-read missed update 0: eventual delivery
+  const auto r = validate_suc_certificate(*history_, cert_);
+  EXPECT_EQ(r.verdict, Verdict::No);
+}
+
+TEST_F(CertificateNegative, VisSeesFutureStampRejected) {
+  // Event 1 (stamp (3,0)) claims to see event 2 re-stamped after it.
+  cert_.stamps[2] = Stamp{9, 1};
+  cert_.stamps[3] = Stamp{10, 1};
+  const auto r = validate_suc_certificate(*history_, cert_);
+  EXPECT_EQ(r.verdict, Verdict::No);
+}
+
+TEST_F(CertificateNegative, WrongReplayValueRejected) {
+  // Make p1's ω-read return something its visible log cannot produce.
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{1, 2});
+  b.update(1, S::insert(2)).query_omega(1, S::read(), IntSet{1});
+  const auto h = b.build();
+  const auto r = validate_suc_certificate(h, cert_);
+  EXPECT_EQ(r.verdict, Verdict::No);
+  EXPECT_NE(r.explanation.find("replays to"), std::string::npos);
+}
+
+TEST_F(CertificateNegative, ArityMismatchRejected) {
+  cert_.stamps.pop_back();
+  EXPECT_EQ(validate_suc_certificate(*history_, cert_).verdict,
+            Verdict::No);
+}
+
+TEST_F(CertificateNegative, InsertWinsValidatorChecksMembershipRule) {
+  // p1's *finite* read sees only its own I(2) yet returns {1}: value 1
+  // is present without any visible insert (and 2 is missing despite an
+  // unsuperseded visible insert) — only the membership rule can refute
+  // this; the visible sets are all distinct, so strong convergence
+  // cannot.
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{1, 2});
+  b.update(1, S::insert(2)).query(1, S::read(), IntSet{1});
+  const auto h = b.build();
+  RunCertificate cert;
+  cert.stamps = {Stamp{1, 0}, Stamp{3, 0}, Stamp{1, 1}, Stamp{3, 1}};
+  cert.visible = {{0}, {0, 2}, {2}, {2}};
+  const auto r = validate_insert_wins_certificate(h, cert);
+  EXPECT_EQ(r.verdict, Verdict::No);
+  EXPECT_NE(r.explanation.find("insert-wins"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ucw

@@ -1,0 +1,184 @@
+// Cross-validation: the polynomial/DP engines against brute-force
+// enumeration on populations of random small histories. Any disagreement
+// is a checker bug; these suites are the safety net under the clever
+// code.
+#include <gtest/gtest.h>
+
+#include "adt/all.hpp"
+#include "criteria/all.hpp"
+#include "util/rng.hpp"
+#include "history/builder.hpp"
+#include "lin/enumerate.hpp"
+#include "lin/multichain.hpp"
+
+namespace ucw {
+namespace {
+
+using S = SetAdt<int>;
+using IntSet = std::set<int>;
+
+History<S> random_finite_history(std::uint64_t seed, std::size_t procs,
+                                 int ops_per_proc, int values) {
+  Rng rng(seed);
+  HistoryBuilder<S> b{S{}, procs};
+  for (ProcessId p = 0; p < procs; ++p) {
+    for (int i = 0; i < ops_per_proc; ++i) {
+      const int v = static_cast<int>(rng.uniform_int(1, values));
+      const double dice = rng.uniform_real(0, 1);
+      if (dice < 0.4) {
+        b.update(p, S::insert(v));
+      } else if (dice < 0.65) {
+        b.update(p, S::remove(v));
+      } else {
+        IntSet out;
+        for (int x = 1; x <= values; ++x) {
+          if (rng.chance(0.4)) out.insert(x);
+        }
+        b.query(p, S::read(), out);
+      }
+    }
+  }
+  return b.build();
+}
+
+class RandomHistorySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomHistorySweep, ScEqualsBruteForceRecognition) {
+  const auto h = random_finite_history(GetParam(), 2, 3, 2);
+  const bool brute = exists_recognized_linearization(h);
+  const auto sc = check_sc(h);
+  ASSERT_NE(sc.verdict, Verdict::Unknown);
+  EXPECT_EQ(sc.verdict == Verdict::Yes, brute) << h.to_string();
+}
+
+TEST_P(RandomHistorySweep, DownsetFinalStatesEqualBruteForce) {
+  const auto h = random_finite_history(GetParam() + 5'000, 3, 2, 2);
+  // Keep updates only.
+  std::vector<EventId> keep = h.update_ids();
+  const auto updates_only = h.restricted_to(keep);
+
+  std::set<IntSet> brute;
+  SequentialReplayer<S> replayer{S{}};
+  for_each_linearization(updates_only,
+                         [&](const std::vector<EventId>& word) {
+                           std::vector<typename S::Update> ops;
+                           for (EventId id : word) {
+                             ops.push_back(updates_only.event(id).update());
+                           }
+                           brute.insert(replayer.apply_updates(ops));
+                           return true;
+                         });
+
+  DownsetExplorer<S> explorer(updates_only);
+  const auto& finals = explorer.final_states();
+  const std::set<IntSet> dp(finals.begin(), finals.end());
+  EXPECT_EQ(dp, brute) << updates_only.to_string();
+}
+
+TEST_P(RandomHistorySweep, ChainLinearizerEqualsBruteForceOnSubHistory) {
+  const auto h = random_finite_history(GetParam() + 10'000, 2, 3, 2);
+  ChainLinearizer<S> lin(h);
+  for (ProcessId p = 0; p < 2; ++p) {
+    // Definition 7's sub-history: all updates plus p's events.
+    std::vector<EventId> keep;
+    for (EventId id = 0; id < h.size(); ++id) {
+      if (h.event(id).is_update() || h.event(id).pid == p) {
+        keep.push_back(id);
+      }
+    }
+    const auto sub = h.restricted_to(keep);
+    const bool brute = exists_recognized_linearization(sub);
+    const auto dp = lin.chain_has_linearization(p);
+    ASSERT_TRUE(dp.has_value());
+    EXPECT_EQ(*dp, brute) << "chain p" << p << "\n" << h.to_string();
+  }
+}
+
+TEST_P(RandomHistorySweep, MultiChainAgreesWithChainOnSingleProcess) {
+  // A single-process history: PC, SC and brute force must coincide.
+  const auto h = random_finite_history(GetParam() + 20'000, 1, 5, 2);
+  const bool brute = exists_recognized_linearization(h);
+  const auto sc = check_sc(h);
+  const auto pc = check_pc(h);
+  EXPECT_EQ(sc.verdict == Verdict::Yes, brute) << h.to_string();
+  EXPECT_EQ(pc.verdict == Verdict::Yes, brute) << h.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomHistorySweep,
+                         ::testing::Range<std::uint64_t>(1, 61));
+
+TEST(CrossValidation, SucImpliesScOnUpdateOnlyHistories) {
+  // With no queries at all, UC/SUC/SC all reduce to "some linearization
+  // of the updates exists" — always true. Sanity-check the reduction.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    HistoryBuilder<S> b{S{}, 3};
+    for (ProcessId p = 0; p < 3; ++p) {
+      const int n = static_cast<int>(rng.uniform_int(1, 3));
+      for (int i = 0; i < n; ++i) {
+        const int v = static_cast<int>(rng.uniform_int(1, 3));
+        b.update(p, rng.chance(0.5) ? S::insert(v) : S::remove(v));
+      }
+    }
+    const auto h = b.build();
+    EXPECT_EQ(check_sc(h).verdict, Verdict::Yes);
+    EXPECT_EQ(check_suc(h).verdict, Verdict::Yes);
+    EXPECT_EQ(check_uc(h).verdict, Verdict::Yes);
+    EXPECT_EQ(check_pc(h).verdict, Verdict::Yes);
+  }
+}
+
+TEST(CrossValidation, ExtraEdgesRespectedByAllEngines) {
+  // Force I(2) ↦ I(1) across processes; then R/{1} on a third chain can
+  // never be explained: when 1 is present, 2 is too (no deletes).
+  HistoryBuilder<S> b{S{}, 3};
+  b.update(0, S::insert(1));
+  const EventId i1 = b.last_id();
+  b.update(1, S::insert(2));
+  const EventId i2 = b.last_id();
+  b.query(2, S::read(), IntSet{1});
+  b.order_edge(i2, i1);
+  const auto h = b.build();
+  EXPECT_FALSE(exists_recognized_linearization(h));
+  EXPECT_EQ(check_sc(h).verdict, Verdict::No);
+  EXPECT_EQ(check_pc(h).verdict, Verdict::No);
+
+  // Flip the read to {2}: linearize I(2) · R/{2} · I(1).
+  HistoryBuilder<S> b2{S{}, 3};
+  b2.update(0, S::insert(1));
+  const EventId j1 = b2.last_id();
+  b2.update(1, S::insert(2));
+  const EventId j2 = b2.last_id();
+  b2.query(2, S::read(), IntSet{2});
+  b2.order_edge(j2, j1);
+  const auto h2 = b2.build();
+  EXPECT_TRUE(exists_recognized_linearization(h2));
+  EXPECT_EQ(check_sc(h2).verdict, Verdict::Yes);
+  EXPECT_EQ(check_pc(h2).verdict, Verdict::Yes);
+}
+
+TEST(CrossValidation, CounterHistoriesCollapseToOneFinal) {
+  // Commuting updates: the DP must find exactly one final state and the
+  // brute force must agree, for any poset shape.
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    Rng rng(seed);
+    HistoryBuilder<CounterAdt> b{CounterAdt{}, 3};
+    std::int64_t sum = 0;
+    for (ProcessId p = 0; p < 3; ++p) {
+      const int n = static_cast<int>(rng.uniform_int(1, 4));
+      for (int i = 0; i < n; ++i) {
+        const std::int64_t d = rng.uniform_int(-5, 5);
+        b.update(p, CounterAdt::add(d));
+        sum += d;
+      }
+    }
+    const auto h = b.build();
+    DownsetExplorer<CounterAdt> explorer(h);
+    const auto& finals = explorer.final_states();
+    ASSERT_EQ(finals.size(), 1u);
+    EXPECT_EQ(*finals.begin(), sum);
+  }
+}
+
+}  // namespace
+}  // namespace ucw

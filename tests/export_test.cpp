@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "criteria/visibility_solver.hpp"
+#include "history/builder.hpp"
+#include "history/export.hpp"
+#include "history/figures.hpp"
+
+namespace ucw {
+namespace {
+
+TEST(DotExport, ContainsEveryEventAndChainEdge) {
+  const auto h = figure_1b();
+  const std::string dot = to_dot(h);
+  EXPECT_NE(dot.find("digraph history"), std::string::npos);
+  EXPECT_NE(dot.find("I(1)"), std::string::npos);
+  EXPECT_NE(dot.find("D(2)"), std::string::npos);
+  EXPECT_NE(dot.find("R/{1, 2}^ω"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_p0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_p1"), std::string::npos);
+  EXPECT_NE(dot.find("e0 -> e1"), std::string::npos);  // chain edge
+}
+
+TEST(DotExport, EventIdsOptional) {
+  const auto h = figure_1c();
+  DotOptions opt;
+  opt.show_event_ids = true;
+  const std::string dot = to_dot(h, opt);
+  EXPECT_NE(dot.find("#0 "), std::string::npos);
+  EXPECT_EQ(to_dot(h).find("#0 "), std::string::npos);
+}
+
+TEST(DotExport, VisibilityEdgesFromSolverWitness) {
+  const auto h = figure_1d();
+  typename VisibilitySolver<SetAdt<int>>::Options solver_opt;
+  solver_opt.require_suc = true;
+  VisibilitySolver<SetAdt<int>> solver(h, solver_opt);
+  ASSERT_EQ(solver.solve(), std::optional<bool>(true));
+
+  DotOptions opt;
+  opt.visibility = solver.witness().visible;
+  const std::string dot = to_dot(h, opt);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotExport, ExtraEdgesDrawn) {
+  using S = SetAdt<int>;
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1));
+  const EventId a = b.last_id();
+  b.update(1, S::insert(2));
+  const EventId c = b.last_id();
+  b.order_edge(a, c);
+  const auto h = b.build();
+  const std::string dot = to_dot(h);
+  EXPECT_NE(dot.find("constraint=false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ucw

@@ -1,0 +1,154 @@
+// Failure injection beyond crashes: at-least-once delivery and
+// partitions, against both Algorithm 1 (which must absorb everything)
+// and the op-based baselines (which visibly cannot absorb duplicates —
+// the reason Algorithm 1 keys its log by stamp).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/all.hpp"
+#include "crdt/pn_set.hpp"
+#include "crdt/sim_object.hpp"
+#include "net/scheduler.hpp"
+
+namespace ucw {
+namespace {
+
+using S = SetAdt<int>;
+using IntSet = std::set<int>;
+
+TEST(AtLeastOnce, Algorithm1AbsorbsDuplicates) {
+  SimScheduler scheduler;
+  SimNetwork<UpdateMessage<S>>::Config cfg;
+  cfg.n_processes = 3;
+  cfg.latency = LatencyModel::exponential(150.0);
+  cfg.duplicate_probability = 0.5;
+  cfg.seed = 8;
+  SimNetwork<UpdateMessage<S>> net(scheduler, cfg);
+  std::vector<std::unique_ptr<SimUcObject<S>>> objs;
+  for (ProcessId p = 0; p < 3; ++p) {
+    objs.push_back(std::make_unique<SimUcObject<S>>(S{}, p, net));
+  }
+  Rng rng(8);
+  for (int i = 0; i < 120; ++i) {
+    const auto p = static_cast<ProcessId>(rng.uniform_int(0, 2));
+    const int v = static_cast<int>(rng.uniform_int(0, 7));
+    objs[p]->update(rng.chance(0.6) ? S::insert(v) : S::remove(v));
+    scheduler.run_until(scheduler.now() + 30.0);
+  }
+  scheduler.run();
+  EXPECT_GT(net.stats().messages_duplicated, 0u);
+  const auto expected = objs[0]->query(S::read());
+  std::uint64_t dups = 0;
+  for (auto& o : objs) {
+    EXPECT_EQ(o->query(S::read()), expected);
+    dups += o->replica().stats().duplicate_updates;
+  }
+  EXPECT_GT(dups, 0u);  // the log-as-set actually did the absorbing
+}
+
+TEST(AtLeastOnce, PnSetCountersAreCorruptedByDuplicates) {
+  // The PN-Set applies every delivery blindly: a duplicated delta skews
+  // the counter at the receiving replica only (self-delivery is never
+  // duplicated), so under partial duplication replicas drift apart —
+  // demonstrating why op-based CRDTs require exactly-once delivery while
+  // Algorithm 1 only needs at-least-once. Across seeds, divergence must
+  // occur with duplication on and never without.
+  auto diverged = [](double dup, std::uint64_t seed) {
+    SimScheduler scheduler;
+    SimNetwork<PnSetReplica<int>::Message>::Config cfg;
+    cfg.n_processes = 2;
+    cfg.latency = LatencyModel::constant(50.0);
+    cfg.duplicate_probability = dup;
+    cfg.seed = seed;
+    SimNetwork<PnSetReplica<int>::Message> net(scheduler, cfg);
+    SimCrdtObject<PnSetReplica<int>> a(net, 0), b(net, 1);
+    Rng rng(seed);
+    for (int i = 0; i < 30; ++i) {
+      auto& n = rng.chance(0.5) ? a : b;
+      const int v = static_cast<int>(rng.uniform_int(0, 2));
+      if (rng.chance(0.55)) {
+        n.emit(n->local_insert(v));
+      } else {
+        n.emit(n->local_remove(v));
+      }
+    }
+    scheduler.run();
+    return !(a->read() == b->read());
+  };
+  int clean_divergences = 0, dup_divergences = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    if (diverged(0.0, seed)) ++clean_divergences;
+    if (diverged(0.5, seed)) ++dup_divergences;
+  }
+  EXPECT_EQ(clean_divergences, 0);
+  EXPECT_GT(dup_divergences, 0);
+}
+
+TEST(AtLeastOnce, MemoryObjectIdempotentByConstruction) {
+  // Algorithm 2's apply keeps the max-stamp cell: naturally idempotent.
+  SimScheduler scheduler;
+  SimNetwork<MemWriteMessage<std::string, int>>::Config cfg;
+  cfg.n_processes = 2;
+  cfg.latency = LatencyModel::constant(20.0);
+  cfg.duplicate_probability = 0.8;
+  cfg.seed = 2;
+  SimNetwork<MemWriteMessage<std::string, int>> net(scheduler, cfg);
+  SimUcMemory<std::string, int> a(0, 0, net), b(1, 0, net);
+  for (int i = 0; i < 50; ++i) {
+    (i % 2 == 0 ? a : b).write("x", i);
+    scheduler.run_until(scheduler.now() + 10.0);
+  }
+  scheduler.run();
+  EXPECT_EQ(a.read("x"), b.read("x"));
+}
+
+TEST(Partition, BothSidesStayAvailableAndMergeDeterministically) {
+  SimScheduler scheduler;
+  SimNetwork<UpdateMessage<S>>::Config cfg;
+  cfg.n_processes = 4;
+  cfg.latency = LatencyModel::constant(100.0);
+  cfg.seed = 6;
+  SimNetwork<UpdateMessage<S>> net(scheduler, cfg);
+  std::vector<std::unique_ptr<SimUcObject<S>>> objs;
+  for (ProcessId p = 0; p < 4; ++p) {
+    objs.push_back(std::make_unique<SimUcObject<S>>(S{}, p, net));
+  }
+  net.partition({0, 0, 1, 1}, /*heal_at=*/10'000.0);
+  objs[0]->update(S::insert(1));
+  objs[2]->update(S::insert(2));
+  objs[3]->update(S::remove(1));
+  scheduler.run_until(5'000.0);
+  // Split brain: each side only sees its own updates — and never blocks.
+  EXPECT_EQ(objs[0]->query(S::read()), IntSet{1});
+  EXPECT_EQ(objs[2]->query(S::read()), IntSet{2});
+  scheduler.run();  // heal + drain
+  const auto merged = objs[0]->query(S::read());
+  for (auto& o : objs) EXPECT_EQ(o->query(S::read()), merged);
+  // D(1) has stamp (1,3) > I(1)'s (1,0): 1 is deleted in the agreed order.
+  EXPECT_EQ(merged, IntSet{2});
+}
+
+TEST(Partition, QuorumSideWithMinorityBlocksUntilHeal) {
+  // The flip side of availability: the linearizable register's minority
+  // partition cannot complete operations until the partition heals.
+  SimScheduler scheduler;
+  SimNetwork<QuorumMessage<int>>::Config cfg;
+  cfg.n_processes = 3;
+  cfg.latency = LatencyModel::constant(50.0);
+  SimNetwork<QuorumMessage<int>> net(scheduler, cfg);
+  std::vector<std::unique_ptr<QuorumRegister<int>>> regs;
+  for (ProcessId p = 0; p < 3; ++p) {
+    regs.push_back(std::make_unique<QuorumRegister<int>>(p, 0, net));
+  }
+  net.partition({0, 1, 1}, /*heal_at=*/50'000.0);
+  double write_done = -1.0;
+  regs[0]->write(7, [&] { write_done = scheduler.now(); });  // minority!
+  scheduler.run_until(40'000.0);
+  EXPECT_LT(write_done, 0.0) << "minority write completed inside partition";
+  scheduler.run();
+  EXPECT_GE(write_done, 50'000.0);  // only after heal
+}
+
+}  // namespace
+}  // namespace ucw

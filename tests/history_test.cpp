@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+#include "history/figures.hpp"
+#include "history/history.hpp"
+
+namespace ucw {
+namespace {
+
+using S = SetAdt<int>;
+using IntSet = std::set<int>;
+
+TEST(HistoryBuilder, BuildsChainsWithProgramOrder) {
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).query(0, S::read(), IntSet{1});
+  b.update(1, S::insert(2));
+  const auto h = b.build();
+
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.process_count(), 2u);
+  EXPECT_EQ(h.update_ids().size(), 2u);
+  EXPECT_EQ(h.query_ids().size(), 1u);
+  EXPECT_TRUE(h.prog_before(0, 1));   // same chain
+  EXPECT_FALSE(h.prog_before(1, 0));
+  EXPECT_FALSE(h.prog_before(0, 2));  // cross chain, no edge
+  EXPECT_FALSE(h.prog_before(2, 0));
+}
+
+TEST(HistoryBuilder, OmegaMustBeChainMaximal) {
+  HistoryBuilder<S> b{S{}, 1};
+  b.query_omega(0, S::read(), IntSet{});
+  b.update(0, S::insert(1));  // after the omega event: invalid
+  EXPECT_THROW(b.build(), contract_error);
+}
+
+TEST(HistoryBuilder, OmegaUpdatesRejected) {
+  // The encoding reserves ω for queries; an infinite update set would
+  // trivialize every criterion.
+  HistoryBuilder<S> b{S{}, 1};
+  Event<S> e;
+  e.id = 0;
+  e.pid = 0;
+  e.seq = 0;
+  e.label = EventLabel<S>(std::in_place_index<0>, S::insert(1));
+  e.omega = true;
+  EXPECT_THROW((History<S>{S{}, {e}, 1}), contract_error);
+}
+
+TEST(History, ExtraEdgesInduceCrossChainOrder) {
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1));
+  const EventId u1 = b.last_id();
+  b.update(1, S::insert(2));
+  const EventId u2 = b.last_id();
+  b.order_edge(u1, u2);
+  const auto h = b.build();
+  EXPECT_TRUE(h.prog_before(u1, u2));
+  EXPECT_FALSE(h.prog_before(u2, u1));
+}
+
+TEST(History, CyclicExtraEdgesRejected) {
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1));
+  const EventId a = b.last_id();
+  b.update(1, S::insert(2));
+  const EventId c = b.last_id();
+  b.order_edge(a, c).order_edge(c, a);
+  EXPECT_THROW(b.build(), contract_error);
+}
+
+TEST(History, TransitiveClosureThroughExtraEdges) {
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1));
+  b.update(0, S::insert(2));
+  const EventId mid = b.last_id();
+  b.update(1, S::insert(3));
+  const EventId tail = b.last_id();
+  b.order_edge(mid, tail);
+  const auto h = b.build();
+  EXPECT_TRUE(h.prog_before(0, tail));  // 0 ↦ mid ↦ tail
+}
+
+TEST(History, RestrictionKeepsOrderAndRenumbers) {
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).query(0, S::read(), IntSet{1});
+  b.update(1, S::insert(2)).query(1, S::read(), IntSet{2});
+  const auto h = b.build();
+
+  const auto restricted = h.restricted_to({0, 1});  // p0 only
+  EXPECT_EQ(restricted.size(), 2u);
+  EXPECT_TRUE(restricted.prog_before(0, 1));
+  EXPECT_EQ(restricted.update_ids().size(), 1u);
+}
+
+TEST(History, UpdateSlotsAreDense) {
+  const auto h = figure_1b();
+  EXPECT_EQ(h.update_ids().size(), 4u);
+  std::set<std::size_t> slots;
+  for (EventId id : h.update_ids()) slots.insert(h.update_slot(id));
+  EXPECT_EQ(slots.size(), 4u);
+  EXPECT_EQ(*slots.begin(), 0u);
+  EXPECT_EQ(*slots.rbegin(), 3u);
+}
+
+TEST(History, ToStringShowsOmega) {
+  const auto h = figure_1a();
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("I(1)"), std::string::npos);
+  EXPECT_NE(s.find("^ω"), std::string::npos);
+  EXPECT_NE(s.find("p1"), std::string::npos);
+}
+
+TEST(Figures, ShapesMatchPaper) {
+  EXPECT_EQ(figure_1a().size(), 8u);
+  EXPECT_EQ(figure_1a().update_ids().size(), 2u);
+  EXPECT_EQ(figure_1b().size(), 6u);
+  EXPECT_EQ(figure_1b().update_ids().size(), 4u);
+  EXPECT_EQ(figure_1c().size(), 5u);
+  EXPECT_EQ(figure_1d().size(), 6u);
+  EXPECT_EQ(figure_2().size(), 10u);
+  EXPECT_EQ(figure_2().update_ids().size(), 4u);
+  EXPECT_EQ(paper_figures().size(), 5u);
+}
+
+TEST(Figures, OmegaTailsPresent) {
+  for (const auto& [h, expect] : paper_figures()) {
+    EXPECT_TRUE(h.has_omega()) << expect.label;
+    EXPECT_EQ(h.omega_count(), 2u) << expect.label;
+  }
+}
+
+}  // namespace
+}  // namespace ucw

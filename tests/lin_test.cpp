@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "adt/log.hpp"
+#include "history/builder.hpp"
+#include "history/figures.hpp"
+#include "lin/chain.hpp"
+#include "lin/downset.hpp"
+#include "lin/enumerate.hpp"
+#include "lin/update_poset.hpp"
+
+namespace ucw {
+namespace {
+
+using S = SetAdt<int>;
+using IntSet = std::set<int>;
+
+History<S> two_by_two() {
+  // p0: I(1) · D(2)    p1: I(2) · D(1)   (figure 1b without the reads)
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).update(0, S::remove(2));
+  b.update(1, S::insert(2)).update(1, S::remove(1));
+  return b.build();
+}
+
+TEST(UpdatePoset, PredMasksFollowChains) {
+  const auto h = two_by_two();
+  UpdatePoset<S> poset(h);
+  ASSERT_EQ(poset.count(), 4u);
+  // Slot order matches event-id order: I(1), D(2), I(2), D(1).
+  EXPECT_EQ(poset.pred_mask(0), Bitset64{});
+  EXPECT_EQ(poset.pred_mask(1), Bitset64::single(0));
+  EXPECT_EQ(poset.pred_mask(2), Bitset64{});
+  EXPECT_EQ(poset.pred_mask(3), Bitset64::single(2));
+}
+
+TEST(UpdatePoset, EnabledRespectsPredecessors) {
+  const auto h = two_by_two();
+  UpdatePoset<S> poset(h);
+  EXPECT_EQ(poset.enabled(Bitset64{}),
+            (Bitset64::single(0) | Bitset64::single(2)));
+  EXPECT_EQ(poset.enabled(Bitset64::single(0)),
+            (Bitset64::single(1) | Bitset64::single(2)));
+  EXPECT_TRUE(poset.enabled(Bitset64::all(4)).empty());
+}
+
+TEST(DownsetExplorer, FinalStatesOfTwoByTwo) {
+  // The paper (discussion of Fig. 1b) derives exactly three reachable
+  // final states: ∅, {1}, {2} — and crucially never {1,2}.
+  const auto h = two_by_two();
+  DownsetExplorer<S> explorer(h);
+  const auto& finals = explorer.final_states();
+  std::set<IntSet> got(finals.begin(), finals.end());
+  EXPECT_EQ(got, (std::set<IntSet>{{}, {1}, {2}}));
+}
+
+TEST(DownsetExplorer, MatchesBruteForceEnumeration) {
+  const auto h = two_by_two();
+  // Brute force: every linearization of the 4 updates.
+  std::set<IntSet> brute;
+  SequentialReplayer<S> replayer{S{}};
+  for_each_linearization(h, [&](const std::vector<EventId>& word) {
+    std::vector<typename S::Update> ups;
+    for (EventId id : word) ups.push_back(h.event(id).update());
+    brute.insert(replayer.apply_updates(ups));
+    return true;
+  });
+  DownsetExplorer<S> explorer(h);
+  const auto& finals = explorer.final_states();
+  const std::set<IntSet> dp(finals.begin(), finals.end());
+  EXPECT_EQ(dp, brute);
+}
+
+TEST(DownsetExplorer, CommutingUpdatesCollapseToOneState) {
+  HistoryBuilder<S> b{S{}, 3};
+  for (ProcessId p = 0; p < 3; ++p) {
+    b.update(p, S::insert(static_cast<int>(p)));
+    b.update(p, S::insert(static_cast<int>(p) + 10));
+  }
+  const auto h = b.build();
+  DownsetExplorer<S> explorer(h);
+  EXPECT_EQ(explorer.final_states().size(), 1u);
+  EXPECT_EQ(*explorer.final_states().begin(),
+            (IntSet{0, 1, 2, 10, 11, 12}));
+}
+
+TEST(DownsetExplorer, IntermediateDownsets) {
+  const auto h = two_by_two();
+  DownsetExplorer<S> explorer(h);
+  // After only I(1) (slot 0): exactly {1}.
+  const auto& states = explorer.states_for(Bitset64::single(0));
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(*states.begin(), (IntSet{1}));
+}
+
+TEST(DownsetExplorer, BudgetExhaustionReported) {
+  HistoryBuilder<AppendLogAdt<int>> b{AppendLogAdt<int>{}, 6};
+  // Appends never commute: states explode combinatorially.
+  int v = 0;
+  for (ProcessId p = 0; p < 6; ++p) {
+    for (int i = 0; i < 3; ++i) {
+      b.update(p, AppendLogAdt<int>::append(v++));
+    }
+  }
+  const auto h = b.build();
+  DownsetExplorer<AppendLogAdt<int>> explorer(h, ExploreBudget{.max_states = 500});
+  (void)explorer.final_states();
+  EXPECT_TRUE(explorer.stats().budget_exceeded);
+}
+
+TEST(Enumerate, CountsInterleavings) {
+  // Two chains of length 2 → C(4,2) = 6 interleavings.
+  const auto h = two_by_two();
+  EXPECT_EQ(count_linearizations(h), 6u);
+}
+
+TEST(Enumerate, SingleChainHasOneLinearization) {
+  HistoryBuilder<S> b{S{}, 1};
+  b.update(0, S::insert(1)).update(0, S::insert(2)).update(0, S::insert(3));
+  EXPECT_EQ(count_linearizations(b.build()), 1u);
+}
+
+TEST(Enumerate, RecognitionAgreesWithReplay) {
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).query(0, S::read(), IntSet{1, 2});
+  b.update(1, S::insert(2));
+  const auto h = b.build();
+  // I(1) · I(2) · R/{1,2} is recognized.
+  EXPECT_TRUE(exists_recognized_linearization(h));
+
+  HistoryBuilder<S> b2{S{}, 2};
+  b2.update(0, S::insert(1)).query(0, S::read(), IntSet{2});
+  b2.update(1, S::insert(2));
+  // R follows I(1), so 1 must be in the read value: unsatisfiable.
+  EXPECT_FALSE(exists_recognized_linearization(b2.build()));
+}
+
+TEST(ChainLinearizer, Figure2BothChainsLinearize) {
+  const auto h = figure_2();
+  ChainLinearizer<S> lin(h);
+  EXPECT_EQ(lin.chain_has_linearization(0), std::optional<bool>(true));
+  EXPECT_EQ(lin.chain_has_linearization(1), std::optional<bool>(true));
+}
+
+TEST(ChainLinearizer, Figure1aChainFails) {
+  const auto h = figure_1a();
+  ChainLinearizer<S> lin(h);
+  // R/{2} after I(1) with no deletion available: impossible.
+  EXPECT_EQ(lin.chain_has_linearization(0), std::optional<bool>(false));
+}
+
+TEST(ChainLinearizer, OmegaMustHoldAtFinalState) {
+  // p0: I(1) · R/{1}^ω with p1: I(2) — ω-read misses 2, so no
+  // linearization of the chain against *all* updates exists.
+  HistoryBuilder<S> b{S{}, 2};
+  b.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{1});
+  b.update(1, S::insert(2));
+  const auto h = b.build();
+  ChainLinearizer<S> lin(h);
+  EXPECT_EQ(lin.chain_has_linearization(0), std::optional<bool>(false));
+
+  HistoryBuilder<S> b2{S{}, 2};
+  b2.update(0, S::insert(1)).query_omega(0, S::read(), IntSet{1, 2});
+  b2.update(1, S::insert(2));
+  const auto h2 = b2.build();
+  ChainLinearizer<S> lin2(h2);
+  EXPECT_EQ(lin2.chain_has_linearization(0), std::optional<bool>(true));
+}
+
+TEST(ChainLinearizer, ExtraEdgePinsOffChainUpdate) {
+  // p1's update is forced after p0's query via an extra edge; the query
+  // therefore cannot see it.
+  HistoryBuilder<S> b{S{}, 2};
+  b.query(0, S::read(), IntSet{2});
+  const EventId q = b.last_id();
+  b.update(1, S::insert(2));
+  const EventId u = b.last_id();
+  b.order_edge(u, q);  // I(2) ↦ R: the read can (must) see it
+  const auto h = b.build();
+  ChainLinearizer<S> lin(h);
+  EXPECT_EQ(lin.chain_has_linearization(0), std::optional<bool>(true));
+
+  HistoryBuilder<S> b2{S{}, 2};
+  b2.query(0, S::read(), IntSet{2});
+  const EventId q2 = b2.last_id();
+  b2.update(1, S::insert(2));
+  const EventId u2 = b2.last_id();
+  b2.order_edge(q2, u2);  // R ↦ I(2): the read precedes the only I(2)
+  const auto h2 = b2.build();
+  ChainLinearizer<S> lin2(h2);
+  EXPECT_EQ(lin2.chain_has_linearization(0), std::optional<bool>(false));
+}
+
+}  // namespace
+}  // namespace ucw

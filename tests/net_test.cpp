@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/scheduler.hpp"
+#include "net/sim_network.hpp"
+#include "net/thread_network.hpp"
+
+namespace ucw {
+namespace {
+
+TEST(SimScheduler, ExecutesInTimeOrder) {
+  SimScheduler s;
+  std::vector<int> order;
+  s.at(30.0, [&] { order.push_back(3); });
+  s.at(10.0, [&] { order.push_back(1); });
+  s.at(20.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 30.0);
+}
+
+TEST(SimScheduler, TiesBreakByInsertionOrder) {
+  SimScheduler s;
+  std::vector<int> order;
+  s.at(5.0, [&] { order.push_back(1); });
+  s.at(5.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimScheduler, ActionsMayScheduleMore) {
+  SimScheduler s;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) s.after(1.0, chain);
+  };
+  s.after(1.0, chain);
+  s.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(SimScheduler, RunUntilStopsAtBoundary) {
+  SimScheduler s;
+  int fired = 0;
+  s.at(1.0, [&] { ++fired; });
+  s.at(2.0, [&] { ++fired; });
+  s.at(3.0, [&] { ++fired; });
+  EXPECT_EQ(s.run_until(2.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(SimScheduler, RejectsPastScheduling) {
+  SimScheduler s;
+  s.at(5.0, [] {});
+  s.run();
+  EXPECT_THROW(s.at(1.0, [] {}), contract_error);
+}
+
+TEST(LatencyModel, SamplesWithinBounds) {
+  Rng rng(1);
+  auto m = LatencyModel::uniform(10.0, 20.0);
+  for (int i = 0; i < 100; ++i) {
+    const double v = m.sample(rng);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LT(v, 20.0);
+  }
+  EXPECT_DOUBLE_EQ(LatencyModel::constant(7.0).sample(rng), 7.0);
+  EXPECT_DOUBLE_EQ(LatencyModel::constant(7.0).mean(), 7.0);
+  EXPECT_NEAR(LatencyModel::uniform(0, 10).mean(), 5.0, 1e-9);
+}
+
+TEST(SimNetwork, BroadcastReachesEveryoneOnce) {
+  SimScheduler sched;
+  SimNetwork<int>::Config cfg;
+  cfg.n_processes = 4;
+  cfg.latency = LatencyModel::constant(10.0);
+  SimNetwork<int> net(sched, cfg);
+  std::vector<int> received(4, 0);
+  for (ProcessId p = 0; p < 4; ++p) {
+    net.set_handler(p, [&received, p](ProcessId, const int&) {
+      ++received[p];
+    });
+  }
+  net.broadcast(0, 42);
+  EXPECT_EQ(received[0], 1);  // self-delivery is synchronous
+  sched.run();
+  EXPECT_EQ(received, (std::vector<int>{1, 1, 1, 1}));
+  EXPECT_EQ(net.stats().broadcasts, 1u);
+  EXPECT_EQ(net.stats().messages_sent, 3u);
+  EXPECT_EQ(net.stats().messages_delivered, 4u);
+}
+
+TEST(SimNetwork, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    SimScheduler sched;
+    SimNetwork<int>::Config cfg;
+    cfg.n_processes = 3;
+    cfg.latency = LatencyModel::exponential(100.0);
+    cfg.seed = seed;
+    SimNetwork<int> net(sched, cfg);
+    std::vector<std::pair<double, int>> log;
+    for (ProcessId p = 0; p < 3; ++p) {
+      net.set_handler(p, [&](ProcessId, const int& m) {
+        log.emplace_back(sched.now(), m);
+      });
+    }
+    for (int i = 0; i < 10; ++i) net.broadcast(0, i);
+    sched.run();
+    return log;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(SimNetwork, FifoLinksPreserveOrder) {
+  SimScheduler sched;
+  SimNetwork<int>::Config cfg;
+  cfg.n_processes = 2;
+  // Heavy-tailed latency would reorder without the FIFO clamp.
+  cfg.latency = LatencyModel::pareto(5.0, 1.1);
+  cfg.fifo_links = true;
+  cfg.seed = 3;
+  SimNetwork<int> net(sched, cfg);
+  std::vector<int> received;
+  net.set_handler(1, [&](ProcessId, const int& m) { received.push_back(m); });
+  for (int i = 0; i < 50; ++i) net.send(0, 1, i);
+  sched.run();
+  ASSERT_EQ(received.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(received.begin(), received.end()));
+}
+
+TEST(SimNetwork, NonFifoCanReorder) {
+  SimScheduler sched;
+  SimNetwork<int>::Config cfg;
+  cfg.n_processes = 2;
+  cfg.latency = LatencyModel::pareto(5.0, 1.1);
+  cfg.fifo_links = false;
+  cfg.seed = 3;
+  SimNetwork<int> net(sched, cfg);
+  std::vector<int> received;
+  net.set_handler(1, [&](ProcessId, const int& m) { received.push_back(m); });
+  for (int i = 0; i < 50; ++i) net.send(0, 1, i);
+  sched.run();
+  ASSERT_EQ(received.size(), 50u);
+  EXPECT_FALSE(std::is_sorted(received.begin(), received.end()));
+}
+
+TEST(SimNetwork, CrashedProcessReceivesNothing) {
+  SimScheduler sched;
+  SimNetwork<int>::Config cfg;
+  cfg.n_processes = 2;
+  cfg.latency = LatencyModel::constant(10.0);
+  SimNetwork<int> net(sched, cfg);
+  int received = 0;
+  net.set_handler(1, [&](ProcessId, const int&) { ++received; });
+  net.broadcast(0, 1);
+  net.crash(1);
+  net.broadcast(0, 2);
+  sched.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().messages_dropped_crash, 2u);
+  EXPECT_TRUE(net.crashed(1));
+  EXPECT_EQ(net.crashed_count(), 1u);
+}
+
+TEST(SimNetwork, CrashedProcessSendsNothing) {
+  SimScheduler sched;
+  SimNetwork<int>::Config cfg;
+  cfg.n_processes = 2;
+  cfg.latency = LatencyModel::constant(10.0);
+  SimNetwork<int> net(sched, cfg);
+  int received = 0;
+  net.set_handler(1, [&](ProcessId, const int&) { ++received; });
+  net.crash(0);
+  net.broadcast(0, 1);
+  sched.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().broadcasts, 0u);
+}
+
+TEST(SimNetwork, InFlightMessagesSurviveSenderCrash) {
+  // Crash-stop happens between operations: a completed broadcast is
+  // all-or-nothing even if the sender crashes before delivery.
+  SimScheduler sched;
+  SimNetwork<int>::Config cfg;
+  cfg.n_processes = 2;
+  cfg.latency = LatencyModel::constant(10.0);
+  SimNetwork<int> net(sched, cfg);
+  int received = 0;
+  net.set_handler(1, [&](ProcessId, const int&) { ++received; });
+  net.broadcast(0, 1);
+  sched.at(5.0, [&] { net.crash(0); });
+  sched.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(SimNetwork, PartitionHoldsCrossGroupTraffic) {
+  SimScheduler sched;
+  SimNetwork<int>::Config cfg;
+  cfg.n_processes = 2;
+  cfg.latency = LatencyModel::constant(10.0);
+  SimNetwork<int> net(sched, cfg);
+  std::vector<double> delivery_times;
+  net.set_handler(1, [&](ProcessId, const int&) {
+    delivery_times.push_back(sched.now());
+  });
+  net.partition({0, 1}, /*heal_at=*/1000.0);
+  net.broadcast(0, 1);
+  sched.run();
+  ASSERT_EQ(delivery_times.size(), 1u);
+  EXPECT_GE(delivery_times[0], 1000.0);
+}
+
+TEST(Inbox, PushPopAcrossThreads) {
+  Inbox<int> inbox;
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) inbox.push(i);
+    inbox.close();
+  });
+  int count = 0;
+  int last = -1;
+  while (auto v = inbox.pop_wait()) {
+    EXPECT_EQ(*v, last + 1);  // single producer: FIFO
+    last = *v;
+    ++count;
+  }
+  producer.join();
+  EXPECT_EQ(count, 1000);
+}
+
+TEST(ThreadNetwork, BroadcastOthersSkipsSelf) {
+  ThreadNetwork<std::string> net(3);
+  net.broadcast_others(0, "hello");
+  EXPECT_EQ(net.inbox(0).size(), 0u);
+  EXPECT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(2).size(), 1u);
+  auto env = net.inbox(1).try_pop();
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->from, 0u);
+  EXPECT_EQ(env->payload, "hello");
+  EXPECT_FALSE(net.inbox(0).try_pop().has_value());
+}
+
+}  // namespace
+}  // namespace ucw

@@ -1,0 +1,432 @@
+// Property-based end-to-end suites: randomized multi-process simulations
+// validated against the paper's definitions.
+//
+//  * Proposition 4: every history Algorithm 1 produces is strong update
+//    consistent — validated per-run via the certificate (polynomial) and
+//    cross-validated on small runs with the exact SUC solver.
+//  * The converged state is always explainable by a linearization of the
+//    updates (UC), for every replay policy, latency model and seed.
+//  * OR-Set runs always satisfy Definition 10 (SEC + insert-wins), and
+//    measurably often converge to states *no* update linearization
+//    explains — the Section VI separation.
+//  * Proposition 2 inclusions on run-derived and mutated histories.
+#include <gtest/gtest.h>
+
+#include "criteria/all.hpp"
+#include "crdt/all.hpp"
+#include "history/builder.hpp"
+#include "runtime/set_family.hpp"
+#include "runtime/sim_harness.hpp"
+
+namespace ucw {
+namespace {
+
+using S = SetAdt<int>;
+using IntSet = std::set<int>;
+
+struct SimCase {
+  std::uint64_t seed;
+  std::size_t n_processes;
+  ReplayPolicy policy;
+  bool fifo;
+
+  friend std::ostream& operator<<(std::ostream& os, const SimCase& c) {
+    std::string policy = to_string(c.policy);
+    policy.erase(std::remove(policy.begin(), policy.end(), '-'),
+                 policy.end());
+    return os << "seed" << c.seed << "_n" << c.n_processes << "_" << policy
+              << (c.fifo ? "_fifo" : "");
+  }
+};
+
+std::vector<SimCase> sim_cases() {
+  std::vector<SimCase> cases;
+  std::uint64_t seed = 100;
+  for (std::size_t n : {2, 3, 5}) {
+    for (ReplayPolicy p : {ReplayPolicy::NaiveReplay,
+                           ReplayPolicy::CachedPrefix,
+                           ReplayPolicy::Snapshot}) {
+      cases.push_back(SimCase{seed++, n, p, false});
+    }
+  }
+  cases.push_back(SimCase{200, 4, ReplayPolicy::CachedPrefix, true});
+  cases.push_back(SimCase{201, 6, ReplayPolicy::Snapshot, false});
+  return cases;
+}
+
+class UcSimulation : public ::testing::TestWithParam<SimCase> {
+ protected:
+  RunConfig config() const {
+    const SimCase& c = GetParam();
+    RunConfig cfg;
+    cfg.n_processes = c.n_processes;
+    cfg.seed = c.seed;
+    cfg.latency = LatencyModel::exponential(800.0);
+    cfg.fifo_links = c.fifo;
+    cfg.policy = c.policy;
+    cfg.workload.ops_per_process = 30;
+    cfg.workload.update_ratio = 0.7;
+    cfg.workload.value_range = 6;
+    return cfg;
+  }
+};
+
+TEST_P(UcSimulation, ReplicasConverge) {
+  auto out = run_uc_simulation(S{}, config(), [&](Rng& rng) {
+    return random_set_update<int>(rng, config().workload);
+  });
+  EXPECT_TRUE(out.converged);
+  EXPECT_GE(out.final_states.size(), 2u);
+}
+
+TEST_P(UcSimulation, CertificateSatisfiesDefinition9) {
+  auto out = run_uc_simulation(S{}, config(), [&](Rng& rng) {
+    return random_set_update<int>(rng, config().workload);
+  });
+  const auto result =
+      validate_suc_certificate(out.history, out.certificate);
+  EXPECT_EQ(result.verdict, Verdict::Yes) << result.explanation;
+}
+
+TEST_P(UcSimulation, ConvergedStateExplainedByUpdateLinearization) {
+  // Smaller workload than the sibling tests: the downset DP is exact but
+  // exponential in non-commuting updates, so keep |U| near 20.
+  RunConfig cfg = config();
+  cfg.workload.ops_per_process = std::max<std::size_t>(
+      2, 20 / cfg.n_processes);
+  cfg.workload.update_ratio = 0.5;
+  auto out = run_uc_simulation(S{}, cfg, [&](Rng& rng) {
+    return random_set_update<int>(rng, cfg.workload);
+  });
+  ASSERT_LE(out.history.update_ids().size(), 24u);
+  const auto result =
+      check_uc_final_state(out.history, out.final_states.front());
+  EXPECT_EQ(result.verdict, Verdict::Yes) << result.explanation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, UcSimulation,
+                         ::testing::ValuesIn(sim_cases()),
+                         [](const auto& info) {
+                           std::ostringstream os;
+                           os << info.param;
+                           return os.str();
+                         });
+
+TEST(UcSimulationSmall, ExactSolverConfirmsSuc) {
+  // Small runs (few updates) are within reach of the exact SUC solver:
+  // solver and certificate must agree.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunConfig cfg;
+    cfg.n_processes = 2;
+    cfg.seed = seed;
+    cfg.latency = LatencyModel::exponential(500.0);
+    cfg.workload.ops_per_process = 3;
+    cfg.workload.update_ratio = 0.6;
+    cfg.workload.value_range = 3;
+    auto out = run_uc_simulation(S{}, cfg, [&](Rng& rng) {
+      return random_set_update<int>(rng, cfg.workload);
+    });
+    const auto cert = validate_suc_certificate(out.history, out.certificate);
+    ASSERT_EQ(cert.verdict, Verdict::Yes) << "seed " << seed;
+    const auto solved = check_suc(out.history);
+    EXPECT_EQ(solved.verdict, Verdict::Yes)
+        << "seed " << seed << ": " << solved.explanation;
+  }
+}
+
+TEST(UcSimulationCrash, SurvivorsStillConvergeAndStaySuc) {
+  for (std::uint64_t seed = 30; seed < 36; ++seed) {
+    RunConfig cfg;
+    cfg.n_processes = 4;
+    cfg.seed = seed;
+    cfg.latency = LatencyModel::exponential(400.0);
+    cfg.workload.ops_per_process = 20;
+    cfg.crashes = {CrashPlan{1, 4'000.0}, CrashPlan{3, 9'000.0}};
+    auto out = run_uc_simulation(S{}, cfg, [&](Rng& rng) {
+      return random_set_update<int>(rng, cfg.workload);
+    });
+    EXPECT_TRUE(out.converged) << "seed " << seed;
+    EXPECT_LE(out.final_states.size(), 2u);
+    // Wait-freedom under crashes: survivors completed all their ops.
+    EXPECT_GT(out.history.size(), 0u);
+  }
+}
+
+TEST(UcSimulationHeavyTail, ConvergesUnderParetoDelays) {
+  RunConfig cfg;
+  cfg.n_processes = 3;
+  cfg.seed = 77;
+  cfg.latency = LatencyModel::pareto(200.0, 1.3);  // wild reordering
+  cfg.workload.ops_per_process = 40;
+  auto out = run_uc_simulation(S{}, cfg, [&](Rng& rng) {
+    return random_set_update<int>(rng, cfg.workload);
+  });
+  EXPECT_TRUE(out.converged);
+  const auto cert = validate_suc_certificate(out.history, out.certificate);
+  EXPECT_EQ(cert.verdict, Verdict::Yes) << cert.explanation;
+  // Heavy tails make stragglers: late insertions must have occurred.
+  std::uint64_t late = 0;
+  for (const auto& st : out.replica_stats) late += st.late_insertions;
+  EXPECT_GT(late, 0u);
+}
+
+TEST(UcSimulationGc, GarbageCollectionPreservesConvergence) {
+  RunConfig cfg;
+  cfg.n_processes = 3;
+  cfg.seed = 55;
+  cfg.latency = LatencyModel::uniform(50.0, 300.0);
+  cfg.fifo_links = true;
+  cfg.enable_gc = true;
+  cfg.gc_period = 2'000.0;
+  cfg.workload.ops_per_process = 50;
+  auto out = run_uc_simulation(S{}, cfg, [&](Rng& rng) {
+    return random_set_update<int>(rng, cfg.workload);
+  });
+  EXPECT_TRUE(out.converged);
+  std::uint64_t folded = 0;
+  for (const auto& st : out.replica_stats) folded += st.gc_folded;
+  EXPECT_GT(folded, 0u);
+}
+
+TEST(CounterSimulation, CommutingUpdatesAlwaysUc) {
+  RunConfig cfg;
+  cfg.n_processes = 4;
+  cfg.seed = 13;
+  cfg.workload.ops_per_process = 25;
+  auto out = run_uc_simulation(CounterAdt{}, cfg, [](Rng& rng) {
+    return random_counter_update(rng);
+  });
+  EXPECT_TRUE(out.converged);
+  const auto cert = validate_suc_certificate(out.history, out.certificate);
+  EXPECT_EQ(cert.verdict, Verdict::Yes) << cert.explanation;
+}
+
+// ---------------------------------------------------------------------
+// OR-Set runs against Definition 10, and the UC/insert-wins separation.
+// ---------------------------------------------------------------------
+
+struct OrSetRun {
+  History<S> history;
+  RunCertificate certificate;
+  IntSet final_state;
+  bool converged;
+};
+
+/// Drives an OR-Set cluster with a recorded workload and assembles the
+/// history + visibility certificate from actual deliveries. A small
+/// value range plus latency well above the think time makes blind
+/// cross-process deletes (the Fig. 1b shape) likely.
+OrSetRun run_or_set(std::uint64_t seed, std::size_t n_processes,
+                    std::size_t ops_per_process, int value_range = 5,
+                    double latency_mean = 700.0) {
+  SimScheduler scheduler;
+  using R = OrSetReplica<int>;
+
+  // Visibility bookkeeping: per replica, the stamps of updates applied.
+  // Updates are stamped with a per-run Lamport clock for the certificate
+  // (the OR-Set itself doesn't need stamps; the certificate's total
+  // order does).
+  std::vector<LamportClock> clocks;
+  std::vector<std::vector<Stamp>> seen(n_processes);
+  HistoryRecorder<S> recorder(S{}, n_processes);
+
+  struct Tagged {
+    R::Message inner;
+    Stamp stamp;
+    typename S::Update as_update;
+  };
+  SimNetwork<Tagged>::Config tcfg;
+  tcfg.n_processes = n_processes;
+  tcfg.latency = LatencyModel::exponential(latency_mean);
+  tcfg.seed = seed;
+  SimNetwork<Tagged> tagged_net(scheduler, tcfg);
+
+  std::vector<std::unique_ptr<R>> replicas;
+  for (ProcessId p = 0; p < n_processes; ++p) {
+    clocks.emplace_back(p);
+    replicas.push_back(std::make_unique<R>(p));
+  }
+  for (ProcessId p = 0; p < n_processes; ++p) {
+    tagged_net.set_handler(p, [&, p](ProcessId from, const Tagged& m) {
+      clocks[p].observe(m.stamp);
+      replicas[p]->apply(from, m.inner);
+      seen[p].push_back(m.stamp);
+    });
+  }
+
+  Rng root(seed);
+  for (std::size_t i = 0; i < ops_per_process * n_processes; ++i) {
+    const ProcessId p =
+        static_cast<ProcessId>(root.uniform_int(0, n_processes - 1));
+    const int v = static_cast<int>(root.uniform_int(0, value_range - 1));
+    const bool ins = root.chance(0.55);
+    auto inner = ins ? replicas[p]->local_insert(v)
+                     : replicas[p]->local_remove(v);
+    const Stamp stamp = clocks[p].tick();
+    const auto as_update = ins ? S::insert(v) : S::remove(v);
+    recorder.record_update(p, stamp, as_update, [&] {
+      auto vis = seen[p];
+      vis.push_back(stamp);
+      return vis;
+    }());
+    tagged_net.broadcast(p, Tagged{inner, stamp, as_update});
+    scheduler.run_until(scheduler.now() +
+                        root.uniform_real(10.0, 400.0));
+  }
+  scheduler.run();
+
+  OrSetRun out{History<S>(S{}, {}, n_processes), {}, {}, true};
+  for (ProcessId p = 0; p < n_processes; ++p) {
+    const auto state = replicas[p]->read();
+    recorder.record_query(p, clocks[p].tick(), S::read(), state, seen[p],
+                          /*final_read=*/true);
+    if (p == 0) out.final_state = state;
+    if (!(state == replicas[0]->read())) out.converged = false;
+  }
+  auto rec = recorder.build();
+  out.history = std::move(rec.history);
+  out.certificate = std::move(rec.certificate);
+  return out;
+}
+
+TEST(OrSetRuns, AlwaysInsertWinsConsistent) {
+  for (std::uint64_t seed = 300; seed < 310; ++seed) {
+    auto run = run_or_set(seed, 3, 6);
+    EXPECT_TRUE(run.converged) << "seed " << seed;
+    const auto iw =
+        validate_insert_wins_certificate(run.history, run.certificate);
+    EXPECT_EQ(iw.verdict, Verdict::Yes)
+        << "seed " << seed << ": " << iw.explanation;
+  }
+}
+
+TEST(OrSetRuns, SometimesNotExplainableByAnyLinearization) {
+  // The Section VI separation, measured: across seeds, at least one run
+  // must converge to a state outside the reachable set of every update
+  // linearization (OR-Set is not update consistent).
+  std::size_t unexplainable = 0;
+  std::size_t total = 0;
+  for (std::uint64_t seed = 400; seed < 440; ++seed) {
+    auto run = run_or_set(seed, 2, 4, /*value_range=*/3,
+                          /*latency_mean=*/3'000.0);
+    if (!run.converged) continue;
+    if (run.history.update_ids().size() > 18) continue;
+    ++total;
+    const auto uc = check_uc_final_state(run.history, run.final_state);
+    if (uc.verdict == Verdict::No) ++unexplainable;
+  }
+  ASSERT_GT(total, 10u);
+  EXPECT_GT(unexplainable, 0u)
+      << "every OR-Set run was UC-explainable; expected at least one "
+         "insert-wins anomaly";
+}
+
+// ---------------------------------------------------------------------
+// Proposition 2 inclusions on mutated histories.
+// ---------------------------------------------------------------------
+
+TEST(Proposition2, InclusionsHoldOnRandomSmallHistories) {
+  // Random small ω-tailed histories: whatever the classification, the
+  // lattice SUC ⇒ SEC ∧ UC and UC ⇒ EC must hold.
+  std::size_t checked = 0;
+  for (std::uint64_t seed = 500; seed < 560; ++seed) {
+    Rng rng(seed);
+    HistoryBuilder<S> b{S{}, 2};
+    for (ProcessId p = 0; p < 2; ++p) {
+      const int n_ops = static_cast<int>(rng.uniform_int(1, 3));
+      for (int i = 0; i < n_ops; ++i) {
+        const int v = static_cast<int>(rng.uniform_int(1, 2));
+        if (rng.chance(0.6)) {
+          b.update(p, rng.chance(0.6) ? S::insert(v) : S::remove(v));
+        } else {
+          IntSet out;
+          if (rng.chance(0.5)) out.insert(1);
+          if (rng.chance(0.3)) out.insert(2);
+          b.query(p, S::read(), out);
+        }
+      }
+      IntSet final_out;
+      if (rng.chance(0.6)) final_out.insert(1);
+      if (rng.chance(0.4)) final_out.insert(2);
+      b.query_omega(p, S::read(), final_out);
+    }
+    const auto h = b.build();
+    const auto row = check_all_criteria(h);
+    ASSERT_NE(row.suc.verdict, Verdict::Unknown);
+    ASSERT_NE(row.uc.verdict, Verdict::Unknown);
+    if (row.suc.yes()) {
+      EXPECT_TRUE(row.sec.yes()) << "seed " << seed << "\n" << h.to_string();
+      EXPECT_TRUE(row.uc.yes()) << "seed " << seed << "\n" << h.to_string();
+    }
+    if (row.uc.yes()) {
+      EXPECT_TRUE(row.ec.yes()) << "seed " << seed << "\n" << h.to_string();
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, 60u);
+}
+
+// ---------------------------------------------------------------------
+// Set-family comparison plumbing (the E9 engine).
+// ---------------------------------------------------------------------
+
+TEST(SetFamily, AllImplementationsRunTheSameSchedule) {
+  for (SetImplKind kind : kAllSetImpls) {
+    SimScheduler scheduler;
+    auto cluster = SetCluster::make(kind, scheduler, 3, 17,
+                                    LatencyModel::exponential(200.0),
+                                    kind == SetImplKind::Pipelined);
+    Rng rng(17);
+    for (int i = 0; i < 60; ++i) {
+      const ProcessId p = static_cast<ProcessId>(rng.uniform_int(0, 2));
+      const int v = static_cast<int>(rng.uniform_int(0, 5));
+      if (rng.chance(0.6)) {
+        cluster->node(p).insert(v);
+      } else {
+        cluster->node(p).remove(v);
+      }
+      scheduler.run_until(scheduler.now() + 40.0);
+    }
+    scheduler.run();
+    if (kind != SetImplKind::Pipelined) {
+      EXPECT_TRUE(cluster->converged()) << to_string(kind);
+    }
+    EXPECT_GT(cluster->net_stats().messages_delivered, 0u)
+        << to_string(kind);
+  }
+}
+
+TEST(SetFamily, UcSetFinalStateAlwaysExplainable_PipelinedDiverges) {
+  // Run the Fig.1b-shaped schedule everywhere; UC-Set's result must be a
+  // linearization outcome, Pipelined may diverge.
+  SimScheduler s1;
+  auto uc = SetCluster::make(SetImplKind::UcSet, s1, 2, 5,
+                             LatencyModel::constant(1000.0));
+  uc->node(0).insert(1);
+  uc->node(0).remove(2);
+  uc->node(1).insert(2);
+  uc->node(1).remove(1);
+  s1.run();
+  EXPECT_TRUE(uc->converged());
+  const IntSet uc_final = uc->node(0).read();
+  // Paper: reachable finals of that update poset are ∅, {1}, {2}.
+  EXPECT_TRUE(uc_final == IntSet{} || uc_final == IntSet{1} ||
+              uc_final == IntSet{2})
+      << format_value(uc_final);
+
+  SimScheduler s2;
+  auto orset = SetCluster::make(SetImplKind::OrSet, s2, 2, 5,
+                                LatencyModel::constant(1000.0));
+  orset->node(0).insert(1);
+  orset->node(0).remove(2);
+  orset->node(1).insert(2);
+  orset->node(1).remove(1);
+  s2.run();
+  EXPECT_TRUE(orset->converged());
+  // Insert-wins: both concurrent inserts survive — not a linearization
+  // outcome.
+  EXPECT_EQ(orset->node(0).read(), (IntSet{1, 2}));
+}
+
+}  // namespace
+}  // namespace ucw

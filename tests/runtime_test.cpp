@@ -1,0 +1,165 @@
+// The runtime harness itself: recorder fidelity, workload determinism,
+// crash/partition plumbing, and the set-implementation family.
+#include <gtest/gtest.h>
+
+#include "criteria/all.hpp"
+#include "runtime/set_family.hpp"
+#include "runtime/sim_harness.hpp"
+
+namespace ucw {
+namespace {
+
+using S = SetAdt<int>;
+using IntSet = std::set<int>;
+
+TEST(HistoryRecorder, BuildsChainAndCertificate) {
+  HistoryRecorder<S> rec(S{}, 2);
+  rec.record_update(0, Stamp{1, 0}, S::insert(1), {Stamp{1, 0}});
+  rec.record_query(0, Stamp{2, 0}, S::read(), IntSet{1}, {Stamp{1, 0}});
+  rec.record_update(1, Stamp{1, 1}, S::insert(2), {Stamp{1, 1}});
+  rec.record_query(1, Stamp{2, 1}, S::read(), IntSet{2}, {Stamp{1, 1}},
+                   /*final_read=*/false);
+  const auto out = rec.build();
+  EXPECT_EQ(out.history.size(), 4u);
+  EXPECT_EQ(out.history.update_ids().size(), 2u);
+  EXPECT_EQ(out.certificate.stamps.size(), 4u);
+  // Visible stamps resolved to event ids.
+  EXPECT_EQ(out.certificate.visible[1], std::vector<EventId>{0});
+  EXPECT_EQ(out.certificate.visible[3], std::vector<EventId>{2});
+}
+
+TEST(HistoryRecorder, UnknownVisibleStampThrows) {
+  HistoryRecorder<S> rec(S{}, 1);
+  rec.record_query(0, Stamp{1, 0}, S::read(), IntSet{}, {Stamp{9, 9}});
+  EXPECT_THROW(rec.build(), contract_error);
+}
+
+TEST(HistoryRecorder, FinalReadsBecomeOmega) {
+  HistoryRecorder<S> rec(S{}, 1);
+  rec.record_update(0, Stamp{1, 0}, S::insert(1), {Stamp{1, 0}});
+  rec.record_query(0, Stamp{2, 0}, S::read(), IntSet{1}, {Stamp{1, 0}},
+                   /*final_read=*/true);
+  const auto out = rec.build();
+  EXPECT_TRUE(out.history.has_omega());
+  EXPECT_TRUE(out.history.event(1).omega);
+}
+
+TEST(SimHarness, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    RunConfig cfg;
+    cfg.n_processes = 3;
+    cfg.seed = seed;
+    cfg.workload.ops_per_process = 15;
+    auto out = run_uc_simulation(S{}, cfg, [&cfg](Rng& rng) {
+      return random_set_update<int>(rng, cfg.workload);
+    });
+    return std::make_tuple(out.history.size(), out.final_states.front(),
+                           out.net.messages_delivered);
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(SimHarness, CrashedProcessIssuesNoFurtherOps) {
+  RunConfig cfg;
+  cfg.n_processes = 2;
+  cfg.seed = 5;
+  cfg.workload.ops_per_process = 50;
+  cfg.workload.think_time = LatencyModel::constant(100.0);
+  cfg.crashes = {CrashPlan{1, 500.0}};  // p1 dies after ~4 ops
+  auto out = run_uc_simulation(S{}, cfg, [&cfg](Rng& rng) {
+    return random_set_update<int>(rng, cfg.workload);
+  });
+  std::size_t p1_events = out.history.chain(1).size();
+  EXPECT_LT(p1_events, 10u);
+  EXPECT_EQ(out.final_states.size(), 1u);  // only p0 does the final read
+  EXPECT_TRUE(out.converged);
+}
+
+TEST(SimHarness, GcRequiresFifo) {
+  RunConfig cfg;
+  cfg.enable_gc = true;
+  cfg.fifo_links = false;
+  EXPECT_THROW(
+      (void)run_uc_simulation(S{}, cfg,
+                              [](Rng&) { return S::insert(1); }),
+      contract_error);
+}
+
+TEST(SimHarness, HistoryPassesExactCheckersOnTinyRuns) {
+  RunConfig cfg;
+  cfg.n_processes = 2;
+  cfg.seed = 77;
+  cfg.workload.ops_per_process = 3;
+  cfg.workload.value_range = 2;
+  auto out = run_uc_simulation(S{}, cfg, [&cfg](Rng& rng) {
+    return random_set_update<int>(rng, cfg.workload);
+  });
+  EXPECT_EQ(check_uc(out.history).verdict, Verdict::Yes);
+  EXPECT_EQ(check_ec(out.history).verdict, Verdict::Yes);
+}
+
+TEST(SetFamily, NamesAndFactoryCoverAllKinds) {
+  SimScheduler scheduler;
+  for (SetImplKind kind : kAllSetImpls) {
+    EXPECT_FALSE(to_string(kind).empty());
+    auto cluster = SetCluster::make(kind, scheduler, 2, 1,
+                                    LatencyModel::constant(10.0));
+    ASSERT_NE(cluster, nullptr);
+    EXPECT_EQ(cluster->size(), 2u);
+    cluster->node(0).insert(5);
+    scheduler.run();
+    EXPECT_EQ(cluster->node(1).read(), IntSet{5}) << to_string(kind);
+  }
+}
+
+TEST(SetFamily, ApproxBytesGrowWithContent) {
+  SimScheduler scheduler;
+  auto cluster = SetCluster::make(SetImplKind::UcSet, scheduler, 2, 1,
+                                  LatencyModel::constant(10.0));
+  const auto before = cluster->approx_bytes(0);
+  for (int i = 0; i < 50; ++i) cluster->node(0).insert(i);
+  scheduler.run();
+  EXPECT_GT(cluster->approx_bytes(0), before);
+}
+
+TEST(Workload, GeneratorsAreDeterministicPerSeed) {
+  WorkloadConfig cfg;
+  Rng a(3), b(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(random_set_update<int>(a, cfg) ==
+                random_set_update<int>(b, cfg));
+  }
+  Rng c(4);
+  int diff = 0;
+  Rng a2(3);
+  for (int i = 0; i < 50; ++i) {
+    if (!(random_set_update<int>(a2, cfg) == random_set_update<int>(c, cfg))) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 5);
+}
+
+TEST(Workload, CounterUpdatesNeverZero) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(random_counter_update(rng).delta, 0);
+  }
+}
+
+TEST(Workload, DocUpdatesStayInHintRange) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const auto u = random_doc_update(rng, 10);
+    if (const auto* ins = std::get_if<DocInsert>(&u)) {
+      EXPECT_LE(ins->pos, 10u);
+      EXPECT_EQ(ins->text.size(), 1u);
+    } else {
+      EXPECT_LE(std::get<DocErase>(u).pos, 10u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ucw

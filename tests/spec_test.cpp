@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "criteria/all.hpp"
+#include "history/figures.hpp"
+#include "history/spec.hpp"
+
+namespace ucw {
+namespace {
+
+using IntSet = std::set<int>;
+
+TEST(SpecParser, ParsesOpsAndProcesses) {
+  const auto h = parse_set_history_spec("I1 R:1 D1 | I2 W:1,2");
+  EXPECT_EQ(h.process_count(), 2u);
+  EXPECT_EQ(h.size(), 5u);
+  EXPECT_EQ(h.update_ids().size(), 3u);
+  EXPECT_TRUE(h.has_omega());
+  EXPECT_EQ(h.event(1).query().second, IntSet{1});
+  EXPECT_EQ(h.event(4).query().second, (IntSet{1, 2}));
+  EXPECT_TRUE(h.event(4).omega);
+}
+
+TEST(SpecParser, EmptyValueListsAllowed) {
+  const auto h = parse_set_history_spec("R: | W:");
+  EXPECT_EQ(h.event(0).query().second, IntSet{});
+  EXPECT_EQ(h.event(1).query().second, IntSet{});
+  EXPECT_TRUE(h.event(1).omega);
+}
+
+TEST(SpecParser, RejectsGarbage) {
+  EXPECT_THROW((void)parse_set_history_spec("X5"), contract_error);
+  EXPECT_THROW((void)parse_set_history_spec("I"), contract_error);
+  EXPECT_THROW((void)parse_set_history_spec("Iabc"), contract_error);
+  EXPECT_THROW((void)parse_set_history_spec("R:1,x"), contract_error);
+}
+
+TEST(SpecParser, RoundTripsThroughToSpec) {
+  const std::string spec = "I1 R:1 D1 W: | I2 W:1,2";
+  const auto h = parse_set_history_spec(spec);
+  EXPECT_EQ(to_spec(h), spec);
+}
+
+TEST(SpecParser, FiguresRoundTrip) {
+  for (const auto& [h, expect] : paper_figures()) {
+    const auto reparsed = parse_set_history_spec(to_spec(h));
+    ASSERT_EQ(reparsed.size(), h.size()) << expect.label;
+    // Same classification after the round trip.
+    const auto a = check_all_criteria(h);
+    const auto b = check_all_criteria(reparsed);
+    for (Criterion c : kAllCriteria) {
+      EXPECT_EQ(a.get(c).verdict, b.get(c).verdict)
+          << expect.label << " " << to_string(c);
+    }
+  }
+}
+
+TEST(SpecParser, SpecHistoriesClassifyAsExpected) {
+  // A pocket Fig. 1b via the spec language.
+  const auto h = parse_set_history_spec("I1 D2 W:1,2 | I2 D1 W:1,2");
+  EXPECT_EQ(check_sec(h).verdict, Verdict::Yes);
+  EXPECT_EQ(check_uc(h).verdict, Verdict::No);
+}
+
+TEST(SolverWitness, AssignmentSatisfiesItsOwnConstraints) {
+  // The SUC witness for fig1d must itself be a valid certificate-like
+  // assignment: monotone along chains, reflexive on updates, full at ω.
+  const auto h = figure_1d();
+  typename VisibilitySolver<SetAdt<int>>::Options opt;
+  opt.require_suc = true;
+  VisibilitySolver<SetAdt<int>> solver(h, opt);
+  ASSERT_EQ(solver.solve(), std::optional<bool>(true));
+  const auto& vis = solver.witness().visible;
+  ASSERT_EQ(vis.size(), h.size());
+
+  const Bitset64 full = Bitset64::all(
+      static_cast<unsigned>(h.update_ids().size()));
+  for (EventId e = 0; e < h.size(); ++e) {
+    if (h.event(e).omega) {
+      EXPECT_EQ(vis[e], full) << "omega event " << e;
+    }
+    if (h.event(e).is_update()) {
+      EXPECT_TRUE(vis[e].test(
+          static_cast<unsigned>(h.update_slot(e))));
+    }
+    for (EventId d = 0; d < h.size(); ++d) {
+      if (d != e && h.prog_before(d, e)) {
+        EXPECT_TRUE(vis[e].contains(vis[d]))
+            << "growth violated between " << d << " and " << e;
+      }
+    }
+  }
+  // The witness order is a permutation of the update slots.
+  auto order = solver.witness_order();
+  std::sort(order.begin(), order.end());
+  for (unsigned i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace ucw
