@@ -84,11 +84,22 @@ class SimNetwork {
   void broadcast(ProcessId from, const Payload& payload) {
     UCW_CHECK(from < size());
     if (crashed_[from]) return;
-    ++stats_.broadcasts;
     if (handlers_[from]) {
       ++stats_.messages_delivered;
       handlers_[from](from, payload);
     }
+    broadcast_others(from, payload);
+  }
+
+  /// Reliable broadcast to every *other* process — for senders that have
+  /// already applied the payload locally (UCStore self-delivers at update
+  /// time, then flushes batch envelopes through here). Counts as one
+  /// broadcast in the stats regardless of how many updates the payload
+  /// carries.
+  void broadcast_others(ProcessId from, const Payload& payload) {
+    UCW_CHECK(from < size());
+    if (crashed_[from]) return;
+    ++stats_.broadcasts;
     for (ProcessId to = 0; to < size(); ++to) {
       if (to == from) continue;
       send(from, to, payload);

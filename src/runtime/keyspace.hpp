@@ -1,0 +1,61 @@
+// Multi-key workload generation: zipfian key sampling.
+//
+// Real keyspaces are skewed — a few hot keys absorb most of the traffic
+// while a long tail is touched rarely (the YCSB default is zipfian for
+// this reason). The store benchmarks use this sampler to decide *which*
+// object each operation hits; what the operation does is still drawn by
+// the per-ADT generators in workload.hpp. skew = 0 degenerates to
+// uniform; the conventional "zipfian constant" is 0.99.
+//
+// Sampling inverts the precomputed cumulative weight table with a binary
+// search: O(log n_keys) per draw, O(n_keys) memory once. Deterministic
+// given the Rng, like every randomized component in libucw.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ucw {
+
+class ZipfianKeys {
+ public:
+  ZipfianKeys(std::size_t n_keys, double skew = 0.99)
+      : cumulative_(n_keys) {
+    UCW_CHECK(n_keys >= 1);
+    UCW_CHECK(skew >= 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n_keys; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+      cumulative_[i] = total;
+    }
+  }
+
+  [[nodiscard]] std::size_t n_keys() const { return cumulative_.size(); }
+
+  /// Draws a key index in [0, n_keys); rank 0 is the hottest key.
+  [[nodiscard]] std::size_t sample_index(Rng& rng) const {
+    const double u = rng.uniform_real(0.0, cumulative_.back());
+    auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    if (it == cumulative_.end()) --it;
+    return static_cast<std::size_t>(it - cumulative_.begin());
+  }
+
+  /// Draws a key name ("k0" is the hottest).
+  [[nodiscard]] std::string sample(Rng& rng) const {
+    return key_name(sample_index(rng));
+  }
+
+  [[nodiscard]] static std::string key_name(std::size_t index) {
+    return "k" + std::to_string(index);
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,161 @@
+// End-to-end simulation harness for the UCStore.
+//
+// The multi-key sibling of run_uc_simulation: builds a scheduler +
+// envelope network + N SimUcStores, drives a zipfian keyed workload with
+// per-process think times, ticks a periodic flush (the "per-tick batch
+// envelope"), optionally injects crashes and duplicate delivery,
+// quiesces (final flush + drain), and checks per-key convergence across
+// the surviving stores. The store benchmarks, the batched-vs-unbatched
+// property test, and the reworked KV example all run on this engine.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/scheduler.hpp"
+#include "net/sim_network.hpp"
+#include "runtime/keyspace.hpp"
+#include "runtime/sim_harness.hpp"
+#include "store/all.hpp"
+
+namespace ucw {
+
+struct StoreRunConfig {
+  std::size_t n_processes = 4;
+  std::uint64_t seed = 1;
+  LatencyModel latency = LatencyModel::exponential(1000.0);
+  bool fifo_links = false;
+  double duplicate_probability = 0.0;
+  /// Keyspace: zipfian over n_keys with the given skew (0 = uniform).
+  std::size_t n_keys = 64;
+  double skew = 0.99;
+  std::size_t ops_per_process = 100;
+  double update_ratio = 0.9;  ///< else a keyed query is issued
+  LatencyModel think_time = LatencyModel::exponential(200.0);
+  StoreConfig store{};
+  /// Virtual µs between flush ticks; 0 disables the tick (batches then
+  /// ship only when the window fills or at quiescence).
+  SimTime flush_period = 1'000.0;
+  std::vector<CrashPlan> crashes{};
+  SimTime drain_margin = 1.0;
+};
+
+template <UqAdt A>
+struct StoreRunOutput {
+  NetworkStats net;
+  std::vector<StoreStats> store_stats;        ///< per process
+  std::uint64_t total_updates = 0;
+  std::uint64_t total_queries = 0;
+  std::size_t keys_touched = 0;               ///< union across alive stores
+  bool converged = false;                     ///< per-key, alive stores
+  /// Final per-key states of the lowest-pid surviving store (the values
+  /// everyone converged on when `converged`).
+  std::map<std::string, typename A::State> final_states;
+  SimTime duration = 0.0;
+};
+
+/// Runs one multi-key simulation. `gen` draws the next update for a
+/// process: gen(rng) -> A::Update; the key is drawn zipfian per op.
+template <UqAdt A, typename GenFn>
+[[nodiscard]] StoreRunOutput<A> run_store_simulation(
+    A adt, const StoreRunConfig& cfg, GenFn gen) {
+  using Store = SimUcStore<A>;
+  using Envelope = typename Store::Envelope;
+
+  SimScheduler scheduler;
+  typename SimNetwork<Envelope>::Config net_cfg;
+  net_cfg.n_processes = cfg.n_processes;
+  net_cfg.latency = cfg.latency;
+  net_cfg.fifo_links = cfg.fifo_links;
+  net_cfg.duplicate_probability = cfg.duplicate_probability;
+  net_cfg.seed = cfg.seed;
+  SimNetwork<Envelope> net(scheduler, net_cfg);
+
+  std::vector<std::unique_ptr<Store>> stores;
+  stores.reserve(cfg.n_processes);
+  for (ProcessId p = 0; p < cfg.n_processes; ++p) {
+    stores.push_back(std::make_unique<Store>(adt, p, net, cfg.store));
+  }
+
+  ZipfianKeys keyspace(cfg.n_keys, cfg.skew);
+  Rng root(cfg.seed);
+  StoreRunOutput<A> out;
+
+  // Per-process operation schedules (heap-anchored closures, same
+  // pattern as run_uc_simulation).
+  std::vector<std::shared_ptr<std::function<void(std::size_t)>>> issuers;
+  for (ProcessId p = 0; p < cfg.n_processes; ++p) {
+    auto rng = std::make_shared<Rng>(root.fork(p + 1));
+    auto issue = std::make_shared<std::function<void(std::size_t)>>();
+    *issue = [&, p, rng, issue](std::size_t remaining) {
+      if (remaining == 0 || net.crashed(p)) return;
+      const std::string key = keyspace.sample(*rng);
+      if (rng->chance(cfg.update_ratio)) {
+        ++out.total_updates;
+        (void)stores[p]->update(key, gen(*rng));
+      } else {
+        ++out.total_queries;
+        (void)stores[p]->query(key, typename A::QueryIn{});
+      }
+      scheduler.after(cfg.think_time.sample(*rng),
+                      [issue, remaining] { (*issue)(remaining - 1); });
+    };
+    issuers.push_back(issue);
+    scheduler.after(cfg.think_time.sample(*rng),
+                    [issue, n = cfg.ops_per_process] { (*issue)(n); });
+  }
+
+  for (const CrashPlan& crash : cfg.crashes) {
+    scheduler.at(crash.at, [&net, pid = crash.pid] { net.crash(pid); });
+  }
+
+  // Periodic flush tick: every store ships its pending batch. The chain
+  // stays alive while anything else is scheduled (workload, deliveries).
+  auto tick = std::make_shared<std::function<void()>>();
+  if (cfg.flush_period > 0.0) {
+    *tick = [&, tick]() {
+      for (auto& s : stores) (void)s->flush();
+      if (scheduler.pending() > 0) scheduler.after(cfg.flush_period, *tick);
+    };
+    scheduler.after(cfg.flush_period, *tick);
+  }
+
+  scheduler.run();
+  // Quiescence: ship any trailing partial batches, then drain.
+  for (auto& s : stores) (void)s->flush();
+  scheduler.run();
+  scheduler.run_until(scheduler.now() + cfg.drain_margin);
+  for (auto& i : issuers) *i = nullptr;
+  *tick = nullptr;
+
+  // Per-key convergence across the surviving stores.
+  std::set<std::string> keys;
+  std::vector<ProcessId> alive;
+  for (ProcessId p = 0; p < cfg.n_processes; ++p) {
+    if (net.crashed(p)) continue;
+    alive.push_back(p);
+    for (auto& k : stores[p]->keys()) keys.insert(k);
+  }
+  out.converged = !alive.empty();
+  for (const std::string& k : keys) {
+    if (alive.empty()) break;
+    const typename A::State s0 = stores[alive.front()]->state_of(k);
+    for (std::size_t i = 1; i < alive.size(); ++i) {
+      if (!(stores[alive[i]]->state_of(k) == s0)) {
+        out.converged = false;
+      }
+    }
+    out.final_states.emplace(k, s0);
+  }
+  out.keys_touched = keys.size();
+  out.net = net.stats();
+  for (auto& s : stores) out.store_stats.push_back(s->stats());
+  out.duration = scheduler.now();
+  return out;
+}
+
+}  // namespace ucw

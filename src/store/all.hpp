@@ -1,0 +1,8 @@
+// Umbrella header for the UCStore subsystem.
+#pragma once
+
+#include "store/envelope.hpp"
+#include "store/shard.hpp"
+#include "store/store_stats.hpp"
+#include "store/thread_store.hpp"
+#include "store/uc_store.hpp"

@@ -1,0 +1,110 @@
+// One shard of the UCStore keyspace: key → lazily-instantiated replica.
+//
+// Every key is an independent Algorithm-1 object (the per-key logs never
+// interact — Mostéfaoui–Perrin–Raynal's observation that the log-replay
+// machinery generalizes object-by-object). A shard owns the replicas for
+// the keys that hash into it, creating each one on first touch so a
+// billion-key keyspace costs memory only for the keys actually used.
+// Sharding keeps the per-key lookup maps small and gives the stats a
+// natural aggregation unit; it is purely local structure — nothing on
+// the wire knows shard boundaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/replica.hpp"
+#include "store/envelope.hpp"
+#include "util/hash.hpp"
+
+namespace ucw {
+
+/// Store-level tuning shared by the Sim and Thread frontends.
+struct StoreConfig {
+  std::size_t shard_count = 16;
+  /// Keyed updates buffered before an automatic flush; 1 = unbatched.
+  std::size_t batch_window = 8;
+  ReplayPolicy policy = ReplayPolicy::CachedPrefix;
+  std::size_t snapshot_interval = 64;
+};
+
+/// Per-shard aggregate view (rendered by print_shard_table in
+/// store_stats.hpp).
+struct ShardStats {
+  std::size_t keys_live = 0;         ///< replicas instantiated
+  std::uint64_t local_updates = 0;   ///< across all keys in the shard
+  std::uint64_t remote_updates = 0;
+  std::uint64_t duplicate_updates = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t log_entries = 0;     ///< resident log length, summed
+  std::size_t approx_bytes = 0;
+};
+
+template <UqAdt A, typename Key = std::string>
+class StoreShard {
+ public:
+  using Replica = ReplayReplica<A>;
+
+  StoreShard(A adt, ProcessId pid, typename Replica::Config config)
+      : adt_(std::move(adt)), pid_(pid), config_(config) {}
+
+  /// The replica for `key`, instantiated on first touch.
+  [[nodiscard]] Replica& replica(const Key& key) {
+    auto it = replicas_.find(key);
+    if (it == replicas_.end()) {
+      it = replicas_.emplace(key, Replica(adt_, pid_, config_)).first;
+    }
+    return it->second;
+  }
+
+  /// The replica for `key` if it was ever touched, else nullptr.
+  [[nodiscard]] const Replica* find(const Key& key) const {
+    auto it = replicas_.find(key);
+    return it == replicas_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] Replica* find(const Key& key) {
+    auto it = replicas_.find(key);
+    return it == replicas_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t keys_live() const { return replicas_.size(); }
+
+  /// Every key this shard has materialized (deterministic order not
+  /// guaranteed; callers sort when reporting).
+  [[nodiscard]] std::vector<Key> keys() const {
+    std::vector<Key> out;
+    out.reserve(replicas_.size());
+    for (const auto& [k, _] : replicas_) out.push_back(k);
+    return out;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [k, r] : replicas_) fn(k, r);
+  }
+
+  [[nodiscard]] ShardStats stats() const {
+    ShardStats s;
+    s.keys_live = replicas_.size();
+    for (const auto& [k, r] : replicas_) {
+      const ReplicaStats& rs = r.stats();
+      s.local_updates += rs.local_updates;
+      s.remote_updates += rs.remote_updates;
+      s.duplicate_updates += rs.duplicate_updates;
+      s.queries += rs.queries;
+      s.log_entries += r.log().size();
+      s.approx_bytes += key_wire_bytes(k) + r.approx_bytes();
+    }
+    return s;
+  }
+
+ private:
+  A adt_;
+  ProcessId pid_;
+  typename Replica::Config config_;
+  std::unordered_map<Key, Replica, ValueHash> replicas_;
+};
+
+}  // namespace ucw

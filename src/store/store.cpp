@@ -1,0 +1,20 @@
+// Explicit instantiations of the common store configurations: catches
+// template errors at library-build time rather than first use.
+#include "store/all.hpp"
+
+#include "adt/all.hpp"
+
+namespace ucw {
+
+template struct KeyedUpdate<SetAdt<int>>;
+template struct BatchEnvelope<SetAdt<int>>;
+template class StoreShard<SetAdt<int>>;
+template class SimUcStore<SetAdt<int>>;
+template class SimUcStore<CounterAdt>;
+template class SimUcStore<RegisterAdt<std::string>>;
+template class ThreadUcStore<SetAdt<int>>;
+template class ThreadUcStore<CounterAdt>;
+template class SimNetwork<BatchEnvelope<SetAdt<int>>>;
+template class ThreadNetwork<BatchEnvelope<CounterAdt>>;
+
+}  // namespace ucw

@@ -1,0 +1,207 @@
+// StoreCore: the transport-independent engine of the UCStore.
+//
+// Everything batching actually does — per-key stamping, synchronous
+// self-delivery, the pending envelope, flush accounting, delivery
+// demultiplexing, keyspace introspection — is identical whether the
+// envelopes travel over the deterministic SimNetwork or the real-thread
+// ThreadNetwork. Both frontends derive from this core; the only
+// requirements on Net are `broadcast_others(from, envelope)` and,
+// optionally, `crashed(pid)` (a crashed sender's buffered updates die
+// silently, matching crash-stop, and are not counted as sent).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/envelope.hpp"
+#include "store/shard.hpp"
+#include "store/store_stats.hpp"
+
+namespace ucw {
+
+template <UqAdt A, typename Net, typename Key = std::string>
+class StoreCore {
+ public:
+  using Entry = KeyedUpdate<A, Key>;
+  using Envelope = BatchEnvelope<A, Key>;
+  using Shard = StoreShard<A, Key>;
+
+  StoreCore(A adt, ProcessId pid, Net& net, StoreConfig config)
+      : adt_(std::move(adt)), pid_(pid), config_(config), net_(&net) {
+    UCW_CHECK(config_.shard_count >= 1);
+    UCW_CHECK(config_.batch_window >= 1);
+    typename ReplayReplica<A>::Config rep_cfg;
+    rep_cfg.policy = config_.policy;
+    rep_cfg.snapshot_interval = config_.snapshot_interval;
+    shards_.reserve(config_.shard_count);
+    for (std::size_t i = 0; i < config_.shard_count; ++i) {
+      shards_.push_back(std::make_unique<Shard>(adt_, pid, rep_cfg));
+    }
+  }
+
+  StoreCore(const StoreCore&) = delete;
+  StoreCore& operator=(const StoreCore&) = delete;
+
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+  [[nodiscard]] const StoreConfig& config() const { return config_; }
+  [[nodiscard]] const StoreStats& stats() const { return stats_; }
+  [[nodiscard]] const A& adt() const { return adt_; }
+
+  /// Wait-free keyed update: local apply now, broadcast when the batch
+  /// fills (or on the next flush tick). Returns the arbitration stamp.
+  Stamp update(const Key& key, typename A::Update u) {
+    poll();
+    ++stats_.local_updates;
+    auto& rep = shard_of(key).replica(key);
+    auto msg = rep.local_update(std::move(u));
+    const Stamp stamp = msg.stamp;
+    rep.apply(pid_, msg);  // synchronous self-delivery
+    pending_.entries.push_back(Entry{key, std::move(msg)});
+    if (pending_.entries.size() >= config_.batch_window) {
+      flush_now(FlushCause::kWindowFull);
+    }
+    return stamp;
+  }
+
+  /// Wait-free keyed query from the local replay; an untouched key
+  /// answers from the ADT's initial state (and stays unmaterialized).
+  [[nodiscard]] typename A::QueryOut query(const Key& key,
+                                           const typename A::QueryIn& qi) {
+    poll();
+    ++stats_.queries;
+    if (auto* rep = shard_of(key).find(key)) return rep->query(qi);
+    return adt_.output(adt_.initial(), qi);
+  }
+
+  /// Folds queued envelopes in when the transport has a pollable inbox
+  /// (ThreadNetwork); a no-op on handler-driven transports (SimNetwork,
+  /// whose deliveries arrive through the registered handler). Living
+  /// here — not in the frontend — means update()/query() through a
+  /// StoreCore& can never skip it.
+  std::size_t poll() {
+    std::size_t applied = 0;
+    if constexpr (kPollableInbox) {
+      while (auto env = net_->inbox(pid_).try_pop()) {
+        deliver(env->from, env->payload);
+        ++applied;
+      }
+    }
+    return applied;
+  }
+
+  /// The converged state k's replica currently holds; initial() for keys
+  /// never touched here.
+  [[nodiscard]] typename A::State state_of(const Key& key) {
+    if (auto* rep = shard_of(key).find(key)) return rep->current_state();
+    return adt_.initial();
+  }
+
+  /// Ships the pending batch, if any. Returns entries flushed.
+  std::size_t flush() {
+    if (pending_.entries.empty()) return 0;
+    return flush_now(FlushCause::kManual);
+  }
+
+  [[nodiscard]] std::size_t pending() const {
+    return pending_.entries.size();
+  }
+
+  // ----- keyspace introspection ----------------------------------------
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] Shard& shard(std::size_t i) { return *shards_[i]; }
+  [[nodiscard]] std::size_t shard_index(const Key& key) const {
+    return hash_value(key) % shards_.size();
+  }
+  [[nodiscard]] Shard& shard_of(const Key& key) {
+    return *shards_[shard_index(key)];
+  }
+
+  [[nodiscard]] std::size_t keys_live() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->keys_live();
+    return n;
+  }
+
+  [[nodiscard]] std::vector<Key> keys() const {
+    std::vector<Key> out;
+    for (const auto& s : shards_) {
+      auto ks = s->keys();
+      out.insert(out.end(), ks.begin(), ks.end());
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<ShardStats> shard_stats() const {
+    std::vector<ShardStats> out;
+    out.reserve(shards_.size());
+    for (const auto& s : shards_) out.push_back(s->stats());
+    return out;
+  }
+
+  [[nodiscard]] std::size_t approx_bytes() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->stats().approx_bytes;
+    return n;
+  }
+
+ protected:
+  static constexpr bool kPollableInbox =
+      requires(Net& net, ProcessId p) { net.inbox(p).try_pop(); };
+  static constexpr bool kCrashAware = requires(const Net& net, ProcessId p) {
+    { net.crashed(p) } -> std::convertible_to<bool>;
+  };
+
+  enum class FlushCause { kWindowFull, kManual };
+
+  std::size_t flush_now(FlushCause cause) {
+    const std::size_t n = pending_.entries.size();
+    if constexpr (kCrashAware) {
+      if (net_->crashed(pid_)) {
+        // Crash-stop: the buffered updates die with the sender; neither
+        // the flush nor its bytes are counted (nothing hit the wire).
+        pending_ = Envelope{};
+        return n;
+      }
+    }
+    if (cause == FlushCause::kWindowFull) {
+      ++stats_.flushes_full;
+    } else {
+      ++stats_.flushes_manual;
+    }
+    pending_.seq = next_seq_++;
+    stats_.envelopes_sent += 1;
+    stats_.entries_sent += n;
+    stats_.bytes_batched += wire_size(pending_);
+    stats_.bytes_unbatched += unbatched_wire_size(pending_);
+    net_->broadcast_others(pid_, pending_);
+    pending_ = Envelope{};
+    return n;
+  }
+
+  void deliver(ProcessId from, const Envelope& e) {
+    for (const Entry& entry : e.entries) {
+      auto& rep = shard_of(entry.key).replica(entry.key);
+      const std::uint64_t dups_before = rep.stats().duplicate_updates;
+      rep.apply(from, entry.msg);
+      ++stats_.remote_entries;
+      if (rep.stats().duplicate_updates != dups_before) {
+        ++stats_.duplicate_entries;
+      }
+    }
+  }
+
+  A adt_;
+  ProcessId pid_;
+  StoreConfig config_;
+  Net* net_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Envelope pending_;
+  std::uint64_t next_seq_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace ucw

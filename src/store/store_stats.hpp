@@ -1,0 +1,110 @@
+// Aggregate statistics for the UCStore, in the house table format.
+//
+// The batching counters answer the question the store exists to answer:
+// how many broadcasts (and estimated wire bytes) did coalescing save
+// versus Algorithm 1's one-broadcast-per-update baseline? `entries_sent`
+// is exactly the broadcast count the unbatched store would have issued,
+// so `entries_sent / envelopes_sent` is both the mean batch occupancy
+// and the broadcast-reduction factor.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "net/sim_network.hpp"
+#include "store/shard.hpp"
+#include "util/table.hpp"
+
+namespace ucw {
+
+struct StoreStats {
+  std::uint64_t local_updates = 0;
+  std::uint64_t remote_entries = 0;   ///< keyed updates applied on delivery
+  std::uint64_t duplicate_entries = 0;  ///< of those, log-absorbed replays
+  std::uint64_t queries = 0;
+  std::uint64_t envelopes_sent = 0;   ///< reliable broadcasts issued
+  std::uint64_t entries_sent = 0;     ///< keyed updates those carried
+  std::uint64_t flushes_full = 0;     ///< batch window filled
+  std::uint64_t flushes_manual = 0;   ///< explicit flush()/tick
+  std::uint64_t bytes_batched = 0;    ///< est. wire bytes actually sent
+  std::uint64_t bytes_unbatched = 0;  ///< est. bytes one-per-update would cost
+
+  /// Mean keyed updates per envelope (== broadcast-reduction factor).
+  [[nodiscard]] double batch_occupancy() const {
+    return envelopes_sent == 0
+               ? 0.0
+               : static_cast<double>(entries_sent) /
+                     static_cast<double>(envelopes_sent);
+  }
+
+  /// Fraction of the unbatched wire bytes that batching avoided.
+  [[nodiscard]] double bytes_saved_ratio() const {
+    return bytes_unbatched == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(bytes_batched) /
+                           static_cast<double>(bytes_unbatched);
+  }
+};
+
+/// Renders one row per process plus the cluster-wide network totals, in
+/// the house table format the bench binaries use.
+inline void print_store_table(std::ostream& os,
+                              const std::vector<StoreStats>& per_process,
+                              const NetworkStats& net) {
+  TextTable t({"process", "updates", "queries", "envelopes", "entries",
+               "occupancy", "bytes sent (est)", "bytes saved"});
+  // Signed: an envelope carrying a single entry costs a few bytes *more*
+  // than a bare message (the seq field), so low-occupancy rows go
+  // slightly negative instead of wrapping.
+  const auto saved = [](const StoreStats& s) {
+    return static_cast<std::int64_t>(s.bytes_unbatched) -
+           static_cast<std::int64_t>(s.bytes_batched);
+  };
+  StoreStats total;
+  for (std::size_t p = 0; p < per_process.size(); ++p) {
+    const StoreStats& s = per_process[p];
+    t.add(p, s.local_updates, s.queries, s.envelopes_sent, s.entries_sent,
+          s.batch_occupancy(), s.bytes_batched, saved(s));
+    total.local_updates += s.local_updates;
+    total.queries += s.queries;
+    total.envelopes_sent += s.envelopes_sent;
+    total.entries_sent += s.entries_sent;
+    total.bytes_batched += s.bytes_batched;
+    total.bytes_unbatched += s.bytes_unbatched;
+  }
+  t.add("total", total.local_updates, total.queries, total.envelopes_sent,
+        total.entries_sent, total.batch_occupancy(), total.bytes_batched,
+        saved(total));
+  t.print(os);
+  os << "network: " << net.broadcasts << " broadcasts, "
+     << net.messages_sent << " p2p messages, " << net.messages_delivered
+     << " delivered, " << net.messages_duplicated << " duplicated\n";
+}
+
+/// Renders one row per shard plus a totals row, matching the table style
+/// of the bench binaries.
+inline void print_shard_table(std::ostream& os,
+                              const std::vector<ShardStats>& shards) {
+  TextTable t({"shard", "keys", "local", "remote", "dup", "queries",
+               "log entries", "~bytes"});
+  ShardStats total;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardStats& s = shards[i];
+    t.add(i, s.keys_live, s.local_updates, s.remote_updates,
+          s.duplicate_updates, s.queries, s.log_entries, s.approx_bytes);
+    total.keys_live += s.keys_live;
+    total.local_updates += s.local_updates;
+    total.remote_updates += s.remote_updates;
+    total.duplicate_updates += s.duplicate_updates;
+    total.queries += s.queries;
+    total.log_entries += s.log_entries;
+    total.approx_bytes += s.approx_bytes;
+  }
+  t.add("total", total.keys_live, total.local_updates, total.remote_updates,
+        total.duplicate_updates, total.queries, total.log_entries,
+        total.approx_bytes);
+  t.print(os);
+}
+
+}  // namespace ucw

@@ -1,0 +1,58 @@
+// ThreadUcStore: the UCStore on the real-thread transport.
+//
+// One store per OS thread, same single-owner discipline as
+// ThreadUcObject: the owning thread calls update/query/flush freely and
+// remote envelopes accumulate in the process inbox until poll() folds
+// them in (update and query poll opportunistically). Batching works
+// exactly as in SimUcStore — both share StoreCore — so wait-freedom is
+// preserved under genuine concurrency: an update never waits on
+// receivers, a flush only pays the per-peer enqueue.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/thread_network.hpp"
+#include "store/store_core.hpp"
+
+namespace ucw {
+
+template <UqAdt A, typename Key = std::string>
+class ThreadUcStore
+    : public StoreCore<A, ThreadNetwork<BatchEnvelope<A, Key>>, Key> {
+  using Core = StoreCore<A, ThreadNetwork<BatchEnvelope<A, Key>>, Key>;
+
+ public:
+  using Envelope = typename Core::Envelope;
+
+  ThreadUcStore(A adt, ProcessId pid, ThreadNetwork<Envelope>& net,
+                StoreConfig config = {})
+      : Core(std::move(adt), pid, net, config) {}
+
+  // update(), query() and poll() come from StoreCore — the core polls
+  // the inbox itself on pollable transports, so access through a
+  // StoreCore& behaves identically.
+
+  /// Blocks until `total_entries` *distinct* keyed updates (local +
+  /// remote, replays excluded) have been applied, or the inbox closes —
+  /// the quiescence barrier the stress tests use. Callers must have
+  /// flushed everywhere first.
+  void drain_until(std::uint64_t total_entries) {
+    this->poll();
+    while (applied_entries() < total_entries) {
+      auto env = this->net_->inbox(this->pid_).pop_wait();
+      if (!env.has_value()) return;  // closed
+      this->deliver(env->from, env->payload);
+    }
+  }
+
+  /// Distinct keyed updates this store has applied from any source;
+  /// replays the per-key logs absorbed are not counted, so this reaches
+  /// the global update count even under at-least-once delivery.
+  [[nodiscard]] std::uint64_t applied_entries() const {
+    return this->stats().local_updates + this->stats().remote_entries -
+           this->stats().duplicate_entries;
+  }
+};
+
+}  // namespace ucw

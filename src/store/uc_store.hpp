@@ -1,0 +1,53 @@
+// SimUcStore: a sharded, batched multi-object store over Algorithm 1.
+//
+// One store per process hosts an entire keyspace of independent UC
+// objects behind a single network endpoint: key → lazily-instantiated
+// ReplayReplica, partitioned into shards locally, with updates coalesced
+// into BatchEnvelopes on the wire. The operation surface stays wait-free
+// and update-consistent *per key*:
+//
+//   update(k, u) — stamps u with k's own Lamport clock, applies it to
+//                  k's replica synchronously (self-delivery, exactly as
+//                  the proof of Proposition 4 assumes), buffers the
+//                  keyed message, and returns. When the buffer reaches
+//                  `batch_window` entries it is flushed as one reliable
+//                  broadcast; `batch_window == 1` degenerates to the
+//                  paper's one-broadcast-per-update.
+//   query(k, qi) — answered from k's local log replay; never blocks.
+//   flush()      — ships any pending batch now. Drivers tick this on a
+//                  period (the "per-tick envelope"); quiescence barriers
+//                  call it before draining the network.
+//
+// Batching is invisible to per-key arbitration: stamps are assigned at
+// update() time, delivery order within or across envelopes is already
+// arbitrary in the model, and the per-key logs absorb duplicates. The
+// store therefore inherits Theorem 2 key-by-key — see the convergence
+// property test. All of that logic lives in StoreCore; this class only
+// wires the core to the simulated network's delivery handler.
+#pragma once
+
+#include <string>
+
+#include "net/sim_network.hpp"
+#include "store/store_core.hpp"
+
+namespace ucw {
+
+template <UqAdt A, typename Key = std::string>
+class SimUcStore
+    : public StoreCore<A, SimNetwork<BatchEnvelope<A, Key>>, Key> {
+  using Core = StoreCore<A, SimNetwork<BatchEnvelope<A, Key>>, Key>;
+
+ public:
+  using Envelope = typename Core::Envelope;
+
+  SimUcStore(A adt, ProcessId pid, SimNetwork<Envelope>& net,
+             StoreConfig config = {})
+      : Core(std::move(adt), pid, net, config) {
+    net.set_handler(pid, [this](ProcessId from, const Envelope& e) {
+      this->deliver(from, e);
+    });
+  }
+};
+
+}  // namespace ucw
