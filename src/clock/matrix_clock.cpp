@@ -46,6 +46,16 @@ void MatrixClock::mark_crashed(ProcessId j) {
   crashed_[j] = true;
 }
 
+void MatrixClock::mark_alive(ProcessId j) {
+  UCW_CHECK(j < crashed_.size());
+  crashed_[j] = false;
+}
+
+bool MatrixClock::is_crashed(ProcessId j) const {
+  UCW_CHECK(j < crashed_.size());
+  return crashed_[j];
+}
+
 std::string MatrixClock::to_string() const {
   std::ostringstream os;
   os << "{self=" << self_ << " rows=[";

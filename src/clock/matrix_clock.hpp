@@ -57,6 +57,12 @@ class MatrixClock {
   /// exactly that), otherwise a straggler could land below the fold floor.
   void mark_crashed(ProcessId j);
 
+  /// Reverses mark_crashed: a message from `j` (a restarted incarnation,
+  /// or a suspicion that proved wrong) shows it is alive, so its row must
+  /// count towards the floor again.
+  void mark_alive(ProcessId j);
+  [[nodiscard]] bool is_crashed(ProcessId j) const;
+
   [[nodiscard]] std::string to_string() const;
 
  private:

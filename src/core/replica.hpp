@@ -60,6 +60,8 @@ struct ReplicaStats {
   std::uint64_t cache_invalidations = 0;
   std::uint64_t snapshot_restores = 0;
   std::uint64_t gc_folded = 0;          ///< log entries folded by GC
+  std::uint64_t base_installs = 0;      ///< snapshot bases adopted (catch-up)
+  std::uint64_t absorbed_below_floor = 0;  ///< replays of folded entries
 };
 
 template <UqAdt A>
@@ -68,6 +70,22 @@ class ReplayReplica {
   struct Config {
     ReplayPolicy policy = ReplayPolicy::CachedPrefix;
     std::size_t snapshot_interval = 64;  ///< K for ReplayPolicy::Snapshot
+    /// Stamp from this clock instead of a private per-replica one. The
+    /// UCStore points every keyed replica of a process at one store-wide
+    /// clock: stamps then rise monotonically across the *whole* envelope
+    /// stream a process emits, which is what lets stability (and thus GC
+    /// and snapshot floors) be tracked once per process instead of once
+    /// per key. Still a valid Lamport clock per key, so per-key
+    /// arbitration (Theorem 2) is untouched. Not owned.
+    LamportClock* shared_clock = nullptr;
+    /// Tolerate arrivals at or below the GC floor by absorbing them as
+    /// duplicates instead of failing loudly. Only sound when the floor
+    /// provably covers every entry this replica ever received (the
+    /// store-level tracker guarantees exactly that under FIFO links), so
+    /// a below-floor arrival can only be a redelivery of a folded entry —
+    /// e.g. at-least-once duplicates, or live envelopes overlapping an
+    /// installed snapshot after catch-up.
+    bool absorb_below_floor = false;
   };
 
   ReplayReplica(A adt, ProcessId pid, Config config = {})
@@ -85,14 +103,14 @@ class ReplayReplica {
   [[nodiscard]] const A& adt() const { return adt_; }
   [[nodiscard]] const ReplicaStats& stats() const { return stats_; }
   [[nodiscard]] const StampedLog<A>& log() const { return log_; }
-  [[nodiscard]] LogicalTime clock_now() const { return clock_.now(); }
+  [[nodiscard]] LogicalTime clock_now() const { return clk().now(); }
 
   /// Algorithm 1, update(u): ticks the clock and returns the message the
   /// caller must reliably broadcast (including back to this replica via
   /// apply(), which SimUcObject does synchronously).
   [[nodiscard]] UpdateMessage<A> local_update(typename A::Update u) {
     ++stats_.local_updates;
-    const Stamp stamp = clock_.tick();
+    const Stamp stamp = clk().tick();
     if (stability_) {
       stability_->advance_self(stamp.clock);
     }
@@ -108,12 +126,20 @@ class ReplayReplica {
   /// about what is still in flight towards *us*, and folding past an
   /// in-flight stamp would break convergence.
   void apply(ProcessId from, const UpdateMessage<A>& m) {
-    clock_.observe(m.stamp);
+    clk().observe(m.stamp);
     if (from != pid_) ++stats_.remote_updates;
     if (stability_) {
       // FIFO links make "max clock received from `from`" equal to
       // "received everything from `from` up to that clock".
       stability_->observe_direct(from, m.stamp.clock);
+    }
+    if (config_.absorb_below_floor && m.stamp.clock <= log_.floor()) {
+      // Redelivery of an already-folded entry (see Config): the base
+      // state reflects it, so dropping it is the set-union no-op of
+      // Algorithm 1, just against the compacted prefix.
+      ++stats_.duplicate_updates;
+      ++stats_.absorbed_below_floor;
+      return;
     }
     auto pos = log_.insert(m.stamp, m.update);
     if (!pos.has_value()) {
@@ -134,7 +160,7 @@ class ReplayReplica {
   [[nodiscard]] std::pair<typename A::QueryOut, Stamp> query_with_stamp(
       const typename A::QueryIn& qi) {
     ++stats_.queries;
-    const Stamp stamp = clock_.tick();
+    const Stamp stamp = clk().tick();
     return {adt_.output(current_state(), qi), stamp};
   }
 
@@ -189,7 +215,15 @@ class ReplayReplica {
   /// Folds the stable prefix into the base state; returns entries folded.
   std::size_t collect_garbage() {
     if (!stability_) return 0;
-    const LogicalTime floor = stability_->stability_floor();
+    return fold_to(stability_->stability_floor());
+  }
+
+  /// Folds the log prefix at or below `floor` into the base state. The
+  /// caller guarantees no entry it still needs applied can be stamped at
+  /// or below `floor` — either its own per-key tracker (collect_garbage)
+  /// or the store-level tracker pushing one floor down across the whole
+  /// keyspace. Returns entries folded.
+  std::size_t fold_to(LogicalTime floor) {
     // Cached/snapshot positions index the live log; folding shifts them.
     const std::size_t folded = log_.fold(adt_, floor);
     if (folded > 0) {
@@ -199,7 +233,31 @@ class ReplayReplica {
     return folded;
   }
 
+  /// Adopts a donor's compacted prefix (snapshot shipping): replaces the
+  /// log base with `base` covering everything stamped <= floor, drops the
+  /// local entries that prefix subsumes and rebuilds the caches. The
+  /// caller then replays the donor's unstable suffix through apply(),
+  /// whose set-union semantics absorb whatever overlaps survive locally.
+  /// Returns false (and changes nothing) when the local floor already
+  /// covers `floor`.
+  bool install_base(typename A::State base, LogicalTime floor) {
+    if (!log_.install_base(std::move(base), floor)) return false;
+    ++stats_.base_installs;
+    clk().observe(floor);  // new local stamps must clear the folded prefix
+    snapshots_.clear();
+    cache_ = log_.base_state();
+    cache_len_ = 0;
+    return true;
+  }
+
  private:
+  [[nodiscard]] LamportClock& clk() {
+    return config_.shared_clock ? *config_.shared_clock : clock_;
+  }
+  [[nodiscard]] const LamportClock& clk() const {
+    return config_.shared_clock ? *config_.shared_clock : clock_;
+  }
+
   void on_inserted(std::size_t pos) {
     if (config_.policy == ReplayPolicy::NaiveReplay) return;
     if (pos + 1 == log_.size()) return;  // tail append: cache still valid

@@ -68,6 +68,23 @@ class StampedLog {
   }
   [[nodiscard]] LogicalTime floor() const { return floor_; }
 
+  /// Replaces the base state with a donor's compacted prefix (snapshot
+  /// shipping): entries at or below `new_floor` are dropped — the donor's
+  /// base already reflects them, replayed in the same stamp order every
+  /// correct replica uses — and the floor rises. A no-op returning false
+  /// when the local floor is already at or past `new_floor` (the local
+  /// base then covers at least as much history as the offered one).
+  bool install_base(typename A::State state, LogicalTime new_floor) {
+    if (new_floor <= floor_) return false;
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), new_floor,
+        [](LogicalTime f, const Entry& e) { return f < e.stamp.clock; });
+    entries_.erase(entries_.begin(), it);
+    base_state_ = std::move(state);
+    floor_ = new_floor;
+    return true;
+  }
+
   /// Folds every entry with stamp.clock <= new_floor into the base state
   /// (Section VII-C GC). Returns the number of entries folded. Caller
   /// guarantees no future message can be stamped at or below new_floor.

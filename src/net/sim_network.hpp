@@ -36,6 +36,7 @@ struct NetworkStats {
   std::uint64_t messages_dropped_crash = 0;
   std::uint64_t messages_held_partition = 0;
   std::uint64_t messages_duplicated = 0;  ///< at-least-once injections
+  std::uint64_t restarts = 0;             ///< crash-recover rejoins
 };
 
 template <typename Payload>
@@ -62,6 +63,8 @@ class SimNetwork {
         rng_(Rng(config.seed).fork("net-latency")),
         handlers_(config.n_processes),
         crashed_(config.n_processes, false),
+        epochs_(config.n_processes, 0),
+        in_flight_from_(config.n_processes, 0),
         group_of_(config.n_processes, 0),
         last_delivery_(config.n_processes,
                        std::vector<SimTime>(config.n_processes, 0.0)) {}
@@ -121,6 +124,7 @@ class SimNetwork {
     UCW_CHECK(from < size() && to < size());
     if (crashed_[from]) return;
     ++stats_.messages_sent;
+    ++in_flight_from_[from];
     SimTime deliver_at = scheduler_->now() + config_.latency.sample(rng_);
     if (group_of_[from] != group_of_[to]) {
       // Held by the partition: released at heal time plus fresh latency.
@@ -151,6 +155,44 @@ class SimNetwork {
     return n;
   }
 
+  /// Messages sent by `p` still scheduled for delivery somewhere. The
+  /// failure-detector stand-in: once a crashed process's count reaches
+  /// zero, nothing of it is in flight — safe to declare it for GC, and
+  /// safe to restart it (same guarantee the matrix-clock docs demand of
+  /// mark_crashed).
+  [[nodiscard]] std::uint64_t in_flight_from(ProcessId p) const {
+    UCW_CHECK(p < size());
+    return in_flight_from_[p];
+  }
+
+  /// Incarnation counter: bumped on every restart. Envelopes carry it so
+  /// receivers can tell a rejoined process's fresh seq stream from its
+  /// pre-crash one.
+  [[nodiscard]] std::uint64_t epoch(ProcessId p) const {
+    UCW_CHECK(p < size());
+    return epochs_[p];
+  }
+
+  [[nodiscard]] bool can_restart(ProcessId p) const {
+    return p < size() && crashed_[p] && in_flight_from_[p] == 0;
+  }
+
+  /// Crash-recover rejoin: `p` comes back (with empty state — the caller
+  /// builds a fresh store and runs catch-up) under a new incarnation.
+  /// Only legal once the old incarnation's messages have drained — a
+  /// failure-detection timeout exceeding the maximum transfer delay —
+  /// otherwise a pre-crash straggler could collide with the fresh seq
+  /// stream and evade the catch-up gap detection.
+  void restart(ProcessId p) {
+    UCW_CHECK(p < size());
+    UCW_CHECK_MSG(crashed_[p], "restart of a process that is not crashed");
+    UCW_CHECK_MSG(in_flight_from_[p] == 0,
+                  "restart before the old incarnation's messages drained");
+    crashed_[p] = false;
+    ++epochs_[p];
+    ++stats_.restarts;
+  }
+
   /// Splits processes into groups; cross-group traffic is withheld until
   /// `heal_at` (virtual time). Pass group 0 for everyone to heal early.
   void partition(const std::vector<std::size_t>& group_of, SimTime heal_at) {
@@ -166,6 +208,8 @@ class SimNetwork {
   static constexpr SimTime kFifoEpsilon = 1e-6;
 
   void deliver(ProcessId from, ProcessId to, const Payload& payload) {
+    UCW_CHECK(in_flight_from_[from] > 0);
+    --in_flight_from_[from];
     if (crashed_[to]) {
       // Crash-stop: a crashed process receives nothing. Messages already
       // in flight *from* a process that crashed later are still
@@ -184,6 +228,8 @@ class SimNetwork {
   Rng rng_;
   std::vector<Handler> handlers_;
   std::vector<bool> crashed_;
+  std::vector<std::uint64_t> epochs_;
+  std::vector<std::uint64_t> in_flight_from_;
   std::vector<std::size_t> group_of_;
   SimTime heal_at_ = 0.0;
   std::vector<std::vector<SimTime>> last_delivery_;

@@ -1,0 +1,7 @@
+// Umbrella header for the recovery subsystem (store-level stability,
+// snapshot shipping, catch-up).
+#pragma once
+
+#include "recovery/catchup.hpp"
+#include "recovery/snapshot.hpp"
+#include "recovery/stability.hpp"

@@ -1,0 +1,142 @@
+// Catch-up: snapshot codec + the joiner's sync session state machine.
+//
+// The protocol (driven by StoreCore):
+//
+//   joiner                         donor
+//     | -- SyncRequest (p2p) -------> |   collect_garbage(), then for
+//     |                               |   each shard encode base+suffix
+//     | <-- ShardSnapshot × shards -- |   (p2p, one message per shard)
+//     |  install_base + replay suffix |
+//     |  adopt donor rows/clock       |
+//     |  guard live streams ........  |   (resume-live-delivery check)
+//
+// Live delivery never pauses: envelopes arriving during the sync are
+// applied immediately (per-key logs are set-unions, order-insensitive)
+// and whatever the snapshot already covered is absorbed as duplicates.
+// The delicate part is the opposite direction — an envelope broadcast
+// while the joiner was down is *dropped* at the joiner, and may still be
+// in flight towards the donor when it serves, so neither party holds it.
+// The session therefore guards every sender's stream: under FIFO links
+// the donor's coverage (epoch, seq) and the seq of the first envelope
+// the joiner receives live decide exactly whether the prefix was covered
+// or a gap exists, and a gap triggers a re-sync (the missing envelopes
+// reach the donor eventually — reliable broadcast — so retries
+// terminate). Once every stream is verified the session retires and the
+// replica is provably caught up in O(live state + unstable suffix).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/replica.hpp"
+#include "recovery/snapshot.hpp"
+#include "store/shard.hpp"
+
+namespace ucw {
+
+// ----- snapshot codec -------------------------------------------------
+
+/// Serializes one shard's compacted state. The caller compacts first
+/// (collect_garbage) so the suffixes carry only the unstable window.
+template <UqAdt A, typename Key>
+[[nodiscard]] ShardSnapshot<A, Key> encode_shard_snapshot(
+    StoreShard<A, Key>& shard, std::size_t shard_index,
+    std::size_t shard_count) {
+  ShardSnapshot<A, Key> snap;
+  snap.shard_index = shard_index;
+  snap.shard_count = shard_count;
+  snap.keys.reserve(shard.keys_live());
+  shard.for_each([&](const Key& k, ReplayReplica<A>& r) {
+    KeySnapshot<A, Key> ks;
+    ks.key = k;
+    ks.base = r.log().base_state();
+    ks.floor = r.log().floor();
+    ks.suffix.reserve(r.log().size());
+    for (const auto& e : r.log().entries()) {
+      ks.suffix.push_back(SnapshotLogEntry<A>{e.stamp, e.update});
+    }
+    snap.keys.push_back(std::move(ks));
+  });
+  shard.note_snapshot_exported();
+  return snap;
+}
+
+/// Installs one key's snapshot into a replica: adopt the donor base,
+/// then replay the suffix through apply() (overlaps with entries the
+/// replica picked up live are absorbed as duplicates). Returns suffix
+/// entries replayed.
+template <UqAdt A, typename Key>
+std::size_t install_key_snapshot(ReplayReplica<A>& rep,
+                                 const KeySnapshot<A, Key>& ks) {
+  (void)rep.install_base(ks.base, ks.floor);
+  for (const auto& e : ks.suffix) {
+    rep.apply(e.stamp.pid, UpdateMessage<A>{e.stamp, e.update, {}});
+  }
+  return ks.suffix.size();
+}
+
+// ----- sync session ---------------------------------------------------
+
+/// What the joiner has observed of one sender's live stream since it
+/// (re)started: the incarnation and the seq of its first envelope.
+struct PeerStreamView {
+  bool any = false;
+  std::uint64_t epoch = 0;
+  std::uint64_t first_seq = 0;
+};
+
+/// The joiner's side of one catch-up: which shards have been installed,
+/// the donor's stream coverage, and which live streams are verified
+/// gap-free. Untemplated — it only sees bookkeeping, never payloads.
+class CatchupSession {
+ public:
+  /// Opens a new sync round (the first call, and every retry). A round
+  /// expects one full batch of shard snapshots; snapshots from earlier
+  /// rounds still install their data but no longer satisfy the session,
+  /// so it cannot retire on a stale batch and let GC fold ahead of the
+  /// snapshots still in flight. Returns the new round token (echoed by
+  /// the donor on every snapshot of the batch).
+  std::uint64_t begin(ProcessId donor, std::size_t n_shards,
+                      std::size_t n_processes);
+  void abandon();
+
+  [[nodiscard]] bool active() const { return active_; }
+  /// Still missing at least one ShardSnapshot of the current round.
+  [[nodiscard]] bool awaiting() const { return awaiting_; }
+  [[nodiscard]] ProcessId donor() const { return donor_; }
+  [[nodiscard]] std::uint64_t round() const { return round_; }
+
+  /// Returns true if this shard index was not installed before.
+  bool note_shard_installed(std::size_t shard_index);
+  /// Folds a snapshot's coverage vector in (newest epoch/seq wins).
+  void merge_coverage(const std::vector<StreamCoverage>& coverage);
+  /// Re-checks every unverified stream against the coverage; returns
+  /// true when a gap was found and the caller must request a re-sync.
+  bool reevaluate(ProcessId self, const std::vector<PeerStreamView>& peers);
+  /// Retires the session (returns true) once all shards are installed
+  /// and every stream is verified.
+  bool try_retire();
+  /// Whether `q`'s stream has been proven gap-free this session.
+  [[nodiscard]] bool verified(ProcessId q) const {
+    return q < verified_.size() && verified_[q];
+  }
+
+  /// Retry pacing: progress() is bumped by installs; a flush tick where
+  /// the session is active but progress stalled re-requests the sync.
+  [[nodiscard]] std::uint64_t progress() const { return progress_; }
+  [[nodiscard]] bool stalled_since(std::uint64_t progress_mark) const;
+
+ private:
+  bool active_ = false;
+  bool awaiting_ = false;
+  std::uint64_t round_ = 0;
+  ProcessId donor_ = 0;
+  std::vector<bool> installed_;
+  std::size_t installed_count_ = 0;
+  std::vector<StreamCoverage> coverage_;
+  std::vector<bool> verified_;
+  std::uint64_t progress_ = 0;
+};
+
+}  // namespace ucw

@@ -1,0 +1,192 @@
+#include "recovery/stability.hpp"
+
+#include <algorithm>
+
+#include "recovery/catchup.hpp"
+#include "util/assert.hpp"
+
+namespace ucw {
+
+StoreStabilityTracker::StoreStabilityTracker(ProcessId self,
+                                             std::size_t n_processes)
+    : clock_(self, n_processes) {}
+
+ProcessId StoreStabilityTracker::self() const { return clock_.self(); }
+std::size_t StoreStabilityTracker::size() const { return clock_.size(); }
+
+void StoreStabilityTracker::advance_self(LogicalTime t) {
+  clock_.advance_self(t);
+}
+
+void StoreStabilityTracker::observe_ack(ProcessId from, LogicalTime t) {
+  if (from != clock_.self()) clock_.mark_alive(from);
+  clock_.observe_direct(from, t);
+}
+
+void StoreStabilityTracker::adopt(
+    const std::vector<LogicalTime>& donor_rows) {
+  clock_.merge_rows(donor_rows);
+}
+
+void StoreStabilityTracker::set_crashed(ProcessId p, bool crashed) {
+  if (p == clock_.self()) return;
+  if (crashed) {
+    clock_.mark_crashed(p);
+  } else {
+    clock_.mark_alive(p);
+  }
+}
+
+bool StoreStabilityTracker::crashed(ProcessId p) const {
+  return clock_.is_crashed(p);
+}
+
+LogicalTime StoreStabilityTracker::floor() const {
+  return clock_.stability_floor();
+}
+
+LogicalTime StoreStabilityTracker::lag() const {
+  const LogicalTime self_row = clock_.rows()[clock_.self()];
+  const LogicalTime f = floor();
+  return self_row > f ? self_row - f : 0;
+}
+
+const std::vector<LogicalTime>& StoreStabilityTracker::rows() const {
+  return clock_.rows();
+}
+
+std::string StoreStabilityTracker::to_string() const {
+  return clock_.to_string();
+}
+
+// ----- CatchupSession -------------------------------------------------
+
+std::uint64_t CatchupSession::begin(ProcessId donor, std::size_t n_shards,
+                                    std::size_t n_processes) {
+  donor_ = donor;
+  active_ = true;
+  awaiting_ = true;
+  ++round_;
+  installed_.assign(n_shards, false);
+  installed_count_ = 0;
+  coverage_.assign(n_processes, StreamCoverage{});
+  verified_.assign(n_processes, false);
+  ++progress_;
+  return round_;
+}
+
+void CatchupSession::abandon() {
+  active_ = false;
+  awaiting_ = false;
+}
+
+bool CatchupSession::note_shard_installed(std::size_t shard_index) {
+  if (!active_ || shard_index >= installed_.size()) return false;
+  ++progress_;
+  if (installed_[shard_index]) return false;
+  installed_[shard_index] = true;
+  ++installed_count_;
+  if (installed_count_ == installed_.size()) awaiting_ = false;
+  return true;
+}
+
+void CatchupSession::merge_coverage(
+    const std::vector<StreamCoverage>& coverage) {
+  if (!active_) return;
+  UCW_CHECK(coverage.size() == coverage_.size());
+  for (std::size_t q = 0; q < coverage.size(); ++q) {
+    const StreamCoverage& c = coverage[q];
+    StreamCoverage& mine = coverage_[q];
+    if (!c.any) {
+      mine.drained = mine.drained || c.drained;
+      continue;
+    }
+    if (!mine.any || c.epoch > mine.epoch ||
+        (c.epoch == mine.epoch && c.seq > mine.seq)) {
+      const bool drained = mine.drained || c.drained;
+      mine = c;
+      mine.drained = drained;
+    } else {
+      mine.drained = mine.drained || c.drained;
+    }
+  }
+}
+
+bool CatchupSession::reevaluate(ProcessId self,
+                                const std::vector<PeerStreamView>& peers) {
+  if (!active_) return false;
+  UCW_CHECK(peers.size() == verified_.size());
+  const std::size_t verified_before =
+      static_cast<std::size_t>(std::count(verified_.begin(),
+                                          verified_.end(), true));
+  bool gap = false;
+  for (ProcessId q = 0; q < verified_.size(); ++q) {
+    if (verified_[q]) continue;
+    if (q == self) {
+      // Our own old incarnation's stream: the network model only allows
+      // a restart once everything that incarnation sent has drained, so
+      // the donor held its complete stream before serving.
+      verified_[q] = true;
+      continue;
+    }
+    const PeerStreamView& v = peers[q];
+    const StreamCoverage& c = coverage_[q];
+    if (!v.any) {
+      // Nothing received live from q yet. If its stream was settled at
+      // the donor's serve (crashed, or alive-but-silent, with nothing
+      // in flight) the snapshot holds all of it and later sends reach
+      // us directly — nothing to guard. Otherwise keep guarding: an
+      // envelope of q's could have been dropped here while down and
+      // still be in flight towards the donor; the stall retry
+      // re-serves with refreshed coverage until this resolves.
+      if (c.drained) verified_[q] = true;
+      continue;
+    }
+    if (v.first_seq == 0 &&
+        (v.epoch == 0 || (c.any && c.epoch >= v.epoch))) {
+      // We saw this epoch from its very beginning — and, for a restarted
+      // sender, the donor provably holds the prior epochs: it received
+      // an epoch >= v.epoch envelope from q, and per-link FIFO means
+      // every earlier (older-epoch) q message had been delivered to it
+      // first. Epoch 0 alone needs no such proof (nothing precedes it).
+      // Without the qualifier, a crashed sender's pre-restart tail that
+      // was dropped here and had not yet reached the donor at serve
+      // time would be silently lost.
+      verified_[q] = true;
+    } else if (c.any && c.epoch > v.epoch) {
+      // Our live stream from q is a stale older incarnation; FIFO means
+      // the donor received all of it before it ever saw the newer epoch,
+      // so the snapshot covered it.
+      verified_[q] = true;
+    } else if (c.any && c.epoch == v.epoch && c.seq + 1 >= v.first_seq) {
+      verified_[q] = true;  // donor covered [0, first_seq) of this epoch
+    } else {
+      // Envelopes [donor coverage, first_seq) of q's stream were dropped
+      // while this process was down and had not reached the donor when
+      // it served. Reliable broadcast will deliver them to the donor
+      // eventually — re-sync.
+      gap = true;
+    }
+  }
+  // Verifications are progress too: the stall clock must not fire a
+  // retry while streams are actively proving themselves.
+  const std::size_t verified_now = static_cast<std::size_t>(
+      std::count(verified_.begin(), verified_.end(), true));
+  if (verified_now != verified_before) ++progress_;
+  return gap;
+}
+
+bool CatchupSession::try_retire() {
+  if (!active_ || awaiting_) return false;
+  for (const bool v : verified_) {
+    if (!v) return false;
+  }
+  active_ = false;
+  return true;
+}
+
+bool CatchupSession::stalled_since(std::uint64_t progress_mark) const {
+  return active_ && progress_ == progress_mark;
+}
+
+}  // namespace ucw

@@ -1,0 +1,76 @@
+// Store-level stability: one matrix clock per *process*, not per key.
+//
+// PR 1's UCStore inherited Algorithm 1's per-object stability tracking,
+// which a million-key store cannot afford: one MatrixClock per key, and
+// a floor that only moves for keys every process happens to touch. This
+// tracker hoists the idea to the store: every keyed replica of a process
+// stamps from one store-wide Lamport clock, every BatchEnvelope
+// piggybacks the sender's clock as an ack, and the receiver keeps a
+// single knowledge vector "the largest clock I have received from each
+// process". Under FIFO links that is exactly "I have received everything
+// process j ever broadcast up to rows[j]" — across the *whole keyspace*,
+// because the shared clock makes a process's stamps monotone over its
+// entire envelope stream. The floor (minimum over live rows) is then a
+// store-wide fold point: StoreCore pushes it down into every live
+// ReplayReplica on the flush tick and the per-key logs compact together.
+//
+// Direct knowledge only: rows are raised by acks received first-hand.
+// Gossiped rows must never raise the floor — they say nothing about what
+// is still in flight towards *us* (see core/replica.hpp). The one
+// exception is adopt(): a replica installing a catch-up snapshot may
+// merge the donor's rows, because the snapshot it just installed covers
+// every entry below them (anything older arriving later is, provably, a
+// redelivery the per-key logs absorb).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clock/matrix_clock.hpp"
+#include "clock/timestamp.hpp"
+
+namespace ucw {
+
+class StoreStabilityTracker {
+ public:
+  StoreStabilityTracker(ProcessId self, std::size_t n_processes);
+
+  [[nodiscard]] ProcessId self() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// The local store clock reached `t` (called on every keyed update).
+  void advance_self(LogicalTime t);
+
+  /// An envelope from `from` carried ack clock `t`: everything `from`
+  /// ever broadcast with a stamp <= t has now been received here (FIFO).
+  /// Hearing from a process also proves it alive again.
+  void observe_ack(ProcessId from, LogicalTime t);
+
+  /// Merges a catch-up donor's rows — sound only at snapshot install
+  /// time (the installed snapshot covers everything below them).
+  void adopt(const std::vector<LogicalTime>& donor_rows);
+
+  /// Failure-detector verdicts: a crashed process stops pinning the
+  /// floor, but may only be declared once nothing it sent can still be
+  /// in flight. Alive clears a previous verdict (restart).
+  void set_crashed(ProcessId p, bool crashed);
+  [[nodiscard]] bool crashed(ProcessId p) const;
+
+  /// Largest clock every live process is known to have passed: every
+  /// entry stamped at or below it is stable store-wide and can be
+  /// folded out of the per-key logs.
+  [[nodiscard]] LogicalTime floor() const;
+
+  /// How far the local clock has run ahead of the floor — the length of
+  /// the unstable window (what a snapshot would ship as suffixes).
+  [[nodiscard]] LogicalTime lag() const;
+
+  [[nodiscard]] const std::vector<LogicalTime>& rows() const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  MatrixClock clock_;
+};
+
+}  // namespace ucw

@@ -3,10 +3,15 @@
 // The multi-key sibling of run_uc_simulation: builds a scheduler +
 // envelope network + N SimUcStores, drives a zipfian keyed workload with
 // per-process think times, ticks a periodic flush (the "per-tick batch
-// envelope"), optionally injects crashes and duplicate delivery,
-// quiesces (final flush + drain), and checks per-key convergence across
-// the surviving stores. The store benchmarks, the batched-vs-unbatched
-// property test, and the reworked KV example all run on this engine.
+// envelope" — which is also the recovery tick: stability acks, GC folds,
+// catch-up retries), optionally injects crashes, *restarts* (the crashed
+// process rejoins with empty state and catches up from a live donor via
+// snapshot shipping), and duplicate delivery, quiesces (final flush +
+// drain, with extra rounds so multi-round catch-up retries settle), and
+// checks per-key convergence across the surviving stores — including the
+// rejoined ones, which must agree with replicas that never crashed. The
+// store benchmarks, the property tests, and the reworked KV example all
+// run on this engine.
 #pragma once
 
 #include <functional>
@@ -23,6 +28,18 @@
 #include "store/all.hpp"
 
 namespace ucw {
+
+/// Crash-recover rejoin: at `at`, the (crashed) process comes back with
+/// empty state, requests a sync from the lowest-pid live donor, and —
+/// once its clock is re-based by the first snapshot — resumes issuing
+/// `resume_ops` further operations. The restart waits for the old
+/// incarnation's in-flight messages to drain (the failure-detector
+/// assumption restart soundness needs), retrying on the flush period.
+struct RestartPlan {
+  ProcessId pid = 0;
+  SimTime at = 0.0;
+  std::size_t resume_ops = 0;
+};
 
 struct StoreRunConfig {
   std::size_t n_processes = 4;
@@ -41,6 +58,7 @@ struct StoreRunConfig {
   /// ship only when the window fills or at quiescence).
   SimTime flush_period = 1'000.0;
   std::vector<CrashPlan> crashes{};
+  std::vector<RestartPlan> restarts{};
   SimTime drain_margin = 1.0;
 };
 
@@ -55,7 +73,13 @@ struct StoreRunOutput {
   /// Final per-key states of the lowest-pid surviving store (the values
   /// everyone converged on when `converged`).
   std::map<std::string, typename A::State> final_states;
+  /// Keys on which some pair of alive stores disagreed (empty when
+  /// `converged`; the debugging handle for the tests and benches).
+  std::vector<std::string> diverged_keys;
   SimTime duration = 0.0;
+  /// Resident log entries summed over alive stores at the end — with GC
+  /// on, the unstable window; without, the whole history per replica.
+  std::uint64_t log_entries_resident = 0;
 };
 
 /// Runs one multi-key simulation. `gen` draws the next update for a
@@ -65,6 +89,11 @@ template <UqAdt A, typename GenFn>
     A adt, const StoreRunConfig& cfg, GenFn gen) {
   using Store = SimUcStore<A>;
   using Envelope = typename Store::Envelope;
+
+  UCW_CHECK_MSG(!cfg.store.gc || cfg.fifo_links,
+                "store-level stability tracking requires FIFO links");
+  UCW_CHECK_MSG(cfg.restarts.empty() || cfg.fifo_links,
+                "catch-up stream guarding requires FIFO links");
 
   SimScheduler scheduler;
   typename SimNetwork<Envelope>::Config net_cfg;
@@ -93,6 +122,13 @@ template <UqAdt A, typename GenFn>
     auto issue = std::make_shared<std::function<void(std::size_t)>>();
     *issue = [&, p, rng, issue](std::size_t remaining) {
       if (remaining == 0 || net.crashed(p)) return;
+      if (stores[p]->bootstrapping()) {
+        // A rejoining store may not stamp updates until the first
+        // snapshot re-bases its clock; try again next think time.
+        scheduler.after(cfg.think_time.sample(*rng),
+                        [issue, remaining] { (*issue)(remaining); });
+        return;
+      }
       const std::string key = keyspace.sample(*rng);
       if (rng->chance(cfg.update_ratio)) {
         ++out.total_updates;
@@ -113,23 +149,82 @@ template <UqAdt A, typename GenFn>
     scheduler.at(crash.at, [&net, pid = crash.pid] { net.crash(pid); });
   }
 
-  // Periodic flush tick: every store ships its pending batch. The chain
-  // stays alive while anything else is scheduled (workload, deliveries).
+  // Crash-recover rejoins: wait for the old incarnation to drain, then
+  // bring the pid back with a fresh (empty) store and start catch-up.
+  const SimTime retry_period =
+      cfg.flush_period > 0.0 ? cfg.flush_period : 500.0;
+  std::vector<std::shared_ptr<std::function<void()>>> restarters;
+  for (const RestartPlan& plan : cfg.restarts) {
+    UCW_CHECK(plan.pid < cfg.n_processes);
+    auto fn = std::make_shared<std::function<void()>>();
+    auto tries = std::make_shared<std::size_t>(0);
+    *fn = [&, plan, fn, tries, retry_period] {
+      if (!net.can_restart(plan.pid)) {
+        // A plan that never becomes restartable (pid never crashed, or
+        // an in-flight horizon that outlives the run) must fail loudly
+        // rather than keep the scheduler alive forever.
+        UCW_CHECK_MSG(++*tries < 100'000,
+                      "RestartPlan never became restartable: pair it "
+                      "with a CrashPlan for the same pid");
+        scheduler.after(retry_period, [fn] { (*fn)(); });
+        return;
+      }
+      net.restart(plan.pid);
+      stores[plan.pid] =
+          std::make_unique<Store>(stores[plan.pid]->adt(), plan.pid, net,
+                                  cfg.store);
+      ProcessId donor = plan.pid;
+      for (ProcessId q = 0; q < cfg.n_processes; ++q) {
+        if (q != plan.pid && !net.crashed(q)) {
+          donor = q;
+          break;
+        }
+      }
+      if (donor != plan.pid) {
+        (void)stores[plan.pid]->request_sync(donor);
+      }
+      if (plan.resume_ops > 0) {
+        scheduler.after(cfg.think_time.sample(root),
+                        [issue = issuers[plan.pid], n = plan.resume_ops] {
+                          (*issue)(n);
+                        });
+      }
+    };
+    restarters.push_back(fn);
+    scheduler.at(plan.at, [fn] { (*fn)(); });
+  }
+
+  // Periodic flush tick: every store ships its pending batch and runs
+  // its recovery housekeeping. The chain stays alive while anything
+  // else is scheduled (workload, deliveries, pending restarts).
   auto tick = std::make_shared<std::function<void()>>();
   if (cfg.flush_period > 0.0) {
     *tick = [&, tick]() {
-      for (auto& s : stores) (void)s->flush();
+      for (ProcessId p = 0; p < cfg.n_processes; ++p) {
+        (void)stores[p]->flush();
+      }
       if (scheduler.pending() > 0) scheduler.after(cfg.flush_period, *tick);
     };
     scheduler.after(cfg.flush_period, *tick);
   }
 
   scheduler.run();
-  // Quiescence: ship any trailing partial batches, then drain.
-  for (auto& s : stores) (void)s->flush();
-  scheduler.run();
+  // Quiescence: ship any trailing partial batches, then drain. Enough
+  // rounds that even a *stalled* catch-up (lost request — e.g. the
+  // donor crashed right after the restart) reaches its retry: the stall
+  // fires after sync_patience_ticks housekeeping ticks, and the
+  // request/serve/install exchange needs a few more. A gap retry needs
+  // only one round (by now the donor holds everything). Extra rounds
+  // are cheap no-ops.
+  const int quiesce_rounds =
+      static_cast<int>(cfg.store.sync_patience_ticks) + 4;
+  for (int round = 0; round < quiesce_rounds; ++round) {
+    for (auto& s : stores) (void)s->flush();
+    scheduler.run();
+  }
   scheduler.run_until(scheduler.now() + cfg.drain_margin);
   for (auto& i : issuers) *i = nullptr;
+  for (auto& r : restarters) *r = nullptr;
   *tick = nullptr;
 
   // Per-key convergence across the surviving stores.
@@ -147,13 +242,20 @@ template <UqAdt A, typename GenFn>
     for (std::size_t i = 1; i < alive.size(); ++i) {
       if (!(stores[alive[i]]->state_of(k) == s0)) {
         out.converged = false;
+        out.diverged_keys.push_back(k);
+        break;
       }
     }
     out.final_states.emplace(k, s0);
   }
   out.keys_touched = keys.size();
   out.net = net.stats();
-  for (auto& s : stores) out.store_stats.push_back(s->stats());
+  for (ProcessId p = 0; p < cfg.n_processes; ++p) {
+    out.store_stats.push_back(stores[p]->stats());
+    if (!net.crashed(p)) {
+      out.log_entries_resident += stores[p]->log_entries_resident();
+    }
+  }
   out.duration = scheduler.now();
   return out;
 }

@@ -12,14 +12,26 @@
 // Buffering never delays *local* visibility (the sender applies each
 // update synchronously at update() time) and never blocks the caller, so
 // the wait-freedom argument of Proposition 4 survives batching verbatim.
+//
+// The recovery subsystem rides the same wire type. Every broadcast
+// envelope carries (epoch, seq) — the sender's incarnation and position
+// in its own stream — and, when stability tracking is on, `ack_clock`,
+// the sender's store clock: the envelope-level ack that feeds the
+// store-level stability tracker. Two point-to-point kinds implement
+// catch-up: kSyncRequest asks a donor for the store's state, and
+// kShardSnapshot carries one shard's compacted base + unstable suffix
+// (recovery/snapshot.hpp). Only kBatch envelopes are part of the seq
+// stream; the p2p kinds live outside it.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "adt/concepts.hpp"
 #include "core/message.hpp"
+#include "recovery/snapshot.hpp"
 
 namespace ucw {
 
@@ -30,13 +42,32 @@ struct KeyedUpdate {
   UpdateMessage<A> msg;
 };
 
-/// A batch of keyed updates shipped as a single reliable broadcast.
-/// `seq` numbers the sender's envelopes (duplicate-delivery diagnostics;
-/// correctness never depends on it — the per-key logs absorb replays).
+enum class EnvelopeKind : std::uint8_t {
+  kBatch,          ///< broadcast: keyed updates + piggybacked ack
+  kSyncRequest,    ///< p2p: "ship me your snapshots"
+  kShardSnapshot,  ///< p2p: one shard's compacted state
+};
+
+/// A batch of keyed updates shipped as a single reliable broadcast —
+/// and, via `kind`, the carrier of the catch-up protocol's p2p messages.
+/// `(epoch, seq)` positions a kBatch envelope in its sender's stream:
+/// correctness of *delivery* never depends on them (the per-key logs
+/// absorb replays), but under FIFO links they are what lets a catching-up
+/// replica prove a snapshot covered the prefix of a live stream.
 template <UqAdt A, typename Key = std::string>
 struct BatchEnvelope {
-  std::uint64_t seq = 0;
+  EnvelopeKind kind = EnvelopeKind::kBatch;
+  std::uint64_t epoch = 0;  ///< sender incarnation (bumped on restart)
+  std::uint64_t seq = 0;    ///< sender's kBatch broadcast counter
   std::vector<KeyedUpdate<A, Key>> entries;
+  /// Sender's store clock at send time; 0 when stability is off. An
+  /// empty-entries kBatch envelope with a nonzero ack_clock is an ack
+  /// heartbeat (sent so silent processes do not pin the GC floor).
+  LogicalTime ack_clock = 0;
+  /// kShardSnapshot payload. Shared: envelope copies (one per receiver
+  /// in a broadcast transport, plus scheduler captures) must not deep-
+  /// copy a whole shard's state.
+  std::shared_ptr<const ShardSnapshot<A, Key>> snapshot;
 };
 
 /// Fixed per-message framing cost assumed by the bytes-saved estimate:
@@ -44,6 +75,10 @@ struct BatchEnvelope {
 /// scales the report; the *relative* saving comes from paying it once
 /// per envelope instead of once per update.
 inline constexpr std::size_t kFrameOverheadBytes = 24;
+
+/// Envelope header past the frame: kind byte, epoch, seq, ack clock.
+inline constexpr std::size_t kEnvelopeHeaderBytes =
+    1 + sizeof(std::uint64_t) + sizeof(std::uint64_t) + sizeof(LogicalTime);
 
 [[nodiscard]] inline std::size_t key_wire_bytes(const std::string& k) {
   return k.size() + 1;
@@ -53,13 +88,50 @@ template <typename K>
   return sizeof(K);
 }
 
-/// Estimated wire size of an envelope: one frame plus the keyed payloads.
+/// Estimated wire size of one suffix entry: stamp + payload.
+template <UqAdt A>
+[[nodiscard]] std::size_t wire_size(const SnapshotLogEntry<A>& e) {
+  return sizeof(e.stamp.clock) + sizeof(e.stamp.pid) +
+         sizeof(typename A::Update);
+}
+
+/// Approximate serialized size of a base state. Containers count their
+/// elements — a compacted base grows with *live state*, which is exactly
+/// the component of catch-up cost the recovery subsystem claims to
+/// bound, so a sizeof-only estimate would misreport it as constant.
+template <typename State>
+[[nodiscard]] std::size_t state_wire_bytes(const State& s) {
+  if constexpr (requires { typename State::value_type; s.size(); }) {
+    return sizeof(State) + s.size() * sizeof(typename State::value_type);
+  } else {
+    return sizeof(State);
+  }
+}
+
+/// Estimated wire size of a shard snapshot: per-key base states plus
+/// unstable suffixes plus the donor bookkeeping rows.
+template <UqAdt A, typename Key>
+[[nodiscard]] std::size_t wire_size(const ShardSnapshot<A, Key>& s) {
+  std::size_t bytes = 2 * sizeof(std::uint64_t) + sizeof(LogicalTime) +
+                      s.donor_rows.size() * sizeof(LogicalTime) +
+                      s.coverage.size() * (2 * sizeof(std::uint64_t) + 2);
+  for (const auto& k : s.keys) {
+    bytes += key_wire_bytes(k.key) + state_wire_bytes(k.base) +
+             sizeof(LogicalTime);
+    for (const auto& e : k.suffix) bytes += wire_size(e);
+  }
+  return bytes;
+}
+
+/// Estimated wire size of an envelope: one frame plus the header plus
+/// the keyed payloads (and the snapshot, for kShardSnapshot).
 template <UqAdt A, typename Key>
 [[nodiscard]] std::size_t wire_size(const BatchEnvelope<A, Key>& e) {
-  std::size_t bytes = kFrameOverheadBytes + sizeof(e.seq);
+  std::size_t bytes = kFrameOverheadBytes + kEnvelopeHeaderBytes;
   for (const auto& entry : e.entries) {
     bytes += key_wire_bytes(entry.key) + wire_size(entry.msg);
   }
+  if (e.snapshot) bytes += wire_size(*e.snapshot);
   return bytes;
 }
 

@@ -28,6 +28,21 @@ struct StoreConfig {
   std::size_t batch_window = 8;
   ReplayPolicy policy = ReplayPolicy::CachedPrefix;
   std::size_t snapshot_interval = 64;
+  /// Store-level stability tracking + log compaction: folds the
+  /// store-wide stability floor into every live per-key log on the
+  /// flush tick, and sends ack heartbeats so silent processes do not
+  /// pin the floor. Requires FIFO links (see recovery/stability.hpp).
+  /// Mixed clusters work: every store piggybacks its clock on each
+  /// envelope regardless of this flag (so compacting peers can fold),
+  /// but a gc=false store sends no heartbeats — if it also goes quiet,
+  /// it pins the cluster floor exactly like any silent process.
+  bool gc = false;
+  /// Flush ticks a catch-up session waits without progress before
+  /// re-requesting the sync. Must exceed the request → last-snapshot
+  /// round trip in ticks, or the joiner opens a new round before the
+  /// previous batch can land and spins; 1 retries on the very next tick
+  /// (unit tests with drained networks).
+  std::size_t sync_patience_ticks = 6;
 };
 
 /// Per-shard aggregate view (rendered by print_shard_table in
@@ -39,6 +54,9 @@ struct ShardStats {
   std::uint64_t duplicate_updates = 0;
   std::uint64_t queries = 0;
   std::uint64_t log_entries = 0;     ///< resident log length, summed
+  std::uint64_t gc_folded = 0;       ///< log entries folded by GC
+  std::uint64_t snapshots_exported = 0;  ///< served to catching-up peers
+  std::uint64_t snapshots_installed = 0; ///< installed during catch-up
   std::size_t approx_bytes = 0;
 };
 
@@ -85,9 +103,15 @@ class StoreShard {
     for (auto& [k, r] : replicas_) fn(k, r);
   }
 
+  // Snapshot traffic accounting (bumped by the catch-up codec/installer).
+  void note_snapshot_exported() { ++snapshots_exported_; }
+  void note_snapshot_installed() { ++snapshots_installed_; }
+
   [[nodiscard]] ShardStats stats() const {
     ShardStats s;
     s.keys_live = replicas_.size();
+    s.snapshots_exported = snapshots_exported_;
+    s.snapshots_installed = snapshots_installed_;
     for (const auto& [k, r] : replicas_) {
       const ReplicaStats& rs = r.stats();
       s.local_updates += rs.local_updates;
@@ -95,6 +119,7 @@ class StoreShard {
       s.duplicate_updates += rs.duplicate_updates;
       s.queries += rs.queries;
       s.log_entries += r.log().size();
+      s.gc_folded += rs.gc_folded;
       s.approx_bytes += key_wire_bytes(k) + r.approx_bytes();
     }
     return s;
@@ -105,6 +130,8 @@ class StoreShard {
   ProcessId pid_;
   typename Replica::Config config_;
   std::unordered_map<Key, Replica, ValueHash> replicas_;
+  std::uint64_t snapshots_exported_ = 0;
+  std::uint64_t snapshots_installed_ = 0;
 };
 
 }  // namespace ucw

@@ -4,10 +4,16 @@
 
 #include "adt/all.hpp"
 
+#include "recovery/all.hpp"
+
 namespace ucw {
 
 template struct KeyedUpdate<SetAdt<int>>;
 template struct BatchEnvelope<SetAdt<int>>;
+template struct KeySnapshot<SetAdt<int>>;
+template struct ShardSnapshot<SetAdt<int>>;
+template ShardSnapshot<SetAdt<int>, std::string> encode_shard_snapshot(
+    StoreShard<SetAdt<int>>&, std::size_t, std::size_t);
 template class StoreShard<SetAdt<int>>;
 template class SimUcStore<SetAdt<int>>;
 template class SimUcStore<CounterAdt>;

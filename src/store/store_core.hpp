@@ -4,18 +4,40 @@
 // self-delivery, the pending envelope, flush accounting, delivery
 // demultiplexing, keyspace introspection — is identical whether the
 // envelopes travel over the deterministic SimNetwork or the real-thread
-// ThreadNetwork. Both frontends derive from this core; the only
-// requirements on Net are `broadcast_others(from, envelope)` and,
-// optionally, `crashed(pid)` (a crashed sender's buffered updates die
-// silently, matching crash-stop, and are not counted as sent).
+// ThreadNetwork. Both frontends derive from this core; the only hard
+// requirement on Net is `broadcast_others(from, envelope)` + `size()`.
+// Optional capabilities are concept-detected and light up features:
+//
+//   crashed(pid)        — a crashed sender's buffered updates die
+//                         silently (crash-stop) and are counted as
+//                         dropped, not sent;
+//   in_flight_from(pid) — failure-detector stand-in: lets GC declare a
+//                         crashed process (unpinning the stability
+//                         floor) only once nothing of it is in flight;
+//   send(from,to,e) + epoch(pid)
+//                       — the catch-up protocol (request_sync /
+//                         ShardSnapshot / stream guarding), p2p + the
+//                         incarnation counter rejoin needs.
+//
+// Recovery layering (src/recovery/): all per-key replicas stamp from one
+// store-wide Lamport clock, so a StoreStabilityTracker — one knowledge
+// vector per *process*, fed by envelope-level acks — yields a single
+// stability floor that collect_garbage() pushes down into every live
+// per-key log on the flush tick. The same compacted form (base + floor
+// + unstable suffix) is what ShardSnapshot ships to a rejoining replica,
+// making catch-up O(live state + unstable suffix) instead of O(history).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "clock/timestamp.hpp"
+#include "recovery/catchup.hpp"
+#include "recovery/stability.hpp"
 #include "store/envelope.hpp"
 #include "store/shard.hpp"
 #include "store/store_stats.hpp"
@@ -28,14 +50,39 @@ class StoreCore {
   using Entry = KeyedUpdate<A, Key>;
   using Envelope = BatchEnvelope<A, Key>;
   using Shard = StoreShard<A, Key>;
+  using Snapshot = ShardSnapshot<A, Key>;
+
+  enum class SyncState {
+    kLive,       ///< normal operation (never synced, or sync retired)
+    kSyncing,    ///< catch-up in progress: snapshots outstanding
+    kGuarding,   ///< snapshots installed; live streams not yet verified
+  };
 
   StoreCore(A adt, ProcessId pid, Net& net, StoreConfig config)
-      : adt_(std::move(adt)), pid_(pid), config_(config), net_(&net) {
+      : adt_(std::move(adt)),
+        pid_(pid),
+        config_(config),
+        net_(&net),
+        clock_(pid) {
     UCW_CHECK(config_.shard_count >= 1);
     UCW_CHECK(config_.batch_window >= 1);
+    if constexpr (kEpochAware) epoch_ = net_->epoch(pid_);
+    peers_.resize(net_->size());
+    if (config_.gc) stability_.emplace(pid_, net_->size());
     typename ReplayReplica<A>::Config rep_cfg;
     rep_cfg.policy = config_.policy;
     rep_cfg.snapshot_interval = config_.snapshot_interval;
+    // One clock across the keyspace: what makes per-process stability
+    // (and snapshot floors) sound — see recovery/stability.hpp.
+    rep_cfg.shared_clock = &clock_;
+    // With store-level floors, a below-floor arrival is provably a
+    // redelivery of a folded entry (at-least-once duplicates, or live
+    // envelopes overlapping an installed snapshot), never a straggler.
+    // Needed whenever a floor can rise above zero: GC folds, but also
+    // catch-up alone — a gc=false store syncing from a compacted donor
+    // installs bases with positive floors, and an overlapping live
+    // envelope must be absorbed, not treated as a protocol violation.
+    rep_cfg.absorb_below_floor = config_.gc || kCatchupCapable;
     shards_.reserve(config_.shard_count);
     for (std::size_t i = 0; i < config_.shard_count; ++i) {
       shards_.push_back(std::make_unique<Shard>(adt_, pid, rep_cfg));
@@ -49,16 +96,29 @@ class StoreCore {
   [[nodiscard]] const StoreConfig& config() const { return config_; }
   [[nodiscard]] const StoreStats& stats() const { return stats_; }
   [[nodiscard]] const A& adt() const { return adt_; }
+  [[nodiscard]] LogicalTime clock_now() const { return clock_.now(); }
+  [[nodiscard]] const StoreStabilityTracker* stability() const {
+    return stability_ ? &*stability_ : nullptr;
+  }
 
   /// Wait-free keyed update: local apply now, broadcast when the batch
   /// fills (or on the next flush tick). Returns the arbitration stamp.
   Stamp update(const Key& key, typename A::Update u) {
+    // A rejoining store may not stamp updates until its clock has been
+    // re-based by the first installed snapshot: the fresh incarnation's
+    // clock restarts at zero, and a reused (clock, pid) stamp would be
+    // absorbed as a duplicate of a pre-crash update elsewhere. Reads
+    // stay available throughout; updates resume right after bootstrap.
+    UCW_CHECK_MSG(!bootstrapping_,
+                  "update() on a store still bootstrapping from a "
+                  "snapshot; wait for sync_state() to leave kSyncing");
     poll();
     ++stats_.local_updates;
     auto& rep = shard_of(key).replica(key);
     auto msg = rep.local_update(std::move(u));
     const Stamp stamp = msg.stamp;
     rep.apply(pid_, msg);  // synchronous self-delivery
+    if (stability_) stability_->advance_self(stamp.clock);
     pending_.entries.push_back(Entry{key, std::move(msg)});
     if (pending_.entries.size() >= config_.batch_window) {
       flush_now(FlushCause::kWindowFull);
@@ -99,15 +159,93 @@ class StoreCore {
     return adt_.initial();
   }
 
-  /// Ships the pending batch, if any. Returns entries flushed.
+  /// Ships the pending batch, if any, then runs the recovery tick:
+  /// piggyback/heartbeat the stability ack, fold the stable prefix
+  /// across the keyspace, and retry a stalled catch-up. Returns entries
+  /// flushed (dropped-on-crash entries are not "flushed").
   std::size_t flush() {
-    if (pending_.entries.empty()) return 0;
-    return flush_now(FlushCause::kManual);
+    std::size_t flushed = 0;
+    if (!pending_.entries.empty()) flushed = flush_now(FlushCause::kManual);
+    if (stability_) {
+      maybe_send_ack();
+      (void)collect_garbage();
+    }
+    sync_housekeeping();
+    return flushed;
   }
 
   [[nodiscard]] std::size_t pending() const {
     return pending_.entries.size();
   }
+
+  // ----- recovery: stability GC ----------------------------------------
+
+  /// Pushes the store-wide stability floor down into every live per-key
+  /// log (Section VII-C fold, hoisted to store level). Runs on the flush
+  /// tick; callable directly. Returns entries folded this sweep.
+  std::size_t collect_garbage() {
+    if (!stability_) return 0;
+    // No folding while a catch-up session is open. Two races hide here:
+    // (1) awaiting — donor rows adopted from the first installed shard
+    // would push keys of a *not yet installed* shard past the snapshot
+    // floor on a sparse live-delivery log, and install_base would then
+    // refuse the donor base as "already covered"; (2) guarding — a
+    // direct ack from a sender whose stream is not yet verified gap-free
+    // claims a prefix this store provably dropped while down, and
+    // folding over it would make the retry snapshot refusable the same
+    // way. Rows are trustworthy exactly when the session retires. The
+    // pause is bounded by the same events that already pin GC globally:
+    // a partitioned-away peer freezes everyone's floor (its rows stop
+    // advancing cluster-wide), and on heal its first envelope — or one
+    // gap retry — verifies its stream here and retires the session.
+    if (session_.active()) return 0;
+    refresh_crash_knowledge();
+    // Self-delivery is synchronous, so this store has trivially received
+    // its own stream up to its clock; without this a read-only replica
+    // (whose clock moves only by observation) would pin its *own* floor
+    // at zero and never compact, even while its heartbeats let everyone
+    // else fold.
+    stability_->advance_self(clock_.now());
+    const LogicalTime floor = stability_->floor();
+    stats_.stability_floor = floor;
+    stats_.stability_floor_lag = stability_->lag();
+    if (floor <= gc_floor_) return 0;
+    gc_floor_ = floor;
+    std::size_t folded = 0;
+    for (auto& s : shards_) {
+      s->for_each([&](const Key&, ReplayReplica<A>& r) {
+        folded += r.fold_to(floor);
+      });
+    }
+    ++stats_.gc_runs;
+    stats_.gc_folded += folded;
+    return folded;
+  }
+
+  // ----- recovery: catch-up protocol -----------------------------------
+
+  /// Asks `donor` to ship its snapshots (crash-restart or late join).
+  /// Returns false on transports without p2p + epochs (ThreadNetwork).
+  bool request_sync(ProcessId donor) {
+    if constexpr (kCatchupCapable) {
+      UCW_CHECK(donor != pid_ && donor < net_->size());
+      send_sync_request(donor);
+      // No snapshot yet → the clock is not re-based → no stamping.
+      bootstrapping_ = !any_snapshot_installed_;
+      return true;
+    } else {
+      (void)donor;
+      return false;
+    }
+  }
+
+  [[nodiscard]] SyncState sync_state() const {
+    if (!session_.active()) return SyncState::kLive;
+    return session_.awaiting() ? SyncState::kSyncing : SyncState::kGuarding;
+  }
+  /// True until the first snapshot re-bases the clock of a rejoining
+  /// store; update() is refused while this holds (reads stay available).
+  [[nodiscard]] bool bootstrapping() const { return bootstrapping_; }
 
   // ----- keyspace introspection ----------------------------------------
 
@@ -148,12 +286,30 @@ class StoreCore {
     return n;
   }
 
+  [[nodiscard]] std::uint64_t log_entries_resident() const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_) n += s->stats().log_entries;
+    return n;
+  }
+
  protected:
   static constexpr bool kPollableInbox =
       requires(Net& net, ProcessId p) { net.inbox(p).try_pop(); };
   static constexpr bool kCrashAware = requires(const Net& net, ProcessId p) {
     { net.crashed(p) } -> std::convertible_to<bool>;
   };
+  static constexpr bool kInFlightAware =
+      requires(const Net& net, ProcessId p) {
+        { net.in_flight_from(p) } -> std::convertible_to<std::uint64_t>;
+      };
+  static constexpr bool kPointToPoint =
+      requires(Net& net, ProcessId a, ProcessId b, const Envelope& e) {
+        net.send(a, b, e);
+      };
+  static constexpr bool kEpochAware = requires(const Net& net, ProcessId p) {
+    { net.epoch(p) } -> std::convertible_to<std::uint64_t>;
+  };
+  static constexpr bool kCatchupCapable = kPointToPoint && kEpochAware;
 
   enum class FlushCause { kWindowFull, kManual };
 
@@ -161,10 +317,14 @@ class StoreCore {
     const std::size_t n = pending_.entries.size();
     if constexpr (kCrashAware) {
       if (net_->crashed(pid_)) {
-        // Crash-stop: the buffered updates die with the sender; neither
-        // the flush nor its bytes are counted (nothing hit the wire).
+        // Crash-stop: the buffered updates die with the sender. Counted
+        // as dropped — not as sent, not as flushed — and the seq is not
+        // consumed, so a restarted incarnation's stream starts clean and
+        // nothing is double-counted in envelopes_sent.
+        ++stats_.envelopes_dropped_crash;
+        stats_.entries_dropped_crash += n;
         pending_ = Envelope{};
-        return n;
+        return 0;
       }
     }
     if (cause == FlushCause::kWindowFull) {
@@ -172,7 +332,14 @@ class StoreCore {
     } else {
       ++stats_.flushes_manual;
     }
+    pending_.epoch = epoch_;
     pending_.seq = next_seq_++;
+    // Piggybacked unconditionally: the ack is receiver-side knowledge
+    // ("under FIFO, I now hold everything this sender stamped <= t"),
+    // so even a gc=false store must ship it — otherwise one such store
+    // in a compacting cluster would pin every peer's floor at zero.
+    pending_.ack_clock = clock_.now();
+    last_ack_clock_ = pending_.ack_clock;
     stats_.envelopes_sent += 1;
     stats_.entries_sent += n;
     stats_.bytes_batched += wire_size(pending_);
@@ -183,6 +350,21 @@ class StoreCore {
   }
 
   void deliver(ProcessId from, const Envelope& e) {
+    switch (e.kind) {
+      case EnvelopeKind::kSyncRequest:
+        // p2p kinds reuse `seq` as the sync round token (they are not
+        // part of the sender's broadcast stream).
+        if constexpr (kCatchupCapable) serve_sync(from, e.seq);
+        return;
+      case EnvelopeKind::kShardSnapshot:
+        if constexpr (kCatchupCapable) {
+          if (e.snapshot) install_snapshot(from, *e.snapshot, e.seq);
+        }
+        return;
+      case EnvelopeKind::kBatch:
+        break;
+    }
+    note_stream(from, e);
     for (const Entry& entry : e.entries) {
       auto& rep = shard_of(entry.key).replica(entry.key);
       const std::uint64_t dups_before = rep.stats().duplicate_updates;
@@ -192,15 +374,296 @@ class StoreCore {
         ++stats_.duplicate_entries;
       }
     }
+    if (stability_ && e.ack_clock > 0) {
+      stability_->observe_ack(from, e.ack_clock);
+    }
   }
+
+  // ----- recovery internals --------------------------------------------
+
+  void send_sync_request(ProcessId donor) {
+    if constexpr (kCatchupCapable) {
+      const std::uint64_t round =
+          session_.begin(donor, shards_.size(), net_->size());
+      last_progress_mark_ = session_.progress();
+      resync_needed_ = false;
+      ++stats_.sync_requests_sent;
+      Envelope req;
+      req.kind = EnvelopeKind::kSyncRequest;
+      req.epoch = epoch_;
+      req.seq = round;  // echoed on every snapshot of the batch
+      net_->send(pid_, donor, req);
+    } else {
+      (void)donor;
+    }
+  }
+
+  /// Donor side: compact, then ship one ShardSnapshot per shard (p2p),
+  /// each echoing the requester's round token.
+  void serve_sync(ProcessId requester, std::uint64_t round) {
+    if constexpr (kCatchupCapable) {
+      if (requester == pid_ || requester >= net_->size()) return;
+      // A donor with an open catch-up session must not serve. Awaiting:
+      // its bases are incomplete. Guarding is no better: build_coverage
+      // advertises each sender's prefix up to last_seq, but a guarding
+      // store has not yet *verified* that it holds the [0, first_seq)
+      // part of those streams — serving would let a second joiner
+      // falsely verify a stream whose gap entries this store is itself
+      // still chasing, and retire into silent divergence. Defer; the
+      // requester's stall retry rotates to another donor.
+      if (session_.active()) return;
+      ++stats_.sync_requests_served;
+      (void)collect_garbage();  // snapshots ship base + unstable suffix
+      const auto coverage = build_coverage();
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        auto snap = std::make_shared<Snapshot>(
+            encode_shard_snapshot(*shards_[i], i, shards_.size()));
+        snap->donor_clock = clock_.now();
+        if (stability_) snap->donor_rows = stability_->rows();
+        snap->coverage = coverage;
+        stats_.snapshot_entries_served += snap->suffix_entries();
+        ++stats_.snapshots_served;
+        Envelope env;
+        env.kind = EnvelopeKind::kShardSnapshot;
+        env.epoch = epoch_;
+        env.seq = round;
+        env.snapshot = std::move(snap);
+        stats_.snapshot_bytes_served += wire_size(env);
+        net_->send(pid_, requester, env);
+      }
+    }
+  }
+
+  /// Joiner side: adopt the donor's compacted state and bookkeeping.
+  void install_snapshot(ProcessId from, const Snapshot& snap,
+                        std::uint64_t round) {
+    (void)from;  // the payload carries its own provenance (stamp pids)
+    UCW_CHECK_MSG(snap.shard_count == shards_.size(),
+                  "snapshot from a store with a different shard_count");
+    UCW_CHECK(snap.shard_index < shards_.size());
+    ++stats_.snapshots_installed;
+    // Re-base the clock first: stamps issued from here on clear
+    // everything the snapshot covers (including this process's own
+    // pre-crash stream — the network model drains an incarnation before
+    // its pid may restart, so the donor clock dominates it). The donor
+    // *rows* must be observed too, not just its clock: the old
+    // incarnation can have burned clock values no stamp ever used
+    // (query ticks, ack heartbeats), and peers' fold floors track those
+    // via rows[us] — a fresh stamp at or below such a floor would be
+    // absorbed there as a folded-entry redelivery. Drain-before-restart
+    // guarantees every old ack reached the donor, so its rows dominate
+    // them; over-observing is always safe for a Lamport clock.
+    clock_.observe(snap.donor_clock);
+    for (const LogicalTime r : snap.donor_rows) clock_.observe(r);
+    bootstrapping_ = false;
+    any_snapshot_installed_ = true;
+    for (const auto& ks : snap.keys) {
+      auto& rep = shard_of(ks.key).replica(ks.key);
+      const LogicalTime floor_before = rep.log().floor();
+      stats_.catchup_entries += install_key_snapshot(rep, ks);
+      if (rep.log().floor() > floor_before) ++stats_.catchup_keys;
+    }
+    shards_[snap.shard_index]->note_snapshot_installed();
+    // Stale rounds (duplicates, batches overtaken by a retry) installed
+    // their data above but must not satisfy the current round — retiring
+    // on an old batch would let GC fold ahead of the fresh batch still
+    // in flight and make its installs refusable.
+    if (session_.active() && round == session_.round()) {
+      session_.merge_coverage(snap.coverage);
+      (void)session_.note_shard_installed(snap.shard_index);
+      if (!session_.awaiting() && stability_ && !snap.donor_rows.empty()) {
+        // Adopt the donor's stability rows only once this round's batch
+        // is complete: the rows claim "everything below them is covered
+        // here", which the round's snapshots only deliver in full. A
+        // partial round's rows (donor crashed mid-batch) would raise
+        // the floor past entries neither installed nor yet delivered
+        // and GC would fold over them. Every snapshot of a round
+        // carries the same rows, so adopting from the last-arriving one
+        // is exactly the serve-time knowledge.
+        stability_->adopt(snap.donor_rows);
+        stability_->advance_self(clock_.now());
+      }
+      reevaluate_session();
+    }
+  }
+
+  /// Tracks each sender's live (epoch, seq) stream; a fresh incarnation
+  /// or the first envelope after a (re)start re-arms the catch-up gap
+  /// check for that sender.
+  void note_stream(ProcessId from, const Envelope& e) {
+    if (from >= peers_.size()) return;
+    PeerStream& ps = peers_[from];
+    if (!ps.any || e.epoch > ps.epoch) {
+      ps.any = true;
+      ps.epoch = e.epoch;
+      ps.first_seq = e.seq;
+      ps.last_seq = e.seq;
+      if (session_.active()) reevaluate_session();
+    } else if (e.epoch == ps.epoch && e.seq > ps.last_seq) {
+      ps.last_seq = e.seq;
+    }
+  }
+
+  void reevaluate_session() {
+    if constexpr (kCatchupCapable) {
+      std::vector<PeerStreamView> views;
+      views.reserve(peers_.size());
+      for (const PeerStream& ps : peers_) {
+        views.push_back(PeerStreamView{ps.any, ps.epoch, ps.first_seq});
+      }
+      if (session_.reevaluate(pid_, views)) resync_needed_ = true;
+      if (session_.try_retire()) ++stats_.syncs_completed;
+    }
+  }
+
+  /// Flush-tick pacing of catch-up retries: a detected gap, or a session
+  /// that made no progress since the last tick (lost request, crashed
+  /// donor), re-requests — possibly from a new donor.
+  void sync_housekeeping() {
+    if constexpr (kCatchupCapable) {
+      if (!session_.active()) return;
+      // No progress for `sync_patience_ticks` re-requests. Awaiting:
+      // the request or a snapshot was lost (crashed donor, or a donor
+      // deferring because it is mid-sync itself). Guarding: some stream
+      // is still unverified — usually its next live envelope settles it
+      // within a tick, but a sender that went quiet (or crashed) after
+      // an envelope of its was dropped here can only be resolved by a
+      // re-serve with refreshed coverage, whose `drained` bit proves
+      // the stream settled once nothing of it is in flight. Retries
+      // therefore terminate: each re-serve either closes the gap or
+      // the stream settles.
+      if (session_.stalled_since(last_progress_mark_)) {
+        ++stall_ticks_;
+      } else {
+        stall_ticks_ = 0;
+      }
+      last_progress_mark_ = session_.progress();
+      const bool stalled = stall_ticks_ >= config_.sync_patience_ticks;
+      if (!resync_needed_ && !stalled) return;
+      // Gap retries go back to the same donor (it will have the missing
+      // envelopes eventually). A stall rotates to the next live donor:
+      // the current one may be crashed, or deferring because it is
+      // mid-sync itself — two concurrently recovering stores must not
+      // retry into each other forever.
+      ProcessId donor = session_.donor();
+      if (stalled) {
+        bool found = false;
+        for (std::size_t step = 1; step <= net_->size(); ++step) {
+          const auto q = static_cast<ProcessId>(
+              (session_.donor() + step) % net_->size());
+          if (q == pid_) continue;
+          if constexpr (kCrashAware) {
+            if (net_->crashed(q)) continue;
+          }
+          donor = q;
+          found = true;
+          break;
+        }
+        if (!found) {
+          session_.abandon();  // nobody left to sync from
+          bootstrapping_ = false;
+          return;
+        }
+      }
+      stall_ticks_ = 0;
+      ++stats_.sync_retries;
+      send_sync_request(donor);  // opens the next round
+    }
+  }
+
+  /// Ack heartbeat: without one, a process that updates rarely (or only
+  /// reads) would pin everyone's stability floor. Sent only when the
+  /// clock moved since the last ack this store shipped.
+  void maybe_send_ack() {
+    if (!stability_) return;
+    if (clock_.now() == last_ack_clock_) return;
+    if constexpr (kCrashAware) {
+      if (net_->crashed(pid_)) return;
+    }
+    Envelope ack;
+    ack.kind = EnvelopeKind::kBatch;
+    ack.epoch = epoch_;
+    ack.seq = next_seq_++;
+    ack.ack_clock = clock_.now();
+    last_ack_clock_ = ack.ack_clock;
+    ++stats_.acks_sent;
+    net_->broadcast_others(pid_, ack);
+  }
+
+  /// Mirrors the transport's failure knowledge into the tracker. A
+  /// crashed process is only declared once nothing of it can still be
+  /// in flight (otherwise a straggler could land below the fold floor);
+  /// hearing that a pid is back (restart) re-arms its row.
+  void refresh_crash_knowledge() {
+    if constexpr (kCrashAware) {
+      for (ProcessId q = 0; q < net_->size(); ++q) {
+        if (q == pid_) continue;
+        if (!net_->crashed(q)) {
+          stability_->set_crashed(q, false);
+        } else if constexpr (kInFlightAware) {
+          if (net_->in_flight_from(q) == 0) {
+            stability_->set_crashed(q, true);
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<StreamCoverage> build_coverage() const {
+    std::vector<StreamCoverage> cov(peers_.size());
+    for (ProcessId q = 0; q < peers_.size(); ++q) {
+      if (q == pid_) {
+        cov[q].any = next_seq_ > 0;
+        cov[q].epoch = epoch_;
+        cov[q].seq = next_seq_ > 0 ? next_seq_ - 1 : 0;
+        // Our own stream is trivially complete here: the local log holds
+        // everything we ever broadcast, so the snapshot covers it, and
+        // anything of ours still in flight reaches the (alive) requester
+        // directly. Without this, a joiner in a quiet cluster could
+        // never verify its donor's stream and would re-request forever.
+        cov[q].drained = true;
+        continue;
+      }
+      const PeerStream& ps = peers_[q];
+      cov[q].any = ps.any;
+      cov[q].epoch = ps.epoch;
+      cov[q].seq = ps.last_seq;
+      if constexpr (kInFlightAware) {
+        // Settled stream (crashed or merely silent): with nothing of q
+        // in flight, this store's prefix is q's complete output so far.
+        cov[q].drained = net_->in_flight_from(q) == 0;
+      }
+    }
+    return cov;
+  }
+
+  /// One sender's live stream as observed here since (re)start.
+  struct PeerStream {
+    bool any = false;
+    std::uint64_t epoch = 0;
+    std::uint64_t first_seq = 0;
+    std::uint64_t last_seq = 0;
+  };
 
   A adt_;
   ProcessId pid_;
   StoreConfig config_;
   Net* net_;
+  LamportClock clock_;  ///< store-wide; shared by every keyed replica
+  std::optional<StoreStabilityTracker> stability_;
+  CatchupSession session_;
+  std::vector<PeerStream> peers_;
   std::vector<std::unique_ptr<Shard>> shards_;
   Envelope pending_;
+  std::uint64_t epoch_ = 0;
   std::uint64_t next_seq_ = 0;
+  LogicalTime last_ack_clock_ = 0;
+  LogicalTime gc_floor_ = 0;
+  std::uint64_t last_progress_mark_ = 0;
+  std::size_t stall_ticks_ = 0;
+  bool resync_needed_ = false;
+  bool bootstrapping_ = false;
+  bool any_snapshot_installed_ = false;
   StoreStats stats_;
 };
 

@@ -6,6 +6,12 @@
 // is exactly the broadcast count the unbatched store would have issued,
 // so `entries_sent / envelopes_sent` is both the mean batch occupancy
 // and the broadcast-reduction factor.
+//
+// The recovery counters answer the subsystem's two questions: how much
+// log did store-level stability fold (gc_*, stability_floor_lag — the
+// unstable window a snapshot would have to ship), and how much did a
+// catch-up actually transfer (catchup_* / snapshot_*) versus the full
+// history a log-replay rejoin would replay.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +35,35 @@ struct StoreStats {
   std::uint64_t flushes_manual = 0;   ///< explicit flush()/tick
   std::uint64_t bytes_batched = 0;    ///< est. wire bytes actually sent
   std::uint64_t bytes_unbatched = 0;  ///< est. bytes one-per-update would cost
+
+  // -- crash accounting (crash-stop: buffered updates die, uncounted
+  //    above — nothing hit the wire, nothing double-counts on restart).
+  std::uint64_t envelopes_dropped_crash = 0;
+  std::uint64_t entries_dropped_crash = 0;
+
+  // -- store-level stability / GC.
+  std::uint64_t gc_runs = 0;          ///< sweeps that folded something
+  std::uint64_t gc_folded = 0;        ///< log entries folded, all keys
+  std::uint64_t acks_sent = 0;        ///< ack heartbeats (no entries)
+  LogicalTime stability_floor = 0;    ///< last pushed-down fold floor
+  LogicalTime stability_floor_lag = 0;  ///< own clock − floor (unstable window)
+
+  // -- catch-up / snapshot shipping.
+  std::uint64_t sync_requests_sent = 0;
+  std::uint64_t sync_requests_served = 0;
+  std::uint64_t sync_retries = 0;       ///< gap or stall re-requests
+  std::uint64_t syncs_completed = 0;    ///< sessions verified + retired
+  std::uint64_t snapshots_served = 0;   ///< ShardSnapshots shipped out
+  std::uint64_t snapshots_installed = 0;
+  std::uint64_t snapshot_entries_served = 0;  ///< suffix entries shipped
+  /// Est. wire bytes of served snapshots (bases sized by live-state
+  /// element count + suffixes) — the transfer cost of playing donor.
+  std::uint64_t snapshot_bytes_served = 0;
+  /// Key installs that raised a per-key floor — cumulative across sync
+  /// rounds, so a key re-shipped by a retry counts again (this measures
+  /// transfer volume, not distinct keys; it can exceed the keyspace).
+  std::uint64_t catchup_keys = 0;
+  std::uint64_t catchup_entries = 0;  ///< suffix entries replayed on install
 
   /// Mean keyed updates per envelope (== broadcast-reduction factor).
   [[nodiscard]] double batch_occupancy() const {
@@ -55,7 +90,7 @@ inline void print_store_table(std::ostream& os,
   TextTable t({"process", "updates", "queries", "envelopes", "entries",
                "occupancy", "bytes sent (est)", "bytes saved"});
   // Signed: an envelope carrying a single entry costs a few bytes *more*
-  // than a bare message (the seq field), so low-occupancy rows go
+  // than a bare message (the header fields), so low-occupancy rows go
   // slightly negative instead of wrapping.
   const auto saved = [](const StoreStats& s) {
     return static_cast<std::int64_t>(s.bytes_unbatched) -
@@ -79,7 +114,46 @@ inline void print_store_table(std::ostream& os,
   t.print(os);
   os << "network: " << net.broadcasts << " broadcasts, "
      << net.messages_sent << " p2p messages, " << net.messages_delivered
-     << " delivered, " << net.messages_duplicated << " duplicated\n";
+     << " delivered, " << net.messages_duplicated << " duplicated, "
+     << net.restarts << " restarts\n";
+}
+
+/// One row per process of recovery activity: GC folds, the stability
+/// floor and its lag (the unstable window), ack heartbeats, and the
+/// catch-up traffic in both roles (donor / joiner).
+inline void print_recovery_table(
+    std::ostream& os, const std::vector<StoreStats>& per_process) {
+  TextTable t({"process", "gc folded", "floor", "floor lag", "acks",
+               "sync req", "sync served", "retries", "snaps out",
+               "snap bytes", "snaps in", "catchup keys",
+               "catchup entries", "dropped@crash"});
+  StoreStats total;
+  for (std::size_t p = 0; p < per_process.size(); ++p) {
+    const StoreStats& s = per_process[p];
+    t.add(p, s.gc_folded, s.stability_floor, s.stability_floor_lag,
+          s.acks_sent, s.sync_requests_sent, s.sync_requests_served,
+          s.sync_retries, s.snapshots_served, s.snapshot_bytes_served,
+          s.snapshots_installed, s.catchup_keys, s.catchup_entries,
+          s.entries_dropped_crash);
+    total.gc_folded += s.gc_folded;
+    total.acks_sent += s.acks_sent;
+    total.sync_requests_sent += s.sync_requests_sent;
+    total.sync_requests_served += s.sync_requests_served;
+    total.sync_retries += s.sync_retries;
+    total.snapshots_served += s.snapshots_served;
+    total.snapshot_bytes_served += s.snapshot_bytes_served;
+    total.snapshots_installed += s.snapshots_installed;
+    total.catchup_keys += s.catchup_keys;
+    total.catchup_entries += s.catchup_entries;
+    total.entries_dropped_crash += s.entries_dropped_crash;
+  }
+  t.add("total", total.gc_folded, "-", "-", total.acks_sent,
+        total.sync_requests_sent, total.sync_requests_served,
+        total.sync_retries, total.snapshots_served,
+        total.snapshot_bytes_served, total.snapshots_installed,
+        total.catchup_keys, total.catchup_entries,
+        total.entries_dropped_crash);
+  t.print(os);
 }
 
 /// Renders one row per shard plus a totals row, matching the table style
@@ -87,22 +161,28 @@ inline void print_store_table(std::ostream& os,
 inline void print_shard_table(std::ostream& os,
                               const std::vector<ShardStats>& shards) {
   TextTable t({"shard", "keys", "local", "remote", "dup", "queries",
-               "log entries", "~bytes"});
+               "log entries", "gc folded", "snap out", "snap in",
+               "~bytes"});
   ShardStats total;
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const ShardStats& s = shards[i];
     t.add(i, s.keys_live, s.local_updates, s.remote_updates,
-          s.duplicate_updates, s.queries, s.log_entries, s.approx_bytes);
+          s.duplicate_updates, s.queries, s.log_entries, s.gc_folded,
+          s.snapshots_exported, s.snapshots_installed, s.approx_bytes);
     total.keys_live += s.keys_live;
     total.local_updates += s.local_updates;
     total.remote_updates += s.remote_updates;
     total.duplicate_updates += s.duplicate_updates;
     total.queries += s.queries;
     total.log_entries += s.log_entries;
+    total.gc_folded += s.gc_folded;
+    total.snapshots_exported += s.snapshots_exported;
+    total.snapshots_installed += s.snapshots_installed;
     total.approx_bytes += s.approx_bytes;
   }
   t.add("total", total.keys_live, total.local_updates, total.remote_updates,
         total.duplicate_updates, total.queries, total.log_entries,
+        total.gc_folded, total.snapshots_exported, total.snapshots_installed,
         total.approx_bytes);
   t.print(os);
 }

@@ -195,6 +195,9 @@ TEST(SimUcStoreTest, CrashedSenderShipsNothingButStaysLocallyUsable) {
   EXPECT_EQ(a.stats().envelopes_sent, 0u);
   EXPECT_EQ(a.stats().entries_sent, 0u);
   EXPECT_EQ(a.pending(), 0u);  // buffered updates died with the sender
+  EXPECT_EQ(a.stats().envelopes_dropped_crash, 1u);
+  EXPECT_EQ(a.stats().entries_dropped_crash, 1u);
+  EXPECT_EQ(a.flush(), 0u);  // dropped entries are not "flushed" either
   EXPECT_EQ(b.query("k", S::read()), (std::set<int>{}));
   // The crashed process's *local* object still works (crash-stop models
   // it as silent, not corrupted).
@@ -320,11 +323,16 @@ TEST(EnvelopeTest, WireSizeAccountsFrameOncePerEnvelope) {
   BatchEnvelope<S> e;
   e.entries.push_back({"alpha", UpdateMessage<S>{{1, 0}, S::insert(1), {}}});
   e.entries.push_back({"beta", UpdateMessage<S>{{2, 0}, S::insert(2), {}}});
-  const std::size_t batched = wire_size(e);
-  const std::size_t unbatched = unbatched_wire_size(e);
+  e.entries.push_back({"gamma", UpdateMessage<S>{{3, 0}, S::insert(3), {}}});
+  const auto batched = static_cast<std::int64_t>(wire_size(e));
+  const auto unbatched = static_cast<std::int64_t>(unbatched_wire_size(e));
   EXPECT_LT(batched, unbatched);
+  // The frame is paid once per envelope instead of once per entry; the
+  // envelope header (kind, epoch, seq, ack clock) is paid once total.
   EXPECT_EQ(unbatched - batched,
-            kFrameOverheadBytes * (e.entries.size() - 1) - sizeof(e.seq));
+            static_cast<std::int64_t>(
+                kFrameOverheadBytes * (e.entries.size() - 1)) -
+                static_cast<std::int64_t>(kEnvelopeHeaderBytes));
 }
 
 }  // namespace
