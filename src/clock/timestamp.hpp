@@ -7,6 +7,7 @@
 // total — it is the arbitration order all replicas converge on.
 #pragma once
 
+#include <atomic>
 #include <compare>
 #include <cstdint>
 #include <ostream>
@@ -68,6 +69,44 @@ class LamportClock {
  private:
   ProcessId pid_;
   LogicalTime time_ = 0;
+};
+
+/// Thread-safe Lamport clock: the store-wide clock every keyed replica
+/// of a process stamps from, shareable across the shard engines of a
+/// worker pool. `tick()` is a fetch-add (stamps stay unique and
+/// monotone per process even when the API thread stamps while worker
+/// threads merge remote clocks) and `observe()` is a CAS-max. All
+/// orderings are relaxed: the clock value itself is the only datum, and
+/// per-key arbitration needs only uniqueness plus per-process
+/// monotonicity of stamps, both of which the fetch-add provides.
+/// Single-threaded use (the Sim transport) behaves bit-for-bit like
+/// LamportClock.
+class AtomicLamportClock {
+ public:
+  explicit AtomicLamportClock(ProcessId pid) : pid_(pid) {}
+
+  /// Advances the clock and returns the stamp for a new local event.
+  [[nodiscard]] Stamp tick() {
+    return Stamp{time_.fetch_add(1, std::memory_order_relaxed) + 1, pid_};
+  }
+
+  /// Merges a remote logical time (CAS-max).
+  void observe(LogicalTime remote) {
+    LogicalTime cur = time_.load(std::memory_order_relaxed);
+    while (remote > cur && !time_.compare_exchange_weak(
+                               cur, remote, std::memory_order_relaxed)) {
+    }
+  }
+  void observe(const Stamp& remote) { observe(remote.clock); }
+
+  [[nodiscard]] LogicalTime now() const {
+    return time_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] ProcessId pid() const { return pid_; }
+
+ private:
+  ProcessId pid_;
+  std::atomic<LogicalTime> time_{0};
 };
 
 }  // namespace ucw

@@ -76,8 +76,12 @@ class ReplayReplica {
     /// stream a process emits, which is what lets stability (and thus GC
     /// and snapshot floors) be tracked once per process instead of once
     /// per key. Still a valid Lamport clock per key, so per-key
-    /// arbitration (Theorem 2) is untouched. Not owned.
-    LamportClock* shared_clock = nullptr;
+    /// arbitration (Theorem 2) is untouched. Atomic so that the shard
+    /// engines of a worker pool — each replica still single-owner, but
+    /// owners spread across threads — can tick and merge it without
+    /// coordination; the replica itself is an engine-local view over
+    /// this store clock. Not owned.
+    AtomicLamportClock* shared_clock = nullptr;
     /// Tolerate arrivals at or below the GC floor by absorbing them as
     /// duplicates instead of failing loudly. Only sound when the floor
     /// provably covers every entry this replica ever received (the
@@ -103,18 +107,31 @@ class ReplayReplica {
   [[nodiscard]] const A& adt() const { return adt_; }
   [[nodiscard]] const ReplicaStats& stats() const { return stats_; }
   [[nodiscard]] const StampedLog<A>& log() const { return log_; }
-  [[nodiscard]] LogicalTime clock_now() const { return clk().now(); }
+  [[nodiscard]] LogicalTime clock_now() const {
+    return config_.shared_clock ? config_.shared_clock->now() : clock_.now();
+  }
 
   /// Algorithm 1, update(u): ticks the clock and returns the message the
   /// caller must reliably broadcast (including back to this replica via
   /// apply(), which SimUcObject does synchronously).
   [[nodiscard]] UpdateMessage<A> local_update(typename A::Update u) {
     ++stats_.local_updates;
-    const Stamp stamp = clk().tick();
+    const Stamp stamp = tick_clock();
     if (stability_) {
       stability_->advance_self(stamp.clock);
     }
     return UpdateMessage<A>{stamp, std::move(u), {}};
+  }
+
+  /// Applies a locally issued update that was already stamped from the
+  /// shared store clock. The store router stamps at update() time —
+  /// possibly on a different thread than the engine owning this replica
+  /// (the atomic clock makes that sound) — so the replica only has to
+  /// account and self-deliver.
+  void apply_local(const UpdateMessage<A>& m) {
+    ++stats_.local_updates;
+    if (stability_) stability_->advance_self(m.stamp.clock);
+    apply(pid_, m);
   }
 
   /// Algorithm 1, on receive: merges the clock and inserts into the log.
@@ -126,7 +143,7 @@ class ReplayReplica {
   /// about what is still in flight towards *us*, and folding past an
   /// in-flight stamp would break convergence.
   void apply(ProcessId from, const UpdateMessage<A>& m) {
-    clk().observe(m.stamp);
+    observe_clock(m.stamp.clock);
     if (from != pid_) ++stats_.remote_updates;
     if (stability_) {
       // FIFO links make "max clock received from `from`" equal to
@@ -160,7 +177,7 @@ class ReplayReplica {
   [[nodiscard]] std::pair<typename A::QueryOut, Stamp> query_with_stamp(
       const typename A::QueryIn& qi) {
     ++stats_.queries;
-    const Stamp stamp = clk().tick();
+    const Stamp stamp = tick_clock();
     return {adt_.output(current_state(), qi), stamp};
   }
 
@@ -243,7 +260,7 @@ class ReplayReplica {
   bool install_base(typename A::State base, LogicalTime floor) {
     if (!log_.install_base(std::move(base), floor)) return false;
     ++stats_.base_installs;
-    clk().observe(floor);  // new local stamps must clear the folded prefix
+    observe_clock(floor);  // new local stamps must clear the folded prefix
     snapshots_.clear();
     cache_ = log_.base_state();
     cache_len_ = 0;
@@ -251,11 +268,18 @@ class ReplayReplica {
   }
 
  private:
-  [[nodiscard]] LamportClock& clk() {
-    return config_.shared_clock ? *config_.shared_clock : clock_;
+  // Engine-local view over the clock: the shared atomic store clock
+  // when configured, else the replica's own sequential one.
+  [[nodiscard]] Stamp tick_clock() {
+    return config_.shared_clock ? config_.shared_clock->tick()
+                                : clock_.tick();
   }
-  [[nodiscard]] const LamportClock& clk() const {
-    return config_.shared_clock ? *config_.shared_clock : clock_;
+  void observe_clock(LogicalTime t) {
+    if (config_.shared_clock) {
+      config_.shared_clock->observe(t);
+    } else {
+      clock_.observe(t);
+    }
   }
 
   void on_inserted(std::size_t pos) {

@@ -66,6 +66,10 @@ template <UqAdt A>
 struct StoreRunOutput {
   NetworkStats net;
   std::vector<StoreStats> store_stats;        ///< per process
+  /// Per process, per shard engine — exposes the per-engine view
+  /// (chosen adaptive batch window, GC folds, resident log) the
+  /// aggregate StoreStats rows flatten away.
+  std::vector<std::vector<ShardStats>> shard_stats;
   std::uint64_t total_updates = 0;
   std::uint64_t total_queries = 0;
   std::size_t keys_touched = 0;               ///< union across alive stores
@@ -252,6 +256,7 @@ template <UqAdt A, typename GenFn>
   out.net = net.stats();
   for (ProcessId p = 0; p < cfg.n_processes; ++p) {
     out.store_stats.push_back(stores[p]->stats());
+    out.shard_stats.push_back(stores[p]->shard_stats());
     if (!net.crashed(p)) {
       out.log_entries_resident += stores[p]->log_entries_resident();
     }

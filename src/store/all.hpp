@@ -3,6 +3,8 @@
 
 #include "store/envelope.hpp"
 #include "store/shard.hpp"
+#include "store/shard_engine.hpp"
 #include "store/store_stats.hpp"
 #include "store/thread_store.hpp"
 #include "store/uc_store.hpp"
+#include "store/worker_pool.hpp"

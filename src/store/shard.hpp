@@ -25,7 +25,29 @@ namespace ucw {
 struct StoreConfig {
   std::size_t shard_count = 16;
   /// Keyed updates buffered before an automatic flush; 1 = unbatched.
+  /// With `adaptive_window` this is the *cap* the per-engine windows
+  /// adapt under.
   std::size_t batch_window = 8;
+  /// Worker threads a pooled ThreadUcStore spreads its shard engines
+  /// across (shard → worker by index modulo workers, so the assignment
+  /// is a pure function of key and config — stable across restarts).
+  /// 1 = the classic single-owner store; Sim stores are always 1.
+  std::size_t workers = 1;
+  /// Nagle-style adaptive batch windows: each shard engine sizes its
+  /// flush window from an EWMA of the updates it observed per flush
+  /// tick, clamped to [1, batch_window]. The flush tick is the latency
+  /// bound — a window larger than one tick's traffic cannot fill before
+  /// the tick ships it anyway, so a cold engine shrinks toward 1 (its
+  /// lone update ships immediately instead of waiting out the tick)
+  /// while a hot engine grows back toward the cap.
+  bool adaptive_window = false;
+  /// Shard engines folded per GC sweep — the incremental cursor that
+  /// replaces the O(all keys) walk: each flush tick folds at most this
+  /// many *dirty* engines (engines holding entries at or below the
+  /// stability floor), resuming round-robin where the last sweep
+  /// stopped. 0 = fold every dirty engine each sweep. Clean engines are
+  /// skipped in O(1) either way.
+  std::size_t gc_engines_per_sweep = 0;
   ReplayPolicy policy = ReplayPolicy::CachedPrefix;
   std::size_t snapshot_interval = 64;
   /// Store-level stability tracking + log compaction: folds the
@@ -49,6 +71,10 @@ struct StoreConfig {
 /// store_stats.hpp).
 struct ShardStats {
   std::size_t keys_live = 0;         ///< replicas instantiated
+  /// The engine's current flush window (== StoreConfig::batch_window
+  /// unless adaptive windows chose a smaller one). 0 when the stats
+  /// come from a bare StoreShard with no engine above it.
+  std::size_t batch_window = 0;
   std::uint64_t local_updates = 0;   ///< across all keys in the shard
   std::uint64_t remote_updates = 0;
   std::uint64_t duplicate_updates = 0;

@@ -1,0 +1,251 @@
+// ShardEngine: everything the store owns *per shard*, behind one owner.
+//
+// Algorithm 1's wait-freedom means per-key replicas never coordinate,
+// and nothing in update consistency arbitrates across keys — shards are
+// embarrassingly parallel. The engine is the unit that exploits that:
+// it owns the shard's key→replica map, its batch buffer and flush
+// window, its slice of the GC fold, and snapshot serve/install for its
+// keys. One *owner* (the Sim store's single thread, or one worker of a
+// ThreadUcStore pool) drives an engine at a time; the only state shared
+// across owners is the atomic store clock the replicas stamp from, two
+// relaxed mirror counters (pending size, distinct applies) that other
+// threads may read, and the router-held stability tracker the engine
+// never touches — per-engine output (batches, fold results) is drained
+// by whoever owns the flush, which is what keeps the single-owner
+// discipline intact while engines spread across cores.
+//
+// The engine also hosts the two per-shard optimizations the monolithic
+// StoreCore could not express:
+//
+//   * adaptive batch windows — a Nagle-style EWMA of updates observed
+//     per flush tick sizes the window under the configured cap, so a
+//     cold shard ships its lone update immediately instead of waiting
+//     out the tick while a hot shard batches to the cap;
+//   * the GC dirty cursor — the engine tracks the minimum stamp of any
+//     entry it holds that has not been folded, so a sweep can skip
+//     clean engines in O(1) instead of walking every key of the store.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/replica.hpp"
+#include "recovery/catchup.hpp"
+#include "store/envelope.hpp"
+#include "store/shard.hpp"
+
+namespace ucw {
+
+template <UqAdt A, typename Key = std::string>
+class ShardEngine {
+ public:
+  using Entry = KeyedUpdate<A, Key>;
+  using Shard = StoreShard<A, Key>;
+  using Snapshot = ShardSnapshot<A, Key>;
+
+  ShardEngine(const A& adt, ProcessId pid, std::size_t index,
+              const StoreConfig& config,
+              const typename ReplayReplica<A>::Config& rep_cfg)
+      : adt_(adt),
+        index_(index),
+        window_(config.batch_window),
+        window_cap_(config.batch_window),
+        adaptive_(config.adaptive_window),
+        shard_(adt, pid, rep_cfg) {}
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  [[nodiscard]] std::size_t index() const { return index_; }
+  [[nodiscard]] Shard& shard() { return shard_; }
+  [[nodiscard]] const Shard& shard() const { return shard_; }
+
+  // ----- operation surface (owner thread only) -------------------------
+
+  /// Applies a locally issued, pre-stamped update to its replica
+  /// (synchronous self-delivery) and buffers it for the next flush.
+  void local_update(const Key& key, UpdateMessage<A> msg) {
+    note_stamp(msg.stamp.clock);
+    shard_.replica(key).apply_local(msg);
+    ++local_updates_;
+    ++updates_this_tick_;
+    pending_.push_back(Entry{key, std::move(msg)});
+    pending_count_.store(pending_.size(), std::memory_order_relaxed);
+    applied_distinct_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Applies one keyed update from a remote envelope; returns true when
+  /// the per-key log absorbed it as a replay.
+  bool apply_remote(ProcessId from, const Key& key,
+                    const UpdateMessage<A>& msg) {
+    auto& rep = shard_.replica(key);
+    const std::uint64_t dups_before = rep.stats().duplicate_updates;
+    rep.apply(from, msg);
+    ++remote_entries_;
+    if (rep.stats().duplicate_updates != dups_before) {
+      ++duplicate_entries_;
+      return true;
+    }
+    note_stamp(msg.stamp.clock);
+    applied_distinct_.fetch_add(1, std::memory_order_release);
+    return false;
+  }
+
+  [[nodiscard]] typename A::QueryOut query(const Key& key,
+                                           const typename A::QueryIn& qi) {
+    ++queries_;
+    if (auto* rep = shard_.find(key)) return rep->query(qi);
+    return adt_.output(adt_.initial(), qi);
+  }
+
+  [[nodiscard]] typename A::State state_of(const Key& key) {
+    if (auto* rep = shard_.find(key)) return rep->current_state();
+    return adt_.initial();
+  }
+
+  // ----- batch buffer --------------------------------------------------
+
+  /// Mirror of the buffer size; readable from any thread (relaxed).
+  [[nodiscard]] std::size_t pending_size() const {
+    return pending_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Whether this engine's buffer reached its (possibly adapted) window.
+  [[nodiscard]] bool window_filled() const {
+    return pending_.size() >= window_;
+  }
+
+  /// Moves the buffered entries into `out` (envelope assembly — the
+  /// flush owner carpools every engine it owns into one envelope).
+  void drain_pending(std::vector<Entry>& out) {
+    for (auto& e : pending_) out.push_back(std::move(e));
+    pending_.clear();
+    pending_count_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Crash-stop: the buffered updates die with the sender.
+  std::size_t drop_pending() {
+    const std::size_t n = pending_.size();
+    pending_.clear();
+    pending_count_.store(0, std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Flush tick: re-sizes the adaptive window from the updates observed
+  /// since the last tick (EWMA, clamped to [1, cap]; the tick period is
+  /// the implicit latency bound).
+  void on_flush_tick() {
+    if (adaptive_) {
+      const double observed = static_cast<double>(updates_this_tick_);
+      ewma_per_tick_ = ewma_per_tick_ < 0.0
+                           ? observed
+                           : 0.75 * ewma_per_tick_ + 0.25 * observed;
+      const auto target =
+          static_cast<std::size_t>(ewma_per_tick_ + 0.5);
+      window_ = target < 1 ? 1 : (target > window_cap_ ? window_cap_ : target);
+    }
+    updates_this_tick_ = 0;
+  }
+
+  [[nodiscard]] std::size_t window() const { return window_; }
+
+  // ----- GC (store-wide floor, engine-local fold) ----------------------
+
+  /// Whether this engine holds any unfolded entry at or below `floor` —
+  /// the dirty check that lets a sweep skip clean engines in O(1).
+  [[nodiscard]] bool gc_pending(LogicalTime floor) const {
+    return min_unfolded_ <= floor;
+  }
+
+  /// Folds every replica of this shard to `floor` and re-anchors the
+  /// dirty cursor at the smallest entry still resident.
+  std::size_t fold_to(LogicalTime floor) {
+    std::size_t folded = 0;
+    LogicalTime min_left = kNoUnfolded;
+    shard_.for_each([&](const Key&, ReplayReplica<A>& r) {
+      folded += r.fold_to(floor);
+      if (r.log().size() > 0) {
+        const LogicalTime head = r.log().at(0).stamp.clock;
+        if (head < min_left) min_left = head;
+      }
+    });
+    min_unfolded_ = min_left;
+    return folded;
+  }
+
+  // ----- snapshot serve / install --------------------------------------
+
+  [[nodiscard]] Snapshot encode_snapshot(std::size_t shard_count) {
+    return encode_shard_snapshot(shard_, index_, shard_count);
+  }
+
+  /// Installs one key of a catch-up snapshot; returns suffix entries
+  /// replayed and reports via `floor_raised` whether the key's compacted
+  /// prefix actually grew (the transfer-volume stat).
+  std::size_t install_key(const KeySnapshot<A, Key>& ks, bool* floor_raised) {
+    auto& rep = shard_.replica(ks.key);
+    const LogicalTime floor_before = rep.log().floor();
+    const std::size_t replayed = install_key_snapshot(rep, ks);
+    *floor_raised = rep.log().floor() > floor_before;
+    for (const auto& e : ks.suffix) note_stamp(e.stamp.clock);
+    return replayed;
+  }
+
+  void note_snapshot_installed() { shard_.note_snapshot_installed(); }
+
+  // ----- accounting ----------------------------------------------------
+
+  [[nodiscard]] std::uint64_t local_updates() const { return local_updates_; }
+  [[nodiscard]] std::uint64_t remote_entries() const {
+    return remote_entries_;
+  }
+  [[nodiscard]] std::uint64_t duplicate_entries() const {
+    return duplicate_entries_;
+  }
+  [[nodiscard]] std::uint64_t queries() const { return queries_; }
+
+  /// Distinct keyed updates applied from any source (replays excluded);
+  /// readable from any thread — the release pairs with the acquire in
+  /// drain barriers, so a reader that observed the count also observes
+  /// the replica state behind it.
+  [[nodiscard]] std::uint64_t applied_distinct() const {
+    return applied_distinct_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] ShardStats stats() const {
+    ShardStats s = shard_.stats();
+    s.batch_window = window_;
+    return s;
+  }
+
+ private:
+  static constexpr LogicalTime kNoUnfolded =
+      std::numeric_limits<LogicalTime>::max();
+
+  void note_stamp(LogicalTime t) {
+    if (t < min_unfolded_) min_unfolded_ = t;
+  }
+
+  A adt_;
+  std::size_t index_;
+  std::size_t window_;      ///< current flush window (adapted)
+  std::size_t window_cap_;  ///< == StoreConfig::batch_window
+  bool adaptive_;
+  double ewma_per_tick_ = -1.0;  ///< updates/tick EWMA; <0 = unseeded
+  std::uint64_t updates_this_tick_ = 0;
+  Shard shard_;
+  std::vector<Entry> pending_;
+  std::atomic<std::size_t> pending_count_{0};
+  LogicalTime min_unfolded_ = kNoUnfolded;  ///< GC dirty cursor anchor
+  std::uint64_t local_updates_ = 0;
+  std::uint64_t remote_entries_ = 0;
+  std::uint64_t duplicate_entries_ = 0;
+  std::uint64_t queries_ = 0;
+  std::atomic<std::uint64_t> applied_distinct_{0};
+};
+
+}  // namespace ucw

@@ -15,11 +15,16 @@ template struct ShardSnapshot<SetAdt<int>>;
 template ShardSnapshot<SetAdt<int>, std::string> encode_shard_snapshot(
     StoreShard<SetAdt<int>>&, std::size_t, std::size_t);
 template class StoreShard<SetAdt<int>>;
+template class ShardEngine<SetAdt<int>>;
+template class ShardEngine<CounterAdt>;
 template class SimUcStore<SetAdt<int>>;
 template class SimUcStore<CounterAdt>;
 template class SimUcStore<RegisterAdt<std::string>>;
 template class ThreadUcStore<SetAdt<int>>;
 template class ThreadUcStore<CounterAdt>;
+template class StoreWorkerPool<ThreadUcStore<SetAdt<int>>>;
+template class StoreWorkerPool<ThreadUcStore<CounterAdt>>;
+template class SpscRing<int>;
 template class SimNetwork<BatchEnvelope<SetAdt<int>>>;
 template class ThreadNetwork<BatchEnvelope<CounterAdt>>;
 

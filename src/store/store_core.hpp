@@ -1,12 +1,26 @@
-// StoreCore: the transport-independent engine of the UCStore.
+// StoreCore: the transport-independent *router* of the UCStore.
 //
-// Everything batching actually does — per-key stamping, synchronous
-// self-delivery, the pending envelope, flush accounting, delivery
-// demultiplexing, keyspace introspection — is identical whether the
-// envelopes travel over the deterministic SimNetwork or the real-thread
-// ThreadNetwork. Both frontends derive from this core; the only hard
-// requirement on Net is `broadcast_others(from, envelope)` + `size()`.
-// Optional capabilities are concept-detected and light up features:
+// Everything per-shard — key→replica maps, the batch buffer and flush
+// window, the GC fold, snapshot serve/install — lives in ShardEngine
+// (store/shard_engine.hpp); shards never coordinate, so engines are the
+// unit of parallelism a ThreadUcStore worker pool spreads across cores.
+// What remains here is exactly the genuinely store-wide state:
+//
+//   * the atomic store-wide Lamport clock every keyed replica stamps
+//     from (what makes per-process stability sound — and what lets the
+//     API thread stamp while workers merge remote clocks);
+//   * the StoreStabilityTracker and the GC sweep driver (the floor is
+//     one number per store; engines only fold to it);
+//   * the catch-up session, per-sender stream views, and the (epoch,
+//     seq) envelope stream — seq is atomic so concurrent worker flushes
+//     still draw unique positions;
+//   * envelope assembly: a flush drains the pending buffers of a set of
+//     engines (all of them here; one worker's subset in a pool) into a
+//     single broadcast.
+//
+// Both frontends derive from this core; the only hard requirement on
+// Net is `broadcast_others(from, envelope)` + `size()`. Optional
+// capabilities are concept-detected and light up features:
 //
 //   crashed(pid)        — a crashed sender's buffered updates die
 //                         silently (crash-stop) and are counted as
@@ -19,15 +33,16 @@
 //                         ShardSnapshot / stream guarding), p2p + the
 //                         incarnation counter rejoin needs.
 //
-// Recovery layering (src/recovery/): all per-key replicas stamp from one
-// store-wide Lamport clock, so a StoreStabilityTracker — one knowledge
-// vector per *process*, fed by envelope-level acks — yields a single
-// stability floor that collect_garbage() pushes down into every live
-// per-key log on the flush tick. The same compacted form (base + floor
-// + unstable suffix) is what ShardSnapshot ships to a rejoining replica,
-// making catch-up O(live state + unstable suffix) instead of O(history).
+// Recovery layering (src/recovery/): all per-key replicas stamp from the
+// one store clock, so a StoreStabilityTracker — one knowledge vector per
+// *process*, fed by envelope-level acks — yields a single stability
+// floor that the GC sweep pushes down into the engines on the flush
+// tick. The same compacted form (base + floor + unstable suffix) is what
+// ShardSnapshot ships to a rejoining replica, making catch-up
+// O(live state + unstable suffix) instead of O(history).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -40,15 +55,22 @@
 #include "recovery/stability.hpp"
 #include "store/envelope.hpp"
 #include "store/shard.hpp"
+#include "store/shard_engine.hpp"
 #include "store/store_stats.hpp"
 
 namespace ucw {
 
+template <typename Store>
+class StoreWorkerPool;  // drives per-worker flushes through the core
+
 template <UqAdt A, typename Net, typename Key = std::string>
 class StoreCore {
  public:
+  using Adt = A;
+  using KeyT = Key;
   using Entry = KeyedUpdate<A, Key>;
   using Envelope = BatchEnvelope<A, Key>;
+  using Engine = ShardEngine<A, Key>;
   using Shard = StoreShard<A, Key>;
   using Snapshot = ShardSnapshot<A, Key>;
 
@@ -66,6 +88,7 @@ class StoreCore {
         clock_(pid) {
     UCW_CHECK(config_.shard_count >= 1);
     UCW_CHECK(config_.batch_window >= 1);
+    UCW_CHECK(config_.workers >= 1);
     if constexpr (kEpochAware) epoch_ = net_->epoch(pid_);
     peers_.resize(net_->size());
     if (config_.gc) stability_.emplace(pid_, net_->size());
@@ -83,9 +106,12 @@ class StoreCore {
     // installs bases with positive floors, and an overlapping live
     // envelope must be absorbed, not treated as a protocol violation.
     rep_cfg.absorb_below_floor = config_.gc || kCatchupCapable;
-    shards_.reserve(config_.shard_count);
+    engines_.reserve(config_.shard_count);
+    engine_ptrs_.reserve(config_.shard_count);
     for (std::size_t i = 0; i < config_.shard_count; ++i) {
-      shards_.push_back(std::make_unique<Shard>(adt_, pid, rep_cfg));
+      engines_.push_back(
+          std::make_unique<Engine>(adt_, pid, i, config_, rep_cfg));
+      engine_ptrs_.push_back(engines_.back().get());
     }
   }
 
@@ -94,15 +120,29 @@ class StoreCore {
 
   [[nodiscard]] ProcessId pid() const { return pid_; }
   [[nodiscard]] const StoreConfig& config() const { return config_; }
-  [[nodiscard]] const StoreStats& stats() const { return stats_; }
   [[nodiscard]] const A& adt() const { return adt_; }
   [[nodiscard]] LogicalTime clock_now() const { return clock_.now(); }
   [[nodiscard]] const StoreStabilityTracker* stability() const {
     return stability_ ? &*stability_ : nullptr;
   }
 
-  /// Wait-free keyed update: local apply now, broadcast when the batch
-  /// fills (or on the next flush tick). Returns the arbitration stamp.
+  /// Store-wide counters plus the per-engine operation counts, merged.
+  /// (A pooled ThreadUcStore shadows this to add its workers' flush
+  /// accounting on top.)
+  [[nodiscard]] StoreStats stats() const {
+    StoreStats s = stats_;
+    for (const auto& e : engines_) {
+      s.local_updates += e->local_updates();
+      s.remote_entries += e->remote_entries();
+      s.duplicate_entries += e->duplicate_entries();
+      s.queries += e->queries();
+    }
+    return s;
+  }
+
+  /// Wait-free keyed update: stamp from the store clock, apply to the
+  /// owning engine's replica now, broadcast when the batch fills (or on
+  /// the next flush tick). Returns the arbitration stamp.
   Stamp update(const Key& key, typename A::Update u) {
     // A rejoining store may not stamp updates until its clock has been
     // re-based by the first installed snapshot: the fresh incarnation's
@@ -113,16 +153,14 @@ class StoreCore {
                   "update() on a store still bootstrapping from a "
                   "snapshot; wait for sync_state() to leave kSyncing");
     poll();
-    ++stats_.local_updates;
-    auto& rep = shard_of(key).replica(key);
-    auto msg = rep.local_update(std::move(u));
-    const Stamp stamp = msg.stamp;
-    rep.apply(pid_, msg);  // synchronous self-delivery
-    if (stability_) stability_->advance_self(stamp.clock);
-    pending_.entries.push_back(Entry{key, std::move(msg)});
-    if (pending_.entries.size() >= config_.batch_window) {
-      flush_now(FlushCause::kWindowFull);
-    }
+    const Stamp stamp = clock_.tick();
+    Engine& eng = engine_of(key);
+    eng.local_update(key, UpdateMessage<A>{stamp, std::move(u), {}});
+    ++pending_total_;
+    const bool full = config_.adaptive_window
+                          ? eng.window_filled()
+                          : pending_total_ >= config_.batch_window;
+    if (full) flush_now(FlushCause::kWindowFull);
     return stamp;
   }
 
@@ -131,9 +169,7 @@ class StoreCore {
   [[nodiscard]] typename A::QueryOut query(const Key& key,
                                            const typename A::QueryIn& qi) {
     poll();
-    ++stats_.queries;
-    if (auto* rep = shard_of(key).find(key)) return rep->query(qi);
-    return adt_.output(adt_.initial(), qi);
+    return engine_of(key).query(key, qi);
   }
 
   /// Folds queued envelopes in when the transport has a pollable inbox
@@ -155,17 +191,17 @@ class StoreCore {
   /// The converged state k's replica currently holds; initial() for keys
   /// never touched here.
   [[nodiscard]] typename A::State state_of(const Key& key) {
-    if (auto* rep = shard_of(key).find(key)) return rep->current_state();
-    return adt_.initial();
+    return engine_of(key).state_of(key);
   }
 
   /// Ships the pending batch, if any, then runs the recovery tick:
-  /// piggyback/heartbeat the stability ack, fold the stable prefix
-  /// across the keyspace, and retry a stalled catch-up. Returns entries
-  /// flushed (dropped-on-crash entries are not "flushed").
+  /// re-size adaptive windows, piggyback/heartbeat the stability ack,
+  /// fold the stable prefix across the dirty engines, and retry a
+  /// stalled catch-up. Returns entries flushed (dropped-on-crash entries
+  /// are not "flushed").
   std::size_t flush() {
-    std::size_t flushed = 0;
-    if (!pending_.entries.empty()) flushed = flush_now(FlushCause::kManual);
+    for (auto& e : engines_) e->on_flush_tick();
+    const std::size_t flushed = flush_now(FlushCause::kManual);
     if (stability_) {
       maybe_send_ack();
       (void)collect_garbage();
@@ -175,14 +211,19 @@ class StoreCore {
   }
 
   [[nodiscard]] std::size_t pending() const {
-    return pending_.entries.size();
+    std::size_t n = 0;
+    for (const auto& e : engines_) n += e->pending_size();
+    return n;
   }
 
   // ----- recovery: stability GC ----------------------------------------
 
-  /// Pushes the store-wide stability floor down into every live per-key
-  /// log (Section VII-C fold, hoisted to store level). Runs on the flush
-  /// tick; callable directly. Returns entries folded this sweep.
+  /// Pushes the store-wide stability floor down into the engines
+  /// (Section VII-C fold, hoisted to store level). Runs on the flush
+  /// tick; callable directly. Incremental: each sweep folds at most
+  /// `gc_engines_per_sweep` *dirty* engines (clean ones are skipped in
+  /// O(1) via the engine's min-unfolded cursor), resuming round-robin
+  /// where the previous sweep stopped. Returns entries folded.
   std::size_t collect_garbage() {
     if (!stability_) return 0;
     // No folding while a catch-up session is open. Two races hide here:
@@ -209,17 +250,9 @@ class StoreCore {
     const LogicalTime floor = stability_->floor();
     stats_.stability_floor = floor;
     stats_.stability_floor_lag = stability_->lag();
-    if (floor <= gc_floor_) return 0;
-    gc_floor_ = floor;
-    std::size_t folded = 0;
-    for (auto& s : shards_) {
-      s->for_each([&](const Key&, ReplayReplica<A>& r) {
-        folded += r.fold_to(floor);
-      });
-    }
-    ++stats_.gc_runs;
-    stats_.gc_folded += folded;
-    return folded;
+    if (floor > gc_floor_) gc_floor_ = floor;
+    if (gc_floor_ == 0) return 0;
+    return gc_sweep(gc_floor_, config_.gc_engines_per_sweep);
   }
 
   // ----- recovery: catch-up protocol -----------------------------------
@@ -249,25 +282,25 @@ class StoreCore {
 
   // ----- keyspace introspection ----------------------------------------
 
-  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
-  [[nodiscard]] Shard& shard(std::size_t i) { return *shards_[i]; }
+  [[nodiscard]] std::size_t shard_count() const { return engines_.size(); }
+  [[nodiscard]] Shard& shard(std::size_t i) { return engines_[i]->shard(); }
   [[nodiscard]] std::size_t shard_index(const Key& key) const {
-    return hash_value(key) % shards_.size();
+    return hash_value(key) % engines_.size();
   }
   [[nodiscard]] Shard& shard_of(const Key& key) {
-    return *shards_[shard_index(key)];
+    return engine_of(key).shard();
   }
 
   [[nodiscard]] std::size_t keys_live() const {
     std::size_t n = 0;
-    for (const auto& s : shards_) n += s->keys_live();
+    for (const auto& e : engines_) n += e->shard().keys_live();
     return n;
   }
 
   [[nodiscard]] std::vector<Key> keys() const {
     std::vector<Key> out;
-    for (const auto& s : shards_) {
-      auto ks = s->keys();
+    for (const auto& e : engines_) {
+      auto ks = e->shard().keys();
       out.insert(out.end(), ks.begin(), ks.end());
     }
     return out;
@@ -275,24 +308,27 @@ class StoreCore {
 
   [[nodiscard]] std::vector<ShardStats> shard_stats() const {
     std::vector<ShardStats> out;
-    out.reserve(shards_.size());
-    for (const auto& s : shards_) out.push_back(s->stats());
+    out.reserve(engines_.size());
+    for (const auto& e : engines_) out.push_back(e->stats());
     return out;
   }
 
   [[nodiscard]] std::size_t approx_bytes() const {
     std::size_t n = 0;
-    for (const auto& s : shards_) n += s->stats().approx_bytes;
+    for (const auto& e : engines_) n += e->shard().stats().approx_bytes;
     return n;
   }
 
   [[nodiscard]] std::uint64_t log_entries_resident() const {
     std::uint64_t n = 0;
-    for (const auto& s : shards_) n += s->stats().log_entries;
+    for (const auto& e : engines_) n += e->shard().stats().log_entries;
     return n;
   }
 
  protected:
+  template <typename Store>
+  friend class StoreWorkerPool;
+
   static constexpr bool kPollableInbox =
       requires(Net& net, ProcessId p) { net.inbox(p).try_pop(); };
   static constexpr bool kCrashAware = requires(const Net& net, ProcessId p) {
@@ -313,40 +349,102 @@ class StoreCore {
 
   enum class FlushCause { kWindowFull, kManual };
 
-  std::size_t flush_now(FlushCause cause) {
-    const std::size_t n = pending_.entries.size();
+  [[nodiscard]] Engine& engine(std::size_t i) { return *engines_[i]; }
+  [[nodiscard]] Engine& engine_of(const Key& key) {
+    return *engines_[shard_index(key)];
+  }
+
+  /// Ships one envelope carrying the pending batches of `engines` — all
+  /// of them on the single-owner path, one worker's subset in a pool —
+  /// charging the wire accounting to `st` (the router's stats here, a
+  /// worker's slice in a pool; distinct slices keep concurrent flushes
+  /// race-free). The (epoch, seq) stream position is drawn atomically.
+  ///
+  /// `piggyback_ack` is the FIFO-honesty switch. The ack contract is
+  /// "everything this *process* ever broadcast with a stamp <= t has
+  /// been shipped before this envelope" — true on the single-owner
+  /// path, where one thread stamps and flushes in order. A pool worker
+  /// cannot claim it: the store clock is global, so another worker may
+  /// still be buffering an entry stamped *below* this worker's read of
+  /// the clock, and a receiver folding to the overstated ack would
+  /// absorb that in-flight entry as a below-floor duplicate — silent
+  /// divergence. Pooled envelopes therefore ship ack_clock = 0 and the
+  /// ack travels only on the router's heartbeat, which runs after
+  /// flush_all + quiesce, when every stamp ever issued provably sits
+  /// behind it in each receiver's FIFO inbox.
+  std::size_t flush_engines(const std::vector<Engine*>& engines,
+                            FlushCause cause, StoreStats& st,
+                            bool piggyback_ack = true) {
+    std::size_t n = 0;
+    for (Engine* e : engines) n += e->pending_size();
+    if (n == 0) return 0;
     if constexpr (kCrashAware) {
       if (net_->crashed(pid_)) {
         // Crash-stop: the buffered updates die with the sender. Counted
         // as dropped — not as sent, not as flushed — and the seq is not
         // consumed, so a restarted incarnation's stream starts clean and
         // nothing is double-counted in envelopes_sent.
-        ++stats_.envelopes_dropped_crash;
-        stats_.entries_dropped_crash += n;
-        pending_ = Envelope{};
+        ++st.envelopes_dropped_crash;
+        st.entries_dropped_crash += n;
+        for (Engine* e : engines) (void)e->drop_pending();
         return 0;
       }
     }
     if (cause == FlushCause::kWindowFull) {
-      ++stats_.flushes_full;
+      ++st.flushes_full;
     } else {
-      ++stats_.flushes_manual;
+      ++st.flushes_manual;
     }
-    pending_.epoch = epoch_;
-    pending_.seq = next_seq_++;
-    // Piggybacked unconditionally: the ack is receiver-side knowledge
-    // ("under FIFO, I now hold everything this sender stamped <= t"),
-    // so even a gc=false store must ship it — otherwise one such store
-    // in a compacting cluster would pin every peer's floor at zero.
-    pending_.ack_clock = clock_.now();
-    last_ack_clock_ = pending_.ack_clock;
-    stats_.envelopes_sent += 1;
-    stats_.entries_sent += n;
-    stats_.bytes_batched += wire_size(pending_);
-    stats_.bytes_unbatched += unbatched_wire_size(pending_);
-    net_->broadcast_others(pid_, pending_);
-    pending_ = Envelope{};
+    Envelope env;
+    env.epoch = epoch_;
+    env.entries.reserve(n);
+    for (Engine* e : engines) e->drain_pending(env.entries);
+    env.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (piggyback_ack) {
+      // Piggybacked on every single-owner envelope: the ack is
+      // receiver-side knowledge ("under FIFO, I now hold everything
+      // this sender stamped <= t"), so even a gc=false store must ship
+      // it — otherwise one such store in a compacting cluster would
+      // pin every peer's floor at zero. Pool workers pass false (see
+      // above) and leave acks to the router heartbeat.
+      env.ack_clock = clock_.now();
+      raise_last_ack(env.ack_clock);
+    }
+    st.envelopes_sent += 1;
+    st.entries_sent += n;
+    st.bytes_batched += wire_size(env);
+    st.bytes_unbatched += unbatched_wire_size(env);
+    net_->broadcast_others(pid_, env);
     return n;
+  }
+
+  /// Single-owner flush: every engine into one envelope.
+  std::size_t flush_now(FlushCause cause) {
+    const std::size_t n = flush_engines(engine_ptrs_, cause, stats_);
+    pending_total_ = 0;
+    return n;
+  }
+
+  /// The incremental GC sweep: fold up to `budget` dirty engines to
+  /// `floor`, round-robin from the cursor. 0 = every dirty engine.
+  std::size_t gc_sweep(LogicalTime floor, std::size_t budget) {
+    const std::size_t n = engines_.size();
+    if (budget == 0 || budget > n) budget = n;
+    std::size_t folded = 0;
+    std::size_t visited = 0;
+    std::size_t step = 0;
+    for (; step < n && visited < budget; ++step) {
+      Engine& e = *engines_[(gc_cursor_ + step) % n];
+      if (!e.gc_pending(floor)) continue;
+      folded += e.fold_to(floor);
+      ++visited;
+    }
+    gc_cursor_ = (gc_cursor_ + step) % n;
+    if (visited > 0) {
+      ++stats_.gc_runs;
+      stats_.gc_folded += folded;
+    }
+    return folded;
   }
 
   void deliver(ProcessId from, const Envelope& e) {
@@ -366,13 +464,7 @@ class StoreCore {
     }
     note_stream(from, e);
     for (const Entry& entry : e.entries) {
-      auto& rep = shard_of(entry.key).replica(entry.key);
-      const std::uint64_t dups_before = rep.stats().duplicate_updates;
-      rep.apply(from, entry.msg);
-      ++stats_.remote_entries;
-      if (rep.stats().duplicate_updates != dups_before) {
-        ++stats_.duplicate_entries;
-      }
+      (void)engine_of(entry.key).apply_remote(from, entry.key, entry.msg);
     }
     if (stability_ && e.ack_clock > 0) {
       stability_->observe_ack(from, e.ack_clock);
@@ -384,7 +476,7 @@ class StoreCore {
   void send_sync_request(ProcessId donor) {
     if constexpr (kCatchupCapable) {
       const std::uint64_t round =
-          session_.begin(donor, shards_.size(), net_->size());
+          session_.begin(donor, engines_.size(), net_->size());
       last_progress_mark_ = session_.progress();
       resync_needed_ = false;
       ++stats_.sync_requests_sent;
@@ -398,7 +490,7 @@ class StoreCore {
     }
   }
 
-  /// Donor side: compact, then ship one ShardSnapshot per shard (p2p),
+  /// Donor side: compact, then ship one ShardSnapshot per engine (p2p),
   /// each echoing the requester's round token.
   void serve_sync(ProcessId requester, std::uint64_t round) {
     if constexpr (kCatchupCapable) {
@@ -413,11 +505,16 @@ class StoreCore {
       // requester's stall retry rotates to another donor.
       if (session_.active()) return;
       ++stats_.sync_requests_served;
-      (void)collect_garbage();  // snapshots ship base + unstable suffix
+      // Snapshots ship base + unstable suffix: compact first, and fold
+      // *every* dirty engine regardless of the incremental budget — a
+      // half-folded engine would ship already-stable entries in its
+      // suffix and re-inflate the joiner's catch-up cost.
+      (void)collect_garbage();
+      if (gc_floor_ > 0) (void)gc_sweep(gc_floor_, 0);
       const auto coverage = build_coverage();
-      for (std::size_t i = 0; i < shards_.size(); ++i) {
+      for (std::size_t i = 0; i < engines_.size(); ++i) {
         auto snap = std::make_shared<Snapshot>(
-            encode_shard_snapshot(*shards_[i], i, shards_.size()));
+            engines_[i]->encode_snapshot(engines_.size()));
         snap->donor_clock = clock_.now();
         if (stability_) snap->donor_rows = stability_->rows();
         snap->coverage = coverage;
@@ -438,9 +535,9 @@ class StoreCore {
   void install_snapshot(ProcessId from, const Snapshot& snap,
                         std::uint64_t round) {
     (void)from;  // the payload carries its own provenance (stamp pids)
-    UCW_CHECK_MSG(snap.shard_count == shards_.size(),
+    UCW_CHECK_MSG(snap.shard_count == engines_.size(),
                   "snapshot from a store with a different shard_count");
-    UCW_CHECK(snap.shard_index < shards_.size());
+    UCW_CHECK(snap.shard_index < engines_.size());
     ++stats_.snapshots_installed;
     // Re-base the clock first: stamps issued from here on clear
     // everything the snapshot covers (including this process's own
@@ -458,12 +555,12 @@ class StoreCore {
     bootstrapping_ = false;
     any_snapshot_installed_ = true;
     for (const auto& ks : snap.keys) {
-      auto& rep = shard_of(ks.key).replica(ks.key);
-      const LogicalTime floor_before = rep.log().floor();
-      stats_.catchup_entries += install_key_snapshot(rep, ks);
-      if (rep.log().floor() > floor_before) ++stats_.catchup_keys;
+      bool floor_raised = false;
+      stats_.catchup_entries +=
+          engine_of(ks.key).install_key(ks, &floor_raised);
+      if (floor_raised) ++stats_.catchup_keys;
     }
-    shards_[snap.shard_index]->note_snapshot_installed();
+    engines_[snap.shard_index]->note_snapshot_installed();
     // Stale rounds (duplicates, batches overtaken by a retry) installed
     // their data above but must not satisfy the current round — retiring
     // on an old batch would let GC fold ahead of the fresh batch still
@@ -573,19 +670,31 @@ class StoreCore {
 
   /// Ack heartbeat: without one, a process that updates rarely (or only
   /// reads) would pin everyone's stability floor. Sent only when the
-  /// clock moved since the last ack this store shipped.
+  /// clock moved since the last ack this store shipped. Callers gate on
+  /// stability where piggybacked acks already flow (single-owner
+  /// envelopes); a pooled store calls it unconditionally — its batch
+  /// envelopes carry no ack (see flush_engines), so the heartbeat is
+  /// the only thing keeping it from pinning compacting peers' floors.
   void maybe_send_ack() {
-    if (!stability_) return;
-    if (clock_.now() == last_ack_clock_) return;
+    if (clock_.now() == last_ack_clock_.load(std::memory_order_relaxed)) {
+      return;
+    }
     if constexpr (kCrashAware) {
-      if (net_->crashed(pid_)) return;
+      if (net_->crashed(pid_)) {
+        // Crash-stop mirror of the flush path: the heartbeat dies with
+        // the sender and is counted as dropped — and the seq is *not*
+        // consumed, so a restarted incarnation's stream starts clean on
+        // the heartbeat path too.
+        ++stats_.acks_dropped_crash;
+        return;
+      }
     }
     Envelope ack;
     ack.kind = EnvelopeKind::kBatch;
     ack.epoch = epoch_;
-    ack.seq = next_seq_++;
+    ack.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
     ack.ack_clock = clock_.now();
-    last_ack_clock_ = ack.ack_clock;
+    raise_last_ack(ack.ack_clock);
     ++stats_.acks_sent;
     net_->broadcast_others(pid_, ack);
   }
@@ -611,11 +720,12 @@ class StoreCore {
 
   [[nodiscard]] std::vector<StreamCoverage> build_coverage() const {
     std::vector<StreamCoverage> cov(peers_.size());
+    const std::uint64_t sent = next_seq_.load(std::memory_order_relaxed);
     for (ProcessId q = 0; q < peers_.size(); ++q) {
       if (q == pid_) {
-        cov[q].any = next_seq_ > 0;
+        cov[q].any = sent > 0;
         cov[q].epoch = epoch_;
-        cov[q].seq = next_seq_ > 0 ? next_seq_ - 1 : 0;
+        cov[q].seq = sent > 0 ? sent - 1 : 0;
         // Our own stream is trivially complete here: the local log holds
         // everything we ever broadcast, so the snapshot covers it, and
         // anything of ours still in flight reaches the (alive) requester
@@ -637,6 +747,15 @@ class StoreCore {
     return cov;
   }
 
+  /// Monotone max on the last-shipped ack clock (concurrent worker
+  /// flushes may race the heartbeat path; the max is the honest value).
+  void raise_last_ack(LogicalTime t) {
+    LogicalTime cur = last_ack_clock_.load(std::memory_order_relaxed);
+    while (t > cur && !last_ack_clock_.compare_exchange_weak(
+                          cur, t, std::memory_order_relaxed)) {
+    }
+  }
+
   /// One sender's live stream as observed here since (re)start.
   struct PeerStream {
     bool any = false;
@@ -649,21 +768,27 @@ class StoreCore {
   ProcessId pid_;
   StoreConfig config_;
   Net* net_;
-  LamportClock clock_;  ///< store-wide; shared by every keyed replica
+  /// Store-wide atomic Lamport clock; shared by every keyed replica of
+  /// every engine (see AtomicLamportClock).
+  AtomicLamportClock clock_;
   std::optional<StoreStabilityTracker> stability_;
   CatchupSession session_;
   std::vector<PeerStream> peers_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  Envelope pending_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<Engine*> engine_ptrs_;  ///< the all-engines flush set
   std::uint64_t epoch_ = 0;
-  std::uint64_t next_seq_ = 0;
-  LogicalTime last_ack_clock_ = 0;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<LogicalTime> last_ack_clock_{0};
+  std::size_t pending_total_ = 0;  ///< single-owner path's buffered count
   LogicalTime gc_floor_ = 0;
+  std::size_t gc_cursor_ = 0;  ///< incremental sweep resume point
   std::uint64_t last_progress_mark_ = 0;
   std::size_t stall_ticks_ = 0;
   bool resync_needed_ = false;
   bool bootstrapping_ = false;
   bool any_snapshot_installed_ = false;
+  /// Store-wide counters only (wire, GC, catch-up); the per-engine
+  /// operation counts are merged in by stats().
   StoreStats stats_;
 };
 

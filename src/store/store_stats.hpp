@@ -40,6 +40,10 @@ struct StoreStats {
   //    above — nothing hit the wire, nothing double-counts on restart).
   std::uint64_t envelopes_dropped_crash = 0;
   std::uint64_t entries_dropped_crash = 0;
+  /// Ack heartbeats a crashed sender would have shipped — dropped like
+  /// the flush path (and the seq is not consumed), so a restarted
+  /// incarnation's stream starts clean on the heartbeat path too.
+  std::uint64_t acks_dropped_crash = 0;
 
   // -- store-level stability / GC.
   std::uint64_t gc_runs = 0;          ///< sweeps that folded something
@@ -124,19 +128,20 @@ inline void print_store_table(std::ostream& os,
 inline void print_recovery_table(
     std::ostream& os, const std::vector<StoreStats>& per_process) {
   TextTable t({"process", "gc folded", "floor", "floor lag", "acks",
-               "sync req", "sync served", "retries", "snaps out",
-               "snap bytes", "snaps in", "catchup keys",
+               "acks drop", "sync req", "sync served", "retries",
+               "snaps out", "snap bytes", "snaps in", "catchup keys",
                "catchup entries", "dropped@crash"});
   StoreStats total;
   for (std::size_t p = 0; p < per_process.size(); ++p) {
     const StoreStats& s = per_process[p];
     t.add(p, s.gc_folded, s.stability_floor, s.stability_floor_lag,
-          s.acks_sent, s.sync_requests_sent, s.sync_requests_served,
-          s.sync_retries, s.snapshots_served, s.snapshot_bytes_served,
-          s.snapshots_installed, s.catchup_keys, s.catchup_entries,
-          s.entries_dropped_crash);
+          s.acks_sent, s.acks_dropped_crash, s.sync_requests_sent,
+          s.sync_requests_served, s.sync_retries, s.snapshots_served,
+          s.snapshot_bytes_served, s.snapshots_installed, s.catchup_keys,
+          s.catchup_entries, s.entries_dropped_crash);
     total.gc_folded += s.gc_folded;
     total.acks_sent += s.acks_sent;
+    total.acks_dropped_crash += s.acks_dropped_crash;
     total.sync_requests_sent += s.sync_requests_sent;
     total.sync_requests_served += s.sync_requests_served;
     total.sync_retries += s.sync_retries;
@@ -148,25 +153,40 @@ inline void print_recovery_table(
     total.entries_dropped_crash += s.entries_dropped_crash;
   }
   t.add("total", total.gc_folded, "-", "-", total.acks_sent,
-        total.sync_requests_sent, total.sync_requests_served,
-        total.sync_retries, total.snapshots_served,
-        total.snapshot_bytes_served, total.snapshots_installed,
-        total.catchup_keys, total.catchup_entries,
-        total.entries_dropped_crash);
+        total.acks_dropped_crash, total.sync_requests_sent,
+        total.sync_requests_served, total.sync_retries,
+        total.snapshots_served, total.snapshot_bytes_served,
+        total.snapshots_installed, total.catchup_keys,
+        total.catchup_entries, total.entries_dropped_crash);
   t.print(os);
+}
+
+/// Folds one flush-owner's wire accounting (a pool worker's slice) into
+/// an aggregate — exactly the counters flush_engines/heartbeats charge.
+inline void merge_wire_counters(StoreStats& into, const StoreStats& slice) {
+  into.envelopes_sent += slice.envelopes_sent;
+  into.entries_sent += slice.entries_sent;
+  into.flushes_full += slice.flushes_full;
+  into.flushes_manual += slice.flushes_manual;
+  into.bytes_batched += slice.bytes_batched;
+  into.bytes_unbatched += slice.bytes_unbatched;
+  into.envelopes_dropped_crash += slice.envelopes_dropped_crash;
+  into.entries_dropped_crash += slice.entries_dropped_crash;
+  into.acks_sent += slice.acks_sent;
+  into.acks_dropped_crash += slice.acks_dropped_crash;
 }
 
 /// Renders one row per shard plus a totals row, matching the table style
 /// of the bench binaries.
 inline void print_shard_table(std::ostream& os,
                               const std::vector<ShardStats>& shards) {
-  TextTable t({"shard", "keys", "local", "remote", "dup", "queries",
-               "log entries", "gc folded", "snap out", "snap in",
-               "~bytes"});
+  TextTable t({"shard", "keys", "window", "local", "remote", "dup",
+               "queries", "log entries", "gc folded", "snap out",
+               "snap in", "~bytes"});
   ShardStats total;
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const ShardStats& s = shards[i];
-    t.add(i, s.keys_live, s.local_updates, s.remote_updates,
+    t.add(i, s.keys_live, s.batch_window, s.local_updates, s.remote_updates,
           s.duplicate_updates, s.queries, s.log_entries, s.gc_folded,
           s.snapshots_exported, s.snapshots_installed, s.approx_bytes);
     total.keys_live += s.keys_live;
@@ -180,10 +200,10 @@ inline void print_shard_table(std::ostream& os,
     total.snapshots_installed += s.snapshots_installed;
     total.approx_bytes += s.approx_bytes;
   }
-  t.add("total", total.keys_live, total.local_updates, total.remote_updates,
-        total.duplicate_updates, total.queries, total.log_entries,
-        total.gc_folded, total.snapshots_exported, total.snapshots_installed,
-        total.approx_bytes);
+  t.add("total", total.keys_live, "-", total.local_updates,
+        total.remote_updates, total.duplicate_updates, total.queries,
+        total.log_entries, total.gc_folded, total.snapshots_exported,
+        total.snapshots_installed, total.approx_bytes);
   t.print(os);
 }
 

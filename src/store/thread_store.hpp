@@ -1,19 +1,40 @@
 // ThreadUcStore: the UCStore on the real-thread transport.
 //
-// One store per OS thread, same single-owner discipline as
+// One store per *owner* thread, same single-owner discipline as
 // ThreadUcObject: the owning thread calls update/query/flush freely and
 // remote envelopes accumulate in the process inbox until poll() folds
 // them in (update and query poll opportunistically). Batching works
 // exactly as in SimUcStore — both share StoreCore — so wait-freedom is
 // preserved under genuine concurrency: an update never waits on
 // receivers, a flush only pays the per-peer enqueue.
+//
+// With `StoreConfig::workers > 1` the store scales across cores: a
+// StoreWorkerPool gives each of N worker threads exclusive ownership of
+// a disjoint set of shard engines (shard → worker by index modulo
+// workers — stable across restarts). The owner thread becomes a router:
+// update() stamps from the atomic store clock and enqueues to the
+// owning worker over an SPSC ring; query() rides the same ring (FIFO
+// per worker ⇒ a process still reads its own writes); incoming
+// envelopes are split per worker after the router has observed their
+// store-wide bookkeeping. Flush ticks fan out to every worker, each of
+// which ships its own envelope. Per-key arbitration is untouched — the
+// same key always lands in the same engine under the same owner — and
+// convergence is byte-identical to the 1-worker and Sim stores (see
+// tests/thread_store_test.cpp). What the pool *relaxes* is cross-object
+// causality of stamps: the API thread stamps before workers finish
+// merging remote clocks, so a stamp may not dominate a remote update
+// whose entry is still in a ring. Update consistency never needed that
+// dominance (arbitration only requires unique, per-process-monotone
+// stamps), but sessions wanting causal stamps should run 1 worker.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "net/thread_network.hpp"
 #include "store/store_core.hpp"
+#include "store/worker_pool.hpp"
 
 namespace ucw {
 
@@ -21,28 +42,144 @@ template <UqAdt A, typename Key = std::string>
 class ThreadUcStore
     : public StoreCore<A, ThreadNetwork<BatchEnvelope<A, Key>>, Key> {
   using Core = StoreCore<A, ThreadNetwork<BatchEnvelope<A, Key>>, Key>;
+  using Pool = StoreWorkerPool<ThreadUcStore<A, Key>>;
+  friend Pool;
 
  public:
   using Envelope = typename Core::Envelope;
 
   ThreadUcStore(A adt, ProcessId pid, ThreadNetwork<Envelope>& net,
                 StoreConfig config = {})
-      : Core(std::move(adt), pid, net, config) {}
+      : Core(std::move(adt), pid, net, config) {
+    if (config.workers > 1) {
+      pool_ = std::make_unique<Pool>(*this, config.workers);
+    }
+  }
 
-  // update(), query() and poll() come from StoreCore — the core polls
-  // the inbox itself on pollable transports, so access through a
-  // StoreCore& behaves identically.
+  // Derived members (the pool and its threads) are destroyed before the
+  // Core base — workers stop and join while the engines still exist.
+  ~ThreadUcStore() {
+    if (pool_) pool_->stop();
+  }
+
+  /// Which worker owns `key`'s shard engine (0 when unpooled). A pure
+  /// function of key and config — stable across restarts.
+  [[nodiscard]] std::size_t worker_of(const Key& key) const {
+    return pool_ ? pool_->worker_of(this->shard_index(key)) : 0;
+  }
+  [[nodiscard]] std::size_t workers() const {
+    return pool_ ? pool_->workers() : 1;
+  }
+
+  // ----- operation surface (single API/owner thread) -------------------
+  // Unpooled, these come straight from StoreCore (the core polls the
+  // inbox itself on pollable transports). Pooled, the owner routes.
+
+  Stamp update(const Key& key, typename A::Update u) {
+    if (!pool_) return Core::update(key, u);
+    (void)route_inbox();
+    const Stamp stamp = this->clock_.tick();
+    pool_->enqueue_update(this->shard_index(key), key,
+                          UpdateMessage<A>{stamp, std::move(u), {}});
+    return stamp;
+  }
+
+  [[nodiscard]] typename A::QueryOut query(const Key& key,
+                                           const typename A::QueryIn& qi) {
+    if (!pool_) return Core::query(key, qi);
+    (void)route_inbox();
+    return pool_->run_query(this->shard_index(key), key, qi);
+  }
+
+  std::size_t poll() {
+    if (!pool_) return Core::poll();
+    return route_inbox();
+  }
+
+  std::size_t flush() {
+    if (!pool_) return Core::flush();
+    (void)route_inbox();
+    const std::size_t flushed = pool_->flush_all();
+    // The recovery tick is store-wide, so it stays on the router:
+    // quiesce the rings (the engines are momentarily idle), then
+    // heartbeat and fold. Worker ops enqueued afterwards happen-after
+    // the fold via the ring handoff, so the single-owner discipline is
+    // only *transferred*, never shared. The heartbeat runs even
+    // without local stability: pooled batch envelopes carry no
+    // piggybacked ack (a worker cannot vouch for the whole process
+    // stream — see StoreCore::flush_engines), and after flush_all +
+    // quiesce every stamp this store ever issued provably sits behind
+    // the heartbeat in each receiver's FIFO inbox, so the router's
+    // clock *is* an honest ack here.
+    pool_->quiesce();
+    this->maybe_send_ack();
+    if (this->stability_) (void)this->collect_garbage();
+    return flushed;
+  }
+
+  [[nodiscard]] typename A::State state_of(const Key& key) {
+    sync_engines();
+    return Core::state_of(key);
+  }
+
+  // Every introspection path that reads engine-owned state quiesces
+  // first: the workers' release on `processed` paired with quiesce's
+  // acquire is what makes the plain counters and maps safely readable
+  // from the API thread.
+  [[nodiscard]] StoreStats stats() const {
+    sync_engines();
+    StoreStats s = Core::stats();
+    if (pool_) pool_->merge_stats(s);
+    return s;
+  }
+  [[nodiscard]] std::vector<ShardStats> shard_stats() const {
+    sync_engines();
+    return Core::shard_stats();
+  }
+  [[nodiscard]] std::size_t pending() const {
+    sync_engines();
+    return Core::pending();
+  }
+  [[nodiscard]] std::size_t keys_live() const {
+    sync_engines();
+    return Core::keys_live();
+  }
+  [[nodiscard]] std::vector<Key> keys() const {
+    sync_engines();
+    return Core::keys();
+  }
+  [[nodiscard]] std::size_t approx_bytes() const {
+    sync_engines();
+    return Core::approx_bytes();
+  }
+  [[nodiscard]] std::uint64_t log_entries_resident() const {
+    sync_engines();
+    return Core::log_entries_resident();
+  }
 
   /// Blocks until `total_entries` *distinct* keyed updates (local +
   /// remote, replays excluded) have been applied, or the inbox closes —
   /// the quiescence barrier the stress tests use. Callers must have
   /// flushed everywhere first.
   void drain_until(std::uint64_t total_entries) {
-    this->poll();
-    while (applied_entries() < total_entries) {
+    if (!pool_) {
+      (void)Core::poll();
+      while (applied_entries() < total_entries) {
+        auto env = this->net_->inbox(this->pid_).pop_wait();
+        if (!env.has_value()) return;  // closed
+        this->deliver(env->from, env->payload);
+      }
+      return;
+    }
+    for (;;) {
+      (void)route_inbox();
+      // The inbox is empty, but routed entries may still sit in worker
+      // rings — wait them out before deciding we are short.
+      pool_->quiesce();
+      if (applied_entries() >= total_entries) return;
       auto env = this->net_->inbox(this->pid_).pop_wait();
       if (!env.has_value()) return;  // closed
-      this->deliver(env->from, env->payload);
+      route(env->from, env->payload);
     }
   }
 
@@ -50,9 +187,40 @@ class ThreadUcStore
   /// replays the per-key logs absorbed are not counted, so this reaches
   /// the global update count even under at-least-once delivery.
   [[nodiscard]] std::uint64_t applied_entries() const {
-    return this->stats().local_updates + this->stats().remote_entries -
-           this->stats().duplicate_entries;
+    std::uint64_t n = 0;
+    for (const auto& e : this->engines_) n += e->applied_distinct();
+    return n;
   }
+
+ private:
+  void sync_engines() const {
+    if (pool_) pool_->quiesce();
+  }
+
+  /// Router: drains the process inbox, observing store-wide bookkeeping
+  /// (stream positions, stability acks) on the owner thread, then fans
+  /// the keyed entries out to their owning workers.
+  std::size_t route_inbox() {
+    std::size_t routed = 0;
+    while (auto env = this->net_->inbox(this->pid_).try_pop()) {
+      route(env->from, env->payload);
+      ++routed;
+    }
+    return routed;
+  }
+
+  void route(ProcessId from, const Envelope& e) {
+    this->note_stream(from, e);
+    for (const auto& entry : e.entries) {
+      pool_->enqueue_remote(this->shard_index(entry.key), from, entry.key,
+                            entry.msg);
+    }
+    if (this->stability_ && e.ack_clock > 0) {
+      this->stability_->observe_ack(from, e.ack_clock);
+    }
+  }
+
+  std::unique_ptr<Pool> pool_;
 };
 
 }  // namespace ucw

@@ -22,8 +22,11 @@
 // update() time, delivery order within or across envelopes is already
 // arbitrary in the model, and the per-key logs absorb duplicates. The
 // store therefore inherits Theorem 2 key-by-key — see the convergence
-// property test. All of that logic lives in StoreCore; this class only
-// wires the core to the simulated network's delivery handler.
+// property test. All of that logic lives in the StoreCore router and
+// its per-shard ShardEngines; this class only wires the core to the
+// simulated network's delivery handler. Sim stores always run
+// single-owner (`workers` is ignored): the DES is one logical thread,
+// and determinism is the point of this frontend.
 #pragma once
 
 #include <string>

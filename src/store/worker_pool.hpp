@@ -1,0 +1,287 @@
+// StoreWorkerPool: shard engines spread across N single-owner workers.
+//
+// Update consistency needs no cross-key arbitration, so the store's
+// shard engines are embarrassingly parallel — the only reason one
+// thread ever owned them all was the monolithic StoreCore. The pool
+// restores multi-core scaling while preserving the single-owner
+// discipline *per shard*:
+//
+//   * worker w owns every engine with index ≡ w (mod workers) — a pure
+//     function of key and config, so shard→worker assignment is stable
+//     across restarts and identical on every replica of a config;
+//   * the store's API thread remains the single producer: update(),
+//     query() and routed remote entries enqueue to the owning worker
+//     over an SPSC ring (util/spsc_ring.hpp); per-key FIFO through one
+//     ring preserves read-your-writes without blocking the caller;
+//   * flush and heartbeat ticks run per worker: each worker drains its
+//     own engines into one envelope (seq drawn from the router's atomic
+//     stream counter) and charges a private StoreStats slice, so
+//     concurrent flushes never share a cache line, let alone a lock.
+//
+// Store-wide concerns stay on the router thread (StoreCore /
+// ThreadUcStore): the stability tracker is fed by envelope-level acks
+// the router observes *before* fanning entries out, and the GC floor is
+// computed there and handed to workers with the flush command — the
+// "per-engine outbox drained by the router" inverted: engines expose
+// their batch buffers, and ownership of the drain moves with the flush.
+//
+// Synchronization contract (what TSan checks): every engine is touched
+// by exactly one worker; the producer observes worker effects only
+// through `processed` (release) after `quiesce()` (acquire), which is
+// what makes post-drain reads of engine state and stats slices sound.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "store/shard_engine.hpp"
+#include "store/store_stats.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace ucw {
+
+template <typename Store>
+class StoreWorkerPool {
+  using A = typename Store::Adt;
+  using Key = typename Store::KeyT;
+  using Engine = typename Store::Engine;
+  using FlushCause = typename Store::FlushCause;
+
+  struct Op {
+    enum class Kind : std::uint8_t { kUpdate, kRemote, kQuery, kFlush, kStop };
+    Kind kind = Kind::kStop;
+    std::uint32_t engine = 0;
+    ProcessId from = 0;
+    Key key{};
+    UpdateMessage<A> msg{};
+    const typename A::QueryIn* query_in = nullptr;
+    typename A::QueryOut* query_out = nullptr;
+    std::atomic<std::uint32_t>* done = nullptr;
+    std::atomic<std::size_t>* flushed = nullptr;
+  };
+
+  struct Worker {
+    SpscRing<Op> ring{kRingCapacity};
+    std::vector<Engine*> engines;  ///< this worker's disjoint subset
+    StoreStats stats;              ///< private flush-accounting slice
+    std::size_t pending = 0;       ///< buffered entries across its engines
+    std::uint64_t pushed = 0;      ///< producer-side op count
+    std::atomic<std::uint64_t> processed{0};
+    // Idle parking: after a spin budget the worker sleeps on the cv
+    // (bounded by a timeout, so a lost wake costs a millisecond, never
+    // liveness); the producer only takes the lock when `sleeping` says
+    // someone is actually parked, keeping the push fast path lock-free.
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::atomic<bool> sleeping{false};
+    std::thread thread;
+  };
+
+ public:
+  static constexpr std::size_t kRingCapacity = 4096;
+
+  StoreWorkerPool(Store& store, std::size_t n_workers) : store_(store) {
+    UCW_CHECK(n_workers >= 1);
+    workers_.reserve(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      workers_.push_back(std::make_unique<Worker>());
+    }
+    for (std::size_t i = 0; i < store_.shard_count(); ++i) {
+      workers_[i % n_workers]->engines.push_back(&store_.engine(i));
+    }
+    for (auto& w : workers_) {
+      w->thread = std::thread([this, wk = w.get()] { worker_main(*wk); });
+    }
+  }
+
+  ~StoreWorkerPool() { stop(); }
+  StoreWorkerPool(const StoreWorkerPool&) = delete;
+  StoreWorkerPool& operator=(const StoreWorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return workers_.size(); }
+  [[nodiscard]] std::size_t worker_of(std::size_t engine_index) const {
+    return engine_index % workers_.size();
+  }
+
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    for (auto& w : workers_) {
+      Op op;
+      op.kind = Op::Kind::kStop;
+      push(*w, std::move(op));
+    }
+    for (auto& w : workers_) w->thread.join();
+  }
+
+  void enqueue_update(std::size_t engine_index, const Key& key,
+                      UpdateMessage<A> msg) {
+    Op op;
+    op.kind = Op::Kind::kUpdate;
+    op.engine = static_cast<std::uint32_t>(engine_index);
+    op.key = key;
+    op.msg = std::move(msg);
+    push(*workers_[worker_of(engine_index)], std::move(op));
+  }
+
+  void enqueue_remote(std::size_t engine_index, ProcessId from,
+                      const Key& key, const UpdateMessage<A>& msg) {
+    Op op;
+    op.kind = Op::Kind::kRemote;
+    op.engine = static_cast<std::uint32_t>(engine_index);
+    op.from = from;
+    op.key = key;
+    op.msg = msg;
+    push(*workers_[worker_of(engine_index)], std::move(op));
+  }
+
+  /// Runs the query on the owning worker and waits for the answer —
+  /// ring FIFO behind any update the caller already enqueued, so a
+  /// process reads its own writes.
+  [[nodiscard]] typename A::QueryOut run_query(
+      std::size_t engine_index, const Key& key,
+      const typename A::QueryIn& qi) {
+    typename A::QueryOut out{};
+    std::atomic<std::uint32_t> done{0};
+    Op op;
+    op.kind = Op::Kind::kQuery;
+    op.engine = static_cast<std::uint32_t>(engine_index);
+    op.key = key;
+    op.query_in = &qi;
+    op.query_out = &out;
+    op.done = &done;
+    push(*workers_[worker_of(engine_index)], std::move(op));
+    while (done.load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+    return out;
+  }
+
+  /// Synchronous flush tick across every worker: each drains its own
+  /// engines into one envelope and re-sizes its adaptive windows.
+  /// Returns total entries flushed.
+  std::size_t flush_all() {
+    std::atomic<std::uint32_t> done{0};
+    std::atomic<std::size_t> flushed{0};
+    for (auto& w : workers_) {
+      Op op;
+      op.kind = Op::Kind::kFlush;
+      op.done = &done;
+      op.flushed = &flushed;
+      push(*w, std::move(op));
+    }
+    while (done.load(std::memory_order_acquire) < workers_.size()) {
+      std::this_thread::yield();
+    }
+    return flushed.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until every op pushed so far has been processed; after this
+  /// the producer may read engine state (drain barriers, state_of,
+  /// stats) and see everything those ops wrote.
+  void quiesce() const {
+    for (const auto& w : workers_) {
+      while (w->processed.load(std::memory_order_acquire) < w->pushed) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Folds the workers' private flush-accounting slices into `s`.
+  /// Callers quiesce first.
+  void merge_stats(StoreStats& s) const {
+    for (const auto& w : workers_) merge_wire_counters(s, w->stats);
+  }
+
+ private:
+  void push(Worker& w, Op&& op) {
+    while (!w.ring.try_push(std::move(op))) std::this_thread::yield();
+    ++w.pushed;
+    if (w.sleeping.load(std::memory_order_seq_cst)) {
+      // Parked consumer: the lock pairs the notify with its wait-check
+      // so the wake cannot slip between "ring empty" and "sleep".
+      std::lock_guard lock(w.mutex);
+      w.cv.notify_one();
+    }
+  }
+
+  void worker_main(Worker& w) {
+    std::size_t idle = 0;
+    for (;;) {
+      auto op = w.ring.try_pop();
+      if (!op) {
+        // Brief spin for the common back-to-back case, a yield phase so
+        // an oversubscribed host (or the producer on a single core)
+        // runs, then park — an idle pool must not burn a core per
+        // worker. The timed wait bounds any lost-wake window at 1 ms.
+        ++idle;
+        if (idle > 64 && idle <= 4096) {
+          std::this_thread::yield();
+        } else if (idle > 4096) {
+          std::unique_lock lock(w.mutex);
+          w.sleeping.store(true, std::memory_order_seq_cst);
+          w.cv.wait_for(lock, std::chrono::milliseconds(1),
+                        [&] { return !w.ring.empty(); });
+          w.sleeping.store(false, std::memory_order_relaxed);
+          idle = 65;  // back to the yield phase, not the hot spin
+        }
+        continue;
+      }
+      idle = 0;
+      bool stop = false;
+      switch (op->kind) {
+        case Op::Kind::kUpdate: {
+          Engine& e = store_.engine(op->engine);
+          e.local_update(op->key, std::move(op->msg));
+          ++w.pending;
+          const bool full =
+              store_.config().adaptive_window
+                  ? e.window_filled()
+                  : w.pending >= store_.config().batch_window;
+          if (full) {
+            (void)store_.flush_engines(w.engines, FlushCause::kWindowFull,
+                                       w.stats, /*piggyback_ack=*/false);
+            w.pending = 0;
+          }
+          break;
+        }
+        case Op::Kind::kRemote:
+          (void)store_.engine(op->engine).apply_remote(op->from, op->key,
+                                                       op->msg);
+          break;
+        case Op::Kind::kQuery:
+          *op->query_out = store_.engine(op->engine).query(op->key,
+                                                           *op->query_in);
+          op->done->store(1, std::memory_order_release);
+          break;
+        case Op::Kind::kFlush: {
+          for (Engine* e : w.engines) e->on_flush_tick();
+          const std::size_t n = store_.flush_engines(
+              w.engines, FlushCause::kManual, w.stats,
+              /*piggyback_ack=*/false);
+          w.pending = 0;
+          op->flushed->fetch_add(n, std::memory_order_relaxed);
+          op->done->fetch_add(1, std::memory_order_release);
+          break;
+        }
+        case Op::Kind::kStop:
+          stop = true;
+          break;
+      }
+      w.processed.fetch_add(1, std::memory_order_release);
+      if (stop) return;
+    }
+  }
+
+  Store& store_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool stopped_ = false;
+};
+
+}  // namespace ucw

@@ -1,0 +1,75 @@
+// Single-producer / single-consumer lock-free ring buffer.
+//
+// The handoff between a pooled store's API thread (the single producer:
+// it routes updates, queries, and demultiplexed remote entries) and one
+// worker thread (the single consumer: the owner of a disjoint set of
+// shard engines). A Lamport ring: the producer owns `head_`, the
+// consumer owns `tail_`, each reads the other's index with acquire and
+// publishes its own with release, so the slot contents are synchronized
+// without locks or CAS. Capacity is fixed (power of two); a full ring
+// makes try_push return false and the producer decides how to back off
+// — bounded buffering is deliberate back-pressure on the API thread,
+// never on the network path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ucw {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_pow2 = 1024)
+      : buf_(capacity_pow2), mask_(capacity_pow2 - 1) {
+    UCW_CHECK_MSG(capacity_pow2 >= 2 && (capacity_pow2 & mask_) == 0,
+                  "SpscRing capacity must be a power of two >= 2");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False when the ring is full (nothing is consumed
+  /// from `v` in that case); the producer spins/yields and retries.
+  [[nodiscard]] bool try_push(T&& v) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == buf_.size()) return false;
+    buf_[head & mask_] = std::move(v);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Empty optional when nothing is queued.
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    std::optional<T> v(std::move(buf_[tail & mask_]));
+    tail_.store(tail + 1, std::memory_order_release);
+    return v;
+  }
+
+  /// Racy-but-monotone emptiness hint (either side may call).
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_;
+  // Separate cache lines: the producer hammers head_, the consumer
+  // tail_; sharing a line would ping-pong it between cores per op.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace ucw

@@ -233,6 +233,68 @@ TEST(StoreGcTest, SilentReaderHeartbeatsUnpinTheFloor) {
   EXPECT_EQ(a.state_of("k"), b.state_of("k"));
 }
 
+TEST(StoreGcTest, CrashedSenderHeartbeatsAreCountedAsDropped) {
+  // Mirror of the flush-path crash accounting: a crashed store's ack
+  // heartbeat dies with it (crash-stop), is counted as dropped — never
+  // as sent — and consumes no seq, so a restarted incarnation's stream
+  // starts clean on the heartbeat path too.
+  SimScheduler sched;
+  SimNetwork<Env> net(sched, fifo_net_config(2));
+  Store a(S{}, 0, net, gc_store_config());
+  Store b(S{}, 1, net, gc_store_config());
+  a.update("k", S::insert(1));  // the clock moved: a heartbeat is due
+  sched.run();
+  net.crash(0);
+  const auto sent_before = a.stats().envelopes_sent;
+  (void)a.flush();
+  sched.run();
+  EXPECT_GT(a.stats().acks_dropped_crash, 0u);
+  EXPECT_EQ(a.stats().acks_sent, 0u);
+  // Nothing hit the wire after the crash: the buffered entry died in
+  // the flush path (counted there), the heartbeat died here.
+  EXPECT_EQ(a.stats().envelopes_sent, sent_before);
+  EXPECT_EQ(a.stats().entries_dropped_crash, 1u);
+  EXPECT_EQ(b.stats().remote_entries, 0u);
+}
+
+TEST(StoreGcTest, IncrementalSweepBudgetStillDrainsEveryShard) {
+  // The per-engine GC cursor: with a budget of 1 engine per sweep, each
+  // flush tick folds only one dirty shard, but repeated ticks cover the
+  // keyspace round-robin and end at the same compaction a full sweep
+  // reaches (clean engines are skipped in O(1)).
+  SimScheduler sched;
+  SimNetwork<Env> net(sched, fifo_net_config(2));
+  StoreConfig cfg = gc_store_config(/*window=*/2);
+  cfg.gc_engines_per_sweep = 1;
+  Store a(S{}, 0, net, cfg);
+  Store b(S{}, 1, net, cfg);
+  for (int r = 0; r < 12; ++r) {
+    // Touch many keys so several shards hold foldable entries.
+    a.update("k" + std::to_string(r % 8), S::insert(r));
+    (void)a.flush();
+    sched.run();
+    (void)b.flush();
+    sched.run();
+    (void)a.flush();
+    sched.run();
+  }
+  // Extra ticks with no new updates: the cursor finishes the backlog.
+  for (int r = 0; r < 8; ++r) {
+    (void)a.flush();
+    (void)b.flush();
+    sched.run();
+  }
+  EXPECT_GT(a.stats().gc_folded, 0u);
+  // Every entry at or below the floor is folded on every shard: the
+  // resident logs hold only the unstable window.
+  EXPECT_LE(a.log_entries_resident(),
+            static_cast<std::uint64_t>(a.stats().stability_floor_lag));
+  for (int k = 0; k < 8; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    EXPECT_EQ(a.state_of(key), b.state_of(key)) << key;
+  }
+}
+
 TEST(StoreGcTest, ThreadTransportFoldsWithPiggybackedAcks) {
   // ThreadNetwork inboxes are FIFO per sender, so store-level stability
   // works there too; catch-up (p2p + epochs) stays compile-time off.

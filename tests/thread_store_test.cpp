@@ -1,0 +1,340 @@
+// Worker-pool correctness: a pooled ThreadUcStore must be
+// indistinguishable, per key, from the single-owner store and from the
+// Sim transport. Three layers:
+//
+//  1. The SPSC ring itself (FIFO, wraparound, cross-thread handoff).
+//  2. The shard→worker assignment: a pure function of key and config,
+//     disjoint across workers and stable across restarts — what lets a
+//     restarted process (or any replica of the config) route a key to
+//     the same single owner every time.
+//  3. Convergence: with insert-only updates the converged per-key state
+//     is the set union of everything issued — independent of
+//     arbitration order — so a 4-worker cluster, a 1-worker cluster and
+//     a Sim cluster fed the *same scripts* must agree exactly, key by
+//     key, while the 4-worker run exercises real cross-thread routing,
+//     concurrent per-worker flushes and the shared atomic clock.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adt/all.hpp"
+#include "net/scheduler.hpp"
+#include "runtime/keyspace.hpp"
+#include "store/all.hpp"
+#include "util/rng.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace ucw {
+namespace {
+
+using S = SetAdt<int>;
+using TS = ThreadUcStore<S>;
+
+TEST(SpscRingTest, FifoAndWraparound) {
+  SpscRing<int> ring(8);
+  for (int round = 0; round < 5; ++round) {  // wraps the index mask
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(ring.try_push(round * 8 + i));
+    }
+    int overflow = 999;
+    EXPECT_FALSE(ring.try_push(std::move(overflow)));  // full: back-pressure
+    for (int i = 0; i < 8; ++i) {
+      auto v = ring.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, round * 8 + i);
+    }
+    EXPECT_FALSE(ring.try_pop().has_value());
+    EXPECT_TRUE(ring.empty());
+  }
+}
+
+TEST(SpscRingTest, CrossThreadHandoffKeepsOrder) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kN = 20'000;
+  std::thread consumer([&] {
+    std::uint64_t expect = 0;
+    while (expect < kN) {
+      if (auto v = ring.try_pop()) {
+        ASSERT_EQ(*v, expect);
+        ++expect;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    std::uint64_t v = i;
+    while (!ring.try_push(std::move(v))) std::this_thread::yield();
+  }
+  consumer.join();
+}
+
+TEST(WorkerPoolTest, ShardToWorkerAssignmentIsStableAcrossRestarts) {
+  StoreConfig cfg;
+  cfg.workers = 4;
+  cfg.shard_count = 16;
+  std::vector<std::size_t> first;
+  {
+    ThreadNetwork<TS::Envelope> net(1);
+    TS store(S{}, 0, net, cfg);
+    for (int i = 0; i < 200; ++i) {
+      first.push_back(store.worker_of("key" + std::to_string(i)));
+    }
+    net.close_all();
+  }
+  // A "restarted" process: fresh network, fresh store, same config —
+  // every key must land on the same worker as before the restart.
+  {
+    ThreadNetwork<TS::Envelope> net(1);
+    TS store(S{}, 0, net, cfg);
+    std::set<std::size_t> workers_used;
+    for (int i = 0; i < 200; ++i) {
+      const std::string k = "key" + std::to_string(i);
+      EXPECT_EQ(store.worker_of(k), first[static_cast<std::size_t>(i)]) << k;
+      EXPECT_EQ(store.worker_of(k), store.shard_index(k) % cfg.workers);
+      workers_used.insert(store.worker_of(k));
+    }
+    // 200 keys over 16 shards: every worker owns some of the traffic.
+    EXPECT_EQ(workers_used.size(), cfg.workers);
+    net.close_all();
+  }
+}
+
+TEST(WorkerPoolTest, PooledStoreReadsItsOwnWrites) {
+  StoreConfig cfg;
+  cfg.workers = 4;
+  cfg.batch_window = 64;  // nothing ships on its own
+  ThreadNetwork<TS::Envelope> net(1);
+  TS store(S{}, 0, net, cfg);
+  // Ring FIFO per worker: the query enqueues behind the update, so the
+  // owner still reads its own writes even though apply is asynchronous.
+  for (int i = 0; i < 32; ++i) {
+    const std::string k = "k" + std::to_string(i % 8);
+    store.update(k, S::insert(i));
+    const auto got = store.query(k, S::read());
+    EXPECT_TRUE(got.count(i)) << "update " << i << " not visible to owner";
+  }
+  net.close_all();
+}
+
+// ----- the convergence property ---------------------------------------
+
+struct ScriptOp {
+  std::string key;
+  int value;
+};
+
+/// Fixed per-process op scripts (zipfian keys, globally distinct
+/// values): insert-only, so every correct run converges to the same
+/// per-key union regardless of transport, worker count, or timing.
+std::vector<std::vector<ScriptOp>> make_scripts(std::size_t n_procs,
+                                                std::size_t ops) {
+  ZipfianKeys keyspace(64, 0.99);
+  std::vector<std::vector<ScriptOp>> scripts(n_procs);
+  for (ProcessId p = 0; p < n_procs; ++p) {
+    Rng rng(1000 + p);
+    for (std::size_t i = 0; i < ops; ++i) {
+      scripts[p].push_back(ScriptOp{
+          keyspace.sample(rng), static_cast<int>(p * ops + i)});
+    }
+  }
+  return scripts;
+}
+
+std::set<std::string> script_keys(
+    const std::vector<std::vector<ScriptOp>>& scripts) {
+  std::set<std::string> keys;
+  for (const auto& s : scripts) {
+    for (const auto& op : s) keys.insert(op.key);
+  }
+  return keys;
+}
+
+using KeyStates = std::map<std::string, std::set<int>>;
+
+/// Runs the scripts on a thread-transport cluster (one owner thread per
+/// process issuing concurrently) and returns the converged states —
+/// asserting every store agrees before returning store 0's view.
+KeyStates run_thread_cluster(const std::vector<std::vector<ScriptOp>>& scripts,
+                             std::size_t workers) {
+  const std::size_t n = scripts.size();
+  ThreadNetwork<TS::Envelope> net(n);
+  StoreConfig cfg;
+  cfg.workers = workers;
+  cfg.batch_window = 8;
+  cfg.shard_count = 16;
+  std::vector<std::unique_ptr<TS>> stores;
+  std::uint64_t total = 0;
+  for (ProcessId p = 0; p < n; ++p) {
+    stores.push_back(std::make_unique<TS>(S{}, p, net, cfg));
+    total += scripts[p].size();
+  }
+  std::vector<std::thread> owners;
+  for (ProcessId p = 0; p < n; ++p) {
+    owners.emplace_back([&, p] {
+      for (const ScriptOp& op : scripts[p]) {
+        stores[p]->update(op.key, S::insert(op.value));
+      }
+      stores[p]->flush();
+    });
+  }
+  for (auto& t : owners) t.join();
+  for (auto& s : stores) s->drain_until(total);
+  KeyStates out;
+  for (const std::string& k : script_keys(scripts)) {
+    out[k] = stores[0]->state_of(k);
+    for (ProcessId p = 1; p < n; ++p) {
+      EXPECT_EQ(stores[p]->state_of(k), out[k])
+          << "store " << p << " diverged on " << k << " at " << workers
+          << " workers";
+    }
+  }
+  net.close_all();
+  return out;
+}
+
+/// The same scripts on the deterministic Sim transport.
+KeyStates run_sim_cluster(const std::vector<std::vector<ScriptOp>>& scripts) {
+  const std::size_t n = scripts.size();
+  SimScheduler sched;
+  typename SimNetwork<SimUcStore<S>::Envelope>::Config net_cfg;
+  net_cfg.n_processes = n;
+  net_cfg.latency = LatencyModel::constant(10.0);
+  net_cfg.seed = 7;
+  SimNetwork<SimUcStore<S>::Envelope> net(sched, net_cfg);
+  StoreConfig cfg;
+  cfg.batch_window = 8;
+  cfg.shard_count = 16;
+  std::vector<std::unique_ptr<SimUcStore<S>>> stores;
+  for (ProcessId p = 0; p < n; ++p) {
+    stores.push_back(std::make_unique<SimUcStore<S>>(S{}, p, net, cfg));
+  }
+  std::size_t longest = 0;
+  for (const auto& s : scripts) longest = std::max(longest, s.size());
+  for (std::size_t i = 0; i < longest; ++i) {
+    for (ProcessId p = 0; p < n; ++p) {
+      if (i < scripts[p].size()) {
+        stores[p]->update(scripts[p][i].key,
+                          S::insert(scripts[p][i].value));
+      }
+    }
+  }
+  for (auto& s : stores) (void)s->flush();
+  sched.run();
+  KeyStates out;
+  for (const std::string& k : script_keys(scripts)) {
+    out[k] = stores[0]->state_of(k);
+    for (ProcessId p = 1; p < n; ++p) {
+      EXPECT_EQ(stores[p]->state_of(k), out[k])
+          << "sim store " << p << " diverged on " << k;
+    }
+  }
+  return out;
+}
+
+TEST(WorkerPoolTest, FourWorkerRunMatchesSingleWorkerAndSim) {
+  const auto scripts = make_scripts(/*n_procs=*/3, /*ops=*/150);
+  const KeyStates four = run_thread_cluster(scripts, /*workers=*/4);
+  const KeyStates one = run_thread_cluster(scripts, /*workers=*/1);
+  const KeyStates sim = run_sim_cluster(scripts);
+  EXPECT_EQ(four, one) << "4-worker pool diverged from single-owner";
+  EXPECT_EQ(four, sim) << "4-worker pool diverged from Sim baseline";
+}
+
+TEST(WorkerPoolTest, PooledCountersConvergeUnderConcurrency) {
+  // The counter twin of the set test: total across keys must equal the
+  // number of updates issued (no entry lost or double-applied on any
+  // replica), with per-worker flushes racing the owner threads.
+  using C = CounterAdt;
+  using TC = ThreadUcStore<C>;
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kOpsPerThread = 300;
+  ThreadNetwork<TC::Envelope> net(kThreads);
+  StoreConfig cfg;
+  cfg.workers = 4;
+  cfg.batch_window = 8;
+  std::vector<std::unique_ptr<TC>> stores;
+  for (ProcessId p = 0; p < kThreads; ++p) {
+    stores.push_back(std::make_unique<TC>(C{}, p, net, cfg));
+  }
+  std::vector<std::thread> owners;
+  for (ProcessId p = 0; p < kThreads; ++p) {
+    owners.emplace_back([&, p] {
+      Rng rng(100 + p);
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        stores[p]->update("k" + std::to_string(rng.uniform_int(0, 9)),
+                          C::add(1));
+      }
+      stores[p]->flush();
+    });
+  }
+  for (auto& t : owners) t.join();
+  constexpr std::uint64_t kTotal = kThreads * kOpsPerThread;
+  for (auto& s : stores) s->drain_until(kTotal);
+  std::int64_t sum0 = 0;
+  for (int k = 0; k < 10; ++k) {
+    sum0 += stores[0]->state_of("k" + std::to_string(k));
+  }
+  EXPECT_EQ(sum0, static_cast<std::int64_t>(kTotal));
+  for (ProcessId p = 1; p < kThreads; ++p) {
+    for (int k = 0; k < 10; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      EXPECT_EQ(stores[p]->state_of(key), stores[0]->state_of(key))
+          << "replica " << p << " diverged on " << key;
+    }
+  }
+  net.close_all();
+}
+
+TEST(WorkerPoolTest, PooledStoreFoldsWithStabilityOnTheRouter) {
+  // GC on a pooled store: acks and the floor stay router-side, the fold
+  // runs against quiesced engines on the flush tick — the pooled twin
+  // of StoreGcTest.ThreadTransportFoldsWithPiggybackedAcks. Keys spread
+  // across shards owned by *different* workers, because that is where
+  // the FIFO-honesty of acks is at stake: one worker's window-full
+  // envelope must never vouch for a stamp still buffered in the other
+  // worker (pooled envelopes ship ack_clock = 0; only the router
+  // heartbeat — issued after flush_all + quiesce — carries the ack),
+  // or the receiver would fold past the in-flight entry and absorb it
+  // below the floor.
+  ThreadNetwork<TS::Envelope> net(2);
+  StoreConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_window = 2;  // small windows: workers flush independently
+  cfg.shard_count = 8;
+  cfg.gc = true;
+  TS a(S{}, 0, net, cfg);
+  TS b(S{}, 1, net, cfg);
+  constexpr int kRounds = 12;
+  constexpr int kKeys = 8;
+  for (int r = 0; r < kRounds; ++r) {
+    for (int k = 0; k < kKeys; ++k) {
+      a.update("k" + std::to_string(k), S::insert(r));
+    }
+    (void)a.flush();
+    (void)b.poll();
+    (void)b.flush();  // ack heartbeat back to the updater
+    (void)a.poll();
+    (void)a.flush();  // hears the ack, folds its engines
+  }
+  // Quiescence barriers before reading: drain everything in flight.
+  a.drain_until(kRounds * kKeys);
+  b.drain_until(kRounds * kKeys);
+  EXPECT_GT(a.stats().gc_folded, 0u);
+  EXPECT_GT(b.stats().acks_sent, 0u);
+  // No entry was folded over while in flight: every key converged.
+  for (int k = 0; k < kKeys; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    EXPECT_EQ(a.state_of(key), b.state_of(key)) << key;
+  }
+  net.close_all();
+}
+
+}  // namespace
+}  // namespace ucw
