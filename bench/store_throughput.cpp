@@ -18,8 +18,21 @@
 // The speedup needs real cores: on a 1-core host the sweep degenerates
 // to context-switch overhead (the table prints the detected core count
 // so the numbers read honestly).
+//
+// E10c — multi-producer frontend scaling: workers fixed at 4, client
+// threads per store swept (`--producers=`, default 1,2,4). The MPSC
+// rings and the atomic clock admit concurrent producers with no lock
+// on the update path; the table reports cluster ops/sec and the
+// speedup over the 1-producer point (same real-cores caveat).
+//
+// E10d — read-path latency: one hot key, `get()` answered from its
+// seqlock-published view versus `query()` riding the worker ring round
+// trip, reported as a latency histogram (p50/p90/p99/max). The
+// published read never enqueues on a ring and never parks behind a
+// worker tick — the histogram is the wait-free-read claim in numbers.
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -120,7 +133,8 @@ struct PoolPoint {
   bool converged = false;
 };
 
-PoolPoint run_pool_point(std::size_t workers, std::size_t ops_per_process) {
+PoolPoint run_pool_point(std::size_t workers, std::size_t ops_per_process,
+                         std::size_t producers = 1) {
   using C = CounterAdt;
   using TC = ThreadUcStore<C>;
   constexpr std::size_t kProcs = 2;
@@ -137,14 +151,21 @@ PoolPoint run_pool_point(std::size_t workers, std::size_t ops_per_process) {
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> owners;
   for (ProcessId p = 0; p < kProcs; ++p) {
-    owners.emplace_back([&, p] {
-      ZipfianKeys keyspace(kKeys, 0.99);
-      Rng rng(40 + p);
-      for (std::size_t i = 0; i < ops_per_process; ++i) {
-        stores[p]->update(keyspace.sample(rng), C::add(1));
-      }
-      stores[p]->flush();
-    });
+    // `producers` client threads split each process's ops — the
+    // multi-producer frontend (MPSC rings + concurrent stamping).
+    for (std::size_t c = 0; c < producers; ++c) {
+      owners.emplace_back([&, p, c] {
+        ZipfianKeys keyspace(kKeys, 0.99);
+        Rng rng(40 + p * 31 + c);
+        const std::size_t share =
+            ops_per_process / producers +
+            (c < ops_per_process % producers ? 1 : 0);
+        for (std::size_t i = 0; i < share; ++i) {
+          stores[p]->update(keyspace.sample(rng), C::add(1));
+        }
+        stores[p]->flush();
+      });
+    }
   }
   for (auto& t : owners) t.join();
   const std::uint64_t total = kProcs * ops_per_process;
@@ -200,11 +221,110 @@ bool print_worker_pool_sweep(const std::vector<std::size_t>& worker_counts,
   t.print(std::cout);
   std::cout << "\nShards never coordinate (update consistency needs no "
                "cross-key arbitration), so engine ownership spreads "
-               "across workers with no locks on the update path: the "
-               "owner thread stamps from the atomic store clock and "
-               "hands off over an SPSC ring; each worker batches and "
-               "broadcasts its own engines.\n";
+               "across workers with no locks on the update path: client "
+               "threads stamp from the atomic store clock and hand off "
+               "over MPSC rings; each worker batches and broadcasts its "
+               "own engines.\n";
   return all_converged;
+}
+
+/// E10c: client threads swept at a fixed 4-worker pool. Returns false
+/// when any point diverged (CI smoke fails on it).
+bool print_producer_sweep(const std::vector<std::size_t>& producer_counts,
+                          std::size_t ops_per_process) {
+  constexpr std::size_t kWorkers = 4;
+  print_banner(std::cout,
+               "E10c: ThreadUcStore multi-producer scaling (2 processes, "
+               "4 workers each, zipf 0.99 over 512 keys, window 32, "
+               "counter adds)");
+  std::cout << "hardware threads detected: "
+            << std::thread::hardware_concurrency()
+            << " (speedup needs >= producers + workers real cores)\n";
+  TextTable t({"producers", "threads/proc", "updates", "wall ms",
+               "ops/sec", "speedup vs first", "converged"});
+  double base_ops_per_sec = 0.0;
+  bool all_converged = true;
+  for (std::size_t c : producer_counts) {
+    const PoolPoint r = run_pool_point(kWorkers, ops_per_process, c);
+    all_converged = all_converged && r.converged;
+    const double ops_per_sec =
+        r.wall_seconds > 0
+            ? static_cast<double>(r.total_updates) / r.wall_seconds
+            : 0.0;
+    if (base_ops_per_sec == 0.0) base_ops_per_sec = ops_per_sec;
+    t.add(c, c + kWorkers, r.total_updates, r.wall_seconds * 1e3,
+          ops_per_sec,
+          base_ops_per_sec > 0 ? ops_per_sec / base_ops_per_sec : 0.0,
+          r.converged ? "yes" : "NO");
+  }
+  t.print(std::cout);
+  std::cout << "\nN client threads feed one store concurrently: stamps "
+               "come off the shared atomic clock (fetch-add), updates "
+               "race into the owning worker's MPSC ring, and per-key "
+               "arbitration never notices — every point must converge "
+               "to the same per-key sums.\n";
+  return all_converged;
+}
+
+/// E10d: the read-path latency histogram — published-view get() versus
+/// the ring round trip, one hot key, pooled store.
+void print_read_latency_table(std::size_t samples) {
+  using S2 = SetAdt<int>;
+  using TSet = ThreadUcStore<S2>;
+  print_banner(std::cout,
+               "E10d: read-path latency, hot key (workers=2; published "
+               "seqlock view vs worker-ring round trip)");
+  ThreadNetwork<TSet::Envelope> net(1);
+  StoreConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_window = 64;
+  TSet store(S2{}, 0, net, cfg);
+  for (int i = 0; i < 64; ++i) store.update("hot", S2::insert(i));
+  (void)store.get("hot", S2::read());  // cold get: the promoting trip
+  // Sorted once up front: the percentile picks (and .back() as max)
+  // must not depend on argument evaluation order below.
+  const auto percentile = [](const std::vector<double>& v, double p) {
+    const std::size_t i = static_cast<std::size_t>(
+        p * static_cast<double>(v.size() - 1));
+    return v[i];
+  };
+  std::vector<double> pub_ns, ring_ns;
+  pub_ns.reserve(samples);
+  ring_ns.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(store.get("hot", S2::read()));
+    pub_ns.push_back(std::chrono::duration<double, std::nano>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+  }
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(store.query("hot", S2::read()));
+    ring_ns.push_back(std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+  }
+  std::sort(pub_ns.begin(), pub_ns.end());
+  std::sort(ring_ns.begin(), ring_ns.end());
+  const StoreStats st = store.stats();
+  TextTable t({"read path", "samples", "p50 ns", "p90 ns", "p99 ns",
+               "max ns"});
+  t.add("published get()", pub_ns.size(), percentile(pub_ns, 0.50),
+        percentile(pub_ns, 0.90), percentile(pub_ns, 0.99),
+        pub_ns.back());
+  t.add("ring query()", ring_ns.size(), percentile(ring_ns, 0.50),
+        percentile(ring_ns, 0.90), percentile(ring_ns, 0.99),
+        ring_ns.back());
+  t.print(std::cout);
+  std::cout << "published reads: " << st.published_reads
+            << ", get() ring fallbacks: " << st.ring_reads
+            << " (the one cold get() that promoted the key)\n"
+            << "\nA published read is a registry snapshot + seqlock "
+               "state copy — it never enqueues on a ring, so its tail "
+               "does not include a worker tick; the ring round trip "
+               "pays enqueue + worker dequeue + wakeup.\n";
+  net.close_all();
 }
 
 // Microbench: the local cost of a keyed update (stamp, self-apply,
@@ -250,36 +370,53 @@ BENCHMARK(BM_ZipfSample)->Arg(1024)->Arg(1'000'000);
 
 }  // namespace
 
+/// Lenient "a,b,c" list parse shared by --workers= / --producers=:
+/// digits and commas only; empty result falls back to `fallback`.
+std::vector<std::size_t> parse_count_list(
+    const std::string& s, const std::vector<std::size_t>& fallback) {
+  std::vector<std::size_t> out;
+  std::size_t v = 0;
+  for (const char c : s) {
+    if (c == ',') {
+      if (v > 0) out.push_back(v);
+      v = 0;
+    } else if (c >= '0' && c <= '9') {
+      v = v * 10 + static_cast<std::size_t>(c - '0');
+    }
+  }
+  if (v > 0) out.push_back(v);
+  return out.empty() ? fallback : out;
+}
+
 // Custom main (instead of UCW_BENCH_MAIN): `--workers=a,b,c` picks the
-// pool sweep points and `--workers-ops=N` the per-process op count;
-// both are stripped before google-benchmark sees the arguments. Bare
-// `--workers` runs the default 1,2,4,8 sweep explicitly.
+// E10b pool sweep points, `--producers=a,b,c` the E10c client-thread
+// sweep points, and `--workers-ops=N` the per-process op count both
+// sweeps use; all are stripped before google-benchmark sees the
+// arguments. Bare `--workers` / `--producers` run the default sweeps
+// explicitly.
 int main(int argc, char** argv) {
-  std::vector<std::size_t> worker_counts = {1, 2, 4, 8};
+  const std::vector<std::size_t> default_workers = {1, 2, 4, 8};
+  const std::vector<std::size_t> default_producers = {1, 2, 4};
+  std::vector<std::size_t> worker_counts = default_workers;
+  std::vector<std::size_t> producer_counts = default_producers;
   std::size_t pool_ops = 30'000;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--workers") continue;  // default sweep, explicitly asked
+    if (arg == "--workers" || arg == "--producers") continue;
     if (arg.rfind("--workers=", 0) == 0) {
-      worker_counts.clear();
-      std::size_t v = 0;
-      for (const char c : arg.substr(10)) {
-        if (c == ',') {
-          if (v > 0) worker_counts.push_back(v);
-          v = 0;
-        } else if (c >= '0' && c <= '9') {
-          v = v * 10 + static_cast<std::size_t>(c - '0');
-        }
-      }
-      if (v > 0) worker_counts.push_back(v);
-      if (worker_counts.empty()) worker_counts = {1, 2, 4, 8};
+      worker_counts = parse_count_list(arg.substr(10), default_workers);
+      continue;
+    }
+    if (arg.rfind("--producers=", 0) == 0) {
+      producer_counts =
+          parse_count_list(arg.substr(12), default_producers);
       continue;
     }
     if (arg.rfind("--workers-ops=", 0) == 0) {
-      // Lenient like --workers=: digits only, malformed input keeps
-      // the default instead of throwing out of main.
+      // Lenient like the lists: digits only, malformed input keeps the
+      // default instead of throwing out of main.
       std::size_t v = 0;
       for (const char c : arg.substr(14)) {
         if (c < '0' || c > '9') {
@@ -294,7 +431,9 @@ int main(int argc, char** argv) {
     passthrough.push_back(argv[i]);
   }
   print_tables();
-  const bool pool_converged = print_worker_pool_sweep(worker_counts, pool_ops);
+  bool converged = print_worker_pool_sweep(worker_counts, pool_ops);
+  converged = print_producer_sweep(producer_counts, pool_ops) && converged;
+  print_read_latency_table(/*samples=*/20'000);
   int pargc = static_cast<int>(passthrough.size());
   ::benchmark::Initialize(&pargc, passthrough.data());
   if (::benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
@@ -302,5 +441,5 @@ int main(int argc, char** argv) {
   }
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  return pool_converged ? 0 : 1;
+  return converged ? 0 : 1;
 }

@@ -74,20 +74,25 @@ class LamportClock {
 /// Thread-safe Lamport clock: the store-wide clock every keyed replica
 /// of a process stamps from, shareable across the shard engines of a
 /// worker pool. `tick()` is a fetch-add (stamps stay unique and
-/// monotone per process even when the API thread stamps while worker
-/// threads merge remote clocks) and `observe()` is a CAS-max. All
-/// orderings are relaxed: the clock value itself is the only datum, and
-/// per-key arbitration needs only uniqueness plus per-process
-/// monotonicity of stamps, both of which the fetch-add provides.
-/// Single-threaded use (the Sim transport) behaves bit-for-bit like
-/// LamportClock.
+/// monotone per process even when many client threads stamp while
+/// worker threads merge remote clocks) and `observe()` is a CAS-max.
+/// Default orderings are relaxed: the clock value itself is the only
+/// datum, and per-key arbitration needs only uniqueness plus
+/// per-process monotonicity of stamps, both of which the fetch-add
+/// provides. The multi-producer frontend passes seq_cst explicitly on
+/// its hot path: the ack-honesty barrier (ThreadUcStore::stamp_barrier)
+/// reasons about the single total order of {claim-slot stores, ticks,
+/// the router's clock read, claim-slot scans}, which only exists when
+/// all four are seq_cst. Single-threaded use (the Sim transport)
+/// behaves bit-for-bit like LamportClock.
 class AtomicLamportClock {
  public:
   explicit AtomicLamportClock(ProcessId pid) : pid_(pid) {}
 
   /// Advances the clock and returns the stamp for a new local event.
-  [[nodiscard]] Stamp tick() {
-    return Stamp{time_.fetch_add(1, std::memory_order_relaxed) + 1, pid_};
+  [[nodiscard]] Stamp tick(
+      std::memory_order order = std::memory_order_relaxed) {
+    return Stamp{time_.fetch_add(1, order) + 1, pid_};
   }
 
   /// Merges a remote logical time (CAS-max).
@@ -99,8 +104,9 @@ class AtomicLamportClock {
   }
   void observe(const Stamp& remote) { observe(remote.clock); }
 
-  [[nodiscard]] LogicalTime now() const {
-    return time_.load(std::memory_order_relaxed);
+  [[nodiscard]] LogicalTime now(
+      std::memory_order order = std::memory_order_relaxed) const {
+    return time_.load(order);
   }
   [[nodiscard]] ProcessId pid() const { return pid_; }
 

@@ -33,6 +33,13 @@ struct StoreConfig {
   /// is a pure function of key and config — stable across restarts).
   /// 1 = the classic single-owner store; Sim stores are always 1.
   std::size_t workers = 1;
+  /// Distinct client threads a pooled ThreadUcStore accepts on its
+  /// update()/query()/get() surface. Each thread is lazily assigned one
+  /// stamp-claim slot (the per-producer bookkeeping behind the honest
+  /// flush-time ack — see ThreadUcStore::stamp_barrier); exceeding the
+  /// cap is a programming error and CHECK-fails. Irrelevant unpooled
+  /// (workers == 1 keeps the classic one-owner-thread contract).
+  std::size_t max_producers = 64;
   /// Nagle-style adaptive batch windows: each shard engine sizes its
   /// flush window from an EWMA of the updates it observed per flush
   /// tick, clamped to [1, batch_window]. The flush tick is the latency
@@ -79,6 +86,9 @@ struct ShardStats {
   std::uint64_t remote_updates = 0;
   std::uint64_t duplicate_updates = 0;
   std::uint64_t queries = 0;
+  /// Keys with a live published read view (promoted hot keys); 0 on Sim
+  /// stores and bare shards — only pooled ThreadUcStore queries promote.
+  std::size_t published_keys = 0;
   std::uint64_t log_entries = 0;     ///< resident log length, summed
   std::uint64_t gc_folded = 0;       ///< log entries folded by GC
   std::uint64_t snapshots_exported = 0;  ///< served to catching-up peers

@@ -23,13 +23,29 @@
 //     out the tick while a hot shard batches to the cap;
 //   * the GC dirty cursor — the engine tracks the minimum stamp of any
 //     entry it holds that has not been folded, so a sweep can skip
-//     clean engines in O(1) instead of walking every key of the store.
+//     clean engines in O(1) instead of walking every key of the store;
+//   * published read views — per *hot* key, a seqlock-versioned
+//     snapshot of the replica state (util/seqlock_view.hpp) that any
+//     client thread reads wait-free, without riding the owner's ring.
+//     A key turns hot the first time a get() falls back to the engine
+//     through the ring (`promote`; plain query() never promotes, so
+//     only keys actually read through get() pay the republish cost);
+//     from then on every apply republishes. The
+//     view registry is itself published as an immutable snapshot map
+//     through its own SeqlockView, so the read side is bounded end to
+//     end: registry snapshot → hash lookup → seqlock read, each a
+//     bounded-retry step. The owner reads its plain master registry
+//     directly, so the apply path pays one local hash probe, not a
+//     snapshot load.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -37,6 +53,7 @@
 #include "recovery/catchup.hpp"
 #include "store/envelope.hpp"
 #include "store/shard.hpp"
+#include "util/seqlock_view.hpp"
 
 namespace ucw {
 
@@ -46,6 +63,9 @@ class ShardEngine {
   using Entry = KeyedUpdate<A, Key>;
   using Shard = StoreShard<A, Key>;
   using Snapshot = ShardSnapshot<A, Key>;
+  using View = SeqlockView<typename A::State>;
+  using ViewMap =
+      std::unordered_map<Key, std::shared_ptr<View>, ValueHash>;
 
   ShardEngine(const A& adt, ProcessId pid, std::size_t index,
               const StoreConfig& config,
@@ -70,12 +90,14 @@ class ShardEngine {
   /// (synchronous self-delivery) and buffers it for the next flush.
   void local_update(const Key& key, UpdateMessage<A> msg) {
     note_stamp(msg.stamp.clock);
-    shard_.replica(key).apply_local(msg);
+    auto& rep = shard_.replica(key);
+    rep.apply_local(msg);
     ++local_updates_;
     ++updates_this_tick_;
     pending_.push_back(Entry{key, std::move(msg)});
     pending_count_.store(pending_.size(), std::memory_order_relaxed);
     applied_distinct_.fetch_add(1, std::memory_order_release);
+    maybe_republish(key, rep);
   }
 
   /// Applies one keyed update from a remote envelope; returns true when
@@ -92,6 +114,7 @@ class ShardEngine {
     }
     note_stamp(msg.stamp.clock);
     applied_distinct_.fetch_add(1, std::memory_order_release);
+    maybe_republish(key, rep);
     return false;
   }
 
@@ -105,6 +128,42 @@ class ShardEngine {
   [[nodiscard]] typename A::State state_of(const Key& key) {
     if (auto* rep = shard_.find(key)) return rep->current_state();
     return adt_.initial();
+  }
+
+  // ----- published read views (the wait-free read path) ----------------
+
+  /// Marks `key` hot (owner thread only; idempotent): creates its view,
+  /// publishes the current state, and ships a fresh immutable snapshot
+  /// of the whole registry for readers — O(hot set) per promotion,
+  /// which is why only get() fallbacks promote (the registry resettles
+  /// once the read-hot set does). Called by the pool worker on such a
+  /// fallback — the ring round trip that promotes is the last one that
+  /// key's readers ever pay.
+  void promote(const Key& key) {
+    if (views_owner_.count(key) > 0) return;
+    auto view = std::make_shared<View>();
+    view->publish(state_of(key));
+    views_owner_.emplace(key, std::move(view));
+    views_.publish(views_owner_);  // fresh immutable snapshot for readers
+  }
+
+  /// Wait-free read of `key`'s published state from *any* thread:
+  /// immutable registry-snapshot load → hash lookup → bounded-retry
+  /// seqlock read. nullopt when the key is cold (never promoted) or a
+  /// racing publish exhausted the retry budget — the caller falls back
+  /// to the ring round trip (which promotes).
+  [[nodiscard]] std::optional<typename A::State> try_read_published(
+      const Key& key) const {
+    const std::shared_ptr<const ViewMap> views = views_.try_read_shared();
+    if (!views) return std::nullopt;
+    const auto it = views->find(key);
+    if (it == views->end()) return std::nullopt;
+    return it->second->try_read();
+  }
+
+  /// Live published views (hot keys) of this engine. Owner thread.
+  [[nodiscard]] std::size_t published_keys() const {
+    return views_owner_.size();
   }
 
   // ----- batch buffer --------------------------------------------------
@@ -192,6 +251,7 @@ class ShardEngine {
     const std::size_t replayed = install_key_snapshot(rep, ks);
     *floor_raised = rep.log().floor() > floor_before;
     for (const auto& e : ks.suffix) note_stamp(e.stamp.clock);
+    maybe_republish(ks.key, rep);
     return replayed;
   }
 
@@ -219,6 +279,7 @@ class ShardEngine {
   [[nodiscard]] ShardStats stats() const {
     ShardStats s = shard_.stats();
     s.batch_window = window_;
+    s.published_keys = views_owner_.size();
     return s;
   }
 
@@ -228,6 +289,16 @@ class ShardEngine {
 
   void note_stamp(LogicalTime t) {
     if (t < min_unfolded_) min_unfolded_ = t;
+  }
+
+  /// Republishes `key`'s view after an apply, if the key is hot. One
+  /// local hash probe on the cold path; a state copy onto the heap on
+  /// the hot one (the price of giving readers a lock-free snapshot).
+  void maybe_republish(const Key& key, ReplayReplica<A>& rep) {
+    if (views_owner_.empty()) return;
+    const auto it = views_owner_.find(key);
+    if (it == views_owner_.end()) return;
+    it->second->publish(rep.current_state());
   }
 
   A adt_;
@@ -240,6 +311,14 @@ class ShardEngine {
   Shard shard_;
   std::vector<Entry> pending_;
   std::atomic<std::size_t> pending_count_{0};
+  /// Owner-side master registry — the hot set (which keys republish on
+  /// apply) and the source each promotion snapshots into views_.
+  ViewMap views_owner_;
+  /// Reader-side registry: an immutable snapshot map, republished on
+  /// promotion (rare once the hot set stabilizes), so the get() path
+  /// never sees a rehashing map — registry load, hash lookup, view
+  /// read, all bounded.
+  SeqlockView<ViewMap> views_;
   LogicalTime min_unfolded_ = kNoUnfolded;  ///< GC dirty cursor anchor
   std::uint64_t local_updates_ = 0;
   std::uint64_t remote_entries_ = 0;

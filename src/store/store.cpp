@@ -5,6 +5,7 @@
 #include "adt/all.hpp"
 
 #include "recovery/all.hpp"
+#include "util/spsc_ring.hpp"
 
 namespace ucw {
 
@@ -25,6 +26,8 @@ template class ThreadUcStore<CounterAdt>;
 template class StoreWorkerPool<ThreadUcStore<SetAdt<int>>>;
 template class StoreWorkerPool<ThreadUcStore<CounterAdt>>;
 template class SpscRing<int>;
+template class MpscRing<int>;
+template class SeqlockView<std::set<int>>;
 template class SimNetwork<BatchEnvelope<SetAdt<int>>>;
 template class ThreadNetwork<BatchEnvelope<CounterAdt>>;
 

@@ -7,8 +7,9 @@
 // What remains here is exactly the genuinely store-wide state:
 //
 //   * the atomic store-wide Lamport clock every keyed replica stamps
-//     from (what makes per-process stability sound — and what lets the
-//     API thread stamp while workers merge remote clocks);
+//     from (what makes per-process stability sound — and what lets any
+//     number of client threads stamp while workers merge remote
+//     clocks);
 //   * the StoreStabilityTracker and the GC sweep driver (the floor is
 //     one number per store; engines only fold to it);
 //   * the catch-up session, per-sender stream views, and the (epoch,
@@ -118,17 +119,29 @@ class StoreCore {
   StoreCore(const StoreCore&) = delete;
   StoreCore& operator=(const StoreCore&) = delete;
 
+  // Thread-safety legend for this surface: "owner thread" = the single
+  // thread driving an unpooled store (Sim's logical thread, or the one
+  // client thread of a workers==1 ThreadUcStore); a pooled ThreadUcStore
+  // shadows or re-documents every entry point whose contract widens.
+
+  /// This process's id. Immutable — any thread.
   [[nodiscard]] ProcessId pid() const { return pid_; }
+  /// The config the store was built with. Immutable — any thread.
   [[nodiscard]] const StoreConfig& config() const { return config_; }
+  /// The ADT instance (pure functions only). Immutable — any thread.
   [[nodiscard]] const A& adt() const { return adt_; }
+  /// Current store-wide Lamport clock value. Any thread (atomic read);
+  /// instantly stale under concurrent stamping, like any clock read.
   [[nodiscard]] LogicalTime clock_now() const { return clock_.now(); }
+  /// The stability tracker, or nullptr when `gc` is off. Owner thread
+  /// (pooled stores mutate it under the router lock).
   [[nodiscard]] const StoreStabilityTracker* stability() const {
     return stability_ ? &*stability_ : nullptr;
   }
 
   /// Store-wide counters plus the per-engine operation counts, merged.
-  /// (A pooled ThreadUcStore shadows this to add its workers' flush
-  /// accounting on top.)
+  /// Owner thread (a pooled ThreadUcStore shadows this to quiesce first
+  /// and add its workers' flush/GC accounting and read-path counters).
   [[nodiscard]] StoreStats stats() const {
     StoreStats s = stats_;
     for (const auto& e : engines_) {
@@ -141,8 +154,11 @@ class StoreCore {
   }
 
   /// Wait-free keyed update: stamp from the store clock, apply to the
-  /// owning engine's replica now, broadcast when the batch fills (or on
-  /// the next flush tick). Returns the arbitration stamp.
+  /// owning engine's replica now (synchronous self-delivery), broadcast
+  /// when the batch fills (or on the next flush tick). Returns the
+  /// arbitration stamp. Never waits on any other process (Proposition
+  /// 4 survives batching verbatim). Owner thread; the pooled frontend
+  /// shadows it for concurrent client threads.
   Stamp update(const Key& key, typename A::Update u) {
     // A rejoining store may not stamp updates until its clock has been
     // re-based by the first installed snapshot: the fresh incarnation's
@@ -166,6 +182,8 @@ class StoreCore {
 
   /// Wait-free keyed query from the local replay; an untouched key
   /// answers from the ADT's initial state (and stays unmaterialized).
+  /// Trivially reads-its-own-writes (self-delivery is synchronous).
+  /// Owner thread; shadowed by the pooled frontend.
   [[nodiscard]] typename A::QueryOut query(const Key& key,
                                            const typename A::QueryIn& qi) {
     poll();
@@ -176,7 +194,7 @@ class StoreCore {
   /// (ThreadNetwork); a no-op on handler-driven transports (SimNetwork,
   /// whose deliveries arrive through the registered handler). Living
   /// here — not in the frontend — means update()/query() through a
-  /// StoreCore& can never skip it.
+  /// StoreCore& can never skip it. Owner thread; shadowed pooled.
   std::size_t poll() {
     std::size_t applied = 0;
     if constexpr (kPollableInbox) {
@@ -189,7 +207,7 @@ class StoreCore {
   }
 
   /// The converged state k's replica currently holds; initial() for keys
-  /// never touched here.
+  /// never touched here. Owner thread (reads engine state directly).
   [[nodiscard]] typename A::State state_of(const Key& key) {
     return engine_of(key).state_of(key);
   }
@@ -198,18 +216,21 @@ class StoreCore {
   /// re-size adaptive windows, piggyback/heartbeat the stability ack,
   /// fold the stable prefix across the dirty engines, and retry a
   /// stalled catch-up. Returns entries flushed (dropped-on-crash entries
-  /// are not "flushed").
+  /// are not "flushed"). Never waits on receivers — the cost is the
+  /// per-peer enqueue. Owner thread; shadowed pooled.
   std::size_t flush() {
     for (auto& e : engines_) e->on_flush_tick();
     const std::size_t flushed = flush_now(FlushCause::kManual);
     if (stability_) {
-      maybe_send_ack();
+      maybe_send_ack(clock_.now());
       (void)collect_garbage();
     }
     sync_housekeeping();
     return flushed;
   }
 
+  /// Buffered (not yet flushed) keyed updates across every engine. Any
+  /// thread technically (relaxed mirrors), exact on the owner thread.
   [[nodiscard]] std::size_t pending() const {
     std::size_t n = 0;
     for (const auto& e : engines_) n += e->pending_size();
@@ -223,42 +244,20 @@ class StoreCore {
   /// tick; callable directly. Incremental: each sweep folds at most
   /// `gc_engines_per_sweep` *dirty* engines (clean ones are skipped in
   /// O(1) via the engine's min-unfolded cursor), resuming round-robin
-  /// where the previous sweep stopped. Returns entries folded.
+  /// where the previous sweep stopped. Returns entries folded. Owner
+  /// thread — it touches engine state; the pooled flush instead splits
+  /// this into the router-side floor refresh and worker-side folds.
   std::size_t collect_garbage() {
-    if (!stability_) return 0;
-    // No folding while a catch-up session is open. Two races hide here:
-    // (1) awaiting — donor rows adopted from the first installed shard
-    // would push keys of a *not yet installed* shard past the snapshot
-    // floor on a sparse live-delivery log, and install_base would then
-    // refuse the donor base as "already covered"; (2) guarding — a
-    // direct ack from a sender whose stream is not yet verified gap-free
-    // claims a prefix this store provably dropped while down, and
-    // folding over it would make the retry snapshot refusable the same
-    // way. Rows are trustworthy exactly when the session retires. The
-    // pause is bounded by the same events that already pin GC globally:
-    // a partitioned-away peer freezes everyone's floor (its rows stop
-    // advancing cluster-wide), and on heal its first envelope — or one
-    // gap retry — verifies its stream here and retires the session.
-    if (session_.active()) return 0;
-    refresh_crash_knowledge();
-    // Self-delivery is synchronous, so this store has trivially received
-    // its own stream up to its clock; without this a read-only replica
-    // (whose clock moves only by observation) would pin its *own* floor
-    // at zero and never compact, even while its heartbeats let everyone
-    // else fold.
-    stability_->advance_self(clock_.now());
-    const LogicalTime floor = stability_->floor();
-    stats_.stability_floor = floor;
-    stats_.stability_floor_lag = stability_->lag();
-    if (floor > gc_floor_) gc_floor_ = floor;
-    if (gc_floor_ == 0) return 0;
-    return gc_sweep(gc_floor_, config_.gc_engines_per_sweep);
+    const LogicalTime floor = refresh_stability_floor(clock_.now());
+    if (floor == 0) return 0;
+    return gc_sweep(floor, config_.gc_engines_per_sweep);
   }
 
   // ----- recovery: catch-up protocol -----------------------------------
 
   /// Asks `donor` to ship its snapshots (crash-restart or late join).
   /// Returns false on transports without p2p + epochs (ThreadNetwork).
+  /// Owner thread.
   bool request_sync(ProcessId donor) {
     if constexpr (kCatchupCapable) {
       UCW_CHECK(donor != pid_ && donor < net_->size());
@@ -272,31 +271,44 @@ class StoreCore {
     }
   }
 
+  /// Catch-up phase of this store (live / syncing / guarding). Owner
+  /// thread.
   [[nodiscard]] SyncState sync_state() const {
     if (!session_.active()) return SyncState::kLive;
     return session_.awaiting() ? SyncState::kSyncing : SyncState::kGuarding;
   }
   /// True until the first snapshot re-bases the clock of a rejoining
-  /// store; update() is refused while this holds (reads stay available).
+  /// store; update() is refused while this holds (reads stay
+  /// available). Owner thread.
   [[nodiscard]] bool bootstrapping() const { return bootstrapping_; }
 
   // ----- keyspace introspection ----------------------------------------
+  // All owner-thread: these read engine-owned maps directly. The pooled
+  // frontend shadows the commonly used ones behind a quiesce barrier.
 
+  /// Number of shard engines (== StoreConfig::shard_count). Immutable —
+  /// any thread.
   [[nodiscard]] std::size_t shard_count() const { return engines_.size(); }
+  /// Direct access to shard i's key→replica map. Owner thread.
   [[nodiscard]] Shard& shard(std::size_t i) { return engines_[i]->shard(); }
+  /// Which shard (engine) owns `key` — a pure function of key and
+  /// config, identical on every replica. Any thread.
   [[nodiscard]] std::size_t shard_index(const Key& key) const {
     return hash_value(key) % engines_.size();
   }
+  /// Direct access to `key`'s shard. Owner thread.
   [[nodiscard]] Shard& shard_of(const Key& key) {
     return engine_of(key).shard();
   }
 
+  /// Replicas materialized across all shards. Owner thread.
   [[nodiscard]] std::size_t keys_live() const {
     std::size_t n = 0;
     for (const auto& e : engines_) n += e->shard().keys_live();
     return n;
   }
 
+  /// Every key materialized here (order unspecified). Owner thread.
   [[nodiscard]] std::vector<Key> keys() const {
     std::vector<Key> out;
     for (const auto& e : engines_) {
@@ -306,6 +318,7 @@ class StoreCore {
     return out;
   }
 
+  /// One aggregate row per shard (print_shard_table). Owner thread.
   [[nodiscard]] std::vector<ShardStats> shard_stats() const {
     std::vector<ShardStats> out;
     out.reserve(engines_.size());
@@ -313,12 +326,14 @@ class StoreCore {
     return out;
   }
 
+  /// Estimated resident bytes of live state + logs. Owner thread.
   [[nodiscard]] std::size_t approx_bytes() const {
     std::size_t n = 0;
     for (const auto& e : engines_) n += e->shard().stats().approx_bytes;
     return n;
   }
 
+  /// Un-folded log entries resident across all keys. Owner thread.
   [[nodiscard]] std::uint64_t log_entries_resident() const {
     std::uint64_t n = 0;
     for (const auto& e : engines_) n += e->shard().stats().log_entries;
@@ -369,9 +384,11 @@ class StoreCore {
   /// the clock, and a receiver folding to the overstated ack would
   /// absorb that in-flight entry as a below-floor duplicate — silent
   /// divergence. Pooled envelopes therefore ship ack_clock = 0 and the
-  /// ack travels only on the router's heartbeat, which runs after
-  /// flush_all + quiesce, when every stamp ever issued provably sits
-  /// behind it in each receiver's FIFO inbox.
+  /// ack travels only on the router's flush-time heartbeat, clamped to
+  /// the stamp *barrier* (ThreadUcStore::stamp_barrier): every stamp
+  /// at or below it was in a ring before the flush ops, so after
+  /// flush_all it provably sits behind the heartbeat in each
+  /// receiver's FIFO inbox — even with client threads still stamping.
   std::size_t flush_engines(const std::vector<Engine*>& engines,
                             FlushCause cause, StoreStats& st,
                             bool piggyback_ack = true) {
@@ -423,6 +440,47 @@ class StoreCore {
     const std::size_t n = flush_engines(engine_ptrs_, cause, stats_);
     pending_total_ = 0;
     return n;
+  }
+
+  /// Refreshes the store-wide stability floor (router side, no engine
+  /// access — safe while workers run): failure-detector knowledge, the
+  /// self row advanced to `self_clock`, the fold floor re-derived and
+  /// recorded in stats. Returns the floor to fold to, 0 when nothing is
+  /// foldable yet (stability off, catch-up session open, floor at 0).
+  ///
+  /// `self_clock` is the largest own stamp this store can vouch it has
+  /// locally applied-or-queued-behind-the-fold: clock_now() on the
+  /// single-owner path (self-delivery is synchronous there); the stamp
+  /// *barrier* on a pooled store, where a client thread may hold a
+  /// freshly drawn stamp that no ring has seen yet — advancing the self
+  /// row past it could, in a 1-process cluster, fold ahead of the
+  /// in-flight entry.
+  [[nodiscard]] LogicalTime refresh_stability_floor(LogicalTime self_clock) {
+    if (!stability_) return 0;
+    // No folding while a catch-up session is open. Two races hide here:
+    // (1) awaiting — donor rows adopted from the first installed shard
+    // would push keys of a *not yet installed* shard past the snapshot
+    // floor on a sparse live-delivery log, and install_base would then
+    // refuse the donor base as "already covered"; (2) guarding — a
+    // direct ack from a sender whose stream is not yet verified gap-free
+    // claims a prefix this store provably dropped while down, and
+    // folding over it would make the retry snapshot refusable the same
+    // way. Rows are trustworthy exactly when the session retires. The
+    // pause is bounded by the same events that already pin GC globally:
+    // a partitioned-away peer freezes everyone's floor (its rows stop
+    // advancing cluster-wide), and on heal its first envelope — or one
+    // gap retry — verifies its stream here and retires the session.
+    if (session_.active()) return 0;
+    refresh_crash_knowledge();
+    // Without the self row a read-only replica (whose clock moves only
+    // by observation) would pin its *own* floor at zero and never
+    // compact, even while its heartbeats let everyone else fold.
+    stability_->advance_self(self_clock);
+    const LogicalTime floor = stability_->floor();
+    stats_.stability_floor = floor;
+    stats_.stability_floor_lag = stability_->lag();
+    if (floor > gc_floor_) gc_floor_ = floor;
+    return gc_floor_;
   }
 
   /// The incremental GC sweep: fold up to `budget` dirty engines to
@@ -669,14 +727,18 @@ class StoreCore {
   }
 
   /// Ack heartbeat: without one, a process that updates rarely (or only
-  /// reads) would pin everyone's stability floor. Sent only when the
-  /// clock moved since the last ack this store shipped. Callers gate on
-  /// stability where piggybacked acks already flow (single-owner
-  /// envelopes); a pooled store calls it unconditionally — its batch
-  /// envelopes carry no ack (see flush_engines), so the heartbeat is
-  /// the only thing keeping it from pinning compacting peers' floors.
-  void maybe_send_ack() {
-    if (clock_.now() == last_ack_clock_.load(std::memory_order_relaxed)) {
+  /// reads) would pin everyone's stability floor. Sent only when
+  /// `ack_clock` moved past the last ack this store shipped. Callers
+  /// gate on stability where piggybacked acks already flow
+  /// (single-owner envelopes, which pass clock_now()); a pooled store
+  /// calls it unconditionally — its batch envelopes carry no ack (see
+  /// flush_engines), so the heartbeat is the only thing keeping it from
+  /// pinning compacting peers' floors — and passes its stamp *barrier*,
+  /// the largest clock it can honestly vouch for with client threads
+  /// stamping concurrently (see ThreadUcStore::stamp_barrier).
+  void maybe_send_ack(LogicalTime ack_clock) {
+    if (ack_clock == 0 ||
+        ack_clock <= last_ack_clock_.load(std::memory_order_relaxed)) {
       return;
     }
     if constexpr (kCrashAware) {
@@ -693,7 +755,7 @@ class StoreCore {
     ack.kind = EnvelopeKind::kBatch;
     ack.epoch = epoch_;
     ack.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-    ack.ack_clock = clock_.now();
+    ack.ack_clock = ack_clock;
     raise_last_ack(ack.ack_clock);
     ++stats_.acks_sent;
     net_->broadcast_others(pid_, ack);

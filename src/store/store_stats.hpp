@@ -29,6 +29,17 @@ struct StoreStats {
   std::uint64_t remote_entries = 0;   ///< keyed updates applied on delivery
   std::uint64_t duplicate_entries = 0;  ///< of those, log-absorbed replays
   std::uint64_t queries = 0;
+
+  // -- the pooled read path (ThreadUcStore::get()). Together they split
+  //    every get() by how it was answered; `queries` above counts the
+  //    reads that reached an engine (query() calls plus the ring_reads
+  //    fallbacks), so published_reads is exactly the engine work the
+  //    seqlock views absorbed.
+  std::uint64_t published_reads = 0;  ///< answered from a seqlock view,
+                                      ///< no ring enqueue at all
+  std::uint64_t ring_reads = 0;       ///< get() fell back to a ring
+                                      ///< round trip (cold key/racing
+                                      ///< publisher); promotes the key
   std::uint64_t envelopes_sent = 0;   ///< reliable broadcasts issued
   std::uint64_t entries_sent = 0;     ///< keyed updates those carried
   std::uint64_t flushes_full = 0;     ///< batch window filled
@@ -91,8 +102,9 @@ struct StoreStats {
 inline void print_store_table(std::ostream& os,
                               const std::vector<StoreStats>& per_process,
                               const NetworkStats& net) {
-  TextTable t({"process", "updates", "queries", "envelopes", "entries",
-               "occupancy", "bytes sent (est)", "bytes saved"});
+  TextTable t({"process", "updates", "queries", "pub reads", "ring reads",
+               "envelopes", "entries", "occupancy", "bytes sent (est)",
+               "bytes saved"});
   // Signed: an envelope carrying a single entry costs a few bytes *more*
   // than a bare message (the header fields), so low-occupancy rows go
   // slightly negative instead of wrapping.
@@ -103,18 +115,21 @@ inline void print_store_table(std::ostream& os,
   StoreStats total;
   for (std::size_t p = 0; p < per_process.size(); ++p) {
     const StoreStats& s = per_process[p];
-    t.add(p, s.local_updates, s.queries, s.envelopes_sent, s.entries_sent,
-          s.batch_occupancy(), s.bytes_batched, saved(s));
+    t.add(p, s.local_updates, s.queries, s.published_reads, s.ring_reads,
+          s.envelopes_sent, s.entries_sent, s.batch_occupancy(),
+          s.bytes_batched, saved(s));
     total.local_updates += s.local_updates;
     total.queries += s.queries;
+    total.published_reads += s.published_reads;
+    total.ring_reads += s.ring_reads;
     total.envelopes_sent += s.envelopes_sent;
     total.entries_sent += s.entries_sent;
     total.bytes_batched += s.bytes_batched;
     total.bytes_unbatched += s.bytes_unbatched;
   }
-  t.add("total", total.local_updates, total.queries, total.envelopes_sent,
-        total.entries_sent, total.batch_occupancy(), total.bytes_batched,
-        saved(total));
+  t.add("total", total.local_updates, total.queries, total.published_reads,
+        total.ring_reads, total.envelopes_sent, total.entries_sent,
+        total.batch_occupancy(), total.bytes_batched, saved(total));
   t.print(os);
   os << "network: " << net.broadcasts << " broadcasts, "
      << net.messages_sent << " p2p messages, " << net.messages_delivered
@@ -161,8 +176,10 @@ inline void print_recovery_table(
   t.print(os);
 }
 
-/// Folds one flush-owner's wire accounting (a pool worker's slice) into
-/// an aggregate — exactly the counters flush_engines/heartbeats charge.
+/// Folds one flush-owner's accounting (a pool worker's slice) into an
+/// aggregate — exactly the counters flush_engines/heartbeats charge,
+/// plus the GC fold counters a pooled store's workers charge when the
+/// router hands them the floor (StoreWorkerPool::gc_all).
 inline void merge_wire_counters(StoreStats& into, const StoreStats& slice) {
   into.envelopes_sent += slice.envelopes_sent;
   into.entries_sent += slice.entries_sent;
@@ -174,22 +191,26 @@ inline void merge_wire_counters(StoreStats& into, const StoreStats& slice) {
   into.entries_dropped_crash += slice.entries_dropped_crash;
   into.acks_sent += slice.acks_sent;
   into.acks_dropped_crash += slice.acks_dropped_crash;
+  into.gc_runs += slice.gc_runs;
+  into.gc_folded += slice.gc_folded;
 }
 
 /// Renders one row per shard plus a totals row, matching the table style
 /// of the bench binaries.
 inline void print_shard_table(std::ostream& os,
                               const std::vector<ShardStats>& shards) {
-  TextTable t({"shard", "keys", "window", "local", "remote", "dup",
-               "queries", "log entries", "gc folded", "snap out",
+  TextTable t({"shard", "keys", "window", "views", "local", "remote",
+               "dup", "queries", "log entries", "gc folded", "snap out",
                "snap in", "~bytes"});
   ShardStats total;
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const ShardStats& s = shards[i];
-    t.add(i, s.keys_live, s.batch_window, s.local_updates, s.remote_updates,
-          s.duplicate_updates, s.queries, s.log_entries, s.gc_folded,
-          s.snapshots_exported, s.snapshots_installed, s.approx_bytes);
+    t.add(i, s.keys_live, s.batch_window, s.published_keys,
+          s.local_updates, s.remote_updates, s.duplicate_updates,
+          s.queries, s.log_entries, s.gc_folded, s.snapshots_exported,
+          s.snapshots_installed, s.approx_bytes);
     total.keys_live += s.keys_live;
+    total.published_keys += s.published_keys;
     total.local_updates += s.local_updates;
     total.remote_updates += s.remote_updates;
     total.duplicate_updates += s.duplicate_updates;
@@ -200,10 +221,11 @@ inline void print_shard_table(std::ostream& os,
     total.snapshots_installed += s.snapshots_installed;
     total.approx_bytes += s.approx_bytes;
   }
-  t.add("total", total.keys_live, "-", total.local_updates,
-        total.remote_updates, total.duplicate_updates, total.queries,
-        total.log_entries, total.gc_folded, total.snapshots_exported,
-        total.snapshots_installed, total.approx_bytes);
+  t.add("total", total.keys_live, "-", total.published_keys,
+        total.local_updates, total.remote_updates, total.duplicate_updates,
+        total.queries, total.log_entries, total.gc_folded,
+        total.snapshots_exported, total.snapshots_installed,
+        total.approx_bytes);
   t.print(os);
 }
 

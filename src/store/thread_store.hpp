@@ -1,42 +1,91 @@
-// ThreadUcStore: the UCStore on the real-thread transport.
+// ThreadUcStore: the UCStore on the real-thread transport — a
+// multi-client frontend with a wait-free read path.
 //
-// One store per *owner* thread, same single-owner discipline as
-// ThreadUcObject: the owning thread calls update/query/flush freely and
+// Unpooled (`workers == 1`, the default) this is the classic
+// single-owner store: one thread calls update/query/flush freely and
 // remote envelopes accumulate in the process inbox until poll() folds
 // them in (update and query poll opportunistically). Batching works
 // exactly as in SimUcStore — both share StoreCore — so wait-freedom is
 // preserved under genuine concurrency: an update never waits on
 // receivers, a flush only pays the per-peer enqueue.
 //
-// With `StoreConfig::workers > 1` the store scales across cores: a
-// StoreWorkerPool gives each of N worker threads exclusive ownership of
-// a disjoint set of shard engines (shard → worker by index modulo
-// workers — stable across restarts). The owner thread becomes a router:
-// update() stamps from the atomic store clock and enqueues to the
-// owning worker over an SPSC ring; query() rides the same ring (FIFO
-// per worker ⇒ a process still reads its own writes); incoming
-// envelopes are split per worker after the router has observed their
-// store-wide bookkeeping. Flush ticks fan out to every worker, each of
-// which ships its own envelope. Per-key arbitration is untouched — the
-// same key always lands in the same engine under the same owner — and
-// convergence is byte-identical to the 1-worker and Sim stores (see
-// tests/thread_store_test.cpp). What the pool *relaxes* is cross-object
-// causality of stamps: the API thread stamps before workers finish
-// merging remote clocks, so a stamp may not dominate a remote update
-// whose entry is still in a ring. Update consistency never needed that
-// dominance (arbitration only requires unique, per-process-monotone
-// stamps), but sessions wanting causal stamps should run 1 worker.
+// With `StoreConfig::workers > 1` the store becomes a real frontend:
+//
+//   * N *client threads* (up to `max_producers`) call update(), query()
+//     and get() concurrently. update() stamps from the atomic store
+//     clock (fetch-add: stamps stay unique and per-process monotone no
+//     matter how many threads draw them) and enqueues to the owning
+//     worker over an MPSC ring (util/mpsc_ring.hpp). FIFO per producer
+//     through the ring preserves read-your-writes *per thread* via
+//     query(); cross-thread interleaving is as arbitrary as network
+//     delivery already is, and per-key arbitration never cared.
+//   * M *worker threads* own disjoint shard-engine sets (shard → worker
+//     by index mod M — stable across restarts) and apply, batch, flush,
+//     and GC-fold their own engines only.
+//   * get() is the wait-free read path: a hot key (any key get() has
+//     read once) has a seqlock-published view the reading thread
+//     copies with bounded retries — no ring, no parking behind a
+//     worker tick, no locks. Cold keys fall back to the ring round
+//     trip, which promotes them (query() never promotes — the hot set
+//     grows only with keys actually read through get()). get() reads
+//     a recent
+//     *applied* state (own updates still queued in a ring may be
+//     missing — the update/query split of Mostéfaoui et al.'s causal-
+//     consistency work); use query() when per-thread read-your-writes
+//     matters more than latency.
+//   * one *router* role — whichever thread holds the router lock:
+//     poll()/flush() take it, update()/query()/get() opportunistically
+//     try it — drains the process inbox, observes store-wide
+//     bookkeeping (stream positions, stability acks) and fans keyed
+//     entries out to the owning workers' rings.
+//
+// Ack honesty under concurrent stamping: a pooled batch envelope ships
+// ack_clock = 0 (one worker cannot vouch for the whole process stream),
+// so the ack travels on the router's flush-time heartbeat. With client
+// threads stamping *during* the flush, "my clock now" would overclaim —
+// a thread may hold a freshly drawn stamp that no ring has seen. Each
+// client thread therefore keeps a claim slot: kClaiming while it draws
+// a stamp, the stamp value until the ring push lands, kIdle after. The
+// router's stamp_barrier() = min(clock, oldest in-flight claim − 1):
+// every stamp at or below it is provably in a ring, hence drained by
+// the flush the router just ran, hence behind the heartbeat in every
+// receiver's FIFO inbox. The same barrier bounds the GC self row (the
+// fold rides the rings, so entries below the barrier are applied before
+// their engine folds). Every participant of the protocol — producer
+// registration, claim stores, the clock tick, the router's clock read,
+// the scan bound and the claim scan — is seq_cst: the argument is
+// about their single total order.
+//
+// What the pool still trades away is cross-object *causality* of
+// stamps: a client thread stamps before workers finish merging remote
+// clocks, so a stamp may not dominate a remote update whose entry is
+// still in a ring. Update consistency never needed that dominance
+// (arbitration only requires unique, per-process-monotone stamps), but
+// sessions wanting causal stamps should run 1 worker.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 
 #include "net/thread_network.hpp"
 #include "store/store_core.hpp"
 #include "store/worker_pool.hpp"
 
 namespace ucw {
+
+/// Process-wide id generator for ThreadUcStore instances: keys the
+/// per-thread producer-slot cache, so a store reallocated at a dead
+/// store's address can never inherit its slots.
+inline std::uint64_t next_thread_store_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 template <UqAdt A, typename Key = std::string>
 class ThreadUcStore
@@ -50,86 +99,159 @@ class ThreadUcStore
 
   ThreadUcStore(A adt, ProcessId pid, ThreadNetwork<Envelope>& net,
                 StoreConfig config = {})
-      : Core(std::move(adt), pid, net, config) {
+      : Core(std::move(adt), pid, net, config), uid_(next_thread_store_uid()) {
     if (config.workers > 1) {
+      UCW_CHECK(config.max_producers >= 1);
+      claim_slots_ = std::make_unique<ClaimSlot[]>(config.max_producers);
       pool_ = std::make_unique<Pool>(*this, config.workers);
     }
   }
 
   // Derived members (the pool and its threads) are destroyed before the
   // Core base — workers stop and join while the engines still exist.
+  // Caller contract: no client thread is still inside an operation.
   ~ThreadUcStore() {
     if (pool_) pool_->stop();
   }
 
   /// Which worker owns `key`'s shard engine (0 when unpooled). A pure
-  /// function of key and config — stable across restarts.
+  /// function of key and config — stable across restarts. Any thread.
   [[nodiscard]] std::size_t worker_of(const Key& key) const {
     return pool_ ? pool_->worker_of(this->shard_index(key)) : 0;
   }
+  /// Worker-thread count (1 when unpooled). Any thread.
   [[nodiscard]] std::size_t workers() const {
     return pool_ ? pool_->workers() : 1;
   }
 
-  // ----- operation surface (single API/owner thread) -------------------
-  // Unpooled, these come straight from StoreCore (the core polls the
-  // inbox itself on pollable transports). Pooled, the owner routes.
+  // ----- operation surface ---------------------------------------------
+  // Unpooled: single owner thread, straight from StoreCore (the core
+  // polls the inbox itself). Pooled: any client thread, concurrently.
 
+  /// Wait-free keyed update. Stamps, applies (synchronously unpooled;
+  /// via the owning worker's ring pooled), buffers for the next flush;
+  /// returns the arbitration stamp. Never waits on any other process.
+  /// Pooled: safe from up to `max_producers` concurrent client threads.
   Stamp update(const Key& key, typename A::Update u) {
     if (!pool_) return Core::update(key, u);
-    (void)route_inbox();
-    const Stamp stamp = this->clock_.tick();
+    (void)try_route_inbox();
+    // The claim protocol around the tick (see file header): kClaiming
+    // before drawing, the stamp until the ring push lands, kIdle after.
+    // Everything seq_cst — stamp_barrier() reasons in the total order.
+    ClaimSlot& slot = claim_slots_[producer_index()];
+    slot.claim.store(kClaiming, std::memory_order_seq_cst);
+    const Stamp stamp = this->clock_.tick(std::memory_order_seq_cst);
+    slot.claim.store(stamp.clock, std::memory_order_seq_cst);
     pool_->enqueue_update(this->shard_index(key), key,
                           UpdateMessage<A>{stamp, std::move(u), {}});
+    slot.claim.store(kIdle, std::memory_order_release);
     return stamp;
   }
 
+  /// Keyed query with per-thread read-your-writes: rides the owning
+  /// worker's ring FIFO behind the calling thread's own updates, so the
+  /// answer includes them. Blocks for the ring round trip (bounded by
+  /// local work only — no remote process is waited on). Never promotes
+  /// — a keyspace scan through query() must not inflate the hot set;
+  /// only get() opts keys into published views. Pooled: safe from
+  /// concurrent client threads.
   [[nodiscard]] typename A::QueryOut query(const Key& key,
                                            const typename A::QueryIn& qi) {
     if (!pool_) return Core::query(key, qi);
-    (void)route_inbox();
-    return pool_->run_query(this->shard_index(key), key, qi);
+    (void)try_route_inbox();
+    return pool_->run_query(this->shard_index(key), key, qi,
+                            /*promote=*/false);
   }
 
+  /// The wait-free read path: a hot key answers from its seqlock-
+  /// published view — bounded retries, no ring, no locks, never parks
+  /// behind a worker tick. A cold key (or a view racing its publisher
+  /// past the retry budget) falls back to the ring round trip, which
+  /// promotes it. Reads a recent *applied* state: the calling thread's
+  /// own updates still queued in a ring may be missing — use query()
+  /// when read-your-writes matters more than latency. Unpooled this is
+  /// exactly query(). Pooled: safe from concurrent client threads.
+  [[nodiscard]] typename A::QueryOut get(const Key& key,
+                                         const typename A::QueryIn& qi) {
+    if (!pool_) return Core::query(key, qi);
+    if (auto state = this->engine(this->shard_index(key))
+                         .try_read_published(key)) {
+      published_reads_.fetch_add(1, std::memory_order_relaxed);
+      return this->adt().output(*state, qi);
+    }
+    ring_reads_.fetch_add(1, std::memory_order_relaxed);
+    (void)try_route_inbox();
+    return pool_->run_query(this->shard_index(key), key, qi,
+                            /*promote=*/true);
+  }
+
+  /// Drains the process inbox into the engines (via the rings, pooled).
+  /// Returns envelopes folded in. Pooled: any thread (takes the router
+  /// lock; concurrent callers serialize).
   std::size_t poll() {
     if (!pool_) return Core::poll();
-    return route_inbox();
+    std::lock_guard lock(router_mutex_);
+    return route_inbox_locked();
   }
 
+  /// Ships every pending batch, heartbeats the stability ack, and runs
+  /// the GC fold. Pooled: any thread, concurrently with client-thread
+  /// updates — the tick serializes on the router lock, the honest-ack
+  /// barrier and ring-riding fold keep it correct while updates race
+  /// (see file header). Returns entries flushed.
   std::size_t flush() {
     if (!pool_) return Core::flush();
-    (void)route_inbox();
+    std::lock_guard lock(router_mutex_);
+    (void)route_inbox_locked();
+    // The barrier *before* the flush ops: every stamp at or below it is
+    // already in a ring, so the kFlush behind it drains it onto the
+    // wire, and the heartbeat broadcast *after* flush_all is behind
+    // those envelopes in every receiver's FIFO inbox — the ack is
+    // honest. Stamps drawn after the barrier read are larger than it.
+    const LogicalTime barrier = stamp_barrier();
     const std::size_t flushed = pool_->flush_all();
-    // The recovery tick is store-wide, so it stays on the router:
-    // quiesce the rings (the engines are momentarily idle), then
-    // heartbeat and fold. Worker ops enqueued afterwards happen-after
-    // the fold via the ring handoff, so the single-owner discipline is
-    // only *transferred*, never shared. The heartbeat runs even
-    // without local stability: pooled batch envelopes carry no
-    // piggybacked ack (a worker cannot vouch for the whole process
-    // stream — see StoreCore::flush_engines), and after flush_all +
-    // quiesce every stamp this store ever issued provably sits behind
-    // the heartbeat in each receiver's FIFO inbox, so the router's
-    // clock *is* an honest ack here.
-    pool_->quiesce();
-    this->maybe_send_ack();
-    if (this->stability_) (void)this->collect_garbage();
+    this->maybe_send_ack(barrier);
+    if (this->stability_) {
+      // Router computes the floor (engine-free), workers fold their own
+      // engines; the fold op rides the same rings as updates, so every
+      // entry at or below the barrier is applied before its engine
+      // folds — raising the self row to the barrier cannot fold over an
+      // in-ring entry even in a 1-process cluster.
+      const LogicalTime floor = this->refresh_stability_floor(barrier);
+      if (floor > 0) {
+        const std::size_t budget = this->config().gc_engines_per_sweep;
+        const std::size_t per_worker =
+            budget == 0 ? 0
+                        : (budget + pool_->workers() - 1) / pool_->workers();
+        (void)pool_->gc_all(floor, per_worker);
+      }
+    }
     return flushed;
   }
 
+  /// The converged state `key`'s replica currently holds. Pooled:
+  /// requires external quiescence (no concurrent client ops) — it reads
+  /// engine-owned state after a drain barrier. Use get() for a safe
+  /// concurrent read.
   [[nodiscard]] typename A::State state_of(const Key& key) {
     sync_engines();
     return Core::state_of(key);
   }
 
-  // Every introspection path that reads engine-owned state quiesces
-  // first: the workers' release on `processed` paired with quiesce's
-  // acquire is what makes the plain counters and maps safely readable
-  // from the API thread.
+  // Introspection below reads engine-owned state and therefore, like
+  // state_of(), REQUIRES external quiescence: no client thread may be
+  // inside an operation (workers keep mutating engine maps after a
+  // quiesce taken mid-traffic, so "concurrent but stale" is not on
+  // offer — it would race). The internal quiesce is what makes the
+  // post-stop read sound: the workers' release on `processed` paired
+  // with quiesce's acquire publishes the plain counters and maps to
+  // this thread. For a safe concurrent read of a key, use get().
   [[nodiscard]] StoreStats stats() const {
     sync_engines();
     StoreStats s = Core::stats();
     if (pool_) pool_->merge_stats(s);
+    s.published_reads = published_reads_.load(std::memory_order_relaxed);
+    s.ring_reads = ring_reads_.load(std::memory_order_relaxed);
     return s;
   }
   [[nodiscard]] std::vector<ShardStats> shard_stats() const {
@@ -160,7 +282,7 @@ class ThreadUcStore
   /// Blocks until `total_entries` *distinct* keyed updates (local +
   /// remote, replays excluded) have been applied, or the inbox closes —
   /// the quiescence barrier the stress tests use. Callers must have
-  /// flushed everywhere first.
+  /// flushed everywhere first and stopped their client threads.
   void drain_until(std::uint64_t total_entries) {
     if (!pool_) {
       (void)Core::poll();
@@ -172,20 +294,25 @@ class ThreadUcStore
       return;
     }
     for (;;) {
-      (void)route_inbox();
+      {
+        std::lock_guard lock(router_mutex_);
+        (void)route_inbox_locked();
+      }
       // The inbox is empty, but routed entries may still sit in worker
       // rings — wait them out before deciding we are short.
       pool_->quiesce();
       if (applied_entries() >= total_entries) return;
       auto env = this->net_->inbox(this->pid_).pop_wait();
       if (!env.has_value()) return;  // closed
+      std::lock_guard lock(router_mutex_);
       route(env->from, env->payload);
     }
   }
 
   /// Distinct keyed updates this store has applied from any source;
   /// replays the per-key logs absorbed are not counted, so this reaches
-  /// the global update count even under at-least-once delivery.
+  /// the global update count even under at-least-once delivery. Any
+  /// thread (relaxed counters).
   [[nodiscard]] std::uint64_t applied_entries() const {
     std::uint64_t n = 0;
     for (const auto& e : this->engines_) n += e->applied_distinct();
@@ -193,14 +320,87 @@ class ThreadUcStore
   }
 
  private:
+  static constexpr std::uint64_t kIdle =
+      std::numeric_limits<std::uint64_t>::max();
+  static constexpr std::uint64_t kClaiming = kIdle - 1;
+
+  /// One client thread's stamp-in-flight slot (see file header).
+  struct alignas(64) ClaimSlot {
+    std::atomic<std::uint64_t> claim{kIdle};
+  };
+
   void sync_engines() const {
     if (pool_) pool_->quiesce();
   }
 
+  /// Lazily assigns the calling thread its claim slot, cached
+  /// thread-locally and keyed by store uid (a store reallocated at a
+  /// dead store's address cannot inherit entries). The common case — a
+  /// thread talking to one store — hits the two-field fast path; the
+  /// map only backs threads juggling several pooled stores. The
+  /// registration fetch_add is seq_cst: it must precede this thread's
+  /// first claim store in the single total order, or stamp_barrier()'s
+  /// scan bound could miss the brand-new slot entirely (see there).
+  [[nodiscard]] std::size_t producer_index() {
+    thread_local std::uint64_t fast_uid = 0;  // 0 = no store cached
+    thread_local std::size_t fast_slot = 0;
+    if (fast_uid == uid_) return fast_slot;
+    thread_local std::unordered_map<std::uint64_t, std::size_t> slots;
+    const auto [it, fresh] = slots.try_emplace(uid_, 0);
+    if (fresh) {
+      const std::size_t i =
+          producers_seen_.fetch_add(1, std::memory_order_seq_cst);
+      UCW_CHECK_MSG(i < this->config().max_producers,
+                    "more client threads than StoreConfig::max_producers");
+      it->second = i;
+    }
+    fast_uid = uid_;
+    fast_slot = it->second;
+    return it->second;
+  }
+
+  /// The largest clock value every stamp at or below which is provably
+  /// in a worker ring (or beyond). min(clock now, oldest in-flight
+  /// claim − 1); spins out the (few-instruction) kClaiming windows.
+  /// Router-lock holder. Everything seq_cst — see the file header for
+  /// why the total order makes the scan exhaustive. That includes the
+  /// scan *bound*: a producer registers (seq_cst fetch_add) before its
+  /// first claim store, and claim-store <S tick <S our clock read <S
+  /// this load, so a producer whose stamp the clock read covers is
+  /// always inside `n` — a relaxed bound could return 0 and skip a
+  /// brand-new producer's in-flight stamp.
+  [[nodiscard]] LogicalTime stamp_barrier() const {
+    for (;;) {
+      const LogicalTime now = this->clock_.now(std::memory_order_seq_cst);
+      LogicalTime barrier = now;
+      bool claiming = false;
+      const std::size_t n =
+          std::min(producers_seen_.load(std::memory_order_seq_cst),
+                   this->config().max_producers);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t c =
+            claim_slots_[i].claim.load(std::memory_order_seq_cst);
+        if (c == kClaiming) {
+          claiming = true;
+          break;
+        }
+        if (c != kIdle && c >= 1 && c - 1 < barrier) barrier = c - 1;
+      }
+      if (!claiming) return barrier;
+      std::this_thread::yield();
+    }
+  }
+
+  std::size_t try_route_inbox() {
+    std::unique_lock lock(router_mutex_, std::try_to_lock);
+    if (!lock.owns_lock()) return 0;  // someone else is routing
+    return route_inbox_locked();
+  }
+
   /// Router: drains the process inbox, observing store-wide bookkeeping
-  /// (stream positions, stability acks) on the owner thread, then fans
-  /// the keyed entries out to their owning workers.
-  std::size_t route_inbox() {
+  /// (stream positions, stability acks) under the router lock, then
+  /// fans the keyed entries out to their owning workers.
+  std::size_t route_inbox_locked() {
     std::size_t routed = 0;
     while (auto env = this->net_->inbox(this->pid_).try_pop()) {
       route(env->from, env->payload);
@@ -220,7 +420,16 @@ class ThreadUcStore
     }
   }
 
+  std::uint64_t uid_;
   std::unique_ptr<Pool> pool_;
+  std::unique_ptr<ClaimSlot[]> claim_slots_;
+  std::atomic<std::size_t> producers_seen_{0};
+  /// Store-wide (not per-router) state below is guarded by this lock:
+  /// peers_, stability_, stats_, gc_floor_ — everything route() and the
+  /// flush tick touch outside the engines.
+  mutable std::mutex router_mutex_;
+  std::atomic<std::uint64_t> published_reads_{0};
+  std::atomic<std::uint64_t> ring_reads_{0};
 };
 
 }  // namespace ucw

@@ -44,12 +44,25 @@ class SimUcStore
  public:
   using Envelope = typename Core::Envelope;
 
+  /// Registers the store as `pid`'s delivery handler on the simulated
+  /// network. Single-threaded by construction: the DES is one logical
+  /// thread, and determinism is the point of this frontend.
   SimUcStore(A adt, ProcessId pid, SimNetwork<Envelope>& net,
              StoreConfig config = {})
       : Core(std::move(adt), pid, net, config) {
     net.set_handler(pid, [this](ProcessId from, const Envelope& e) {
       this->deliver(from, e);
     });
+  }
+
+  /// API parity with ThreadUcStore::get(): on the single-owner Sim
+  /// store every local read is already wait-free (the local log replay,
+  /// Proposition 4 — no ring exists to fall back to), so get() is
+  /// exactly query(). Lets harness/bench code drive either frontend
+  /// through one surface. Single-threaded, like everything here.
+  [[nodiscard]] typename A::QueryOut get(const Key& key,
+                                         const typename A::QueryIn& qi) {
+    return Core::query(key, qi);
   }
 };
 

@@ -1,4 +1,5 @@
-// StoreWorkerPool: shard engines spread across N single-owner workers.
+// StoreWorkerPool: shard engines spread across N single-owner workers,
+// fed by any number of client threads.
 //
 // Update consistency needs no cross-key arbitration, so the store's
 // shard engines are embarrassingly parallel — the only reason one
@@ -9,26 +10,34 @@
 //   * worker w owns every engine with index ≡ w (mod workers) — a pure
 //     function of key and config, so shard→worker assignment is stable
 //     across restarts and identical on every replica of a config;
-//   * the store's API thread remains the single producer: update(),
-//     query() and routed remote entries enqueue to the owning worker
-//     over an SPSC ring (util/spsc_ring.hpp); per-key FIFO through one
-//     ring preserves read-your-writes without blocking the caller;
-//   * flush and heartbeat ticks run per worker: each worker drains its
-//     own engines into one envelope (seq drawn from the router's atomic
-//     stream counter) and charges a private StoreStats slice, so
-//     concurrent flushes never share a cache line, let alone a lock.
+//   * the frontend is multi-producer: every client thread of the store
+//     (plus whichever thread holds the router lock and fans remote
+//     entries in) enqueues to the owning worker over an MPSC ring
+//     (util/mpsc_ring.hpp). The ring keeps FIFO *per producer* — a
+//     thread's query dequeues behind its own updates, preserving
+//     read-your-writes per thread without blocking anyone — while
+//     cross-thread interleaving is as arbitrary as the network already
+//     makes delivery;
+//   * flush, GC-fold, and heartbeat ticks run per worker: each worker
+//     drains its own engines into one envelope (seq drawn from the
+//     router's atomic stream counter), folds its own engines to the
+//     router-computed floor, and charges a private StoreStats slice, so
+//     concurrent ticks never share a cache line, let alone a lock.
 //
-// Store-wide concerns stay on the router thread (StoreCore /
-// ThreadUcStore): the stability tracker is fed by envelope-level acks
-// the router observes *before* fanning entries out, and the GC floor is
-// computed there and handed to workers with the flush command — the
-// "per-engine outbox drained by the router" inverted: engines expose
-// their batch buffers, and ownership of the drain moves with the flush.
+// Store-wide concerns stay behind the router lock (ThreadUcStore): the
+// stability tracker is fed by envelope-level acks the routing thread
+// observes *before* fanning entries out, and the GC floor is computed
+// there and handed to workers as a ring op — engine state is touched by
+// its owner only, always. A get() that falls back to the ring promotes
+// its key to a published read view (shard_engine.hpp), which is what
+// lets the *next* get() of that key skip the ring entirely.
 //
 // Synchronization contract (what TSan checks): every engine is touched
-// by exactly one worker; the producer observes worker effects only
-// through `processed` (release) after `quiesce()` (acquire), which is
-// what makes post-drain reads of engine state and stats slices sound.
+// by exactly one worker; other threads observe worker effects only
+// through `processed` (release) after `quiesce()` (acquire) — which
+// makes post-drain reads of engine state and stats slices sound once
+// producers have stopped — or through the seqlock views, which are safe
+// under full concurrency.
 #pragma once
 
 #include <atomic>
@@ -42,7 +51,7 @@
 
 #include "store/shard_engine.hpp"
 #include "store/store_stats.hpp"
-#include "util/spsc_ring.hpp"
+#include "util/mpsc_ring.hpp"
 
 namespace ucw {
 
@@ -54,28 +63,37 @@ class StoreWorkerPool {
   using FlushCause = typename Store::FlushCause;
 
   struct Op {
-    enum class Kind : std::uint8_t { kUpdate, kRemote, kQuery, kFlush, kStop };
+    enum class Kind : std::uint8_t {
+      kUpdate,
+      kRemote,
+      kQuery,
+      kFlush,
+      kGc,
+      kStop,
+    };
     Kind kind = Kind::kStop;
     std::uint32_t engine = 0;
     ProcessId from = 0;
     Key key{};
     UpdateMessage<A> msg{};
+    LogicalTime gc_floor = 0;
+    bool promote_key = false;  ///< kQuery: publish a view for this key
     const typename A::QueryIn* query_in = nullptr;
     typename A::QueryOut* query_out = nullptr;
     std::atomic<std::uint32_t>* done = nullptr;
-    std::atomic<std::size_t>* flushed = nullptr;
+    std::atomic<std::size_t>* counted = nullptr;  ///< flushed / folded
   };
 
   struct Worker {
-    SpscRing<Op> ring{kRingCapacity};
+    MpscRing<Op> ring{kRingCapacity};
     std::vector<Engine*> engines;  ///< this worker's disjoint subset
-    StoreStats stats;              ///< private flush-accounting slice
+    StoreStats stats;              ///< private flush/GC accounting slice
     std::size_t pending = 0;       ///< buffered entries across its engines
-    std::uint64_t pushed = 0;      ///< producer-side op count
+    std::size_t gc_cursor = 0;     ///< incremental-fold resume point
     std::atomic<std::uint64_t> processed{0};
     // Idle parking: after a spin budget the worker sleeps on the cv
     // (bounded by a timeout, so a lost wake costs a millisecond, never
-    // liveness); the producer only takes the lock when `sleeping` says
+    // liveness); producers only take the lock when `sleeping` says
     // someone is actually parked, keeping the push fast path lock-free.
     std::mutex mutex;
     std::condition_variable cv;
@@ -120,6 +138,7 @@ class StoreWorkerPool {
     for (auto& w : workers_) w->thread.join();
   }
 
+  /// Any client thread; FIFO with that thread's other ops only.
   void enqueue_update(std::size_t engine_index, const Key& key,
                       UpdateMessage<A> msg) {
     Op op;
@@ -130,6 +149,7 @@ class StoreWorkerPool {
     push(*workers_[worker_of(engine_index)], std::move(op));
   }
 
+  /// Any thread (in practice: whichever one holds the router lock).
   void enqueue_remote(std::size_t engine_index, ProcessId from,
                       const Key& key, const UpdateMessage<A>& msg) {
     Op op;
@@ -142,17 +162,22 @@ class StoreWorkerPool {
   }
 
   /// Runs the query on the owning worker and waits for the answer —
-  /// ring FIFO behind any update the caller already enqueued, so a
-  /// process reads its own writes.
+  /// ring FIFO behind any update the calling thread already enqueued,
+  /// so every client thread reads its own writes. With `promote` (a
+  /// get() fallback) the worker also publishes a view for the key, so
+  /// subsequent get()s of it skip the ring; plain query() passes false
+  /// — promotion is opt-in by read path, a keyspace scan through
+  /// query() must not inflate the hot set. Any client thread.
   [[nodiscard]] typename A::QueryOut run_query(
       std::size_t engine_index, const Key& key,
-      const typename A::QueryIn& qi) {
+      const typename A::QueryIn& qi, bool promote) {
     typename A::QueryOut out{};
     std::atomic<std::uint32_t> done{0};
     Op op;
     op.kind = Op::Kind::kQuery;
     op.engine = static_cast<std::uint32_t>(engine_index);
     op.key = key;
+    op.promote_key = promote;
     op.query_in = &qi;
     op.query_out = &out;
     op.done = &done;
@@ -165,7 +190,7 @@ class StoreWorkerPool {
 
   /// Synchronous flush tick across every worker: each drains its own
   /// engines into one envelope and re-sizes its adaptive windows.
-  /// Returns total entries flushed.
+  /// Returns total entries flushed. Router-lock holder only.
   std::size_t flush_all() {
     std::atomic<std::uint32_t> done{0};
     std::atomic<std::size_t> flushed{0};
@@ -173,7 +198,7 @@ class StoreWorkerPool {
       Op op;
       op.kind = Op::Kind::kFlush;
       op.done = &done;
-      op.flushed = &flushed;
+      op.counted = &flushed;
       push(*w, std::move(op));
     }
     while (done.load(std::memory_order_acquire) < workers_.size()) {
@@ -182,18 +207,46 @@ class StoreWorkerPool {
     return flushed.load(std::memory_order_relaxed);
   }
 
-  /// Blocks until every op pushed so far has been processed; after this
-  /// the producer may read engine state (drain barriers, state_of,
-  /// stats) and see everything those ops wrote.
+  /// Synchronous GC tick: every worker folds its own dirty engines to
+  /// `floor`, spending at most `budget_per_worker` engines (0 = all of
+  /// them), resuming round-robin where its previous fold stopped.
+  /// Returns entries folded. Router-lock holder only. Because the fold
+  /// rides the same rings as updates, every entry enqueued before this
+  /// call is applied before its engine folds — which is what lets the
+  /// router raise the floor up to the stamp barrier (see
+  /// ThreadUcStore::flush) without folding over an in-ring entry.
+  std::size_t gc_all(LogicalTime floor, std::size_t budget_per_worker) {
+    std::atomic<std::uint32_t> done{0};
+    std::atomic<std::size_t> folded{0};
+    for (auto& w : workers_) {
+      Op op;
+      op.kind = Op::Kind::kGc;
+      op.gc_floor = floor;
+      op.engine = static_cast<std::uint32_t>(budget_per_worker);
+      op.done = &done;
+      op.counted = &folded;
+      push(*w, std::move(op));
+    }
+    while (done.load(std::memory_order_acquire) < workers_.size()) {
+      std::this_thread::yield();
+    }
+    return folded.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until every op pushed before this call has been processed.
+  /// With producers stopped, engine state (drain barriers, state_of,
+  /// stats) is then safely readable from the calling thread; with
+  /// producers still running it is only a point-in-time drain barrier.
   void quiesce() const {
     for (const auto& w : workers_) {
-      while (w->processed.load(std::memory_order_acquire) < w->pushed) {
+      const std::uint64_t target = w->ring.pushed();
+      while (w->processed.load(std::memory_order_acquire) < target) {
         std::this_thread::yield();
       }
     }
   }
 
-  /// Folds the workers' private flush-accounting slices into `s`.
+  /// Folds the workers' private flush/GC accounting slices into `s`.
   /// Callers quiesce first.
   void merge_stats(StoreStats& s) const {
     for (const auto& w : workers_) merge_wire_counters(s, w->stats);
@@ -202,7 +255,6 @@ class StoreWorkerPool {
  private:
   void push(Worker& w, Op&& op) {
     while (!w.ring.try_push(std::move(op))) std::this_thread::yield();
-    ++w.pushed;
     if (w.sleeping.load(std::memory_order_seq_cst)) {
       // Parked consumer: the lock pairs the notify with its wait-check
       // so the wake cannot slip between "ring empty" and "sleep".
@@ -217,9 +269,9 @@ class StoreWorkerPool {
       auto op = w.ring.try_pop();
       if (!op) {
         // Brief spin for the common back-to-back case, a yield phase so
-        // an oversubscribed host (or the producer on a single core)
-        // runs, then park — an idle pool must not burn a core per
-        // worker. The timed wait bounds any lost-wake window at 1 ms.
+        // an oversubscribed host (or a producer on a single core) runs,
+        // then park — an idle pool must not burn a core per worker. The
+        // timed wait bounds any lost-wake window at 1 ms.
         ++idle;
         if (idle > 64 && idle <= 4096) {
           std::this_thread::yield();
@@ -255,18 +307,46 @@ class StoreWorkerPool {
           (void)store_.engine(op->engine).apply_remote(op->from, op->key,
                                                        op->msg);
           break;
-        case Op::Kind::kQuery:
-          *op->query_out = store_.engine(op->engine).query(op->key,
-                                                           *op->query_in);
+        case Op::Kind::kQuery: {
+          Engine& e = store_.engine(op->engine);
+          *op->query_out = e.query(op->key, *op->query_in);
+          // A get() fallback promotes: from here on this key answers
+          // get() from its published view, no ring round trip.
+          if (op->promote_key) e.promote(op->key);
           op->done->store(1, std::memory_order_release);
           break;
+        }
         case Op::Kind::kFlush: {
           for (Engine* e : w.engines) e->on_flush_tick();
           const std::size_t n = store_.flush_engines(
               w.engines, FlushCause::kManual, w.stats,
               /*piggyback_ack=*/false);
           w.pending = 0;
-          op->flushed->fetch_add(n, std::memory_order_relaxed);
+          op->counted->fetch_add(n, std::memory_order_relaxed);
+          op->done->fetch_add(1, std::memory_order_release);
+          break;
+        }
+        case Op::Kind::kGc: {
+          // op->engine carries the per-worker budget (0 = every dirty
+          // engine); the dirty-cursor skip keeps clean engines O(1).
+          std::size_t budget = op->engine;
+          const std::size_t n = w.engines.size();
+          if (budget == 0 || budget > n) budget = n;
+          std::size_t folded = 0;
+          std::size_t visited = 0;
+          std::size_t step = 0;
+          for (; step < n && visited < budget; ++step) {
+            Engine& e = *w.engines[(w.gc_cursor + step) % n];
+            if (!e.gc_pending(op->gc_floor)) continue;
+            folded += e.fold_to(op->gc_floor);
+            ++visited;
+          }
+          w.gc_cursor = n == 0 ? 0 : (w.gc_cursor + step) % n;
+          if (visited > 0) {
+            ++w.stats.gc_runs;
+            w.stats.gc_folded += folded;
+          }
+          op->counted->fetch_add(folded, std::memory_order_relaxed);
           op->done->fetch_add(1, std::memory_order_release);
           break;
         }

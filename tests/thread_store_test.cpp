@@ -1,8 +1,11 @@
 // Worker-pool correctness: a pooled ThreadUcStore must be
 // indistinguishable, per key, from the single-owner store and from the
-// Sim transport. Three layers:
+// Sim transport. Four layers:
 //
-//  1. The SPSC ring itself (FIFO, wraparound, cross-thread handoff).
+//  1. The rings themselves: SPSC (FIFO, wraparound, cross-thread
+//     handoff) and MPSC (per-producer FIFO under producer contention,
+//     back-pressure when full) — the MPSC per-producer guarantee is
+//     what read-your-writes and the stream guard lean on.
 //  2. The shard→worker assignment: a pure function of key and config,
 //     disjoint across workers and stable across restarts — what lets a
 //     restarted process (or any replica of the config) route a key to
@@ -13,6 +16,11 @@
 //     a Sim cluster fed the *same scripts* must agree exactly, key by
 //     key, while the 4-worker run exercises real cross-thread routing,
 //     concurrent per-worker flushes and the shared atomic clock.
+//  4. The multi-producer frontend: several client threads feeding one
+//     pooled store concurrently — per-key states must still match the
+//     single-producer and Sim runs, every thread must read its own
+//     writes through query(), and a driver thread may tick flush()
+//     *while* producers update (the honest-ack barrier at work).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -27,6 +35,7 @@
 #include "net/scheduler.hpp"
 #include "runtime/keyspace.hpp"
 #include "store/all.hpp"
+#include "util/mpsc_ring.hpp"
 #include "util/rng.hpp"
 #include "util/spsc_ring.hpp"
 
@@ -73,6 +82,64 @@ TEST(SpscRingTest, CrossThreadHandoffKeepsOrder) {
     while (!ring.try_push(std::move(v))) std::this_thread::yield();
   }
   consumer.join();
+}
+
+TEST(MpscRingTest, FifoAndBackpressureSingleProducer) {
+  // Degenerate single-producer use behaves like the SPSC ring.
+  MpscRing<int> ring(8);
+  for (int round = 0; round < 5; ++round) {  // wraps the slot sequences
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(ring.try_push(round * 8 + i));
+    }
+    int overflow = 999;
+    EXPECT_FALSE(ring.try_push(std::move(overflow)));  // full: back-pressure
+    for (int i = 0; i < 8; ++i) {
+      auto v = ring.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, round * 8 + i);
+    }
+    EXPECT_FALSE(ring.try_pop().has_value());
+    EXPECT_TRUE(ring.empty());
+  }
+}
+
+TEST(MpscRingTest, PerProducerFifoUnderContention) {
+  // 4 producers race pushes of (producer, seq) pairs through a small
+  // ring (forcing wraparound and back-pressure); the consumer must see
+  // each producer's sequence strictly in order — the property the
+  // pooled store's read-your-writes and stream-guard reasoning rest on.
+  constexpr std::uint64_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 10'000;
+  MpscRing<std::uint64_t> ring(64);
+  std::thread consumer([&] {
+    std::vector<std::uint64_t> next(kProducers, 0);
+    std::uint64_t popped = 0;
+    while (popped < kProducers * kPerProducer) {
+      if (auto v = ring.try_pop()) {
+        const std::uint64_t p = *v >> 32;
+        const std::uint64_t seq = *v & 0xffffffffu;
+        ASSERT_LT(p, kProducers);
+        ASSERT_EQ(seq, next[p]) << "producer " << p << " reordered";
+        ++next[p];
+        ++popped;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::vector<std::thread> producers;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        std::uint64_t v = (p << 32) | i;
+        while (!ring.try_push(std::move(v))) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(ring.pushed(), kProducers * kPerProducer);
+  EXPECT_TRUE(ring.empty());
 }
 
 TEST(WorkerPoolTest, ShardToWorkerAssignmentIsStableAcrossRestarts) {
@@ -158,11 +225,15 @@ std::set<std::string> script_keys(
 
 using KeyStates = std::map<std::string, std::set<int>>;
 
-/// Runs the scripts on a thread-transport cluster (one owner thread per
-/// process issuing concurrently) and returns the converged states —
-/// asserting every store agrees before returning store 0's view.
+/// Runs the scripts on a thread-transport cluster and returns the
+/// converged states — asserting every store agrees before returning
+/// store 0's view. `producers` client threads per store split that
+/// store's script round-robin (producers == 1 is the classic one owner
+/// thread per process); with several producers the run exercises
+/// concurrent stamping from the atomic clock, racing MPSC pushes, and
+/// a flush() ticking *while* producers update.
 KeyStates run_thread_cluster(const std::vector<std::vector<ScriptOp>>& scripts,
-                             std::size_t workers) {
+                             std::size_t workers, std::size_t producers = 1) {
   const std::size_t n = scripts.size();
   ThreadNetwork<TS::Envelope> net(n);
   StoreConfig cfg;
@@ -177,12 +248,15 @@ KeyStates run_thread_cluster(const std::vector<std::vector<ScriptOp>>& scripts,
   }
   std::vector<std::thread> owners;
   for (ProcessId p = 0; p < n; ++p) {
-    owners.emplace_back([&, p] {
-      for (const ScriptOp& op : scripts[p]) {
-        stores[p]->update(op.key, S::insert(op.value));
-      }
-      stores[p]->flush();
-    });
+    for (std::size_t c = 0; c < producers; ++c) {
+      owners.emplace_back([&, p, c] {
+        for (std::size_t i = c; i < scripts[p].size(); i += producers) {
+          stores[p]->update(scripts[p][i].key,
+                            S::insert(scripts[p][i].value));
+        }
+        stores[p]->flush();
+      });
+    }
   }
   for (auto& t : owners) t.join();
   for (auto& s : stores) s->drain_until(total);
@@ -192,7 +266,7 @@ KeyStates run_thread_cluster(const std::vector<std::vector<ScriptOp>>& scripts,
     for (ProcessId p = 1; p < n; ++p) {
       EXPECT_EQ(stores[p]->state_of(k), out[k])
           << "store " << p << " diverged on " << k << " at " << workers
-          << " workers";
+          << " workers / " << producers << " producers";
     }
   }
   net.close_all();
@@ -245,6 +319,63 @@ TEST(WorkerPoolTest, FourWorkerRunMatchesSingleWorkerAndSim) {
   const KeyStates sim = run_sim_cluster(scripts);
   EXPECT_EQ(four, one) << "4-worker pool diverged from single-owner";
   EXPECT_EQ(four, sim) << "4-worker pool diverged from Sim baseline";
+}
+
+TEST(MultiProducerTest, FourProducersMatchSingleProducerAndSim) {
+  // The multi-producer acceptance property: 4 client threads × 4
+  // workers per store — concurrent stamping, racing MPSC pushes, four
+  // concurrent flush() ticks at script end — must land every replica in
+  // exactly the per-key states of the 1-producer × 1-worker run and the
+  // deterministic Sim run of the same scripts.
+  const auto scripts = make_scripts(/*n_procs=*/3, /*ops=*/200);
+  const KeyStates multi =
+      run_thread_cluster(scripts, /*workers=*/4, /*producers=*/4);
+  const KeyStates single =
+      run_thread_cluster(scripts, /*workers=*/1, /*producers=*/1);
+  const KeyStates sim = run_sim_cluster(scripts);
+  EXPECT_EQ(multi, single)
+      << "4-producer/4-worker frontend diverged from single-owner";
+  EXPECT_EQ(multi, sim)
+      << "4-producer/4-worker frontend diverged from Sim baseline";
+}
+
+TEST(MultiProducerTest, EveryProducerThreadReadsItsOwnWrites) {
+  // query() rides the owning worker's ring FIFO behind the calling
+  // thread's own updates, so read-your-writes holds *per client
+  // thread* even while other producers hammer the same keys and a
+  // driver thread ticks flush() concurrently.
+  constexpr std::size_t kProducers = 4;
+  constexpr int kOpsPerProducer = 200;
+  ThreadNetwork<TS::Envelope> net(1);
+  StoreConfig cfg;
+  cfg.workers = 4;
+  cfg.batch_window = 16;
+  cfg.shard_count = 8;
+  TS store(S{}, 0, net, cfg);
+  std::atomic<bool> stop_flusher{false};
+  std::thread flusher([&] {
+    while (!stop_flusher.load(std::memory_order_acquire)) {
+      (void)store.flush();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (std::size_t c = 0; c < kProducers; ++c) {
+    producers.emplace_back([&, c] {
+      for (int i = 0; i < kOpsPerProducer; ++i) {
+        const std::string k = "k" + std::to_string(i % 8);
+        const int v = static_cast<int>(c) * kOpsPerProducer + i;
+        store.update(k, S::insert(v));
+        const auto got = store.query(k, S::read());
+        EXPECT_TRUE(got.count(v))
+            << "producer " << c << " lost its own write " << v;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop_flusher.store(true, std::memory_order_release);
+  flusher.join();
+  net.close_all();
 }
 
 TEST(WorkerPoolTest, PooledCountersConvergeUnderConcurrency) {

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links point at files that exist.
+
+ARCHITECTURE.md (and the README) deliberately link into the source tree
+(`src/store/thread_store.hpp`, …); as files move in refactors those
+pointers rot silently. This walks every *.md in the repo (skipping
+build trees), extracts inline links and bare relative references in
+backticked tables, and fails with a list of dead targets.
+
+Checked:
+  [text](relative/path)        -> path must exist (anchors stripped)
+  [text](relative/path#frag)   -> path must exist (fragment ignored)
+Skipped:
+  http(s)://, mailto:, #in-page anchors, <angle-bracket autolinks>
+
+stdlib only — no pip installs in CI.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {"build", "build-tsan", "build-asan", ".git", ".claude"}
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def check_file(md: Path, root: Path):
+    dead = []
+    text = md.read_text(encoding="utf-8")
+    # Strip fenced code blocks: ASCII diagrams legitimately contain
+    # bracket-paren sequences that are not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (md.parent / path_part).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            dead.append((target, "escapes the repository"))
+            continue
+        if not resolved.exists():
+            dead.append((target, "missing"))
+    return dead
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    failures = 0
+    checked = 0
+    for md in md_files(root):
+        checked += 1
+        for target, why in check_file(md, root):
+            failures += 1
+            print(f"{md.relative_to(root)}: dead link -> {target} ({why})")
+    print(f"checked {checked} markdown files, {failures} dead links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
