@@ -12,7 +12,15 @@
 //    delivery time, and p's future sends are dropped (crash-stop);
 //  * partition(groups, heal_at): cross-group messages are withheld until
 //    the heal time, then released with a fresh latency sample — the
-//    "partitions do occur" scenario of the introduction;
+//    "partitions do occur" scenario of the introduction, for short
+//    blips a transport-level retry would ride out;
+//  * partition(groups) / heal(): a *long-lived* split. Cross-group
+//    messages are dropped outright (a real transport gives up long
+//    before a multi-minute partition heals), so the two sides genuinely
+//    diverge — per-sender (epoch, seq) streams grow gaps — and
+//    reconciliation after heal() is the anti-entropy protocol's job,
+//    exactly the companion brief announcement's scenario (update
+//    consistency as the criterion that survives partitions);
 //  * fifo_links: per-link FIFO delivery (needed by the pipelined
 //    baseline; Algorithm 1 works with or without it).
 #pragma once
@@ -34,7 +42,8 @@ struct NetworkStats {
   std::uint64_t broadcasts = 0;          ///< broadcast invocations
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped_crash = 0;
-  std::uint64_t messages_held_partition = 0;
+  std::uint64_t messages_held_partition = 0;     ///< timed (hold) splits
+  std::uint64_t messages_dropped_partition = 0;  ///< explicit (drop) splits
   std::uint64_t messages_duplicated = 0;  ///< at-least-once injections
   std::uint64_t restarts = 0;             ///< crash-recover rejoins
 };
@@ -123,6 +132,15 @@ class SimNetwork {
   void transmit(ProcessId from, ProcessId to, const Payload& payload) {
     UCW_CHECK(from < size() && to < size());
     if (crashed_[from]) return;
+    if (group_of_[from] != group_of_[to] && mode_ == PartitionMode::kDrop) {
+      // A long-lived split: the message is lost, not delayed. Dropping
+      // at send time keeps the link FIFO-per-segment (everything that
+      // *is* delivered arrives in send order), so the receiver's view
+      // of the sender's (epoch, seq) stream is a set of contiguous
+      // segments — exactly what the store's coverage tracking models.
+      ++stats_.messages_dropped_partition;
+      return;
+    }
     ++stats_.messages_sent;
     ++in_flight_from_[from];
     SimTime deliver_at = scheduler_->now() + config_.latency.sample(rng_);
@@ -198,13 +216,50 @@ class SimNetwork {
   void partition(const std::vector<std::size_t>& group_of, SimTime heal_at) {
     UCW_CHECK(group_of.size() == size());
     group_of_ = group_of;
+    mode_ = PartitionMode::kHold;
     heal_at_ = heal_at;
     scheduler_->at(heal_at, [this]() {
+      if (mode_ != PartitionMode::kHold) return;  // re-partitioned since
       std::fill(group_of_.begin(), group_of_.end(), 0);
+      mode_ = PartitionMode::kNone;
     });
   }
 
+  /// First-class long-lived split: cross-group traffic is *dropped* from
+  /// now until the topology changes (heal(), or another partition()
+  /// call merging/re-cutting groups — an asymmetric heal is just a
+  /// partition() whose map joins two former groups while a third stays
+  /// out). Both sides keep operating; divergence is repaired by the
+  /// store-level anti-entropy exchange after connectivity returns.
+  void partition(const std::vector<std::size_t>& group_of) {
+    UCW_CHECK(group_of.size() == size());
+    group_of_ = group_of;
+    bool split = false;
+    for (const std::size_t g : group_of_) split = split || g != group_of_[0];
+    mode_ = split ? PartitionMode::kDrop : PartitionMode::kNone;
+  }
+
+  /// Reconnects everyone (drops nothing thereafter). Messages dropped
+  /// while split stay lost — catch-up is the stores' anti-entropy job.
+  void heal() {
+    std::fill(group_of_.begin(), group_of_.end(), 0);
+    mode_ = PartitionMode::kNone;
+  }
+
+  /// Whether `a` and `b` can currently exchange messages directly.
+  [[nodiscard]] bool same_partition(ProcessId a, ProcessId b) const {
+    UCW_CHECK(a < size() && b < size());
+    return mode_ == PartitionMode::kNone || group_of_[a] == group_of_[b];
+  }
+
+  /// True while an explicit (drop-mode) split is in force.
+  [[nodiscard]] bool partitioned() const {
+    return mode_ == PartitionMode::kDrop;
+  }
+
  private:
+  enum class PartitionMode { kNone, kHold, kDrop };
+
   static constexpr SimTime kFifoEpsilon = 1e-6;
 
   void deliver(ProcessId from, ProcessId to, const Payload& payload) {
@@ -231,6 +286,7 @@ class SimNetwork {
   std::vector<std::uint64_t> epochs_;
   std::vector<std::uint64_t> in_flight_from_;
   std::vector<std::size_t> group_of_;
+  PartitionMode mode_ = PartitionMode::kNone;
   SimTime heal_at_ = 0.0;
   std::vector<std::vector<SimTime>> last_delivery_;
   NetworkStats stats_;

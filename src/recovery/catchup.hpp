@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/replica.hpp"
@@ -37,17 +38,24 @@ namespace ucw {
 
 // ----- snapshot codec -------------------------------------------------
 
-/// Serializes one shard's compacted state. The caller compacts first
-/// (collect_garbage) so the suffixes carry only the unstable window.
-template <UqAdt A, typename Key>
+/// Serializes one shard's compacted state, restricted to the keys
+/// `include` admits (the delta codec's hook: the shard engine passes its
+/// dirty-set check; pass always-true for a full snapshot). The caller
+/// compacts first (collect_garbage) so the suffixes carry only the
+/// unstable window. `keys_total` records the live-key count regardless
+/// of the filter, so installers and tests can see how much a delta
+/// skipped.
+template <UqAdt A, typename Key, typename IncludeFn>
 [[nodiscard]] ShardSnapshot<A, Key> encode_shard_snapshot(
     StoreShard<A, Key>& shard, std::size_t shard_index,
-    std::size_t shard_count) {
+    std::size_t shard_count, IncludeFn&& include) {
   ShardSnapshot<A, Key> snap;
   snap.shard_index = shard_index;
   snap.shard_count = shard_count;
+  snap.keys_total = shard.keys_live();
   snap.keys.reserve(shard.keys_live());
   shard.for_each([&](const Key& k, ReplayReplica<A>& r) {
+    if (!include(k)) return;
     KeySnapshot<A, Key> ks;
     ks.key = k;
     ks.base = r.log().base_state();
@@ -60,6 +68,15 @@ template <UqAdt A, typename Key>
   });
   shard.note_snapshot_exported();
   return snap;
+}
+
+/// Full snapshot: every live key of the shard.
+template <UqAdt A, typename Key>
+[[nodiscard]] ShardSnapshot<A, Key> encode_shard_snapshot(
+    StoreShard<A, Key>& shard, std::size_t shard_index,
+    std::size_t shard_count) {
+  return encode_shard_snapshot(shard, shard_index, shard_count,
+                               [](const Key&) { return true; });
 }
 
 /// Installs one key's snapshot into a replica: adopt the donor base,
@@ -75,6 +92,47 @@ std::size_t install_key_snapshot(ReplayReplica<A>& rep,
   }
   return ks.suffix.size();
 }
+
+// ----- per-sender seq coverage ----------------------------------------
+
+/// Which seqs of one sender's (single-epoch) envelope stream this store
+/// provably holds — received live, or covered by an installed snapshot /
+/// anti-entropy delta. Kept as sorted disjoint segments: per-link FIFO
+/// makes live arrivals in-order, so a segment boundary appears exactly
+/// where a drop-mode partition discarded envelopes, and one partition
+/// episode costs one segment. `prefix()` — the largest X with [0, X]
+/// fully covered — is the only claim the recovery protocols may make to
+/// peers: under drops, "largest seq seen" over-claims (the classic FIFO
+/// shortcut), and an over-claimed coverage row would let a catching-up
+/// peer verify a stream whose gap entries nobody shipped it.
+class SeqCoverage {
+ public:
+  /// One seq received live (duplicates and overlaps are fine).
+  void add(std::uint64_t seq);
+  /// [0, hi] proven covered wholesale (snapshot install, AE completion).
+  void add_prefix(std::uint64_t hi);
+  /// Forget everything (the sender restarted under a new epoch).
+  void reset();
+
+  [[nodiscard]] bool any() const { return !segs_.empty(); }
+  /// Whether seq 0 is covered (a prefix claim exists at all).
+  [[nodiscard]] bool has_prefix() const {
+    return !segs_.empty() && segs_.front().first == 0;
+  }
+  /// Largest X with [0, X] covered; only meaningful when has_prefix().
+  [[nodiscard]] std::uint64_t prefix() const { return segs_.front().second; }
+  /// Largest seq covered by any segment.
+  [[nodiscard]] std::uint64_t last() const { return segs_.back().second; }
+  /// No holes: one segment covering [0, last()].
+  [[nodiscard]] bool contiguous() const {
+    return segs_.empty() || (segs_.size() == 1 && segs_[0].first == 0);
+  }
+  [[nodiscard]] std::size_t segments() const { return segs_.size(); }
+
+ private:
+  /// Sorted, disjoint, non-adjacent [lo, hi] ranges.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> segs_;
+};
 
 // ----- sync session ---------------------------------------------------
 
@@ -120,6 +178,14 @@ class CatchupSession {
   /// Whether `q`'s stream has been proven gap-free this session.
   [[nodiscard]] bool verified(ProcessId q) const {
     return q < verified_.size() && verified_[q];
+  }
+
+  /// The merged donor coverage of the session (what the installed
+  /// snapshots provably cover of each sender's stream). Read at retire
+  /// time to seed the store's per-sender SeqCoverage — the proof that
+  /// the pre-join prefix of every stream needs no anti-entropy.
+  [[nodiscard]] const std::vector<StreamCoverage>& coverage() const {
+    return coverage_;
   }
 
   /// Retry pacing: progress() is bumped by installs; a flush tick where

@@ -59,6 +59,53 @@ std::string StoreStabilityTracker::to_string() const {
   return clock_.to_string();
 }
 
+// ----- SeqCoverage ----------------------------------------------------
+
+void SeqCoverage::add(std::uint64_t seq) {
+  // Find the first segment whose hi+1 >= seq (the earliest one `seq`
+  // could extend or fall inside), insert or grow there, then merge a
+  // now-adjacent right neighbor. Live arrivals are in-order per link,
+  // so the common case is extending the last segment in O(1).
+  if (!segs_.empty() && segs_.back().second + 1 == seq) {
+    segs_.back().second = seq;
+    return;
+  }
+  auto it = std::lower_bound(
+      segs_.begin(), segs_.end(), seq,
+      [](const std::pair<std::uint64_t, std::uint64_t>& s, std::uint64_t v) {
+        return s.second + 1 < v;
+      });
+  if (it == segs_.end()) {
+    segs_.emplace_back(seq, seq);
+    return;
+  }
+  if (seq + 1 < it->first) {
+    segs_.insert(it, {seq, seq});
+    return;
+  }
+  it->first = std::min(it->first, seq);
+  it->second = std::max(it->second, seq);
+  const auto next = it + 1;
+  if (next != segs_.end() && it->second + 1 >= next->first) {
+    it->second = std::max(it->second, next->second);
+    segs_.erase(next);
+  }
+}
+
+void SeqCoverage::add_prefix(std::uint64_t hi) {
+  // Swallow every segment that [0, hi] touches or abuts.
+  std::uint64_t new_hi = hi;
+  auto it = segs_.begin();
+  while (it != segs_.end() && it->first <= hi + 1) {
+    new_hi = std::max(new_hi, it->second);
+    ++it;
+  }
+  segs_.erase(segs_.begin(), it);
+  segs_.insert(segs_.begin(), {0, new_hi});
+}
+
+void SeqCoverage::reset() { segs_.clear(); }
+
 // ----- CatchupSession -------------------------------------------------
 
 std::uint64_t CatchupSession::begin(ProcessId donor, std::size_t n_shards,

@@ -73,11 +73,32 @@ struct StreamCoverage {
 };
 
 /// One shard's snapshot message (a catch-up ships shard_count of them).
+///
+/// Incremental encoding: every shard engine stamps each of its keys with
+/// a monotone *advance marker* (bumped whenever the key's log gains an
+/// entry or a base), and a snapshot records the engine counter it was
+/// cut at (`delta_marker`) plus the marker it is relative to
+/// (`delta_since`). `delta_since == 0` is a full snapshot; otherwise the
+/// snapshot carries only the keys that advanced after `delta_since`,
+/// and is a complete statement relative to a receiver that already holds
+/// the donor's shard state as of `delta_since` — which the receiver
+/// proves by having echoed that marker (received with an earlier
+/// install) in its request. Crash-catch-up retries and heal-time
+/// anti-entropy both ride this: a second round re-ships only what moved
+/// since the first, not every shard in full.
 template <UqAdt A, typename Key = std::string>
 struct ShardSnapshot {
   std::size_t shard_index = 0;
   std::size_t shard_count = 0;
   LogicalTime donor_clock = 0;
+  /// Donor engine's advance counter when this snapshot was cut; echo it
+  /// back to request the next serve as a delta from here.
+  std::uint64_t delta_marker = 0;
+  /// Marker this snapshot is relative to (0 = full: every live key).
+  std::uint64_t delta_since = 0;
+  /// Live keys at the donor when cut — keys_total - keys.size() is how
+  /// many clean keys the delta skipped.
+  std::size_t keys_total = 0;
   std::vector<LogicalTime> donor_rows;   ///< donor stability knowledge
   std::vector<StreamCoverage> coverage;  ///< per sender, see above
   std::vector<KeySnapshot<A, Key>> keys;

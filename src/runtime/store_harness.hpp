@@ -12,6 +12,18 @@
 // rejoined ones, which must agree with replicas that never crashed. The
 // store benchmarks, the property tests, and the reworked KV example all
 // run on this engine.
+//
+// Partitions: PartitionPlans script drop-mode topology changes. At each
+// plan the network is re-cut (an all-zero map is a heal), and for every
+// pair of processes the change *reconnects*, the harness schedules
+// anti-entropy pulls: each process runs one anti_entropy_round against
+// the lowest-pid live representative of each group it just regained —
+// the representative holds everything its side produced (intra-group
+// traffic kept flowing), so one delta exchange per (process, regained
+// group) reconciles the whole split. A run whose last plan leaves the
+// network split is healed (plus one AE sweep) before the quiesce
+// barrier, so the convergence check always speaks for a connected
+// cluster.
 #pragma once
 
 #include <functional>
@@ -41,6 +53,19 @@ struct RestartPlan {
   std::size_t resume_ops = 0;
 };
 
+/// Drop-mode topology change at `at`: processes with equal group ids
+/// can talk, cross-group messages are dropped. All-zero = heal. An
+/// asymmetric heal is two plans: {0,0,1} merging {A,B} first, then
+/// all-zero bringing C back. With `anti_entropy` (default), every
+/// newly-reconnected process pair triggers the representative AE pull
+/// described in the header comment, `ae_delay` after the cut.
+struct PartitionPlan {
+  SimTime at = 0.0;
+  std::vector<std::size_t> group_of{};
+  bool anti_entropy = true;
+  SimTime ae_delay = 1.0;
+};
+
 struct StoreRunConfig {
   std::size_t n_processes = 4;
   std::uint64_t seed = 1;
@@ -59,6 +84,7 @@ struct StoreRunConfig {
   SimTime flush_period = 1'000.0;
   std::vector<CrashPlan> crashes{};
   std::vector<RestartPlan> restarts{};
+  std::vector<PartitionPlan> partitions{};
   SimTime drain_margin = 1.0;
 };
 
@@ -98,6 +124,8 @@ template <UqAdt A, typename GenFn>
                 "store-level stability tracking requires FIFO links");
   UCW_CHECK_MSG(cfg.restarts.empty() || cfg.fifo_links,
                 "catch-up stream guarding requires FIFO links");
+  UCW_CHECK_MSG(cfg.partitions.empty() || cfg.fifo_links,
+                "partition coverage tracking requires FIFO links");
 
   SimScheduler scheduler;
   typename SimNetwork<Envelope>::Config net_cfg;
@@ -198,6 +226,50 @@ template <UqAdt A, typename GenFn>
     scheduler.at(plan.at, [fn] { (*fn)(); });
   }
 
+  // Scripted drop-mode topology changes. `groups` tracks the applied
+  // topology so each plan can tell which pairs it *reconnects*; those
+  // get the representative anti-entropy pulls (one per process per
+  // regained former group), scheduled ae_delay after the cut.
+  auto groups =
+      std::make_shared<std::vector<std::size_t>>(cfg.n_processes, 0);
+  auto apply_topology = [&net, &scheduler, &stores, groups, n = cfg.n_processes](
+                            const std::vector<std::size_t>& group_of,
+                            bool anti_entropy, SimTime ae_delay) {
+    UCW_CHECK_MSG(group_of.size() == n,
+                  "PartitionPlan group map size != n_processes");
+    const std::vector<std::size_t> before = *groups;
+    *groups = group_of;
+    net.partition(group_of);
+    if (!anti_entropy) return;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (net.crashed(p)) continue;
+      // Lowest-pid live representative of each former group p regained.
+      std::map<std::size_t, ProcessId> reps;
+      for (ProcessId q = 0; q < n; ++q) {
+        if (q == p || net.crashed(q)) continue;
+        const bool was_connected = before[p] == before[q];
+        const bool now_connected = group_of[p] == group_of[q];
+        if (was_connected || !now_connected) continue;
+        if (reps.count(before[q]) == 0) reps.emplace(before[q], q);
+      }
+      for (const auto& [g, rep] : reps) {
+        (void)g;
+        scheduler.after(ae_delay, [&stores, p, rep] {
+          // One-directional pull: every process initiates its own, so
+          // reciprocation would only double the traffic. Refused (and
+          // skipped) while p is mid-catch-up — the session's own retry
+          // machinery recovers it across the heal.
+          (void)stores[p]->anti_entropy_round(rep, /*reciprocate=*/false);
+        });
+      }
+    }
+  };
+  for (const PartitionPlan& plan : cfg.partitions) {
+    scheduler.at(plan.at, [&apply_topology, plan] {
+      apply_topology(plan.group_of, plan.anti_entropy, plan.ae_delay);
+    });
+  }
+
   // Periodic flush tick: every store ships its pending batch and runs
   // its recovery housekeeping. The chain stays alive while anything
   // else is scheduled (workload, deliveries, pending restarts).
@@ -213,6 +285,15 @@ template <UqAdt A, typename GenFn>
   }
 
   scheduler.run();
+  // A run whose last plan left the network split must not fail the
+  // convergence check for a partition that simply never healed: heal
+  // it (with the anti-entropy sweep) before quiescing, mirroring what
+  // any real operator of a partitionable deployment eventually gets.
+  if (net.partitioned()) {
+    apply_topology(std::vector<std::size_t>(cfg.n_processes, 0),
+                   /*anti_entropy=*/true, /*ae_delay=*/1.0);
+    scheduler.run();
+  }
   // Quiescence: ship any trailing partial batches, then drain. Enough
   // rounds that even a *stalled* catch-up (lost request — e.g. the
   // donor crashed right after the restart) reaches its retry: the stall

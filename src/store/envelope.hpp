@@ -17,10 +17,13 @@
 // envelope carries (epoch, seq) — the sender's incarnation and position
 // in its own stream — and, when stability tracking is on, `ack_clock`,
 // the sender's store clock: the envelope-level ack that feeds the
-// store-level stability tracker. Two point-to-point kinds implement
-// catch-up: kSyncRequest asks a donor for the store's state, and
-// kShardSnapshot carries one shard's compacted base + unstable suffix
-// (recovery/snapshot.hpp). Only kBatch envelopes are part of the seq
+// store-level stability tracker. Four point-to-point kinds implement
+// catch-up and anti-entropy: kSyncRequest asks a donor for the store's
+// state, kShardSnapshot carries one shard's compacted base + unstable
+// suffix (recovery/snapshot.hpp), and the kAntiEntropy pair runs the
+// same exchange donor↔donor after a partition heals (request carries
+// the caller's per-shard delta markers; the delta reply ships only the
+// keys that advanced since). Only kBatch envelopes are part of the seq
 // stream; the p2p kinds live outside it.
 #pragma once
 
@@ -43,9 +46,11 @@ struct KeyedUpdate {
 };
 
 enum class EnvelopeKind : std::uint8_t {
-  kBatch,          ///< broadcast: keyed updates + piggybacked ack
-  kSyncRequest,    ///< p2p: "ship me your snapshots"
-  kShardSnapshot,  ///< p2p: one shard's compacted state
+  kBatch,               ///< broadcast: keyed updates + piggybacked ack
+  kSyncRequest,         ///< p2p: "ship me your snapshots"
+  kShardSnapshot,       ///< p2p: one shard's compacted state
+  kAntiEntropyRequest,  ///< p2p: "ship me what moved since my markers"
+  kAntiEntropyDelta,    ///< p2p: one shard's delta, heal-time exchange
 };
 
 /// A batch of keyed updates shipped as a single reliable broadcast —
@@ -64,10 +69,19 @@ struct BatchEnvelope {
   /// empty-entries kBatch envelope with a nonzero ack_clock is an ack
   /// heartbeat (sent so silent processes do not pin the GC floor).
   LogicalTime ack_clock = 0;
-  /// kShardSnapshot payload. Shared: envelope copies (one per receiver
-  /// in a broadcast transport, plus scheduler captures) must not deep-
-  /// copy a whole shard's state.
+  /// kShardSnapshot / kAntiEntropyDelta payload. Shared: envelope
+  /// copies (one per receiver in a broadcast transport, plus scheduler
+  /// captures) must not deep-copy a whole shard's state.
   std::shared_ptr<const ShardSnapshot<A, Key>> snapshot;
+  /// kSyncRequest / kAntiEntropyRequest: per-shard delta markers —
+  /// "shard i of you I hold as of your marker sync_markers[i]" — valid
+  /// for the donor incarnation `sync_markers_epoch`. Empty or
+  /// stale-epoch markers make the donor serve full snapshots.
+  std::vector<std::uint64_t> sync_markers;
+  std::uint64_t sync_markers_epoch = 0;
+  /// kAntiEntropyRequest: also serve yourself from me (one call heals
+  /// both directions of a pair).
+  bool ae_reciprocate = false;
 };
 
 /// Fixed per-message framing cost assumed by the bytes-saved estimate:
@@ -109,10 +123,11 @@ template <typename State>
 }
 
 /// Estimated wire size of a shard snapshot: per-key base states plus
-/// unstable suffixes plus the donor bookkeeping rows.
+/// unstable suffixes plus the donor bookkeeping rows (and the delta
+/// markers — three more fixed words).
 template <UqAdt A, typename Key>
 [[nodiscard]] std::size_t wire_size(const ShardSnapshot<A, Key>& s) {
-  std::size_t bytes = 2 * sizeof(std::uint64_t) + sizeof(LogicalTime) +
+  std::size_t bytes = 5 * sizeof(std::uint64_t) + sizeof(LogicalTime) +
                       s.donor_rows.size() * sizeof(LogicalTime) +
                       s.coverage.size() * (2 * sizeof(std::uint64_t) + 2);
   for (const auto& k : s.keys) {
@@ -124,7 +139,7 @@ template <UqAdt A, typename Key>
 }
 
 /// Estimated wire size of an envelope: one frame plus the header plus
-/// the keyed payloads (and the snapshot, for kShardSnapshot).
+/// the keyed payloads (and the snapshot / sync markers, per kind).
 template <UqAdt A, typename Key>
 [[nodiscard]] std::size_t wire_size(const BatchEnvelope<A, Key>& e) {
   std::size_t bytes = kFrameOverheadBytes + kEnvelopeHeaderBytes;
@@ -132,6 +147,7 @@ template <UqAdt A, typename Key>
     bytes += key_wire_bytes(entry.key) + wire_size(entry.msg);
   }
   if (e.snapshot) bytes += wire_size(*e.snapshot);
+  bytes += e.sync_markers.size() * sizeof(std::uint64_t);
   return bytes;
 }
 

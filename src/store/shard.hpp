@@ -72,6 +72,27 @@ struct StoreConfig {
   /// previous batch can land and spins; 1 retries on the very next tick
   /// (unit tests with drained networks).
   std::size_t sync_patience_ticks = 6;
+  /// Incremental snapshot shipping: when a requester echoes the delta
+  /// markers it installed before (catch-up retry, anti-entropy round),
+  /// serve only the keys whose log advanced since — instead of every
+  /// shard in full, every round. Off forces full snapshots always (the
+  /// control arm of the delta benches/tests). Never changes *what* the
+  /// receiver ends up holding, only how much of it rides the wire.
+  bool incremental_snapshots = true;
+  /// Gap-triggered anti-entropy on the flush tick: a sender's stream
+  /// with a detected gap (drop-mode partition) that is reachable and
+  /// alive gets one anti_entropy_round() pull, re-issued every
+  /// `ae_patience_ticks` ticks until the round completes and clears the
+  /// gap. This is what makes a heal self-repairing: envelopes still in
+  /// flight *inside* a group when the heal-time exchange served are
+  /// caught by the next tick's pull from their origin, instead of
+  /// leaking as permanent divergence. Off = anti-entropy only when the
+  /// application calls anti_entropy_round() itself.
+  bool auto_anti_entropy = true;
+  /// Like sync_patience_ticks: must exceed the request → last-delta
+  /// round trip in flush ticks, or rounds are superseded before they
+  /// can complete.
+  std::size_t ae_patience_ticks = 6;
 };
 
 /// Per-shard aggregate view (rendered by print_shard_table in

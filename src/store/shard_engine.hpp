@@ -67,6 +67,10 @@ class ShardEngine {
   using ViewMap =
       std::unordered_map<Key, std::shared_ptr<View>, ValueHash>;
 
+  /// Sentinel "no install provenance" pid for the dirty marks (live
+  /// traffic, or an install whose donor should not be credited).
+  static constexpr ProcessId kNoDonor = static_cast<ProcessId>(-1);
+
   ShardEngine(const A& adt, ProcessId pid, std::size_t index,
               const StoreConfig& config,
               const typename ReplayReplica<A>::Config& rep_cfg)
@@ -90,6 +94,7 @@ class ShardEngine {
   /// (synchronous self-delivery) and buffers it for the next flush.
   void local_update(const Key& key, UpdateMessage<A> msg) {
     note_stamp(msg.stamp.clock);
+    mark_dirty(key);
     auto& rep = shard_.replica(key);
     rep.apply_local(msg);
     ++local_updates_;
@@ -113,6 +118,7 @@ class ShardEngine {
       return true;
     }
     note_stamp(msg.stamp.clock);
+    mark_dirty(key);
     applied_distinct_.fetch_add(1, std::memory_order_release);
     maybe_republish(key, rep);
     return false;
@@ -238,18 +244,55 @@ class ShardEngine {
 
   // ----- snapshot serve / install --------------------------------------
 
-  [[nodiscard]] Snapshot encode_snapshot(std::size_t shard_count) {
-    return encode_shard_snapshot(shard_, index_, shard_count);
+  /// Encodes this shard's snapshot. `since_marker == 0` ships every
+  /// live key (full); otherwise only the keys whose advance mark is
+  /// newer — the dirty-set — which is a complete statement relative to
+  /// a receiver already holding this shard's state as of that marker.
+  /// `requester` enables echo suppression: a key whose every advance
+  /// since the marker was an install of *that requester's own served
+  /// content* is skipped too — the requester holds it by construction,
+  /// and without this a bidirectional heal would bounce the whole first
+  /// sync back on the second round.
+  [[nodiscard]] Snapshot encode_snapshot(std::size_t shard_count,
+                                         std::uint64_t since_marker = 0,
+                                         ProcessId requester = kNoDonor) {
+    Snapshot snap = encode_shard_snapshot(
+        shard_, index_, shard_count, [&](const Key& k) {
+          if (since_marker == 0) return true;
+          const auto it = dirty_marks_.find(k);
+          if (it == dirty_marks_.end()) return false;
+          const DirtyMark& d = it->second;
+          const std::uint64_t effective =
+              d.donor == requester ? d.non_donor_mark : d.mark;
+          return effective > since_marker;
+        });
+    snap.delta_marker = advance_marker_;
+    snap.delta_since = since_marker;
+    return snap;
   }
+
+  /// The engine's advance counter (== the `delta_marker` the next
+  /// encode_snapshot would stamp).
+  [[nodiscard]] std::uint64_t dirty_marker() const { return advance_marker_; }
 
   /// Installs one key of a catch-up snapshot; returns suffix entries
   /// replayed and reports via `floor_raised` whether the key's compacted
-  /// prefix actually grew (the transfer-volume stat).
-  std::size_t install_key(const KeySnapshot<A, Key>& ks, bool* floor_raised) {
+  /// prefix actually grew (the transfer-volume stat). `donor` is the
+  /// provenance recorded on the dirty mark: installed knowledge dirties
+  /// the key here too — a later delta served *from* this store must
+  /// relay what it learned second-hand (that transitivity is what lets
+  /// one representative per partition side reconcile a whole split) —
+  /// but a delta back to the donor itself may skip it.
+  std::size_t install_key(const KeySnapshot<A, Key>& ks, bool* floor_raised,
+                          ProcessId donor = kNoDonor) {
     auto& rep = shard_.replica(ks.key);
     const LogicalTime floor_before = rep.log().floor();
+    const std::size_t log_before = rep.log().size();
     const std::size_t replayed = install_key_snapshot(rep, ks);
     *floor_raised = rep.log().floor() > floor_before;
+    if (*floor_raised || rep.log().size() > log_before) {
+      mark_dirty_from(ks.key, donor);
+    }
     for (const auto& e : ks.suffix) note_stamp(e.stamp.clock);
     maybe_republish(ks.key, rep);
     return replayed;
@@ -291,6 +334,37 @@ class ShardEngine {
     if (t < min_unfolded_) min_unfolded_ = t;
   }
 
+  /// The key's log gained information from live traffic (a distinct
+  /// local or remote entry): stamp it with the next advance mark, so a
+  /// delta snapshot relative to an older mark ships it. GC folds are
+  /// *not* advances — they move entries into the base without new
+  /// information, and dirtying on fold would re-ship the whole keyspace
+  /// every sweep.
+  void mark_dirty(const Key& key) {
+    DirtyMark& d = dirty_marks_[key];
+    d.mark = ++advance_marker_;
+    d.donor = kNoDonor;
+    d.non_donor_mark = d.mark;
+  }
+
+  /// As mark_dirty, but the information arrived as an installed
+  /// snapshot from `donor`: remember the provenance, and keep
+  /// `non_donor_mark` anchored at the last advance that did NOT come
+  /// from this donor — the echo-suppression invariant is "if
+  /// non_donor_mark <= the requester's baseline and the last donor is
+  /// the requester, every advance since the baseline was its own
+  /// content".
+  void mark_dirty_from(const Key& key, ProcessId donor) {
+    if (donor == kNoDonor) {
+      mark_dirty(key);
+      return;
+    }
+    DirtyMark& d = dirty_marks_[key];
+    if (d.donor != donor) d.non_donor_mark = d.mark;
+    d.donor = donor;
+    d.mark = ++advance_marker_;
+  }
+
   /// Republishes `key`'s view after an apply, if the key is hot. One
   /// local hash probe on the cold path; a state copy onto the heap on
   /// the hot one (the price of giving readers a lock-free snapshot).
@@ -320,6 +394,16 @@ class ShardEngine {
   /// read, all bounded.
   SeqlockView<ViewMap> views_;
   LogicalTime min_unfolded_ = kNoUnfolded;  ///< GC dirty cursor anchor
+  /// Delta-snapshot dirty-set entry: the advance mark of the key's last
+  /// log-growing apply/install, plus install provenance for echo
+  /// suppression (three words per live key).
+  struct DirtyMark {
+    std::uint64_t mark = 0;
+    std::uint64_t non_donor_mark = 0;
+    ProcessId donor = kNoDonor;
+  };
+  std::unordered_map<Key, DirtyMark, ValueHash> dirty_marks_;
+  std::uint64_t advance_marker_ = 0;
   std::uint64_t local_updates_ = 0;
   std::uint64_t remote_entries_ = 0;
   std::uint64_t duplicate_entries_ = 0;

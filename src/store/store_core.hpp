@@ -32,7 +32,25 @@
 //   send(from,to,e) + epoch(pid)
 //                       — the catch-up protocol (request_sync /
 //                         ShardSnapshot / stream guarding), p2p + the
-//                         incarnation counter rejoin needs.
+//                         incarnation counter rejoin needs — and the
+//                         heal-time anti-entropy exchange built on it;
+//   same_partition(a,b) — topology knowledge: a donor will not claim a
+//                         currently-unreachable sender's stream is
+//                         settled (its envelopes may be being dropped,
+//                         not merely absent).
+//
+// Partitions: a drop-mode split discards cross-group envelopes, so each
+// receiver's view of a sender's (epoch, seq) stream becomes a set of
+// contiguous segments (SeqCoverage). The store tracks that per sender,
+// and three things key off it: (1) piggybacked acks from a *gapped*
+// stream are ignored — under drops, "I received an envelope with ack
+// clock t" no longer proves FIFO coverage of everything below t, and
+// folding to an over-claimed floor would silently diverge; (2) coverage
+// rows served to joiners claim only the proven prefix; (3) after heal,
+// anti_entropy_round(peer) exchanges per-shard delta markers and ships
+// only the keys that advanced since the last serve — on completion the
+// peers' coverage (and, when stability is on, their rows) are adopted,
+// which both repairs the gap bookkeeping and un-freezes the GC floor.
 //
 // Recovery layering (src/recovery/): all per-key replicas stamp from the
 // one store clock, so a StoreStabilityTracker — one knowledge vector per
@@ -92,6 +110,10 @@ class StoreCore {
     UCW_CHECK(config_.workers >= 1);
     if constexpr (kEpochAware) epoch_ = net_->epoch(pid_);
     peers_.resize(net_->size());
+    snap_markers_.assign(net_->size(),
+                         std::vector<std::uint64_t>(config_.shard_count, 0));
+    snap_marker_epochs_.assign(net_->size(), 0);
+    ae_.resize(net_->size());
     if (config_.gc) stability_.emplace(pid_, net_->size());
     typename ReplayReplica<A>::Config rep_cfg;
     rep_cfg.policy = config_.policy;
@@ -226,6 +248,7 @@ class StoreCore {
       (void)collect_garbage();
     }
     sync_housekeeping();
+    ae_housekeeping();
     return flushed;
   }
 
@@ -269,6 +292,67 @@ class StoreCore {
       (void)donor;
       return false;
     }
+  }
+
+  // ----- recovery: anti-entropy after a partition heals -----------------
+
+  /// Heal-time reconciliation with `peer`: sends it this store's
+  /// per-shard delta markers ("shard i of you I hold as of marker m_i");
+  /// the peer replies with one delta snapshot per shard carrying only
+  /// the keys that advanced since — including everything it learned
+  /// second-hand from its partition side, so one exchange with a single
+  /// representative of the other side reconciles the whole split. With
+  /// `reciprocate` the peer also pulls from us, healing both directions
+  /// in one call. On completing the delta batch, the peer's coverage
+  /// rows are adopted (repairing this store's gapped view of every
+  /// stream the peer can vouch for) and, when stability is on, its
+  /// knowledge rows too — un-freezing the GC floor the partition pinned.
+  ///
+  /// Returns false on transports without p2p + epochs, while a catch-up
+  /// session is open (the session's retry machinery owns recovery
+  /// then), or when either end is crashed. Unlike request_sync this
+  /// never pauses GC, never refuses updates, and has no retry loop: a
+  /// round whose messages are lost (re-partition mid-exchange) is
+  /// simply superseded by the next call. Owner thread.
+  bool anti_entropy_round(ProcessId peer, bool reciprocate = true) {
+    if constexpr (kCatchupCapable) {
+      UCW_CHECK(peer != pid_ && peer < net_->size());
+      if (session_.active()) return false;
+      if constexpr (kCrashAware) {
+        if (net_->crashed(pid_) || net_->crashed(peer)) return false;
+      }
+      ++stats_.ae_rounds_started;
+      AeRound& r = ae_[peer];
+      r.active = true;
+      r.round = ++ae_round_counter_;
+      r.installed.assign(engines_.size(), false);
+      r.installed_count = 0;
+      r.sound = true;
+      r.ticks_active = 0;
+      Envelope req;
+      req.kind = EnvelopeKind::kAntiEntropyRequest;
+      req.epoch = epoch_;
+      req.seq = r.round;  // p2p kinds reuse seq as the round token
+      req.ae_reciprocate = reciprocate;
+      if (config_.incremental_snapshots) {
+        req.sync_markers = snap_markers_[peer];
+        req.sync_markers_epoch = snap_marker_epochs_[peer];
+      }
+      net_->send(pid_, peer, req);
+      return true;
+    } else {
+      (void)peer;
+      (void)reciprocate;
+      return false;
+    }
+  }
+
+  /// Whether the sender `q`'s live envelope stream currently has a gap
+  /// here (cross-partition drops, or a mid-stream join not yet verified
+  /// by catch-up). While gapped, q's piggybacked acks are ignored — see
+  /// the header comment. Owner thread.
+  [[nodiscard]] bool stream_gapped(ProcessId q) const {
+    return q < peers_.size() && peers_[q].gapped;
   }
 
   /// Catch-up phase of this store (live / syncing / guarding). Owner
@@ -361,6 +445,10 @@ class StoreCore {
     { net.epoch(p) } -> std::convertible_to<std::uint64_t>;
   };
   static constexpr bool kCatchupCapable = kPointToPoint && kEpochAware;
+  static constexpr bool kReachabilityAware =
+      requires(const Net& net, ProcessId a, ProcessId b) {
+        { net.same_partition(a, b) } -> std::convertible_to<bool>;
+      };
 
   enum class FlushCause { kWindowFull, kManual };
 
@@ -510,11 +598,19 @@ class StoreCore {
       case EnvelopeKind::kSyncRequest:
         // p2p kinds reuse `seq` as the sync round token (they are not
         // part of the sender's broadcast stream).
-        if constexpr (kCatchupCapable) serve_sync(from, e.seq);
+        if constexpr (kCatchupCapable) serve_sync(from, e);
         return;
       case EnvelopeKind::kShardSnapshot:
         if constexpr (kCatchupCapable) {
-          if (e.snapshot) install_snapshot(from, *e.snapshot, e.seq);
+          if (e.snapshot) install_snapshot(from, e);
+        }
+        return;
+      case EnvelopeKind::kAntiEntropyRequest:
+        if constexpr (kCatchupCapable) serve_anti_entropy(from, e);
+        return;
+      case EnvelopeKind::kAntiEntropyDelta:
+        if constexpr (kCatchupCapable) {
+          if (e.snapshot) install_anti_entropy(from, e);
         }
         return;
       case EnvelopeKind::kBatch:
@@ -524,7 +620,15 @@ class StoreCore {
     for (const Entry& entry : e.entries) {
       (void)engine_of(entry.key).apply_remote(from, entry.key, entry.msg);
     }
-    if (stability_ && e.ack_clock > 0) {
+    // A gapped stream's ack proves nothing: under FIFO *with drops*,
+    // holding an envelope that carries ack clock t no longer implies
+    // holding everything the sender stamped below t — the partition may
+    // have discarded some of it, and anti-entropy will deliver it later
+    // as genuinely-new below-floor entries. Observing such an ack would
+    // let GC fold over them. The gap clears (and acks resume) when an
+    // anti-entropy round or a catch-up session proves the prefix.
+    if (stability_ && e.ack_clock > 0 &&
+        !(from < peers_.size() && peers_[from].gapped)) {
       stability_->observe_ack(from, e.ack_clock);
     }
   }
@@ -542,61 +646,105 @@ class StoreCore {
       req.kind = EnvelopeKind::kSyncRequest;
       req.epoch = epoch_;
       req.seq = round;  // echoed on every snapshot of the batch
+      if (config_.incremental_snapshots) {
+        // Echo what we already installed from this donor: a retry round
+        // then ships only the keys that advanced since the previous
+        // round, not every shard in full. A fresh store's markers are
+        // all zero — the first round is always full.
+        req.sync_markers = snap_markers_[donor];
+        req.sync_markers_epoch = snap_marker_epochs_[donor];
+      }
       net_->send(pid_, donor, req);
     } else {
       (void)donor;
     }
   }
 
-  /// Donor side: compact, then ship one ShardSnapshot per engine (p2p),
-  /// each echoing the requester's round token.
-  void serve_sync(ProcessId requester, std::uint64_t round) {
+  /// Donor side of catch-up: compact, then ship one ShardSnapshot per
+  /// engine (p2p), each echoing the requester's round token — as deltas
+  /// against the markers the request carried, where valid.
+  void serve_sync(ProcessId requester, const Envelope& req) {
     if constexpr (kCatchupCapable) {
       if (requester == pid_ || requester >= net_->size()) return;
       // A donor with an open catch-up session must not serve. Awaiting:
       // its bases are incomplete. Guarding is no better: build_coverage
-      // advertises each sender's prefix up to last_seq, but a guarding
-      // store has not yet *verified* that it holds the [0, first_seq)
-      // part of those streams — serving would let a second joiner
-      // falsely verify a stream whose gap entries this store is itself
-      // still chasing, and retire into silent divergence. Defer; the
+      // advertises each sender's proven prefix, but a guarding store
+      // has not yet *verified* that it holds the [0, first_seq) part of
+      // those streams — serving would let a second joiner falsely
+      // verify a stream whose gap entries this store is itself still
+      // chasing, and retire into silent divergence. Defer; the
       // requester's stall retry rotates to another donor.
       if (session_.active()) return;
       ++stats_.sync_requests_served;
+      ship_snapshots(requester, req.seq, EnvelopeKind::kShardSnapshot,
+                     req.sync_markers, req.sync_markers_epoch);
+    }
+  }
+
+  /// Shared donor-side shipper for catch-up serves and anti-entropy
+  /// replies: compact, build the honest coverage vector, then one
+  /// snapshot per engine — full, or a delta from the requester's echoed
+  /// markers when they are for this incarnation (a restarted donor's
+  /// counters restart at zero, so stale-epoch markers must not be
+  /// trusted) and incremental shipping is on.
+  void ship_snapshots(ProcessId requester, std::uint64_t round,
+                      EnvelopeKind kind,
+                      const std::vector<std::uint64_t>& markers,
+                      std::uint64_t markers_epoch) {
+    if constexpr (kCatchupCapable) {
       // Snapshots ship base + unstable suffix: compact first, and fold
       // *every* dirty engine regardless of the incremental budget — a
       // half-folded engine would ship already-stable entries in its
-      // suffix and re-inflate the joiner's catch-up cost.
+      // suffix and re-inflate the receiver's install cost.
       (void)collect_garbage();
       if (gc_floor_ > 0) (void)gc_sweep(gc_floor_, 0);
+      const bool deltas = config_.incremental_snapshots &&
+                          markers_epoch == epoch_ &&
+                          markers.size() == engines_.size();
       const auto coverage = build_coverage();
       for (std::size_t i = 0; i < engines_.size(); ++i) {
-        auto snap = std::make_shared<Snapshot>(
-            engines_[i]->encode_snapshot(engines_.size()));
+        auto snap = std::make_shared<Snapshot>(engines_[i]->encode_snapshot(
+            engines_.size(), deltas ? markers[i] : 0, requester));
         snap->donor_clock = clock_.now();
         if (stability_) snap->donor_rows = stability_->rows();
         snap->coverage = coverage;
-        stats_.snapshot_entries_served += snap->suffix_entries();
-        ++stats_.snapshots_served;
+        stats_.snapshot_keys_served += snap->keys.size();
+        stats_.snapshot_keys_skipped_delta +=
+            snap->keys_total - snap->keys.size();
         Envelope env;
-        env.kind = EnvelopeKind::kShardSnapshot;
+        env.kind = kind;
         env.epoch = epoch_;
         env.seq = round;
         env.snapshot = std::move(snap);
-        stats_.snapshot_bytes_served += wire_size(env);
+        const std::size_t bytes = wire_size(env);
+        if (kind == EnvelopeKind::kShardSnapshot) {
+          ++stats_.snapshots_served;
+          stats_.snapshot_entries_served += env.snapshot->suffix_entries();
+          stats_.snapshot_bytes_served += bytes;
+        } else {
+          stats_.ae_entries_served += env.snapshot->suffix_entries();
+          stats_.ae_bytes_served += bytes;
+        }
         net_->send(pid_, requester, env);
       }
+    } else {
+      (void)requester;
+      (void)round;
+      (void)kind;
+      (void)markers;
+      (void)markers_epoch;
     }
   }
 
   /// Joiner side: adopt the donor's compacted state and bookkeeping.
-  void install_snapshot(ProcessId from, const Snapshot& snap,
-                        std::uint64_t round) {
-    (void)from;  // the payload carries its own provenance (stamp pids)
+  void install_snapshot(ProcessId from, const Envelope& e) {
+    const Snapshot& snap = *e.snapshot;
+    const std::uint64_t round = e.seq;
     UCW_CHECK_MSG(snap.shard_count == engines_.size(),
                   "snapshot from a store with a different shard_count");
     UCW_CHECK(snap.shard_index < engines_.size());
     ++stats_.snapshots_installed;
+    (void)note_marker(from, e.epoch, snap);
     // Re-base the clock first: stamps issued from here on clear
     // everything the snapshot covers (including this process's own
     // pre-crash stream — the network model drains an incarnation before
@@ -615,7 +763,7 @@ class StoreCore {
     for (const auto& ks : snap.keys) {
       bool floor_raised = false;
       stats_.catchup_entries +=
-          engine_of(ks.key).install_key(ks, &floor_raised);
+          engine_of(ks.key).install_key(ks, &floor_raised, from);
       if (floor_raised) ++stats_.catchup_keys;
     }
     engines_[snap.shard_index]->note_snapshot_installed();
@@ -642,9 +790,97 @@ class StoreCore {
     }
   }
 
+  /// Donor side of anti-entropy: ship the delta batch, then pull back
+  /// if the requester asked for a bidirectional heal. Refused while a
+  /// catch-up session is open here — exactly the serve_sync reasons: an
+  /// unverified store must not vouch for anyone's stream coverage.
+  void serve_anti_entropy(ProcessId requester, const Envelope& req) {
+    if constexpr (kCatchupCapable) {
+      if (requester == pid_ || requester >= net_->size()) return;
+      if (session_.active()) return;
+      ++stats_.ae_rounds_served;
+      ship_snapshots(requester, req.seq, EnvelopeKind::kAntiEntropyDelta,
+                     req.sync_markers, req.sync_markers_epoch);
+      if (req.ae_reciprocate) (void)anti_entropy_round(requester, false);
+    }
+  }
+
+  /// Requester side of anti-entropy: install the delta (always safe —
+  /// per-key logs are set-unions and bases install monotonically), and
+  /// once the round's full batch has landed, adopt the peer's coverage
+  /// rows (repairing gapped streams) and stability knowledge.
+  void install_anti_entropy(ProcessId from, const Envelope& e) {
+    const Snapshot& snap = *e.snapshot;
+    UCW_CHECK_MSG(snap.shard_count == engines_.size(),
+                  "anti-entropy with a store of a different shard_count");
+    UCW_CHECK(snap.shard_index < engines_.size());
+    ++stats_.ae_snapshots_installed;
+    for (const auto& ks : snap.keys) {
+      bool floor_raised = false;
+      stats_.ae_entries_installed +=
+          engine_of(ks.key).install_key(ks, &floor_raised, from);
+    }
+    const bool marker_sound = note_marker(from, e.epoch, snap);
+    if (from >= ae_.size()) return;
+    AeRound& r = ae_[from];
+    // Stale rounds (superseded exchanges, at-least-once duplicates)
+    // installed their data above but must not complete the current
+    // round — their coverage snapshot could predate a re-partition.
+    if (!r.active || e.seq != r.round) return;
+    if (!marker_sound) r.sound = false;
+    if (!r.installed[snap.shard_index]) {
+      r.installed[snap.shard_index] = true;
+      ++r.installed_count;
+    }
+    r.coverage = snap.coverage;  // every snapshot of a round carries the same
+    r.donor_rows = snap.donor_rows;
+    if (r.installed_count < r.installed.size()) return;
+    r.active = false;
+    ++stats_.ae_rounds_completed;
+    // A concurrently opened catch-up session owns stream trust now; its
+    // own retire will seed coverage. And an unsound round (a delta
+    // relative to a baseline we never installed — only possible across
+    // interleaved restarts) must adopt nothing: the data helped, the
+    // claims might not hold here.
+    if (session_.active() || !r.sound) return;
+    // Everything the peer held at serve time is now held here (previous
+    // complete installs cover the clean keys, this batch the dirty
+    // ones, and live arrivals only add), so its proven coverage of
+    // *every* sender's stream — including its own — transfers verbatim.
+    adopt_coverage(r.coverage);
+    // Same argument makes the peer's stability rows direct knowledge
+    // here: anything stamped below them is already installed, so a
+    // later arrival below the resulting floor is provably a redelivery.
+    if (stability_ && !r.donor_rows.empty()) {
+      stability_->adopt(r.donor_rows);
+      stability_->advance_self(clock_.now());
+    }
+  }
+
+  /// Remembers the donor's delta marker for a shard we now hold — the
+  /// value the next request echoes. Markers are per donor *incarnation*
+  /// (a restarted donor's counters restart); a delta relative to a
+  /// baseline we never installed returns false and advances nothing.
+  bool note_marker(ProcessId from, std::uint64_t donor_epoch,
+                   const Snapshot& snap) {
+    if (from >= snap_markers_.size()) return false;
+    auto& row = snap_markers_[from];
+    if (snap_marker_epochs_[from] != donor_epoch) {
+      row.assign(row.size(), 0);
+      snap_marker_epochs_[from] = donor_epoch;
+    }
+    std::uint64_t& m = row[snap.shard_index];
+    if (snap.delta_since > m) return false;
+    if (snap.delta_marker > m) m = snap.delta_marker;
+    return true;
+  }
+
   /// Tracks each sender's live (epoch, seq) stream; a fresh incarnation
   /// or the first envelope after a (re)start re-arms the catch-up gap
-  /// check for that sender.
+  /// check for that sender. The per-epoch SeqCoverage records exactly
+  /// which seqs are held — per-link FIFO makes live arrivals in-order,
+  /// so a new segment boundary is a drop (partitioned away, or dropped
+  /// while this store was down).
   void note_stream(ProcessId from, const Envelope& e) {
     if (from >= peers_.size()) return;
     PeerStream& ps = peers_[from];
@@ -653,9 +889,28 @@ class StoreCore {
       ps.epoch = e.epoch;
       ps.first_seq = e.seq;
       ps.last_seq = e.seq;
+      ps.recv.reset();
+      ps.recv.add(e.seq);
+      ps.gapped = false;
+      refresh_gap(from);
       if (session_.active()) reevaluate_session();
-    } else if (e.epoch == ps.epoch && e.seq > ps.last_seq) {
-      ps.last_seq = e.seq;
+    } else if (e.epoch == ps.epoch) {
+      if (e.seq > ps.last_seq) ps.last_seq = e.seq;
+      ps.recv.add(e.seq);
+      refresh_gap(from);
+    }
+  }
+
+  /// Re-derives the cached gap flag from the coverage segments; counts
+  /// the intact→gapped transitions (one per drop episode per sender).
+  void refresh_gap(ProcessId q) {
+    PeerStream& ps = peers_[q];
+    const bool intact = !ps.any || ps.recv.contiguous();
+    if (intact) {
+      ps.gapped = false;
+    } else if (!ps.gapped) {
+      ps.gapped = true;
+      ++stats_.stream_gaps_detected;
     }
   }
 
@@ -667,7 +922,28 @@ class StoreCore {
         views.push_back(PeerStreamView{ps.any, ps.epoch, ps.first_seq});
       }
       if (session_.reevaluate(pid_, views)) resync_needed_ = true;
-      if (session_.try_retire()) ++stats_.syncs_completed;
+      if (session_.try_retire()) {
+        // Retired: every stream verified, i.e. the installed snapshots
+        // provably covered the [0, first live seq) prefix of each.
+        ++stats_.syncs_completed;
+        adopt_coverage(session_.coverage());
+      }
+    }
+  }
+
+  /// Folds a proven coverage vector (a retired session's merged donor
+  /// coverage, or a completed anti-entropy round's) into the per-sender
+  /// SeqCoverage, so mid-stream joins and partition drops stop reading
+  /// as gaps (and those senders' acks resume feeding stability).
+  /// Conservative: only same-epoch claims are adopted.
+  void adopt_coverage(const std::vector<StreamCoverage>& cov) {
+    for (ProcessId q = 0; q < cov.size() && q < peers_.size(); ++q) {
+      if (q == pid_) continue;
+      const StreamCoverage& c = cov[q];
+      PeerStream& ps = peers_[q];
+      if (!c.any || !ps.any || c.epoch != ps.epoch) continue;
+      ps.recv.add_prefix(c.seq);
+      refresh_gap(q);
     }
   }
 
@@ -723,6 +999,35 @@ class StoreCore {
       stall_ticks_ = 0;
       ++stats_.sync_retries;
       send_sync_request(donor);  // opens the next round
+    }
+  }
+
+  /// Flush-tick pacing of gap-triggered anti-entropy: every sender
+  /// whose stream has a detected gap — and is reachable, alive, and not
+  /// already mid-round — gets a pull from its origin (which trivially
+  /// holds its own entries, so origin-alive gaps always close). A round
+  /// whose messages were lost (re-split mid-exchange, crashed peer) is
+  /// re-issued after `ae_patience_ticks` ticks rather than wedging.
+  /// Skipped entirely while a catch-up session owns recovery.
+  void ae_housekeeping() {
+    if constexpr (kCatchupCapable) {
+      if (!config_.auto_anti_entropy || session_.active()) return;
+      for (ProcessId q = 0; q < peers_.size(); ++q) {
+        if (q == pid_) continue;
+        AeRound& r = ae_[q];
+        if (r.active) {
+          if (++r.ticks_active < config_.ae_patience_ticks) continue;
+        } else if (!peers_[q].gapped) {
+          continue;
+        }
+        if constexpr (kCrashAware) {
+          if (net_->crashed(q)) continue;
+        }
+        if constexpr (kReachabilityAware) {
+          if (!net_->same_partition(pid_, q)) continue;
+        }
+        (void)anti_entropy_round(q, /*reciprocate=*/false);
+      }
     }
   }
 
@@ -797,13 +1102,25 @@ class StoreCore {
         continue;
       }
       const PeerStream& ps = peers_[q];
-      cov[q].any = ps.any;
+      // Claim only the *proven* prefix. `last_seq` was a valid FIFO
+      // shortcut before drop-mode partitions existed; with drops it
+      // over-claims — the segments beyond the first hole were received,
+      // but nothing proves the hole's envelopes are held here.
+      cov[q].any = ps.any && ps.recv.has_prefix();
       cov[q].epoch = ps.epoch;
-      cov[q].seq = ps.last_seq;
+      cov[q].seq = cov[q].any ? ps.recv.prefix() : 0;
       if constexpr (kInFlightAware) {
         // Settled stream (crashed or merely silent): with nothing of q
         // in flight, this store's prefix is q's complete output so far.
-        cov[q].drained = net_->in_flight_from(q) == 0;
+        // Unless the stream has a gap (the hole's envelopes are gone,
+        // not in flight), or q is currently partitioned away (its sends
+        // are being dropped before they ever count as in flight).
+        bool reachable = true;
+        if constexpr (kReachabilityAware) {
+          reachable = net_->same_partition(pid_, q);
+        }
+        cov[q].drained = net_->in_flight_from(q) == 0 && !ps.gapped &&
+                         reachable;
       }
     }
     return cov;
@@ -824,6 +1141,23 @@ class StoreCore {
     std::uint64_t epoch = 0;
     std::uint64_t first_seq = 0;
     std::uint64_t last_seq = 0;
+    /// Proven-held seqs of the current epoch: live arrivals plus the
+    /// prefixes proven by snapshot installs / anti-entropy completions.
+    SeqCoverage recv;
+    /// Cached "recv is not a contiguous prefix" — the ack-gating bit.
+    bool gapped = false;
+  };
+
+  /// One in-flight anti-entropy exchange with a peer (requester side).
+  struct AeRound {
+    bool active = false;
+    std::uint64_t round = 0;
+    std::vector<bool> installed;
+    std::size_t installed_count = 0;
+    bool sound = true;
+    std::size_t ticks_active = 0;  ///< re-issue pacing (ae_housekeeping)
+    std::vector<StreamCoverage> coverage;
+    std::vector<LogicalTime> donor_rows;
   };
 
   A adt_;
@@ -836,6 +1170,13 @@ class StoreCore {
   std::optional<StoreStabilityTracker> stability_;
   CatchupSession session_;
   std::vector<PeerStream> peers_;
+  /// Per donor, per shard: the delta marker of the last snapshot batch
+  /// installed from it (echoed on requests), and the donor incarnation
+  /// the markers belong to.
+  std::vector<std::vector<std::uint64_t>> snap_markers_;
+  std::vector<std::uint64_t> snap_marker_epochs_;
+  std::vector<AeRound> ae_;  ///< per peer
+  std::uint64_t ae_round_counter_ = 0;
   std::vector<std::unique_ptr<Engine>> engines_;
   std::vector<Engine*> engine_ptrs_;  ///< the all-engines flush set
   std::uint64_t epoch_ = 0;

@@ -79,6 +79,27 @@ struct StoreStats {
   /// transfer volume, not distinct keys; it can exceed the keyspace).
   std::uint64_t catchup_keys = 0;
   std::uint64_t catchup_entries = 0;  ///< suffix entries replayed on install
+  /// Keyed snapshots shipped while playing donor (catch-up + AE), and
+  /// how many live keys the delta codec *skipped* as clean — together
+  /// they are the incremental-snapshot win: skipped / (served + skipped)
+  /// of the keyspace never hit the wire on retries and AE rounds.
+  std::uint64_t snapshot_keys_served = 0;
+  std::uint64_t snapshot_keys_skipped_delta = 0;
+
+  // -- partitions / anti-entropy. A drop-mode partition discards
+  //    cross-group envelopes, so a sender's (epoch, seq) stream grows a
+  //    gap at the receiver; gapped streams stop feeding the stability
+  //    floor (their acks no longer prove FIFO coverage) until a heal-
+  //    time anti-entropy round re-proves coverage and ships the missing
+  //    state as delta snapshots.
+  std::uint64_t stream_gaps_detected = 0;  ///< intact→gapped transitions
+  std::uint64_t ae_rounds_started = 0;     ///< anti_entropy_round() calls
+  std::uint64_t ae_rounds_served = 0;      ///< requests served as donor
+  std::uint64_t ae_rounds_completed = 0;   ///< full delta batch installed
+  std::uint64_t ae_snapshots_installed = 0;
+  std::uint64_t ae_entries_installed = 0;  ///< suffix entries via AE
+  std::uint64_t ae_entries_served = 0;     ///< suffix entries shipped as donor
+  std::uint64_t ae_bytes_served = 0;       ///< est. wire bytes, AE serves
 
   /// Mean keyed updates per envelope (== broadcast-reduction factor).
   [[nodiscard]] double batch_occupancy() const {
@@ -173,6 +194,40 @@ inline void print_recovery_table(
         total.snapshots_served, total.snapshot_bytes_served,
         total.snapshots_installed, total.catchup_keys,
         total.catchup_entries, total.entries_dropped_crash);
+  t.print(os);
+}
+
+/// One row per process of partition/anti-entropy activity: stream gaps
+/// observed, AE rounds in both roles, and the delta-codec economics
+/// (keys shipped vs skipped as clean, entries and bytes served).
+inline void print_anti_entropy_table(
+    std::ostream& os, const std::vector<StoreStats>& per_process) {
+  TextTable t({"process", "gaps", "ae started", "ae served", "ae done",
+               "ae snaps in", "ae entries in", "ae entries out",
+               "ae bytes out", "keys served", "keys skipped"});
+  StoreStats total;
+  for (std::size_t p = 0; p < per_process.size(); ++p) {
+    const StoreStats& s = per_process[p];
+    t.add(p, s.stream_gaps_detected, s.ae_rounds_started, s.ae_rounds_served,
+          s.ae_rounds_completed, s.ae_snapshots_installed,
+          s.ae_entries_installed, s.ae_entries_served, s.ae_bytes_served,
+          s.snapshot_keys_served, s.snapshot_keys_skipped_delta);
+    total.stream_gaps_detected += s.stream_gaps_detected;
+    total.ae_rounds_started += s.ae_rounds_started;
+    total.ae_rounds_served += s.ae_rounds_served;
+    total.ae_rounds_completed += s.ae_rounds_completed;
+    total.ae_snapshots_installed += s.ae_snapshots_installed;
+    total.ae_entries_installed += s.ae_entries_installed;
+    total.ae_entries_served += s.ae_entries_served;
+    total.ae_bytes_served += s.ae_bytes_served;
+    total.snapshot_keys_served += s.snapshot_keys_served;
+    total.snapshot_keys_skipped_delta += s.snapshot_keys_skipped_delta;
+  }
+  t.add("total", total.stream_gaps_detected, total.ae_rounds_started,
+        total.ae_rounds_served, total.ae_rounds_completed,
+        total.ae_snapshots_installed, total.ae_entries_installed,
+        total.ae_entries_served, total.ae_bytes_served,
+        total.snapshot_keys_served, total.snapshot_keys_skipped_delta);
   t.print(os);
 }
 

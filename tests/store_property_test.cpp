@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "adt/all.hpp"
@@ -310,6 +311,106 @@ TEST(StorePropertyTest, CatchUpTransfersSuffixNotHistory) {
   EXPECT_GT(joiner_full.catchup_entries, joiner.catchup_entries * 5);
   // And the steady-state logs stay bounded cluster-wide.
   EXPECT_LT(compacted.log_entries_resident * 2, full.log_entries_resident);
+}
+
+TEST(StorePropertyTest, RandomPartitionCrashScheduleStillConverges) {
+  // Seeded random schedules of drop-mode partition/heal events (plus a
+  // crash + rejoin) interleaved with zipfian updates: both sides of
+  // every split keep writing, heal-time anti-entropy reconciles, and
+  // every surviving store ends identical per key. The schedule itself
+  // is drawn from the seed, so a failure names its reproduction.
+  for (const std::uint64_t seed : {13u, 29u, 57u}) {
+    Rng rng(seed);
+    StoreRunConfig cfg;
+    cfg.n_processes = 5;
+    cfg.seed = seed;
+    cfg.fifo_links = true;
+    cfg.n_keys = 40;
+    cfg.skew = 0.99;
+    cfg.ops_per_process = 80;
+    cfg.update_ratio = 0.9;
+    cfg.store.batch_window = 4;
+    cfg.store.gc = true;
+    cfg.flush_period = 1'000.0;
+    SimTime at = 4'000.0;
+    for (int cut = 0; cut < 3; ++cut) {
+      std::vector<std::size_t> groups;
+      for (std::size_t p = 0; p < cfg.n_processes; ++p) {
+        groups.push_back(static_cast<std::size_t>(rng.uniform_int(0, 1)));
+      }
+      cfg.partitions.push_back(PartitionPlan{at, groups});
+      at += 3'000.0 + 1'000.0 * static_cast<SimTime>(rng.uniform_int(0, 2));
+      cfg.partitions.push_back(
+          PartitionPlan{at, std::vector<std::size_t>(cfg.n_processes, 0)});
+      at += 3'000.0;
+    }
+    cfg.crashes = {CrashPlan{2, 6'500.0}};
+    cfg.restarts = {RestartPlan{2, at + 2'000.0, /*resume_ops=*/20}};
+    const auto out = run_store_simulation(S{}, cfg, [](Rng& r) {
+      WorkloadConfig w;
+      w.value_range = 16;
+      return random_set_update(r, w);
+    });
+    EXPECT_TRUE(out.converged)
+        << "seed " << seed << " diverged on "
+        << (out.diverged_keys.empty() ? "?" : out.diverged_keys.front());
+    EXPECT_GT(out.net.messages_dropped_partition, 0u) << "seed " << seed;
+    std::uint64_t ae_completed = 0;
+    for (const auto& s : out.store_stats) ae_completed += s.ae_rounds_completed;
+    EXPECT_GT(ae_completed, 0u) << "seed " << seed;
+  }
+}
+
+TEST(StorePropertyTest, DeltaSnapshotsShipStrictlyLessThanFullOnReheal) {
+  // Two split/heal episodes between the same groups. The second heal's
+  // anti-entropy can serve deltas only when incremental snapshots are
+  // on (the first episode's installs left markers behind); the control
+  // run re-ships every shard in full both times. Same seed, same
+  // schedule — the delta run must ship strictly fewer keyed snapshots.
+  auto run = [](bool incremental) {
+    StoreRunConfig cfg;
+    cfg.n_processes = 4;
+    cfg.seed = 71;
+    cfg.fifo_links = true;
+    cfg.n_keys = 60;
+    cfg.skew = 0.99;
+    cfg.ops_per_process = 90;
+    cfg.update_ratio = 0.95;
+    cfg.store.batch_window = 4;
+    cfg.store.gc = true;
+    cfg.store.incremental_snapshots = incremental;
+    cfg.flush_period = 1'000.0;
+    cfg.partitions = {
+        PartitionPlan{4'000.0, {0, 0, 1, 1}},
+        PartitionPlan{8'000.0, {0, 0, 0, 0}},
+        PartitionPlan{12'000.0, {0, 0, 1, 1}},
+        PartitionPlan{16'000.0, {0, 0, 0, 0}},
+    };
+    return run_store_simulation(S{}, cfg, [](Rng& r) {
+      WorkloadConfig w;
+      w.value_range = 32;
+      return random_set_update(r, w);
+    });
+  };
+  const auto delta = run(true);
+  const auto full = run(false);
+  ASSERT_TRUE(delta.converged);
+  ASSERT_TRUE(full.converged);
+  auto served = [](const StoreRunOutput<S>& out) {
+    std::uint64_t keys = 0, skipped = 0, entries = 0;
+    for (const auto& s : out.store_stats) {
+      keys += s.snapshot_keys_served;
+      skipped += s.snapshot_keys_skipped_delta;
+      entries += s.ae_entries_served;
+    }
+    return std::tuple{keys, skipped, entries};
+  };
+  const auto [delta_keys, delta_skipped, delta_entries] = served(delta);
+  const auto [full_keys, full_skipped, full_entries] = served(full);
+  EXPECT_LT(delta_keys, full_keys);
+  EXPECT_GT(delta_skipped, 0u);
+  EXPECT_EQ(full_skipped, 0u);
+  EXPECT_LE(delta_entries, full_entries);
 }
 
 TEST(StorePropertyTest, CrashedMajorityStillConvergesSurvivors) {
