@@ -101,8 +101,8 @@ void print_tables() {
                "the full arm re-pays the whole keyspace every round.\n\n";
 
   print_banner(std::cout,
-               "E12b: anti-entropy counters (longest split, delta arm)");
-  print_anti_entropy_table(std::cout, largest_delta.out.store_stats);
+               "E12b: observability report (longest split, delta arm)");
+  obs::print_observability(std::cout, largest_delta.out.report);
 }
 
 // Microbench: donor-side cost of cutting one shard's snapshot at

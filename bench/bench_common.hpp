@@ -8,13 +8,32 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <string>
 
 #include "net/scheduler.hpp"
+#include "obs/histogram.hpp"
 #include "runtime/set_family.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace ucw::bench {
+
+/// The latency accumulator the bench tables share with the library:
+/// obs::LatencySummary owns the sort-once/percentile machinery, so the
+/// benches carry no private copies of it.
+using LatencySummary = obs::LatencySummary;
+
+/// One "name | n | p50 | p90 | p99 | max" row — the house shape for
+/// latency tables (pair with a TextTable whose header matches).
+inline void add_latency_row(TextTable& t, const std::string& name,
+                            LatencySummary& s) {
+  if (s.empty()) {
+    t.add(name, 0, 0.0, 0.0, 0.0, 0.0);
+    return;
+  }
+  t.add(name, s.count(), s.percentile(50), s.percentile(90),
+        s.percentile(99), s.max());
+}
 
 /// Runs `ops` random insert/remove operations against every node of a
 /// cluster, spacing them `gap_us` apart in virtual time, then drains.

@@ -85,11 +85,11 @@ void print_tables() {
                "grows linearly. Resident logs show the same bound in "
                "steady state.\n\n";
 
-  // The observability surface the recovery subsystem added, on the
-  // largest GC'd run from the sweep above: per-process recovery
-  // activity (GC folds, floor lag, sync and snapshot traffic).
-  print_banner(std::cout, "E11b: recovery counters (largest gc run)");
-  print_recovery_table(std::cout, largest_gc.out.store_stats);
+  // The observability surface on the largest GC'd run from the sweep
+  // above: one entry point renders every table the counters justify
+  // (store, recovery activity, losses) instead of hand-picking.
+  print_banner(std::cout, "E11b: observability report (largest gc run)");
+  obs::print_observability(std::cout, largest_gc.out.report);
 }
 
 // Microbench: encoding one shard's snapshot (the donor-side cost of a

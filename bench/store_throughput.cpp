@@ -30,10 +30,16 @@
 // trip, reported as a latency histogram (p50/p90/p99/max). The
 // published read never enqueues on a ring and never parks behind a
 // worker tick — the histogram is the wait-free-read claim in numbers.
+// E10e — tracing overhead: the E10b 4-worker point run tracing-off and
+// tracing-on (default 1-in-16 sampling); the table prints the measured
+// overhead against the < 5% acceptance budget, and `--trace-out=` /
+// `--metrics-out=` export the tracing run's Chrome trace and metrics
+// snapshot (the artifacts the CI smoke step validates).
 #include "bench_common.hpp"
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <thread>
 
@@ -134,7 +140,9 @@ struct PoolPoint {
 };
 
 PoolPoint run_pool_point(std::size_t workers, std::size_t ops_per_process,
-                         std::size_t producers = 1) {
+                         std::size_t producers = 1, bool tracing = false,
+                         const std::string& trace_out = {},
+                         const std::string& metrics_out = {}) {
   using C = CounterAdt;
   using TC = ThreadUcStore<C>;
   constexpr std::size_t kProcs = 2;
@@ -144,9 +152,17 @@ PoolPoint run_pool_point(std::size_t workers, std::size_t ops_per_process,
   cfg.workers = workers;
   cfg.batch_window = 32;
   cfg.shard_count = 16;
+  std::vector<std::unique_ptr<obs::Tracer>> tracers;
   std::vector<std::unique_ptr<TC>> stores;
   for (ProcessId p = 0; p < kProcs; ++p) {
-    stores.push_back(std::make_unique<TC>(C{}, p, net, cfg));
+    StoreConfig sc = cfg;
+    if (tracing) {
+      tracers.push_back(std::make_unique<obs::Tracer>(
+          static_cast<std::uint32_t>(p), /*tracks=*/workers + 1));
+      sc.tracing = true;
+      sc.tracer = tracers.back().get();
+    }
+    stores.push_back(std::make_unique<TC>(C{}, p, net, sc));
   }
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> owners;
@@ -185,6 +201,24 @@ PoolPoint run_pool_point(std::size_t workers, std::size_t ops_per_process,
     }
   }
   if (sum0 != static_cast<std::int64_t>(total)) r.converged = false;
+  if (tracing && (!trace_out.empty() || !metrics_out.empty())) {
+    // Post-drain, post-timing: the artifact export never sits inside
+    // the measured window.
+    obs::Report report;
+    for (const auto& s : stores) {
+      report.processes.push_back(obs::make_process_report(*s));
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream f(metrics_out);
+      obs::export_metrics_json(f, report);
+    }
+    if (!trace_out.empty()) {
+      std::vector<const obs::Tracer*> views;
+      for (const auto& t : tracers) views.push_back(t.get());
+      std::ofstream f(trace_out);
+      obs::write_chrome_trace(f, views);
+    }
+  }
   net.close_all();
   return r;
 }
@@ -281,41 +315,26 @@ void print_read_latency_table(std::size_t samples) {
   TSet store(S2{}, 0, net, cfg);
   for (int i = 0; i < 64; ++i) store.update("hot", S2::insert(i));
   (void)store.get("hot", S2::read());  // cold get: the promoting trip
-  // Sorted once up front: the percentile picks (and .back() as max)
-  // must not depend on argument evaluation order below.
-  const auto percentile = [](const std::vector<double>& v, double p) {
-    const std::size_t i = static_cast<std::size_t>(
-        p * static_cast<double>(v.size() - 1));
-    return v[i];
-  };
-  std::vector<double> pub_ns, ring_ns;
-  pub_ns.reserve(samples);
-  ring_ns.reserve(samples);
+  bench::LatencySummary pub_ns, ring_ns;
   for (std::size_t i = 0; i < samples; ++i) {
     const auto t0 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(store.get("hot", S2::read()));
-    pub_ns.push_back(std::chrono::duration<double, std::nano>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count());
+    pub_ns.add(std::chrono::duration<double, std::nano>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count());
   }
   for (std::size_t i = 0; i < samples; ++i) {
     const auto t0 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(store.query("hot", S2::read()));
-    ring_ns.push_back(std::chrono::duration<double, std::nano>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count());
+    ring_ns.add(std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
   }
-  std::sort(pub_ns.begin(), pub_ns.end());
-  std::sort(ring_ns.begin(), ring_ns.end());
   const StoreStats st = store.stats();
   TextTable t({"read path", "samples", "p50 ns", "p90 ns", "p99 ns",
                "max ns"});
-  t.add("published get()", pub_ns.size(), percentile(pub_ns, 0.50),
-        percentile(pub_ns, 0.90), percentile(pub_ns, 0.99),
-        pub_ns.back());
-  t.add("ring query()", ring_ns.size(), percentile(ring_ns, 0.50),
-        percentile(ring_ns, 0.90), percentile(ring_ns, 0.99),
-        ring_ns.back());
+  bench::add_latency_row(t, "published get()", pub_ns);
+  bench::add_latency_row(t, "ring query()", ring_ns);
   t.print(std::cout);
   std::cout << "published reads: " << st.published_reads
             << ", get() ring fallbacks: " << st.ring_reads
@@ -325,6 +344,65 @@ void print_read_latency_table(std::size_t samples) {
                "does not include a worker tick; the ring round trip "
                "pays enqueue + worker dequeue + wakeup.\n";
   net.close_all();
+}
+
+/// E10e: tracing overhead on the E10b hot path — the 4-worker pooled
+/// point run tracing-off and tracing-on (default 1-in-16 sampling).
+/// One discarded warmup then best-of-5 per arm, arms interleaved, so
+/// frequency ramp and scheduler noise don't masquerade as overhead.
+/// The tracing runs export `trace_out`/`metrics_out` when given (the
+/// artifacts the CI smoke step feeds to tools/check_trace.py). Returns
+/// false when any run diverged.
+bool print_tracing_overhead(std::size_t ops_per_process,
+                            const std::string& trace_out,
+                            const std::string& metrics_out) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr int kReps = 5;
+  print_banner(std::cout,
+               "E10e: tracing overhead (E10b point, 2 processes x 4 "
+               "workers, 1-in-16 span sampling; budget < 5%)");
+  bool all_converged = true;
+  double best_off = 0.0, best_on = 0.0;
+  std::uint64_t updates = 0;
+  (void)run_pool_point(kWorkers, ops_per_process);  // warmup, discarded
+  for (int rep = 0; rep < kReps; ++rep) {
+    const PoolPoint off = run_pool_point(kWorkers, ops_per_process);
+    const PoolPoint on = run_pool_point(kWorkers, ops_per_process,
+                                        /*producers=*/1, /*tracing=*/true,
+                                        trace_out, metrics_out);
+    all_converged = all_converged && off.converged && on.converged;
+    updates = off.total_updates;
+    if (best_off == 0.0 || off.wall_seconds < best_off) {
+      best_off = off.wall_seconds;
+    }
+    if (best_on == 0.0 || on.wall_seconds < best_on) {
+      best_on = on.wall_seconds;
+    }
+  }
+  TextTable t({"tracing", "updates", "best wall ms", "ops/sec",
+               "overhead", "converged"});
+  const double off_ops = best_off > 0 ? updates / best_off : 0.0;
+  const double on_ops = best_on > 0 ? updates / best_on : 0.0;
+  t.add("off", updates, best_off * 1e3, off_ops, "-",
+        all_converged ? "yes" : "NO");
+  const double overhead =
+      best_off > 0 ? (best_on - best_off) / best_off * 100.0 : 0.0;
+  t.add("on (1/16)", updates, best_on * 1e3, on_ops,
+        std::to_string(overhead).substr(0, 5) + "%",
+        all_converged ? "yes" : "NO");
+  t.print(std::cout);
+  std::cout << "\nA disabled hook is one branch on a null obs pointer; "
+               "enabled, a sampled-out op pays one relaxed mask test and "
+               "a sampled op one clock read + ring slot write. The "
+               "overhead column is measured on this host, against the "
+               "< 5% acceptance budget.\n";
+  if (!trace_out.empty()) {
+    std::cout << "chrome trace written to " << trace_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    std::cout << "metrics snapshot written to " << metrics_out << "\n";
+  }
+  return all_converged;
 }
 
 // Microbench: the local cost of a keyed update (stamp, self-apply,
@@ -391,7 +469,8 @@ std::vector<std::size_t> parse_count_list(
 // Custom main (instead of UCW_BENCH_MAIN): `--workers=a,b,c` picks the
 // E10b pool sweep points, `--producers=a,b,c` the E10c client-thread
 // sweep points, and `--workers-ops=N` the per-process op count both
-// sweeps use; all are stripped before google-benchmark sees the
+// sweeps use; `--trace-out=`/`--metrics-out=` export the E10e tracing
+// run's artifacts. All are stripped before google-benchmark sees the
 // arguments. Bare `--workers` / `--producers` run the default sweeps
 // explicitly.
 int main(int argc, char** argv) {
@@ -400,6 +479,7 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> worker_counts = default_workers;
   std::vector<std::size_t> producer_counts = default_producers;
   std::size_t pool_ops = 30'000;
+  std::string trace_out, metrics_out;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -412,6 +492,14 @@ int main(int argc, char** argv) {
     if (arg.rfind("--producers=", 0) == 0) {
       producer_counts =
           parse_count_list(arg.substr(12), default_producers);
+      continue;
+    }
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+      continue;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
       continue;
     }
     if (arg.rfind("--workers-ops=", 0) == 0) {
@@ -434,6 +522,8 @@ int main(int argc, char** argv) {
   bool converged = print_worker_pool_sweep(worker_counts, pool_ops);
   converged = print_producer_sweep(producer_counts, pool_ops) && converged;
   print_read_latency_table(/*samples=*/20'000);
+  converged =
+      print_tracing_overhead(pool_ops, trace_out, metrics_out) && converged;
   int pargc = static_cast<int>(passthrough.size());
   ::benchmark::Initialize(&pargc, passthrough.data());
   if (::benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {

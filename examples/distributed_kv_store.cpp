@@ -15,12 +15,22 @@
 // replaying history — and shows every replica (including the rejoined
 // one) converges to the same last-writer-wins state, plus what batching
 // saved on the wire and what the recovery subsystem did.
+//
+// `--trace-out=kv.json` captures the whole scenario as a Chrome trace
+// (open in chrome://tracing or Perfetto: one process track per replica,
+// with the partition cut/heal, the crash-era drops, and the rejoin's
+// sync exchange on replica 1's own timeline). `--metrics-out=kv-m.json`
+// writes the metrics snapshot, where every silent loss shows up as an
+// explicit dropped_* counter.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "adt/register.hpp"
 #include "net/scheduler.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_export.hpp"
 #include "store/uc_store.hpp"
 #include "util/flags.hpp"
 
@@ -36,6 +46,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = flags.get_int("seed", 3);
   const std::size_t window = std::max<std::int64_t>(
       1, flags.get_int("window", 4));
+  const std::string trace_out = flags.get("trace-out", "");
+  const std::string metrics_out = flags.get("metrics-out", "");
 
   SimScheduler scheduler;
   SimNetwork<Store::Envelope>::Config cfg;
@@ -45,14 +57,42 @@ int main(int argc, char** argv) {
   cfg.seed = seed;
   SimNetwork<Store::Envelope> net(scheduler, cfg);
 
+  // Tracers outlive the stores (replica 1 is rebuilt on restart but
+  // keeps appending to its own track), on the virtual-time clock.
+  const bool obs_on = !trace_out.empty() || !metrics_out.empty();
+  std::vector<std::unique_ptr<obs::Tracer>> tracers;
+  if (obs_on) {
+    std::vector<obs::Tracer*> raw(n, nullptr);
+    for (ProcessId p = 0; p < n; ++p) {
+      tracers.push_back(std::make_unique<obs::Tracer>(
+          static_cast<std::uint32_t>(p), /*tracks=*/1,
+          /*ring_capacity_pow2=*/std::size_t{1} << 14,
+          +[](void* s) { return static_cast<SimScheduler*>(s)->now(); },
+          &scheduler));
+      raw[p] = tracers.back().get();
+    }
+    net.set_tracers(std::move(raw));
+  }
+
   StoreConfig store_cfg;
   store_cfg.batch_window = window;
   store_cfg.shard_count = 8;
   store_cfg.gc = true;  // store-level log compaction on every flush
+  auto config_for = [&](ProcessId p) {
+    StoreConfig sc = store_cfg;
+    if (obs_on) {
+      sc.tracing = true;
+      sc.tracer = tracers[p].get();
+      // A handful of scripted writes: sample nothing out, so every
+      // update's stamp/apply appears in the captured trace.
+      sc.trace_sample_every = 1;
+    }
+    return sc;
+  };
   std::vector<std::unique_ptr<Store>> store;
   for (ProcessId p = 0; p < n; ++p) {
     store.push_back(
-        std::make_unique<Store>(Reg{"<unset>"}, p, net, store_cfg));
+        std::make_unique<Store>(Reg{"<unset>"}, p, net, config_for(p)));
   }
   // Ship whatever is buffered on every store, then drain the network.
   auto sync = [&] {
@@ -129,7 +169,7 @@ int main(int argc, char** argv) {
   // O(history)), then resumes live delivery.
   sync();  // drain the old incarnation's traffic (failure detection)
   net.restart(1);
-  store[1] = std::make_unique<Store>(Reg{"<unset>"}, 1, net, store_cfg);
+  store[1] = std::make_unique<Store>(Reg{"<unset>"}, 1, net, config_for(1));
   (void)store[1]->request_sync(0);
   sync();
   sync();  // one more tick: acks flow, the catch-up session retires
@@ -145,10 +185,27 @@ int main(int argc, char** argv) {
   std::cout << "keys live per replica: " << store[0]->keys_live()
             << " (lazily materialized; bounded by keys touched, not "
                "writes)\n\n";
-  std::vector<StoreStats> per_process;
-  for (const auto& s : store) per_process.push_back(s->stats());
-  print_store_table(std::cout, per_process, net.stats());
-  std::cout << '\n';
-  print_recovery_table(std::cout, per_process);
+  // One call renders every table the run's counters justify: store,
+  // recovery, anti-entropy, convergence lag, and the loss summary.
+  obs::Report report;
+  for (const auto& s : store) {
+    report.processes.push_back(obs::make_process_report(*s));
+  }
+  report.net = net.stats();
+  obs::print_observability(std::cout, report);
+
+  if (!trace_out.empty()) {
+    std::vector<const obs::Tracer*> views;
+    for (const auto& t : tracers) views.push_back(t.get());
+    std::ofstream f(trace_out);
+    obs::write_chrome_trace(f, views);
+    std::cout << "\nchrome trace written to " << trace_out
+              << " (open in chrome://tracing)\n";
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream f(metrics_out);
+    obs::export_metrics_json(f, report);
+    std::cout << "metrics snapshot written to " << metrics_out << '\n';
+  }
   return agree ? 0 : 1;
 }

@@ -33,6 +33,7 @@
 #include "clock/timestamp.hpp"
 #include "net/latency.hpp"
 #include "net/scheduler.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace ucw {
@@ -90,6 +91,15 @@ class SimNetwork {
     handlers_[p] = std::move(h);
   }
 
+  /// Per-process tracers (caller-owned, index = pid; nullptr entries and
+  /// a short vector are fine). The network records partition topology
+  /// events — cut, per-message drop, heal — on the affected process's
+  /// own track-0 timeline, so a Chrome trace shows *why* a replica's
+  /// stream gapped right next to the applies that stalled.
+  void set_tracers(std::vector<obs::Tracer*> tracers) {
+    tracers_ = std::move(tracers);
+  }
+
   /// Reliable broadcast from `from` to every process. Self-delivery is
   /// synchronous (before this call returns); remote deliveries are
   /// scheduled per-receiver with independent latency samples.
@@ -139,6 +149,7 @@ class SimNetwork {
       // of the sender's (epoch, seq) stream is a set of contiguous
       // segments — exactly what the store's coverage tracking models.
       ++stats_.messages_dropped_partition;
+      net_trace(from, obs::TraceEventKind::kPartitionDrop, to);
       return;
     }
     ++stats_.messages_sent;
@@ -233,17 +244,33 @@ class SimNetwork {
   /// store-level anti-entropy exchange after connectivity returns.
   void partition(const std::vector<std::size_t>& group_of) {
     UCW_CHECK(group_of.size() == size());
+    const PartitionMode was = mode_;
     group_of_ = group_of;
     bool split = false;
     for (const std::size_t g : group_of_) split = split || g != group_of_[0];
     mode_ = split ? PartitionMode::kDrop : PartitionMode::kNone;
+    if (mode_ == PartitionMode::kDrop && was != PartitionMode::kDrop) {
+      for (ProcessId p = 0; p < size(); ++p) {
+        net_trace(p, obs::TraceEventKind::kPartitionCut, group_of_[p]);
+      }
+    } else if (mode_ == PartitionMode::kNone && was == PartitionMode::kDrop) {
+      for (ProcessId p = 0; p < size(); ++p) {
+        net_trace(p, obs::TraceEventKind::kPartitionHeal);
+      }
+    }
   }
 
   /// Reconnects everyone (drops nothing thereafter). Messages dropped
   /// while split stay lost — catch-up is the stores' anti-entropy job.
   void heal() {
+    const bool was_drop = mode_ == PartitionMode::kDrop;
     std::fill(group_of_.begin(), group_of_.end(), 0);
     mode_ = PartitionMode::kNone;
+    if (was_drop) {
+      for (ProcessId p = 0; p < size(); ++p) {
+        net_trace(p, obs::TraceEventKind::kPartitionHeal);
+      }
+    }
   }
 
   /// Whether `a` and `b` can currently exchange messages directly.
@@ -261,6 +288,14 @@ class SimNetwork {
   enum class PartitionMode { kNone, kHold, kDrop };
 
   static constexpr SimTime kFifoEpsilon = 1e-6;
+
+  /// Thread-scoped instant on `p`'s router track, if `p` has a tracer.
+  void net_trace(ProcessId p, obs::TraceEventKind kind, std::uint64_t a = 0,
+                 std::uint64_t b = 0) {
+    if (p < tracers_.size() && tracers_[p] != nullptr) {
+      tracers_[p]->instant(0, kind, a, b);
+    }
+  }
 
   void deliver(ProcessId from, ProcessId to, const Payload& payload) {
     UCW_CHECK(in_flight_from_[from] > 0);
@@ -289,6 +324,7 @@ class SimNetwork {
   PartitionMode mode_ = PartitionMode::kNone;
   SimTime heal_at_ = 0.0;
   std::vector<std::vector<SimTime>> last_delivery_;
+  std::vector<obs::Tracer*> tracers_;
   NetworkStats stats_;
 };
 

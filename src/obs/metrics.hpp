@@ -1,0 +1,73 @@
+// Unified metrics registry: named counters, gauges, and log-bucketed
+// histograms with a JSON snapshot export.
+//
+// Registration (`counter("name")` etc.) is mutex-guarded and idempotent
+// — the first call creates the instrument, later calls return the same
+// reference, and references stay valid for the registry's lifetime
+// (instruments are heap-allocated behind the name map). *Recording* on
+// an instrument is lock-free relaxed atomics, so many threads can share
+// one counter. The store's own hot path still writes its plain
+// `StoreStats` slices; the registry is the unified export surface the
+// snapshot code folds those into (see report.hpp), plus the home of
+// anything recorded directly (histograms, derived gauges).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "obs/histogram.hpp"
+
+namespace ucw::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create; the returned reference is stable and safe to
+  /// record on from any thread.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] LogHistogram& histogram(const std::string& name);
+
+  /// One JSON object: {"counters":{…},"gauges":{…},"histograms":{…}}.
+  /// Histograms export count/sum/mean/p50/p99/max plus the non-empty
+  /// buckets. Keys are sorted (std::map) so output is diffable.
+  void write_json(std::ostream& os, int indent = 0) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+}  // namespace ucw::obs

@@ -1,0 +1,80 @@
+// The one-stop observability report: everything a run can tell you,
+// gathered into one value and rendered through one entry point.
+//
+// Benches and examples used to hand-pick which stats tables to print
+// (`print_store_table` here, `print_recovery_table` there); a Report
+// carries every process's StoreStats + ShardStats, the network totals,
+// and the obs layer's derived convergence metrics, and
+// `print_observability` decides which tables are worth showing (a table
+// whose counters are all zero is noise). `export_metrics_json` folds
+// the same Report into a MetricsRegistry per process and writes the
+// JSON snapshot — the machine-readable twin of the tables, where every
+// kind of silent loss (crash drops, partition drops, trace-ring
+// overwrites) surfaces as an explicit `dropped_*` counter.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/store_obs.hpp"
+#include "store/store_stats.hpp"
+
+namespace ucw::obs {
+
+struct ProcessReport {
+  StoreStats store;
+  std::vector<ShardStats> shards;
+
+  // Derived convergence metrics; zeros when the store ran without obs.
+  LogHistogramSnapshot replication_lag;  ///< origin stamp → local apply
+  std::uint64_t floor_lag = 0;           ///< clock − stability floor
+  std::uint64_t view_staleness = 0;      ///< clock − stalest engine apply
+  std::uint64_t trace_events_recorded = 0;
+  std::uint64_t trace_events_dropped = 0;  ///< ring overwrites
+};
+
+struct Report {
+  std::vector<ProcessReport> processes;
+  NetworkStats net;
+  /// Per-shard tables are verbose; opt in for single-process deep dives.
+  bool show_shards = false;
+};
+
+/// Build one process's slice from any store exposing stats(),
+/// shard_stats(), and obs_state() (StoreCore and everything derived).
+template <typename StoreT>
+[[nodiscard]] ProcessReport make_process_report(const StoreT& s) {
+  ProcessReport r;
+  r.store = s.stats();
+  r.shards = s.shard_stats();
+  if (const StoreObs* o = s.obs_state(); o != nullptr) {
+    r.replication_lag = o->replication_lag.snapshot();
+    r.floor_lag = o->floor_lag.load(std::memory_order_relaxed);
+    r.view_staleness = o->view_staleness.load(std::memory_order_relaxed);
+    if (o->tracer != nullptr) {
+      for (std::size_t t = 0; t < o->tracer->tracks(); ++t)
+        r.trace_events_recorded += o->tracer->ring(t).recorded();
+      r.trace_events_dropped = o->tracer->dropped_total();
+    }
+  }
+  return r;
+}
+
+/// Render every table the run's counters justify: the store table
+/// always; recovery, anti-entropy, convergence, and loss summaries only
+/// when something happened on them; shard tables when show_shards.
+void print_observability(std::ostream& os, const Report& report);
+
+/// Fold one process slice into a registry: every StoreStats counter,
+/// the derived gauges, the replication-lag histogram, and the
+/// canonical `dropped_*` loss counters.
+void fill_registry(MetricsRegistry& reg, const ProcessReport& proc);
+
+/// {"processes":[{pid, counters, gauges, histograms}…], "net":{…}} —
+/// the snapshot tools/check_trace.py validates in CI.
+void export_metrics_json(std::ostream& os, const Report& report);
+
+}  // namespace ucw::obs

@@ -1,0 +1,54 @@
+// Per-store observability state, allocated iff StoreConfig::tracing.
+//
+// StoreCore keeps a unique_ptr to one of these; every instrumentation
+// hook is `if (obs_) …`, so tracing-off costs one branch on a pointer
+// that is null for the store's whole lifetime. The tracer is optional
+// even when tracing is on (derived metrics without spans); it is owned
+// by the caller, never by the store — see trace.hpp.
+//
+// Derived convergence metrics live here rather than in StoreStats
+// because they are not plain counters: the replication-lag histogram is
+// recorded concurrently (router + workers) and the gauges are sampled,
+// not accumulated.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
+
+namespace ucw::obs {
+
+struct StoreObs {
+  /// Span sink; null = metrics only.
+  Tracer* tracer = nullptr;
+
+  /// Per-op span events (update stamp, local/remote apply) are kept
+  /// for stamps with `clock & sample_mask == 0`; batch, recovery,
+  /// anti-entropy, and gauge events are never sampled out. Power of
+  /// two minus one (rounded up from StoreConfig::trace_sample_every).
+  std::uint64_t sample_mask = 0;
+
+  [[nodiscard]] bool sampled(std::uint64_t clock) const {
+    return (clock & sample_mask) == 0;
+  }
+
+  /// local clock − stability floor, sampled on the flush tick.
+  std::atomic<std::uint64_t> floor_lag{0};
+
+  /// local clock − min over engines of the last applied stamp: how
+  /// stale the most-behind published view is, sampled on the flush
+  /// tick.
+  std::atomic<std::uint64_t> view_staleness{0};
+
+  /// Origin Lamport stamp → local apply clock delta, recorded at
+  /// delivery/routing time for sampled stamps (same 1-in-N stamp key
+  /// as the per-op span events, so the histogram stays representative
+  /// while the per-entry cost stays off the hot path). Cache-aligned so
+  /// the router's bucket increments never invalidate the line every
+  /// hook reads (`tracer` + `sample_mask` above).
+  alignas(64) LogHistogram replication_lag;
+};
+
+}  // namespace ucw::obs

@@ -1,0 +1,30 @@
+// Chrome trace_event JSON export for Tracer rings.
+//
+// Writes the {"traceEvents":[…]} array format that chrome://tracing
+// and Perfetto load directly. Each process's tracer becomes one pid;
+// each track becomes one tid with a thread_name metadata record
+// ("router/clients" for track 0, "worker N" above). Span events map to
+// "B"/"E" phase pairs, instants to "i" (thread scope), gauges to "C"
+// counters.
+//
+// Because rings overwrite their oldest slots, a snapshot can contain an
+// "E" whose "B" was overwritten (or, mid-run, a "B" with no "E"). The
+// exporter repairs this per (pid, tid, kind): orphaned ends are
+// dropped, unclosed begins are dropped, so the emitted JSON always has
+// exactly matched span pairs — the invariant tools/check_trace.py and
+// the golden test assert.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ucw::obs {
+
+/// Export every track of every tracer into one Chrome trace. Call
+/// after the traced run has quiesced (no concurrent writers).
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const Tracer*>& tracers);
+
+}  // namespace ucw::obs

@@ -26,6 +26,7 @@
 // cluster.
 #pragma once
 
+#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
@@ -35,6 +36,8 @@
 
 #include "net/scheduler.hpp"
 #include "net/sim_network.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/keyspace.hpp"
 #include "runtime/sim_harness.hpp"
 #include "store/all.hpp"
@@ -86,6 +89,14 @@ struct StoreRunConfig {
   std::vector<RestartPlan> restarts{};
   std::vector<PartitionPlan> partitions{};
   SimTime drain_margin = 1.0;
+  /// Chrome trace_event JSON path; non-empty turns tracing on (one
+  /// tracer per process on the virtual-time axis — a restart keeps
+  /// appending to the same pid's tracks, so one trace holds the whole
+  /// crash/recover timeline) and writes the file at the end of the run.
+  std::string trace_out{};
+  /// Metrics-snapshot JSON path ({"processes":[…],"net":{…}}); also
+  /// turns the derived convergence metrics on.
+  std::string metrics_out{};
 };
 
 template <UqAdt A>
@@ -110,6 +121,9 @@ struct StoreRunOutput {
   /// Resident log entries summed over alive stores at the end — with GC
   /// on, the unstable window; without, the whole history per replica.
   std::uint64_t log_entries_resident = 0;
+  /// Full observability report (per-process stats + derived convergence
+  /// metrics + network totals) — feed to obs::print_observability.
+  obs::Report report;
 };
 
 /// Runs one multi-key simulation. `gen` draws the next update for a
@@ -136,10 +150,38 @@ template <UqAdt A, typename GenFn>
   net_cfg.seed = cfg.seed;
   SimNetwork<Envelope> net(scheduler, net_cfg);
 
+  // Tracers live here, outside the stores, so a crash-restarted
+  // incarnation keeps appending to the same pid's tracks and one trace
+  // holds the whole timeline. The clock is the scheduler's virtual time
+  // (already in µs), so spans line up with CrashPlan/PartitionPlan `at`s.
+  const bool obs_on = cfg.store.tracing || !cfg.trace_out.empty() ||
+                      !cfg.metrics_out.empty();
+  std::vector<std::unique_ptr<obs::Tracer>> tracers;
+  if (obs_on) {
+    std::vector<obs::Tracer*> raw(cfg.n_processes, nullptr);
+    for (ProcessId p = 0; p < cfg.n_processes; ++p) {
+      tracers.push_back(std::make_unique<obs::Tracer>(
+          static_cast<std::uint32_t>(p), /*tracks=*/1,
+          /*ring_capacity_pow2=*/std::size_t{1} << 14,
+          +[](void* s) { return static_cast<SimScheduler*>(s)->now(); },
+          &scheduler));
+      raw[p] = tracers.back().get();
+    }
+    net.set_tracers(std::move(raw));
+  }
+  auto store_config_for = [&](ProcessId p) {
+    StoreConfig sc = cfg.store;
+    if (obs_on) {
+      sc.tracing = true;
+      sc.tracer = tracers[p].get();
+    }
+    return sc;
+  };
+
   std::vector<std::unique_ptr<Store>> stores;
   stores.reserve(cfg.n_processes);
   for (ProcessId p = 0; p < cfg.n_processes; ++p) {
-    stores.push_back(std::make_unique<Store>(adt, p, net, cfg.store));
+    stores.push_back(std::make_unique<Store>(adt, p, net, store_config_for(p)));
   }
 
   ZipfianKeys keyspace(cfg.n_keys, cfg.skew);
@@ -204,7 +246,7 @@ template <UqAdt A, typename GenFn>
       net.restart(plan.pid);
       stores[plan.pid] =
           std::make_unique<Store>(stores[plan.pid]->adt(), plan.pid, net,
-                                  cfg.store);
+                                  store_config_for(plan.pid));
       ProcessId donor = plan.pid;
       for (ProcessId q = 0; q < cfg.n_processes; ++q) {
         if (q != plan.pid && !net.crashed(q)) {
@@ -341,8 +383,23 @@ template <UqAdt A, typename GenFn>
     if (!net.crashed(p)) {
       out.log_entries_resident += stores[p]->log_entries_resident();
     }
+    out.report.processes.push_back(obs::make_process_report(*stores[p]));
   }
+  out.report.net = out.net;
   out.duration = scheduler.now();
+
+  if (!cfg.trace_out.empty()) {
+    std::vector<const obs::Tracer*> views;
+    for (const auto& t : tracers) views.push_back(t.get());
+    std::ofstream f(cfg.trace_out);
+    UCW_CHECK_MSG(f.good(), "cannot open trace_out for writing");
+    obs::write_chrome_trace(f, views);
+  }
+  if (!cfg.metrics_out.empty()) {
+    std::ofstream f(cfg.metrics_out);
+    UCW_CHECK_MSG(f.good(), "cannot open metrics_out for writing");
+    obs::export_metrics_json(f, out.report);
+  }
   return out;
 }
 

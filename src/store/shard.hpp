@@ -21,6 +21,10 @@
 
 namespace ucw {
 
+namespace obs {
+class Tracer;  // see obs/trace.hpp; StoreConfig carries only a pointer
+}  // namespace obs
+
 /// Store-level tuning shared by the Sim and Thread frontends.
 struct StoreConfig {
   std::size_t shard_count = 16;
@@ -93,6 +97,26 @@ struct StoreConfig {
   /// round trip in flush ticks, or rounds are superseded before they
   /// can complete.
   std::size_t ae_patience_ticks = 6;
+
+  // ----- observability (src/obs/) --------------------------------------
+  /// Master switch for the tracing + derived-metrics hooks. Always
+  /// compiled in; off costs one branch on a pointer that stays null
+  /// for the store's lifetime.
+  bool tracing = false;
+  /// Span sink for life-of-an-update events. Owned by the *caller*,
+  /// never the store: a tracer that outlives the store lets a
+  /// crash-restarted incarnation keep appending to the same
+  /// per-process tracks, so one trace holds the whole timeline. Null
+  /// with tracing=true = derived metrics only, no spans.
+  obs::Tracer* tracer = nullptr;
+  /// Per-op span events (update stamp, local/remote apply) are
+  /// recorded for 1 in this many stamps (rounded up to a power of two;
+  /// keyed on the stamp clock, so the same update is sampled
+  /// consistently at origin and replicas). Batch, recovery,
+  /// anti-entropy, partition, and gauge events are never sampled out.
+  /// 1 = full fidelity; the default keeps the hot path inside the
+  /// tracing-overhead budget.
+  std::size_t trace_sample_every = 16;
 };
 
 /// Per-shard aggregate view (rendered by print_shard_table in

@@ -319,6 +319,14 @@ class ShardEngine {
     return applied_distinct_.load(std::memory_order_acquire);
   }
 
+  /// Lamport clock of the newest entry this engine has applied (local,
+  /// remote, or snapshot suffix). A relaxed mirror like pending_count_:
+  /// the router's flush-tick staleness sampler (obs layer) reads it
+  /// while the owning worker applies — approximate by design.
+  [[nodiscard]] LogicalTime last_applied_clock() const {
+    return last_applied_clock_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] ShardStats stats() const {
     ShardStats s = shard_.stats();
     s.batch_window = window_;
@@ -332,6 +340,11 @@ class ShardEngine {
 
   void note_stamp(LogicalTime t) {
     if (t < min_unfolded_) min_unfolded_ = t;
+    // Owner-thread-only writer, so load+store (no CAS) keeps the mirror
+    // monotone.
+    if (t > last_applied_clock_.load(std::memory_order_relaxed)) {
+      last_applied_clock_.store(t, std::memory_order_relaxed);
+    }
   }
 
   /// The key's log gained information from live traffic (a distinct
@@ -409,6 +422,7 @@ class ShardEngine {
   std::uint64_t duplicate_entries_ = 0;
   std::uint64_t queries_ = 0;
   std::atomic<std::uint64_t> applied_distinct_{0};
+  std::atomic<LogicalTime> last_applied_clock_{0};
 };
 
 }  // namespace ucw

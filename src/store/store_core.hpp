@@ -61,6 +61,7 @@
 // O(live state + unstable suffix) instead of O(history).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -70,6 +71,7 @@
 #include <vector>
 
 #include "clock/timestamp.hpp"
+#include "obs/store_obs.hpp"
 #include "recovery/catchup.hpp"
 #include "recovery/stability.hpp"
 #include "store/envelope.hpp"
@@ -108,6 +110,16 @@ class StoreCore {
     UCW_CHECK(config_.shard_count >= 1);
     UCW_CHECK(config_.batch_window >= 1);
     UCW_CHECK(config_.workers >= 1);
+    if (config_.tracing) {
+      obs_ = std::make_unique<obs::StoreObs>();
+      obs_->tracer = config_.tracer;
+      // Round the sampling period up to a power of two so the hot-path
+      // "is this stamp sampled" test is a mask, not a division.
+      std::uint64_t period = 1;
+      while (period < std::max<std::uint64_t>(config_.trace_sample_every, 1))
+        period <<= 1;
+      obs_->sample_mask = period - 1;
+    }
     if constexpr (kEpochAware) epoch_ = net_->epoch(pid_);
     peers_.resize(net_->size());
     snap_markers_.assign(net_->size(),
@@ -175,6 +187,11 @@ class StoreCore {
     return s;
   }
 
+  /// Derived-observability state when `tracing` is on, nullptr
+  /// otherwise. Any thread — the contents are atomics and a wait-free
+  /// histogram.
+  [[nodiscard]] const obs::StoreObs* obs_state() const { return obs_.get(); }
+
   /// Wait-free keyed update: stamp from the store clock, apply to the
   /// owning engine's replica now (synchronous self-delivery), broadcast
   /// when the batch fills (or on the next flush tick). Returns the
@@ -192,6 +209,10 @@ class StoreCore {
                   "snapshot; wait for sync_state() to leave kSyncing");
     poll();
     const Stamp stamp = clock_.tick();
+    if (obs_ && obs_->tracer && obs_->sampled(stamp.clock)) {
+      obs_->tracer->instant(0, obs::TraceEventKind::kUpdateStamp,
+                            stamp.clock);
+    }
     Engine& eng = engine_of(key);
     eng.local_update(key, UpdateMessage<A>{stamp, std::move(u), {}});
     ++pending_total_;
@@ -249,6 +270,7 @@ class StoreCore {
     }
     sync_housekeeping();
     ae_housekeeping();
+    sample_convergence_obs(clock_.now());
     return flushed;
   }
 
@@ -322,6 +344,10 @@ class StoreCore {
         if (net_->crashed(pid_) || net_->crashed(peer)) return false;
       }
       ++stats_.ae_rounds_started;
+      if (obs_ && obs_->tracer) {
+        obs_->tracer->instant(0, obs::TraceEventKind::kAeRequest, peer,
+                              ae_round_counter_ + 1);
+      }
       AeRound& r = ae_[peer];
       r.active = true;
       r.round = ++ae_round_counter_;
@@ -477,9 +503,12 @@ class StoreCore {
   /// at or below it was in a ring before the flush ops, so after
   /// flush_all it provably sits behind the heartbeat in each
   /// receiver's FIFO inbox — even with client threads still stamping.
+  /// `track` attributes the batch_flush span to the flushing thread's
+  /// trace track (0 = router/single owner, w+1 = pool worker w).
   std::size_t flush_engines(const std::vector<Engine*>& engines,
                             FlushCause cause, StoreStats& st,
-                            bool piggyback_ack = true) {
+                            bool piggyback_ack = true,
+                            std::uint16_t track = 0) {
     std::size_t n = 0;
     for (Engine* e : engines) n += e->pending_size();
     if (n == 0) return 0;
@@ -499,6 +528,9 @@ class StoreCore {
       ++st.flushes_full;
     } else {
       ++st.flushes_manual;
+    }
+    if (obs_ && obs_->tracer) {
+      obs_->tracer->begin(track, obs::TraceEventKind::kBatchFlush, n);
     }
     Envelope env;
     env.epoch = epoch_;
@@ -520,6 +552,9 @@ class StoreCore {
     st.bytes_batched += wire_size(env);
     st.bytes_unbatched += unbatched_wire_size(env);
     net_->broadcast_others(pid_, env);
+    if (obs_ && obs_->tracer) {
+      obs_->tracer->end(track, obs::TraceEventKind::kBatchFlush, n, env.seq);
+    }
     return n;
   }
 
@@ -590,6 +625,9 @@ class StoreCore {
       ++stats_.gc_runs;
       stats_.gc_folded += folded;
     }
+    if (obs_ && obs_->tracer && folded > 0) {
+      obs_->tracer->instant(0, obs::TraceEventKind::kGcFold, folded, floor);
+    }
     return folded;
   }
 
@@ -617,6 +655,30 @@ class StoreCore {
         break;
     }
     note_stream(from, e);
+    if (obs_ && !e.entries.empty()) {
+      if (obs_->tracer) {
+        obs_->tracer->instant(0, obs::TraceEventKind::kDeliver, from,
+                              e.entries.size());
+      }
+      // Replication lag: origin Lamport stamp vs the local clock at the
+      // moment of apply, clamped at 0 (a stamp ahead of this clock is
+      // about to advance it — the update arrived "early", not late).
+      // Sampled like the other per-op hooks: a 1-in-N stamp-keyed
+      // sample keeps the histogram representative at a fraction of the
+      // per-entry cost (3 atomic RMWs), which is what holds the
+      // tracing-on overhead inside the E10e budget.
+      const LogicalTime now = clock_.now();
+      for (const Entry& entry : e.entries) {
+        const LogicalTime sc = entry.msg.stamp.clock;
+        if (!obs_->sampled(sc)) continue;
+        const std::uint64_t lag = now > sc ? now - sc : 0;
+        obs_->replication_lag.record(lag);
+        if (obs_->tracer) {
+          obs_->tracer->instant(0, obs::TraceEventKind::kApplyRemote, sc,
+                                lag);
+        }
+      }
+    }
     for (const Entry& entry : e.entries) {
       (void)engine_of(entry.key).apply_remote(from, entry.key, entry.msg);
     }
@@ -655,6 +717,10 @@ class StoreCore {
         req.sync_markers_epoch = snap_marker_epochs_[donor];
       }
       net_->send(pid_, donor, req);
+      if (obs_ && obs_->tracer) {
+        obs_->tracer->instant(0, obs::TraceEventKind::kSyncRequest, donor,
+                              round);
+      }
     } else {
       (void)donor;
     }
@@ -676,6 +742,10 @@ class StoreCore {
       // requester's stall retry rotates to another donor.
       if (session_.active()) return;
       ++stats_.sync_requests_served;
+      if (obs_ && obs_->tracer) {
+        obs_->tracer->instant(0, obs::TraceEventKind::kSyncServe, requester,
+                              req.seq);
+      }
       ship_snapshots(requester, req.seq, EnvelopeKind::kShardSnapshot,
                      req.sync_markers, req.sync_markers_epoch);
     }
@@ -744,6 +814,10 @@ class StoreCore {
                   "snapshot from a store with a different shard_count");
     UCW_CHECK(snap.shard_index < engines_.size());
     ++stats_.snapshots_installed;
+    if (obs_ && obs_->tracer) {
+      obs_->tracer->instant(0, obs::TraceEventKind::kSnapshotInstall, from,
+                            snap.shard_index);
+    }
     (void)note_marker(from, e.epoch, snap);
     // Re-base the clock first: stamps issued from here on clear
     // everything the snapshot covers (including this process's own
@@ -799,6 +873,10 @@ class StoreCore {
       if (requester == pid_ || requester >= net_->size()) return;
       if (session_.active()) return;
       ++stats_.ae_rounds_served;
+      if (obs_ && obs_->tracer) {
+        obs_->tracer->instant(0, obs::TraceEventKind::kAeServe, requester,
+                              req.seq);
+      }
       ship_snapshots(requester, req.seq, EnvelopeKind::kAntiEntropyDelta,
                      req.sync_markers, req.sync_markers_epoch);
       if (req.ae_reciprocate) (void)anti_entropy_round(requester, false);
@@ -815,6 +893,10 @@ class StoreCore {
                   "anti-entropy with a store of a different shard_count");
     UCW_CHECK(snap.shard_index < engines_.size());
     ++stats_.ae_snapshots_installed;
+    if (obs_ && obs_->tracer) {
+      obs_->tracer->instant(0, obs::TraceEventKind::kAeInstall, from,
+                            snap.shard_index);
+    }
     for (const auto& ks : snap.keys) {
       bool floor_raised = false;
       stats_.ae_entries_installed +=
@@ -837,6 +919,10 @@ class StoreCore {
     if (r.installed_count < r.installed.size()) return;
     r.active = false;
     ++stats_.ae_rounds_completed;
+    if (obs_ && obs_->tracer) {
+      obs_->tracer->instant(0, obs::TraceEventKind::kAeAdopt, from,
+                            static_cast<std::uint64_t>(r.sound));
+    }
     // A concurrently opened catch-up session owns stream trust now; its
     // own retire will seed coverage. And an unsound round (a delta
     // relative to a baseline we never installed — only possible across
@@ -1064,6 +1150,9 @@ class StoreCore {
     raise_last_ack(ack.ack_clock);
     ++stats_.acks_sent;
     net_->broadcast_others(pid_, ack);
+    if (obs_ && obs_->tracer) {
+      obs_->tracer->instant(0, obs::TraceEventKind::kAckHeartbeat, ack_clock);
+    }
   }
 
   /// Mirrors the transport's failure knowledge into the tracker. A
@@ -1124,6 +1213,40 @@ class StoreCore {
       }
     }
     return cov;
+  }
+
+  /// Flush-tick sampling of the derived convergence gauges: floor lag
+  /// (clock − stability floor), published-view staleness (clock − the
+  /// stalest engine's last applied stamp), and the replication-lag p99
+  /// so far — stored for the metrics snapshot and, with a tracer,
+  /// emitted as counter-track events. Reads only atomics, so a pooled
+  /// router may call it while workers run. No-op when obs is off.
+  void sample_convergence_obs(LogicalTime now) {
+    if (!obs_) return;
+    obs_->floor_lag.store(stats_.stability_floor_lag,
+                          std::memory_order_relaxed);
+    LogicalTime oldest = 0;
+    bool any = false;
+    for (const auto& e : engines_) {
+      const LogicalTime a = e->last_applied_clock();
+      if (a == 0) continue;
+      if (!any || a < oldest) {
+        oldest = a;
+        any = true;
+      }
+    }
+    const std::uint64_t stale = any && now > oldest ? now - oldest : 0;
+    obs_->view_staleness.store(stale, std::memory_order_relaxed);
+    if (obs_->tracer) {
+      obs_->tracer->counter(0, obs::TraceEventKind::kFloorLag,
+                            stats_.stability_floor_lag);
+      obs_->tracer->counter(0, obs::TraceEventKind::kViewStaleness, stale);
+      if (!obs_->replication_lag.empty()) {
+        obs_->tracer->counter(
+            0, obs::TraceEventKind::kReplicationLag,
+            static_cast<std::uint64_t>(obs_->replication_lag.percentile(99)));
+      }
+    }
   }
 
   /// Monotone max on the last-shipped ack clock (concurrent worker
@@ -1193,6 +1316,9 @@ class StoreCore {
   /// Store-wide counters only (wire, GC, catch-up); the per-engine
   /// operation counts are merged in by stats().
   StoreStats stats_;
+  /// Allocated iff config_.tracing — the "off ≈ one branch" gate every
+  /// instrumentation hook tests.
+  std::unique_ptr<obs::StoreObs> obs_;
 };
 
 }  // namespace ucw

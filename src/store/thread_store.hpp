@@ -142,6 +142,10 @@ class ThreadUcStore
     slot.claim.store(kClaiming, std::memory_order_seq_cst);
     const Stamp stamp = this->clock_.tick(std::memory_order_seq_cst);
     slot.claim.store(stamp.clock, std::memory_order_seq_cst);
+    if (const auto& o = this->obs_;
+        o && o->tracer && o->sampled(stamp.clock)) {
+      o->tracer->instant(0, obs::TraceEventKind::kUpdateStamp, stamp.clock);
+    }
     pool_->enqueue_update(this->shard_index(key), key,
                           UpdateMessage<A>{stamp, std::move(u), {}});
     slot.claim.store(kIdle, std::memory_order_release);
@@ -226,6 +230,9 @@ class ThreadUcStore
         (void)pool_->gc_all(floor, per_worker);
       }
     }
+    // Reads only atomics (worker-side last-applied mirrors, the lag
+    // histogram) plus router-guarded stats — safe while workers run.
+    this->sample_convergence_obs(barrier);
     return flushed;
   }
 
@@ -411,6 +418,21 @@ class ThreadUcStore
 
   void route(ProcessId from, const Envelope& e) {
     this->note_stream(from, e);
+    // Router records delivery + replication lag; the owning workers
+    // record the (sampled) apply events on their own tracks.
+    if (const auto& o = this->obs_; o) {
+      if (o->tracer && !e.entries.empty()) {
+        o->tracer->instant(0, obs::TraceEventKind::kDeliver, from,
+                           e.entries.size());
+      }
+      const LogicalTime now = this->clock_.now();
+      for (const auto& entry : e.entries) {
+        const LogicalTime sc = entry.msg.stamp.clock;
+        if (o->sampled(sc)) {
+          o->replication_lag.record(now > sc ? now - sc : 0);
+        }
+      }
+    }
     for (const auto& entry : e.entries) {
       pool_->enqueue_remote(this->shard_index(entry.key), from, entry.key,
                             entry.msg);

@@ -49,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/store_obs.hpp"
 #include "store/shard_engine.hpp"
 #include "store/store_stats.hpp"
 #include "util/mpsc_ring.hpp"
@@ -88,6 +89,7 @@ class StoreWorkerPool {
     MpscRing<Op> ring{kRingCapacity};
     std::vector<Engine*> engines;  ///< this worker's disjoint subset
     StoreStats stats;              ///< private flush/GC accounting slice
+    std::uint16_t track = 0;       ///< trace track (worker w → track w+1)
     std::size_t pending = 0;       ///< buffered entries across its engines
     std::size_t gc_cursor = 0;     ///< incremental-fold resume point
     std::atomic<std::uint64_t> processed{0};
@@ -109,6 +111,7 @@ class StoreWorkerPool {
     workers_.reserve(n_workers);
     for (std::size_t w = 0; w < n_workers; ++w) {
       workers_.push_back(std::make_unique<Worker>());
+      workers_.back()->track = static_cast<std::uint16_t>(w + 1);
     }
     for (std::size_t i = 0; i < store_.shard_count(); ++i) {
       workers_[i % n_workers]->engines.push_back(&store_.engine(i));
@@ -290,7 +293,12 @@ class StoreWorkerPool {
       switch (op->kind) {
         case Op::Kind::kUpdate: {
           Engine& e = store_.engine(op->engine);
+          const LogicalTime sc = op->msg.stamp.clock;
           e.local_update(op->key, std::move(op->msg));
+          if (const auto& o = store_.obs_;
+              o && o->tracer && o->sampled(sc)) {
+            o->tracer->instant(w.track, obs::TraceEventKind::kApplyLocal, sc);
+          }
           ++w.pending;
           const bool full =
               store_.config().adaptive_window
@@ -298,7 +306,8 @@ class StoreWorkerPool {
                   : w.pending >= store_.config().batch_window;
           if (full) {
             (void)store_.flush_engines(w.engines, FlushCause::kWindowFull,
-                                       w.stats, /*piggyback_ack=*/false);
+                                       w.stats, /*piggyback_ack=*/false,
+                                       w.track);
             w.pending = 0;
           }
           break;
@@ -306,6 +315,11 @@ class StoreWorkerPool {
         case Op::Kind::kRemote:
           (void)store_.engine(op->engine).apply_remote(op->from, op->key,
                                                        op->msg);
+          if (const auto& o = store_.obs_;
+              o && o->tracer && o->sampled(op->msg.stamp.clock)) {
+            o->tracer->instant(w.track, obs::TraceEventKind::kApplyRemote,
+                               op->msg.stamp.clock);
+          }
           break;
         case Op::Kind::kQuery: {
           Engine& e = store_.engine(op->engine);
@@ -320,7 +334,7 @@ class StoreWorkerPool {
           for (Engine* e : w.engines) e->on_flush_tick();
           const std::size_t n = store_.flush_engines(
               w.engines, FlushCause::kManual, w.stats,
-              /*piggyback_ack=*/false);
+              /*piggyback_ack=*/false, w.track);
           w.pending = 0;
           op->counted->fetch_add(n, std::memory_order_relaxed);
           op->done->fetch_add(1, std::memory_order_release);
@@ -345,6 +359,10 @@ class StoreWorkerPool {
           if (visited > 0) {
             ++w.stats.gc_runs;
             w.stats.gc_folded += folded;
+          }
+          if (const auto& o = store_.obs_; o && o->tracer && folded > 0) {
+            o->tracer->instant(w.track, obs::TraceEventKind::kGcFold, folded,
+                               op->gc_floor);
           }
           op->counted->fetch_add(folded, std::memory_order_relaxed);
           op->done->fetch_add(1, std::memory_order_release);

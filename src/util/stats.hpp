@@ -1,43 +1,18 @@
 // Online statistics accumulator with exact percentiles.
 //
-// Benchmarks report operation-latency distributions (mean / p50 / p99 /
-// max); the accumulator keeps all samples so percentiles are exact, which
-// is fine at the sample counts our harnesses produce (≤ a few million).
+// Thin alias over the observability layer's exact-sample summary
+// (`obs::LatencySummary`) — kept so util-level callers don't need to
+// know the obs layer exists, and so there is exactly one percentile
+// implementation in the repo. Benchmarks report operation-latency
+// distributions (mean / p50 / p99 / max); all samples are kept so
+// percentiles are exact, which is fine at the sample counts our
+// harnesses produce (≤ a few million).
 #pragma once
 
-#include <cstddef>
-#include <string>
-#include <vector>
+#include "obs/histogram.hpp"
 
 namespace ucw {
 
-class StatsAccumulator {
- public:
-  void add(double sample);
-  void merge(const StatsAccumulator& other);
-
-  [[nodiscard]] std::size_t count() const { return samples_.size(); }
-  [[nodiscard]] bool empty() const { return samples_.empty(); }
-  [[nodiscard]] double sum() const { return sum_; }
-  [[nodiscard]] double mean() const;
-  [[nodiscard]] double stddev() const;
-  [[nodiscard]] double min() const;
-  [[nodiscard]] double max() const;
-
-  /// Exact percentile by nearest-rank; q in [0, 100].
-  [[nodiscard]] double percentile(double q) const;
-
-  /// "n=… mean=… p50=… p99=… max=…" one-liner for logs and tables.
-  [[nodiscard]] std::string summary() const;
-
- private:
-  void ensure_sorted() const;
-
-  std::vector<double> samples_;
-  mutable std::vector<double> sorted_;
-  mutable bool sorted_valid_ = false;
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
-};
+using StatsAccumulator = obs::LatencySummary;
 
 }  // namespace ucw

@@ -1,0 +1,310 @@
+// Observability-layer tests: the trace ring's overflow contract, the
+// metrics registry under concurrent writers, the log-bucketed histogram
+// math, and a golden end-to-end trace/metrics export from a simulated
+// store run (the same artifacts tools/check_trace.py validates in CI).
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adt/counter.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "runtime/store_harness.hpp"
+
+namespace ucw {
+namespace {
+
+using obs::LogHistogram;
+using obs::TraceEvent;
+using obs::TraceEventKind;
+using obs::TracePhase;
+using obs::Tracer;
+using obs::TraceRing;
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// ----- TraceRing ------------------------------------------------------
+
+TEST(TraceRing, OverflowDropsOldestAndCounts) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    TraceEvent e;
+    e.ts_us = static_cast<double>(i);
+    e.a = i;
+    e.kind = TraceEventKind::kUpdateStamp;
+    e.phase = TracePhase::kInstant;
+    ring.push(e);  // never blocks, never fails
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  EXPECT_EQ(ring.capacity(), 8u);
+  const std::vector<TraceEvent> survivors = ring.snapshot();
+  ASSERT_EQ(survivors.size(), 8u);
+  // The survivors are the newest 8, oldest-first.
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    EXPECT_EQ(survivors[i].a, 12 + i);
+  }
+}
+
+TEST(TraceRing, UnderfilledSnapshotIsEverything) {
+  TraceRing ring(16);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    TraceEvent e;
+    e.a = i;
+    ring.push(e);
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto survivors = ring.snapshot();
+  ASSERT_EQ(survivors.size(), 5u);
+  EXPECT_EQ(survivors.front().a, 0u);
+  EXPECT_EQ(survivors.back().a, 4u);
+}
+
+// Concurrent writers each land in a private slot (fetch_add); with the
+// total below capacity no slot is ever shared, so this is exact — and
+// a clean TSan target for the multi-writer claim.
+TEST(TraceRing, ConcurrentWritersNeverBlockOrMiscount) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 1000;
+  Tracer tracer(0, /*tracks=*/1, /*ring_capacity_pow2=*/1 << 14);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        tracer.instant(0, TraceEventKind::kUpdateStamp, t * kPerThread + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.ring(0).recorded(), kThreads * kPerThread);
+  EXPECT_EQ(tracer.dropped_total(), 0u);
+  EXPECT_EQ(tracer.ring(0).snapshot().size(), kThreads * kPerThread);
+}
+
+// ----- MetricsRegistry ------------------------------------------------
+
+TEST(MetricsRegistry, ConcurrentWritersAreExact) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10'000;
+  obs::MetricsRegistry reg;
+  // Handles resolved once (the find-or-create takes the registry lock);
+  // recording through them is lock-free.
+  obs::Counter& hits = reg.counter("hits");
+  LogHistogram& lat = reg.histogram("latency");
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        hits.add(1);
+        lat.record(i % 128);
+        // Concurrent find-or-create of the same names must converge on
+        // the same instruments.
+        reg.counter("hits").add(0);
+        reg.gauge("last").set(static_cast<std::int64_t>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hits.value(), kThreads * kPerThread);
+  EXPECT_EQ(lat.count(), kThreads * kPerThread);
+  EXPECT_EQ(&reg.counter("hits"), &hits);
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_NE(os.str().find("\"hits\": 40000"), std::string::npos);
+}
+
+// ----- LogHistogram ---------------------------------------------------
+
+TEST(LogHistogram, BucketsAndPercentiles) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), 500'500u);
+  const auto snap = h.snapshot();
+  // Bucket-interpolated: exact to within the power-of-two bucket.
+  EXPECT_GE(snap.percentile(50), 256.0);
+  EXPECT_LE(snap.percentile(50), 512.0);
+  EXPECT_GE(snap.percentile(99), 512.0);
+  EXPECT_LE(snap.percentile(99), 1024.0);
+  EXPECT_EQ(snap.max_bound(), 1023u);  // inclusive: values <= 2^10 - 1
+  EXPECT_NEAR(snap.mean(), 500.5, 0.001);
+}
+
+TEST(LogHistogram, ZeroBucketAndMerge) {
+  LogHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(0);
+  EXPECT_EQ(h.percentile(99), 0.0);
+  LogHistogram other;
+  other.record(100);
+  other.merge(h.snapshot());
+  EXPECT_EQ(other.count(), 11u);
+  EXPECT_EQ(other.snapshot().max_bound(), 127u);
+}
+
+TEST(LatencySummary, DelegatesPercentileMath) {
+  obs::LatencySummary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1.0);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+// ----- golden end-to-end export ---------------------------------------
+
+// One simulated partition/heal run with tracing on: the exported trace
+// must be a parseable Chrome trace with exactly matched B/E pairs and
+// the expected event vocabulary, the metrics snapshot must surface the
+// loss counters, and the report must carry real replication-lag
+// samples. (tools/check_trace.py re-checks the same artifacts in CI
+// against the real binaries.)
+TEST(ObsEndToEnd, GoldenTraceAndMetricsExport) {
+  const std::string trace_path = testing::TempDir() + "obs_trace.json";
+  const std::string metrics_path = testing::TempDir() + "obs_metrics.json";
+  StoreRunConfig cfg;
+  cfg.n_processes = 3;
+  cfg.seed = 11;
+  cfg.fifo_links = true;
+  cfg.n_keys = 16;
+  cfg.ops_per_process = 150;
+  cfg.store.batch_window = 4;
+  cfg.store.gc = true;
+  cfg.store.trace_sample_every = 1;  // full fidelity for the golden run
+  cfg.flush_period = 1'000.0;
+  cfg.partitions.push_back({/*at=*/10'000.0, {0, 0, 1}});
+  cfg.partitions.push_back({/*at=*/40'000.0, {0, 0, 0}});
+  cfg.trace_out = trace_path;
+  cfg.metrics_out = metrics_path;
+  const auto out = run_store_simulation(
+      CounterAdt{}, cfg, [](Rng& rng) {
+        return CounterAdt::add(rng.uniform_int(1, 3));
+      });
+  ASSERT_TRUE(out.converged);
+
+  const std::string trace = slurp(trace_path);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(trace.find('\0'), std::string::npos);
+  // Matched span pairs, by construction of the exporter.
+  EXPECT_GT(count_occurrences(trace, "\"ph\":\"B\""), 0u);
+  EXPECT_EQ(count_occurrences(trace, "\"ph\":\"B\""),
+            count_occurrences(trace, "\"ph\":\"E\""));
+  // The life-of-an-update vocabulary and the partition story.
+  for (const char* name :
+       {"update_stamp", "apply_remote", "batch_flush", "deliver",
+        "partition_cut", "partition_drop", "partition_heal", "ae_request",
+        "replication_lag", "process_name"}) {
+    EXPECT_GT(count_occurrences(trace, std::string{"\""} + name + "\""), 0u)
+        << "missing trace event: " << name;
+  }
+  // Per-process tracks: every pid appears as a metadata-named process.
+  for (const char* proc : {"proc 0", "proc 1", "proc 2"}) {
+    EXPECT_NE(trace.find(proc), std::string::npos);
+  }
+
+  const std::string metrics = slurp(metrics_path);
+  ASSERT_FALSE(metrics.empty());
+  for (const char* key :
+       {"\"processes\"", "\"net\"", "\"dropped_trace_events\"",
+        "\"dropped_envelopes_crash\"", "\"dropped_messages_partition\"",
+        "\"replication_lag\""}) {
+    EXPECT_NE(metrics.find(key), std::string::npos)
+        << "missing metrics key: " << key;
+  }
+
+  // The report the harness returns carries the derived convergence
+  // metrics directly.
+  ASSERT_EQ(out.report.processes.size(), 3u);
+  std::uint64_t lag_samples = 0;
+  for (const auto& p : out.report.processes) {
+    lag_samples += p.replication_lag.count;
+    EXPECT_EQ(p.trace_events_dropped, 0u);
+    EXPECT_GT(p.trace_events_recorded, 0u);
+  }
+  EXPECT_GT(lag_samples, 0u);
+  EXPECT_GT(out.report.net.messages_dropped_partition, 0u);
+}
+
+// Tracing off must leave no obs state behind (the null-pointer branch).
+TEST(ObsEndToEnd, TracingOffHasNoObsState) {
+  StoreRunConfig cfg;
+  cfg.n_processes = 2;
+  cfg.ops_per_process = 20;
+  const auto out = run_store_simulation(
+      CounterAdt{}, cfg, [](Rng&) { return CounterAdt::add(1); });
+  ASSERT_TRUE(out.converged);
+  ASSERT_EQ(out.report.processes.size(), 2u);
+  for (const auto& p : out.report.processes) {
+    EXPECT_EQ(p.replication_lag.count, 0u);
+    EXPECT_EQ(p.trace_events_recorded, 0u);
+  }
+}
+
+// Pooled stores put worker apply events on worker tracks: track 0 is
+// the router, tracks 1..W the workers.
+TEST(ObsEndToEnd, PooledWorkerTracks) {
+  using TC = ThreadUcStore<CounterAdt>;
+  constexpr std::size_t kWorkers = 2;
+  ThreadNetwork<TC::Envelope> net(2);
+  std::vector<std::unique_ptr<Tracer>> tracers;
+  std::vector<std::unique_ptr<TC>> stores;
+  for (ProcessId p = 0; p < 2; ++p) {
+    tracers.push_back(std::make_unique<Tracer>(
+        static_cast<std::uint32_t>(p), /*tracks=*/kWorkers + 1));
+    StoreConfig sc;
+    sc.workers = kWorkers;
+    sc.batch_window = 8;
+    sc.tracing = true;
+    sc.tracer = tracers.back().get();
+    sc.trace_sample_every = 1;
+    stores.push_back(std::make_unique<TC>(CounterAdt{}, p, net, sc));
+  }
+  constexpr std::size_t kOps = 200;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    stores[0]->update("k" + std::to_string(i % 16), CounterAdt::add(1));
+  }
+  for (auto& s : stores) (void)s->flush();
+  for (auto& s : stores) s->drain_until(kOps);
+  // Stamps land on the issuing process's router track; applies land on
+  // the owning workers' tracks of both processes.
+  EXPECT_GT(tracers[0]->ring(0).recorded(), 0u);
+  std::uint64_t worker_events = 0;
+  for (std::size_t t = 1; t <= kWorkers; ++t) {
+    worker_events += tracers[0]->ring(t).recorded();
+    worker_events += tracers[1]->ring(t).recorded();
+  }
+  EXPECT_GT(worker_events, 0u);
+  std::ostringstream os;
+  obs::write_chrome_trace(os, {tracers[0].get(), tracers[1].get()});
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("worker 1"), std::string::npos);
+  EXPECT_NE(trace.find("apply_local"), std::string::npos);
+  EXPECT_NE(trace.find("apply_remote"), std::string::npos);
+  net.close_all();
+}
+
+}  // namespace
+}  // namespace ucw

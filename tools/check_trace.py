@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate an exported Chrome trace (and optional metrics snapshot).
+
+CI runs the observability demos (`partition_trace`, the KV example, the
+E10e bench arm) with `--trace-out=`/`--metrics-out=` and feeds the
+artifacts through this script, so a refactor that silently stops
+emitting spans — or breaks the JSON shape chrome://tracing expects —
+fails the build instead of rotting quietly.
+
+Checked on the trace:
+  * top level is {"traceEvents": [...]} and every event carries the
+    trace_event fields (name, ph, ts, pid, tid) with a known phase
+    (B, E, i, C, M);
+  * B/E spans pair up per (pid, tid) track in stack order — the
+    exporter promises matched pairs, so any orphan is a bug;
+  * --require NAME[@PID] names must appear (e.g. partition_heal@2:
+    the heal event must sit on process 2's own track).
+
+Checked on the metrics snapshot (--metrics FILE):
+  * shape is {"processes": [{"pid", "metrics": {...}}...], "net": {...}};
+  * every per-process counter set carries the canonical loss counters
+    (dropped_*_crash, dropped_trace_events) and the net section the
+    partition/crash drop counters — silent loss must stay reportable.
+
+Usage:
+  check_trace.py TRACE.json [--metrics METRICS.json]
+                 [--require name[@pid] ...]
+
+stdlib only — no pip installs in CI.
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"B", "E", "i", "C", "M"}
+EVENT_FIELDS = ("name", "ph", "ts", "pid", "tid")
+PROCESS_LOSS_COUNTERS = (
+    "dropped_entries_crash",
+    "dropped_envelopes_crash",
+    "dropped_acks_crash",
+    "dropped_trace_events",
+)
+NET_LOSS_COUNTERS = (
+    "dropped_messages_crash",
+    "dropped_messages_partition",
+)
+
+
+def check_trace(path, required):
+    failures = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON ({e})"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: top level must be {{'traceEvents': [...]}}"]
+
+    stacks = {}  # (pid, tid) -> list of open Begin names
+    seen = set()  # name and (name, pid) pairs present
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in KNOWN_PHASES:
+            failures.append(f"{path}: event #{i} unknown phase '{ph}'")
+            continue
+        # Metadata events (process_name/thread_name) carry no timestamp.
+        fields = ("name", "ph", "pid") if ph == "M" else EVENT_FIELDS
+        for field in fields:
+            if field not in e:
+                failures.append(f"{path}: event #{i} missing '{field}': {e}")
+                break
+        else:
+            if ph == "M":
+                continue
+            seen.add(e["name"])
+            seen.add((e["name"], e["pid"]))
+            track = (e["pid"], e["tid"])
+            if ph == "B":
+                stacks.setdefault(track, []).append(e["name"])
+            elif ph == "E":
+                stack = stacks.setdefault(track, [])
+                if not stack:
+                    failures.append(
+                        f"{path}: event #{i} End '{e['name']}' on track "
+                        f"{track} with no open Begin")
+                elif stack[-1] != e["name"]:
+                    failures.append(
+                        f"{path}: event #{i} End '{e['name']}' on track "
+                        f"{track} but open span is '{stack[-1]}'")
+                else:
+                    stack.pop()
+    for track, stack in sorted(stacks.items()):
+        for name in stack:
+            failures.append(
+                f"{path}: unclosed Begin '{name}' on track {track}")
+
+    for req in required:
+        if "@" in req:
+            name, pid = req.rsplit("@", 1)
+            if (name, int(pid)) not in seen:
+                failures.append(
+                    f"{path}: required event '{name}' missing on pid {pid}")
+        elif req not in seen:
+            failures.append(f"{path}: required event '{req}' missing")
+
+    n_spans = sum(1 for e in events if e.get("ph") == "B")
+    print(f"{path}: {len(events)} events, {n_spans} spans, "
+          f"{len([e for e in events if e.get('ph') == 'i'])} instants")
+    return failures
+
+
+def check_metrics(path):
+    failures = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON ({e})"]
+    processes = doc.get("processes")
+    if not isinstance(processes, list) or not processes:
+        failures.append(f"{path}: 'processes' must be a non-empty list")
+        processes = []
+    for proc in processes:
+        pid = proc.get("pid", "?")
+        counters = proc.get("metrics", {}).get("counters", {})
+        for name in PROCESS_LOSS_COUNTERS:
+            if name not in counters:
+                failures.append(
+                    f"{path}: process {pid} missing loss counter '{name}'")
+    net = doc.get("net")
+    if not isinstance(net, dict):
+        failures.append(f"{path}: missing 'net' section")
+    else:
+        for name in NET_LOSS_COUNTERS:
+            if name not in net.get("counters", {}):
+                failures.append(
+                    f"{path}: net section missing loss counter '{name}'")
+    if not failures:
+        print(f"{path}: {len(processes)} processes, loss counters present")
+    return failures
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if not args:
+        print(__doc__)
+        return 2
+    trace_path = None
+    metrics_path = None
+    required = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--metrics":
+            i += 1
+            metrics_path = args[i]
+        elif args[i] == "--require":
+            i += 1
+            while i < len(args) and not args[i].startswith("--"):
+                required.append(args[i])
+                i += 1
+            continue
+        elif trace_path is None:
+            trace_path = args[i]
+        else:
+            print(f"unexpected argument: {args[i]}")
+            return 2
+        i += 1
+
+    failures = []
+    if trace_path is not None:
+        failures += check_trace(trace_path, required)
+    if metrics_path is not None:
+        failures += check_metrics(metrics_path)
+    for f in failures:
+        print(f)
+    print(f"{len(failures)} problems")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
