@@ -1,0 +1,235 @@
+// E13 — offline consistency auditing at scale: the per-key decomposed
+// certifier must stay near-linear to millions of ops, and the whole
+// pipeline (live multi-producer recording through faults, JSONL
+// export, offline certification) must fit a CI budget.
+//
+// E13a — audit scaling: synthetic LWW-register histories at 10k, 100k
+// and 1M ops (zipfian keys, 4 processes, ~10% queries, agreeing final
+// reads) pushed through audit_history; the table reports wall time,
+// ops/sec, and the us/op ratio between consecutive sizes — near-linear
+// means the ratio stays flat while the size 10x's.
+//
+// E13b — the live acceptance run: a ≥1M-op pooled ThreadUcStore
+// cluster (4 producer threads × 4 workers per process) recorded while
+// hold-mode ThreadNetwork partitions blip the topology and one
+// producer "crashes" (stops at half its quota), then drained, final-
+// read, exported, and certified. The row is the acceptance criterion
+// in numbers: record + audit wall time and the uc=yes verdict.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "adt/register.hpp"
+#include "audit/auditor.hpp"
+#include "audit/recorder.hpp"
+#include "history/jsonl.hpp"
+#include "runtime/keyspace.hpp"
+#include "store/all.hpp"
+
+namespace {
+
+using namespace ucw;
+using Reg = RegisterAdt<std::int64_t>;
+
+double wall_seconds(std::chrono::steady_clock::time_point a,
+                    std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// A certifiable synthetic history: stamps issued in one global order
+/// (every chain monotone, LWW winner = last writer), finals agreeing
+/// on each key's winner.
+HistoryFile synthetic_history(std::size_t ops, std::size_t n_keys,
+                              std::size_t n_processes, std::uint64_t seed) {
+  HistoryFile h;
+  h.meta.n_processes = n_processes;
+  h.lines.reserve(ops + n_keys * n_processes);
+  ZipfianKeys keyspace(n_keys, 0.9);
+  Rng rng(seed);
+  std::unordered_map<std::string, std::int64_t> winner;
+  LogicalTime clock = 0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    HistoryLine l;
+    l.pid = static_cast<ProcessId>(rng.uniform_int(
+        0, static_cast<std::int64_t>(n_processes) - 1));
+    l.key = keyspace.sample(rng);
+    l.clock = ++clock;
+    if (rng.chance(0.9)) {
+      l.op = 'u';
+      l.value = rng.uniform_int(1, 1'000'000);
+      winner[l.key] = l.value;
+    } else {
+      l.op = 'q';
+      l.value = winner.count(l.key) ? winner[l.key] : 0;
+    }
+    h.lines.push_back(std::move(l));
+  }
+  for (const auto& [key, v] : winner) {
+    for (ProcessId p = 0; p < n_processes; ++p) {
+      HistoryLine f;
+      f.pid = p;
+      f.op = 'f';
+      f.key = key;
+      f.value = v;
+      h.lines.push_back(std::move(f));
+    }
+  }
+  h.meta.captured = h.lines.size();
+  return h;
+}
+
+void print_audit_scaling_table() {
+  std::cout << "\nE13a — offline audit scaling "
+               "(4 processes, zipfian keys, agreeing finals)\n";
+  TextTable t({"ops", "keys", "audit ms", "ops/sec", "us/op",
+               "vs prev size", "uc"});
+  double prev_us_per_op = 0.0;
+  for (const std::size_t ops :
+       {std::size_t{10'000}, std::size_t{100'000}, std::size_t{1'000'000}}) {
+    const std::size_t keys = ops / 100;  // keyspace grows with the load
+    const HistoryFile h = synthetic_history(ops, keys, 4, 42);
+    const auto t0 = std::chrono::steady_clock::now();
+    const audit::AuditReport report = audit::audit_history(h);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = wall_seconds(t0, t1);
+    const double us_per_op = secs * 1e6 / static_cast<double>(h.lines.size());
+    t.add(h.lines.size(), keys, static_cast<std::uint64_t>(secs * 1e3),
+          static_cast<std::uint64_t>(static_cast<double>(h.lines.size()) /
+                                     secs),
+          us_per_op,
+          prev_us_per_op == 0.0
+              ? std::string("-")
+              : std::to_string(us_per_op / prev_us_per_op) + "x",
+          to_string(report.uc));
+    prev_us_per_op = us_per_op;
+  }
+  t.print(std::cout);
+  std::cout << "(near-linear: us/op stays ~flat across 10x sizes)\n";
+}
+
+void print_live_million_op_table() {
+  using TS = ThreadUcStore<Reg>;
+  constexpr std::size_t kProcesses = 2;
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kOpsPerProducer = 150'000;
+  constexpr std::size_t kKeys = 512;
+  // One producer of process 1 "crashes": it records only half its
+  // quota, so the cluster total stays above 1M with headroom.
+  constexpr std::size_t kCrashAt = kOpsPerProducer / 2;
+
+  std::cout << "\nE13b — live 1M-op pooled recording + certification "
+            << "(" << kProcesses << " processes x " << kProducers
+            << " producers x 4 workers, partition blips, one producer "
+               "crash)\n";
+
+  ThreadNetwork<TS::Envelope> net(kProcesses);
+  StoreConfig cfg;
+  cfg.workers = 4;
+  cfg.batch_window = 16;
+  cfg.shard_count = 32;
+  std::vector<std::unique_ptr<TS>> stores;
+  std::vector<std::unique_ptr<audit::OpRecorder<Reg, std::string>>> recs;
+  for (ProcessId p = 0; p < kProcesses; ++p) {
+    stores.push_back(std::make_unique<TS>(Reg{}, p, net, cfg));
+    recs.push_back(std::make_unique<audit::OpRecorder<Reg, std::string>>(
+        p, kProducers, std::size_t{1} << 21));
+    stores[p]->set_recorder(recs[p].get());
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<bool> stop_blips{false};
+  std::thread blipper([&] {
+    // Hold-mode partition blips while the producers hammer: traffic
+    // buffers across the cut and releases in FIFO order on heal.
+    while (!stop_blips.load(std::memory_order_acquire)) {
+      net.partition({0, 1});
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      net.heal();
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    }
+  });
+  std::vector<std::thread> producers;
+  std::atomic<std::uint64_t> issued{0};
+  for (ProcessId p = 0; p < kProcesses; ++p) {
+    for (std::size_t c = 0; c < kProducers; ++c) {
+      producers.emplace_back([&, p, c] {
+        ZipfianKeys keyspace(kKeys, 0.9);
+        Rng rng(1000 + p * kProducers + c);
+        const bool crashes = (p == 1 && c == 0);
+        for (std::size_t i = 0; i < kOpsPerProducer; ++i) {
+          if (crashes && i == kCrashAt) return;  // mid-run producer death
+          stores[p]->update(keyspace.sample(rng),
+                            Reg::write(rng.uniform_int(1, 1'000'000)));
+          issued.fetch_add(1, std::memory_order_relaxed);
+        }
+        stores[p]->flush();
+      });
+    }
+  }
+  for (auto& th : producers) th.join();
+  stop_blips.store(true, std::memory_order_release);
+  blipper.join();
+  net.heal();
+  for (auto& s : stores) (void)s->flush();
+  for (auto& s : stores) {
+    s->drain_until(issued.load(std::memory_order_relaxed));
+  }
+  const auto t_recorded = std::chrono::steady_clock::now();
+
+  HistoryFile h;
+  h.meta.n_processes = kProcesses;
+  for (ProcessId p = 0; p < kProcesses; ++p) {
+    for (std::size_t k = 0; k < kKeys; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      recs[p]->record_final_read(
+          key,
+          stores[p]->adt().output(stores[p]->state_of(key), Reg::read()));
+    }
+    h.meta.captured += recs[p]->captured();
+    h.meta.dropped += recs[p]->dropped();
+    h.meta.final_reads += recs[p]->final_reads_recorded();
+    append_history_lines(*recs[p], &h.lines);
+  }
+  net.close_all();
+
+  const auto t_exported = std::chrono::steady_clock::now();
+  const audit::AuditReport report = audit::audit_history(h);
+  const auto t_audited = std::chrono::steady_clock::now();
+
+  TextTable t({"recorded ops", "dropped", "record s", "export s",
+               "audit s", "audit ops/sec", "uc", "ec"});
+  const double audit_s = wall_seconds(t_exported, t_audited);
+  t.add(h.lines.size(), h.meta.dropped,
+        wall_seconds(t0, t_recorded), wall_seconds(t_recorded, t_exported),
+        audit_s,
+        static_cast<std::uint64_t>(static_cast<double>(h.lines.size()) /
+                                   audit_s),
+        to_string(report.uc), to_string(report.ec));
+  t.print(std::cout);
+  std::cout << report.summary() << "\n";
+}
+
+void print_tables() {
+  print_audit_scaling_table();
+  print_live_million_op_table();
+}
+
+// Microbenchmark twin of E13a for the google-benchmark harness.
+void BM_AuditHistory(benchmark::State& state) {
+  const auto ops = static_cast<std::size_t>(state.range(0));
+  const HistoryFile h = synthetic_history(ops, ops / 100 + 1, 4, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(audit::audit_history(h));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(h.lines.size()));
+}
+BENCHMARK(BM_AuditHistory)->Arg(10'000)->Arg(100'000);
+
+}  // namespace
+
+UCW_BENCH_MAIN(print_tables)

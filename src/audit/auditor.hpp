@@ -1,0 +1,326 @@
+// Offline black-box UC/EC certification of recorded histories.
+//
+// Consumes the concrete JSONL interchange rows (int64 LWW registers —
+// the store's Algorithm 2 object) and certifies per key, which is what
+// keeps million-op audits near-linear (criteria/per_key.hpp explains
+// the decomposition and why Yes needs a *global* witness):
+//
+//   * no final reads       → key unconstrained ("no-omega");
+//   * final reads disagree → divergence: UC and EC refuted — sound
+//     even from a truncated history, the responses really happened;
+//   * reads agree on v:
+//       v written by the stamp-order last write → "stamp-replay". The
+//       certificate is the global Lamport order itself, so every key
+//       certified this way shares one witness linearization — that is
+//       the whole-history Yes;
+//       v written by some chain-maximal update but not the stamp-order
+//       winner → per-key satisfiable, but not by the shared witness:
+//       honest Unknown ("po-maximal-not-lww"), never a guess;
+//       v written by no chain-maximal update → no program-order-
+//       consistent linearization ends with v: refuted ("unexplained-
+//       value") — downgraded to Unknown when the recorder dropped
+//     records, since the explaining write may be in the hole.
+//
+// Refuted keys get a DOT witness figure (the key's chains plus the
+// disagreeing ω-reads) rendered through the existing exporter.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adt/register.hpp"
+#include "criteria/verdict.hpp"
+#include "history/export.hpp"
+#include "history/history.hpp"
+#include "history/jsonl.hpp"
+
+namespace ucw::audit {
+
+struct AuditOptions {
+  /// Problem keys (refuted/unknown) retained in the report.
+  std::size_t max_reported = 32;
+  /// When nonempty, write a DOT witness per refuted key here.
+  std::string dot_dir;
+  std::size_t max_dot_keys = 4;
+  /// Figures stay readable: at most this many updates per witness
+  /// (the program-order tail of each chain is what matters).
+  std::size_t max_dot_updates = 24;
+};
+
+struct KeyAudit {
+  std::string key;
+  Verdict uc = Verdict::Unknown;
+  Verdict ec = Verdict::Unknown;
+  std::string method;
+  std::string detail;
+  std::size_t updates = 0;
+  std::size_t final_reads = 0;
+};
+
+struct AuditReport {
+  std::size_t ops = 0;
+  std::size_t update_ops = 0;
+  std::size_t query_ops = 0;
+  std::size_t final_reads = 0;
+  std::size_t keys = 0;
+  std::size_t keys_certified = 0;
+  std::size_t keys_refuted = 0;
+  std::size_t keys_unknown = 0;
+  /// False when the recorder reported dropped records — certification
+  /// (UC Yes) is withheld on incomplete histories.
+  bool complete = true;
+  Verdict uc = Verdict::Unknown;
+  Verdict ec = Verdict::Unknown;
+  std::vector<KeyAudit> problems;
+  std::vector<std::string> dot_files;
+
+  [[nodiscard]] bool certified() const { return uc == Verdict::Yes; }
+  [[nodiscard]] bool refuted() const { return uc == Verdict::No; }
+
+  [[nodiscard]] std::string summary() const {
+    std::ostringstream os;
+    os << "audit: " << ops << " ops (" << update_ops << " updates, "
+       << query_ops << " queries, " << final_reads << " final reads) over "
+       << keys << " keys | uc=" << to_string(uc) << " ec=" << to_string(ec)
+       << " | certified=" << keys_certified << " refuted=" << keys_refuted
+       << " unknown=" << keys_unknown
+       << (complete ? "" : " | INCOMPLETE (dropped records)");
+    return os.str();
+  }
+};
+
+namespace detail {
+
+struct KeyUpdate {
+  std::uint64_t chain = 0;  ///< pid<<32 | thread
+  Stamp stamp;
+  std::int64_t value = 0;
+};
+
+struct KeyRead {
+  ProcessId pid = 0;
+  std::int64_t value = 0;
+};
+
+struct KeyData {
+  std::vector<KeyUpdate> updates;  ///< file order (per-chain = program order)
+  std::vector<KeyRead> finals;
+};
+
+/// Witness figure: the key's update chains (program-order tail) plus
+/// each final read as its own ω chain.
+inline std::string write_witness_dot(const std::string& dir,
+                                     const std::string& key,
+                                     const KeyData& data,
+                                     std::size_t max_updates) {
+  using Reg = RegisterAdt<std::int64_t>;
+  std::unordered_map<std::uint64_t, ProcessId> chain_ids;
+  std::vector<std::vector<const KeyUpdate*>> per_chain;
+  for (const auto& u : data.updates) {
+    auto [it, fresh] = chain_ids.try_emplace(
+        u.chain, static_cast<ProcessId>(chain_ids.size()));
+    if (fresh) per_chain.emplace_back();
+    per_chain[it->second].push_back(&u);
+  }
+  const std::size_t per_chain_cap =
+      per_chain.empty()
+          ? 0
+          : std::max<std::size_t>(1, max_updates / per_chain.size());
+  std::vector<Event<Reg>> events;
+  for (std::size_t c = 0; c < per_chain.size(); ++c) {
+    const auto& chain = per_chain[c];
+    const std::size_t from =
+        chain.size() > per_chain_cap ? chain.size() - per_chain_cap : 0;
+    for (std::size_t i = from; i < chain.size(); ++i) {
+      Event<Reg> e;
+      e.id = static_cast<EventId>(events.size());
+      e.pid = static_cast<ProcessId>(c);
+      e.seq = static_cast<std::uint32_t>(i - from);
+      e.label = RegWrite<std::int64_t>{chain[i]->value};
+      events.push_back(std::move(e));
+    }
+  }
+  ProcessId pid = static_cast<ProcessId>(per_chain.size());
+  for (const auto& r : data.finals) {
+    Event<Reg> e;
+    e.id = static_cast<EventId>(events.size());
+    e.pid = pid++;
+    e.seq = 0;
+    e.label = QueryObservation<Reg>{RegRead{}, r.value};
+    e.omega = true;
+    events.push_back(std::move(e));
+  }
+  History<Reg> h(Reg{}, std::move(events), pid);
+
+  std::string safe;
+  for (const char c : key) {
+    safe.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  const std::string path = dir + "/witness-" + safe + ".dot";
+  std::ofstream os(path);
+  os << to_dot(h);
+  return path;
+}
+
+}  // namespace detail
+
+/// Certifies one loaded history. Near-linear in ops: one grouping pass,
+/// then O(updates of key) per key.
+inline AuditReport audit_history(const HistoryFile& h,
+                                 const AuditOptions& opt = {}) {
+  AuditReport report;
+  report.complete = h.meta.dropped == 0;
+
+  std::unordered_map<std::string, detail::KeyData> keys;
+  keys.reserve(1024);
+  for (const auto& l : h.lines) {
+    report.ops++;
+    auto& data = keys[l.key];
+    switch (l.op) {
+      case 'u':
+        report.update_ops++;
+        data.updates.push_back(detail::KeyUpdate{
+            (static_cast<std::uint64_t>(l.pid) << 32) | l.thread,
+            Stamp{l.clock, l.pid}, l.value});
+        break;
+      case 'q':
+        report.query_ops++;
+        break;
+      case 'f':
+        report.final_reads++;
+        data.finals.push_back(detail::KeyRead{l.pid, l.value});
+        break;
+      default:
+        break;
+    }
+  }
+  report.keys = keys.size();
+
+  Verdict uc = Verdict::Yes;
+  Verdict ec = Verdict::Yes;
+  for (const auto& [key, data] : keys) {
+    KeyAudit ka;
+    ka.key = key;
+    ka.updates = data.updates.size();
+    ka.final_reads = data.finals.size();
+
+    if (data.finals.empty()) {
+      ka.uc = ka.ec = Verdict::Yes;
+      ka.method = "no-omega";
+    } else {
+      // Divergence: the recorded responses themselves disagree.
+      bool agree = true;
+      for (const auto& r : data.finals) {
+        if (r.value != data.finals.front().value) {
+          agree = false;
+          break;
+        }
+      }
+      if (!agree) {
+        ka.uc = ka.ec = Verdict::No;
+        ka.method = "divergent";
+        std::ostringstream os;
+        os << "final reads disagree:";
+        for (const auto& r : data.finals) {
+          os << " p" << r.pid << "=" << r.value;
+        }
+        ka.detail = os.str();
+      } else {
+        ka.ec = Verdict::Yes;
+        const std::int64_t v = data.finals.front().value;
+        if (data.updates.empty()) {
+          if (v == 0) {
+            ka.uc = Verdict::Yes;
+            ka.method = "initial";
+          } else {
+            ka.uc = report.complete ? Verdict::No : Verdict::Unknown;
+            ka.method = "unexplained-value";
+            ka.detail = "read " + std::to_string(v) +
+                        " but no recorded update wrote this key";
+          }
+        } else {
+          // One pass: stamp-order winner, per-chain program-order last,
+          // per-chain stamp monotonicity.
+          std::unordered_map<std::uint64_t, const detail::KeyUpdate*> last;
+          const detail::KeyUpdate* lww = &data.updates.front();
+          bool monotone = true;
+          for (const auto& u : data.updates) {
+            if (lww->stamp < u.stamp) lww = &u;
+            auto [it, fresh] = last.try_emplace(u.chain, &u);
+            if (!fresh) {
+              if (!(it->second->stamp < u.stamp)) monotone = false;
+              it->second = &u;
+            }
+          }
+          if (!monotone) {
+            ka.uc = Verdict::Unknown;
+            ka.method = "unordered-chain";
+            ka.detail =
+                "a chain's stamps are not monotone — recording anomaly";
+          } else if (v == lww->value) {
+            ka.uc = Verdict::Yes;
+            ka.method = "stamp-replay";
+          } else {
+            bool maximal_writes_v = false;
+            for (const auto& [chain, u] : last) {
+              if (u->value == v) {
+                maximal_writes_v = true;
+                break;
+              }
+            }
+            if (maximal_writes_v) {
+              ka.uc = Verdict::Unknown;
+              ka.method = "po-maximal-not-lww";
+              ka.detail = "read " + std::to_string(v) +
+                          " is writable by a chain-maximal update but not "
+                          "by the stamp-order winner " +
+                          std::to_string(lww->value) + " @" +
+                          lww->stamp.to_string();
+            } else {
+              ka.uc = report.complete ? Verdict::No : Verdict::Unknown;
+              ka.method = "unexplained-value";
+              ka.detail =
+                  "read " + std::to_string(v) +
+                  " but no chain-maximal update writes it (stamp-order "
+                  "winner is " + std::to_string(lww->value) + " @" +
+                  lww->stamp.to_string() + ")";
+            }
+          }
+        }
+      }
+    }
+
+    if (ka.uc == Verdict::Yes) {
+      report.keys_certified++;
+    } else if (ka.uc == Verdict::No) {
+      report.keys_refuted++;
+    } else {
+      report.keys_unknown++;
+    }
+    uc = uc && ka.uc;
+    ec = ec && ka.ec;
+    if (ka.uc != Verdict::Yes && report.problems.size() < opt.max_reported) {
+      if (ka.uc == Verdict::No && !opt.dot_dir.empty() &&
+          report.dot_files.size() < opt.max_dot_keys) {
+        report.dot_files.push_back(detail::write_witness_dot(
+            opt.dot_dir, key, data, opt.max_dot_updates));
+      }
+      report.problems.push_back(std::move(ka));
+    }
+  }
+
+  // UC Yes is a certificate over the *whole* update set; holes in the
+  // recording void it (refutations by divergence stand either way).
+  if (!report.complete && uc == Verdict::Yes) uc = Verdict::Unknown;
+  report.uc = uc;
+  report.ec = ec;
+  return report;
+}
+
+}  // namespace ucw::audit

@@ -1,0 +1,150 @@
+// Failing-schedule shrinking: given a ScenarioSpec whose replay refutes
+// update consistency, produce a minimal spec that still refutes it.
+//
+// The algorithm is greedy ddmin-style reduction to a 1-minimal
+// fixpoint. The atoms are:
+//
+//   * drop one partition plan (a split or a heal — a heal on an
+//     already-healed network is a no-op, so any subset is replayable);
+//   * drop one restart (the crashed process just stays down);
+//   * drop one crash together with that pid's restarts (a restart
+//     without its crash is not a valid schedule);
+//   * shrink one process's op count — halving while the failure
+//     persists, then decrementing, so the counts converge in
+//     O(log ops) evaluations instead of O(ops).
+//
+// The loop re-tries every atom until a full pass makes no progress:
+// at exit, no single atom removal/decrement keeps the spec failing,
+// which is exactly 1-minimality over this atom set. Every candidate is
+// evaluated by *replaying it under the deterministic DES*, so the
+// result is not a heuristic guess — the shrunk spec demonstrably still
+// fails, and the dropped atoms demonstrably don't matter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "audit/scenario.hpp"
+
+namespace ucw::audit {
+
+struct ShrinkOptions {
+  /// Evaluation budget: each candidate costs one full scenario replay.
+  std::size_t max_evaluations = 400;
+  /// Progress callback (evaluations so far, current total ops,
+  /// current fault events); null = silent.
+  std::function<void(std::size_t, std::size_t, std::size_t)> progress;
+};
+
+struct ShrinkResult {
+  ScenarioSpec spec;            ///< the shrunk, still-failing scenario
+  std::size_t evaluations = 0;  ///< replays spent
+  std::size_t rounds = 0;       ///< full passes over the atom set
+  /// True when the loop reached the 1-minimal fixpoint (false = the
+  /// evaluation budget ran out first; the spec is still failing, just
+  /// possibly not minimal).
+  bool minimal = false;
+};
+
+/// Shrinks `failing` (which must satisfy `is_failing`) to a 1-minimal
+/// still-failing spec. `is_failing` is typically
+/// `[](const ScenarioSpec& s) { return run_scenario(s).audit.refuted(); }`.
+inline ShrinkResult shrink_scenario(
+    const ScenarioSpec& failing,
+    const std::function<bool(const ScenarioSpec&)>& is_failing,
+    const ShrinkOptions& opt = {}) {
+  ShrinkResult r;
+  r.spec = failing;
+
+  const auto check = [&](const ScenarioSpec& candidate) {
+    if (r.evaluations >= opt.max_evaluations) return false;
+    ++r.evaluations;
+    const bool fails = is_failing(candidate);
+    if (opt.progress) {
+      opt.progress(r.evaluations, r.spec.total_ops(), r.spec.fault_events());
+    }
+    return fails;
+  };
+
+  bool progress = true;
+  while (progress && r.evaluations < opt.max_evaluations) {
+    progress = false;
+    ++r.rounds;
+
+    // Partitions: try dropping each plan.
+    for (std::size_t i = 0; i < r.spec.partitions.size();) {
+      ScenarioSpec cand = r.spec;
+      cand.partitions.erase(cand.partitions.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (check(cand)) {
+        r.spec = std::move(cand);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Restarts: each is independently droppable.
+    for (std::size_t i = 0; i < r.spec.restarts.size();) {
+      ScenarioSpec cand = r.spec;
+      cand.restarts.erase(cand.restarts.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      if (check(cand)) {
+        r.spec = std::move(cand);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Crashes: dropping one takes that pid's restarts with it.
+    for (std::size_t i = 0; i < r.spec.crashes.size();) {
+      ScenarioSpec cand = r.spec;
+      const ProcessId pid = cand.crashes[i].pid;
+      cand.crashes.erase(cand.crashes.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      bool last_crash_of_pid = true;
+      for (const CrashPlan& c : cand.crashes) {
+        if (c.pid == pid) {
+          last_crash_of_pid = false;
+          break;
+        }
+      }
+      if (last_crash_of_pid) {
+        std::erase_if(cand.restarts,
+                      [pid](const RestartPlan& rp) { return rp.pid == pid; });
+      }
+      if (check(cand)) {
+        r.spec = std::move(cand);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Op counts: halve while failing, then decrement to the floor.
+    for (std::size_t p = 0; p < r.spec.ops_per_process.size(); ++p) {
+      while (r.spec.ops_per_process[p] > 1) {
+        ScenarioSpec cand = r.spec;
+        cand.ops_per_process[p] /= 2;
+        if (!check(cand)) break;
+        r.spec = std::move(cand);
+        progress = true;
+      }
+      while (r.spec.ops_per_process[p] > 0) {
+        ScenarioSpec cand = r.spec;
+        --cand.ops_per_process[p];
+        if (!check(cand)) break;
+        r.spec = std::move(cand);
+        progress = true;
+      }
+    }
+  }
+
+  r.minimal = !progress && r.evaluations < opt.max_evaluations;
+  return r;
+}
+
+}  // namespace ucw::audit

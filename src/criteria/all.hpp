@@ -6,6 +6,7 @@
 #include "criteria/insert_wins.hpp"   // IWYU pragma: export
 #include "criteria/matrix.hpp"        // IWYU pragma: export
 #include "criteria/pc.hpp"            // IWYU pragma: export
+#include "criteria/per_key.hpp"       // IWYU pragma: export
 #include "criteria/sc.hpp"            // IWYU pragma: export
 #include "criteria/sec.hpp"           // IWYU pragma: export
 #include "criteria/suc.hpp"           // IWYU pragma: export

@@ -1,0 +1,367 @@
+// Per-key decomposition of update-consistency checking, plus the
+// incremental certificate the offline auditor streams histories into.
+//
+// The downset solver is exponential in the number of non-commuting
+// updates, so whole-history UC checks stop scaling at a few dozen
+// updates. Keyed objects (MemoryAdt, the UCStore) have structure the
+// solver ignores: updates of distinct registers commute, and queries
+// observe a single register. Decomposing by key gives:
+//
+//   * refutation is compositional — a witness linearization for the
+//     whole history restricts to a witness for every key, so any key
+//     refuted refutes the whole history;
+//   * certification needs one extra step — per-key witnesses chosen
+//     independently may be *jointly* unrealizable (per-key last-write
+//     constraints can cycle through cross-key program order), so a Yes
+//     additionally exhibits one global linearization: pick a candidate
+//     final update per constrained key, add "every other update of the
+//     key precedes it" edges, and check the combined order is acyclic.
+//     Candidate sets are almost always singletons (the value the reads
+//     agree on is written by one program-order-maximal update), so the
+//     joint check is one toposort; a combinatorial blowup returns
+//     Unknown rather than a guess.
+//
+// This turns million-op audits from hopeless to near-linear: per-key
+// work is O(updates of that key), and the joint certificate is one
+// pass over the history. See audit/auditor.hpp for the bulk consumer;
+// IncrementalKeyCertificate below is the streaming form it builds on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "adt/register.hpp"
+#include "clock/timestamp.hpp"
+#include "criteria/uc.hpp"
+#include "criteria/verdict.hpp"
+#include "history/history.hpp"
+
+namespace ucw {
+
+/// Verdict for one key of a decomposed history.
+template <UqAdt A>
+struct KeyCertificate {
+  Verdict uc = Verdict::Unknown;
+  Verdict ec = Verdict::Unknown;
+  /// How the UC verdict was reached: "no-omega", "stamp-replay",
+  /// "downset", "too-large", "divergent", "unexplained-value".
+  std::string method;
+  std::string detail;
+  std::size_t updates = 0;
+  std::size_t omega = 0;
+};
+
+/// Streaming per-key certificate accumulator: feed one key's updates
+/// (with their arbitration stamps and program-order chain) and its
+/// ω-observations in any order, then finalize.
+///
+/// The cheap certificate is the *stamp-order replay*: per-process
+/// Lamport stamps extend program order, so if per-chain insertion
+/// order agrees with stamp order, replaying updates sorted by stamp is
+/// a valid linearization — if its final state satisfies every
+/// ω-observation, UC holds, in O(n log n) for any ADT and any size.
+/// Crucially this certificate *composes across keys*: stamp order is
+/// one global order, so keys certified by it share a single witness
+/// linearization. Only when replay fails does the exact downset solver
+/// run (≤ 64 updates, within budget); beyond that the answer is an
+/// honest Unknown.
+template <UqAdt A>
+class IncrementalKeyCertificate {
+ public:
+  explicit IncrementalKeyCertificate(A adt = {}) : adt_(std::move(adt)) {}
+
+  /// `chain` names the program-order chain (e.g. pid<<32 | thread).
+  void add_update(std::uint64_t chain, const Stamp& stamp,
+                  typename A::Update u) {
+    updates_.push_back(UpdateRec{stamp, chain, std::move(u)});
+  }
+
+  void add_omega(typename A::QueryIn qi, typename A::QueryOut qo) {
+    omega_.emplace_back(std::move(qi), std::move(qo));
+  }
+
+  [[nodiscard]] std::size_t updates() const { return updates_.size(); }
+  [[nodiscard]] std::size_t omega_count() const { return omega_.size(); }
+
+  [[nodiscard]] KeyCertificate<A> finalize(ExploreBudget budget = {}) const {
+    KeyCertificate<A> cert;
+    cert.updates = updates_.size();
+    cert.omega = omega_.size();
+
+    if constexpr (HasSatisfyingState<A>) {
+      cert.ec = adt_.satisfying_state(omega_).has_value() ? Verdict::Yes
+                                                          : Verdict::No;
+    } else {
+      cert.ec = omega_.empty() ? Verdict::Yes : Verdict::Unknown;
+    }
+
+    if (omega_.empty()) {
+      cert.uc = Verdict::Yes;
+      cert.method = "no-omega";
+      return cert;
+    }
+
+    // Stamp-order replay certificate.
+    std::vector<UpdateRec> sorted = updates_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const UpdateRec& a, const UpdateRec& b) {
+                       return a.stamp < b.stamp;
+                     });
+    if (chains_monotone()) {
+      typename A::State s = adt_.initial();
+      for (const auto& u : sorted) s = adt_.transition(s, u.update);
+      bool all = true;
+      for (const auto& obs : omega_) {
+        if (!observation_holds(adt_, s, obs)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        cert.uc = Verdict::Yes;
+        cert.method = "stamp-replay";
+        cert.detail = "stamp-order replay converges to " +
+                      adt_.format_state(s);
+        return cert;
+      }
+    }
+
+    // Exact fallback: the downset solver over this key alone.
+    if (updates_.size() > 64) {
+      cert.uc = Verdict::Unknown;
+      cert.method = "too-large";
+      cert.detail = "replay certificate failed and " +
+                    std::to_string(updates_.size()) +
+                    " updates exceed the exact solver's span";
+      return cert;
+    }
+    const CheckResult r = check_uc(build_history(), budget);
+    cert.uc = r.verdict;
+    cert.method = "downset";
+    cert.detail = r.explanation;
+    return cert;
+  }
+
+ private:
+  struct UpdateRec {
+    Stamp stamp;
+    std::uint64_t chain;
+    typename A::Update update;
+  };
+
+  /// Per chain, insertion order must agree with stamp order for the
+  /// replay linearization to extend program order.
+  [[nodiscard]] bool chains_monotone() const {
+    std::unordered_map<std::uint64_t, Stamp> last;
+    for (const auto& u : updates_) {
+      auto [it, fresh] = last.try_emplace(u.chain, u.stamp);
+      if (!fresh) {
+        if (!(it->second < u.stamp)) return false;
+        it->second = u.stamp;
+      }
+    }
+    return true;
+  }
+
+  /// Key-local history: one chain per recorded chain id, each
+  /// ω-observation its own (trivially chain-maximal) singleton chain.
+  [[nodiscard]] History<A> build_history() const {
+    std::unordered_map<std::uint64_t, ProcessId> chain_ids;
+    std::vector<Event<A>> events;
+    std::vector<std::uint32_t> next_seq;
+    for (const auto& u : updates_) {
+      auto [it, fresh] =
+          chain_ids.try_emplace(u.chain, static_cast<ProcessId>(chain_ids.size()));
+      if (fresh) next_seq.push_back(0);
+      Event<A> e;
+      e.id = static_cast<EventId>(events.size());
+      e.pid = it->second;
+      e.seq = next_seq[it->second]++;
+      e.label = u.update;
+      events.push_back(std::move(e));
+    }
+    ProcessId pid = static_cast<ProcessId>(chain_ids.size());
+    for (const auto& obs : omega_) {
+      Event<A> e;
+      e.id = static_cast<EventId>(events.size());
+      e.pid = pid++;
+      e.seq = 0;
+      e.label = obs;
+      e.omega = true;
+      events.push_back(std::move(e));
+    }
+    return History<A>(adt_, std::move(events), pid);
+  }
+
+  A adt_;
+  std::vector<UpdateRec> updates_;
+  std::vector<QueryObservation<A>> omega_;
+};
+
+/// UC check for shared-memory histories via per-key decomposition.
+///
+/// Exact on both sides: No when some key is separately unsatisfiable
+/// or every per-key choice of final writes cycles through program
+/// order; Yes only with an exhibited global witness (a topological
+/// order of program order + chosen last-write constraints). Unknown
+/// only when the candidate-combination budget runs out.
+template <typename K, typename V>
+[[nodiscard]] CheckResult check_uc_per_key(
+    const History<MemoryAdt<K, V>>& h,
+    std::size_t max_witness_combinations = 4096) {
+  CheckResult result;
+  if (!h.has_omega()) {
+    result.verdict = Verdict::Yes;
+    result.explanation = "finite history: every query is removable";
+    return result;
+  }
+
+  // Per key: the value its ω-reads require, and which updates wrote it.
+  struct KeyInfo {
+    std::vector<EventId> updates;
+    bool constrained = false;
+    bool conflicting = false;
+    V required{};
+  };
+  std::map<K, KeyInfo> keys;
+  for (EventId id : h.update_ids()) {
+    keys[h.event(id).update().reg].updates.push_back(id);
+  }
+  for (EventId id : h.query_ids()) {
+    const auto& e = h.event(id);
+    if (!e.omega) continue;
+    const auto& [qi, qo] = e.query();
+    KeyInfo& info = keys[qi.reg];
+    if (info.constrained && !(info.required == qo)) info.conflicting = true;
+    info.constrained = true;
+    info.required = qo;
+  }
+
+  const V v0 = h.adt().v0;
+  std::vector<std::pair<K, std::vector<EventId>>> candidate_sets;
+  for (auto& [key, info] : keys) {
+    if (info.conflicting) {
+      result.verdict = Verdict::No;
+      result.explanation = "key " + format_value(key) +
+                           ": infinitely-repeated reads disagree";
+      return result;
+    }
+    if (!info.constrained) continue;
+    if (info.updates.empty()) {
+      if (info.required == v0) continue;
+      result.verdict = Verdict::No;
+      result.explanation = "key " + format_value(key) + ": read " +
+                           format_value(info.required) +
+                           " but no update wrote it";
+      return result;
+    }
+    // Candidates: updates writing the required value with no same-key
+    // program-order successor (anything else can never be last).
+    std::vector<EventId> candidates;
+    for (EventId u : info.updates) {
+      if (!(h.event(u).update().value == info.required)) continue;
+      bool maximal = true;
+      for (EventId v : info.updates) {
+        if (v != u && h.prog_before(u, v)) {
+          maximal = false;
+          break;
+        }
+      }
+      if (maximal) candidates.push_back(u);
+    }
+    if (candidates.empty()) {
+      result.verdict = Verdict::No;
+      result.explanation =
+          "key " + format_value(key) + ": no program-order-maximal update "
+          "writes the value " + format_value(info.required) +
+          " the repeated reads observe";
+      return result;
+    }
+    candidate_sets.emplace_back(key, std::move(candidates));
+  }
+
+  // Joint certificate: some choice of final write per key must embed in
+  // one linearization — program order plus "every other same-key update
+  // precedes the chosen one" must stay acyclic.
+  const auto acyclic = [&](const std::vector<EventId>& chosen) {
+    std::vector<std::vector<EventId>> succ(h.size());
+    std::vector<std::size_t> indeg(h.size(), 0);
+    for (ProcessId p = 0; p < h.process_count(); ++p) {
+      const auto& chain = h.chain(p);
+      for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        succ[chain[i]].push_back(chain[i + 1]);
+        ++indeg[chain[i + 1]];
+      }
+    }
+    for (const auto& [a, b] : h.extra_edges()) {
+      succ[a].push_back(b);
+      ++indeg[b];
+    }
+    for (std::size_t s = 0; s < chosen.size(); ++s) {
+      for (EventId v : keys[candidate_sets[s].first].updates) {
+        if (v == chosen[s]) continue;
+        succ[v].push_back(chosen[s]);
+        ++indeg[chosen[s]];
+      }
+    }
+    std::vector<EventId> ready;
+    for (EventId id = 0; id < h.size(); ++id) {
+      if (indeg[id] == 0) ready.push_back(id);
+    }
+    std::size_t seen = 0;
+    while (!ready.empty()) {
+      const EventId id = ready.back();
+      ready.pop_back();
+      ++seen;
+      for (EventId nxt : succ[id]) {
+        if (--indeg[nxt] == 0) ready.push_back(nxt);
+      }
+    }
+    return seen == h.size();
+  };
+
+  std::vector<std::size_t> pick(candidate_sets.size(), 0);
+  std::vector<EventId> chosen(candidate_sets.size());
+  std::size_t tried = 0;
+  while (true) {
+    for (std::size_t s = 0; s < candidate_sets.size(); ++s) {
+      chosen[s] = candidate_sets[s].second[pick[s]];
+    }
+    if (++tried > max_witness_combinations) {
+      result.verdict = Verdict::Unknown;
+      result.explanation =
+          "per-key certificates hold but the joint-witness search "
+          "exceeded its combination budget";
+      return result;
+    }
+    if (acyclic(chosen)) {
+      result.verdict = Verdict::Yes;
+      result.explanation =
+          "per-key certificates compose: a topological order of program "
+          "order + " +
+          std::to_string(candidate_sets.size()) +
+          " last-write constraints is a witness linearization";
+      return result;
+    }
+    // Next combination (odometer).
+    std::size_t s = 0;
+    while (s < candidate_sets.size() &&
+           ++pick[s] == candidate_sets[s].second.size()) {
+      pick[s++] = 0;
+    }
+    if (s == candidate_sets.size()) break;
+  }
+  result.verdict = Verdict::No;
+  result.explanation =
+      "every per-key choice of final writes cycles through cross-key "
+      "program order — no single linearization satisfies all repeated "
+      "reads";
+  return result;
+}
+
+}  // namespace ucw

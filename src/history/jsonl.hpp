@@ -1,0 +1,257 @@
+// JSONL import/export for recorded op histories.
+//
+// The audit pipeline's interchange format, living next to the DOT
+// exporter: one meta line followed by one line per recorded operation,
+// so histories stream, diff, and grep like the trace/metrics artifacts
+// they sit alongside.
+//
+//   {"meta":{"format":"ucw-history-v1","adt":"register-i64",
+//            "processes":3,"captured":1200,"dropped":0,"final_reads":96}}
+//   {"p":0,"t":1,"op":"u","key":"k3","clock":42,"val":7,"ts":12.5}
+//   {"p":2,"t":0,"op":"q","key":"k3","clock":57,"val":7,"ts":19.0}
+//   {"p":2,"t":0,"op":"f","key":"k3","val":9,"ts":310.0}
+//
+// `op` is u(pdate) / q(uery) / f(inal read); updates carry their
+// arbitration stamp as (clock, p), program order per (p, t) chain is
+// the line order. Values are pinned to int64 registers — the store is
+// ADT-generic, but an interchange format needs one concrete value
+// encoding, and the LWW register is the paper's Algorithm 2 object.
+// The writer is generic over register-like ADTs via a small concept;
+// the reader produces the concrete rows the auditor consumes.
+//
+// Reading a million-line history with the generic JSON parser would
+// dominate audit time, so data lines go through a hand-rolled flat
+// scanner (~10× faster); only the meta line pays for the real parser.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "audit/recorder.hpp"
+#include "clock/timestamp.hpp"
+#include "util/json.hpp"
+
+namespace ucw {
+
+/// One parsed history line (concrete int64-register row).
+struct HistoryLine {
+  ProcessId pid = 0;
+  std::uint32_t thread = 0;
+  char op = 'u';  ///< 'u' update, 'q' query, 'f' final read
+  std::string key;
+  LogicalTime clock = 0;  ///< update stamp clock / query-local clock
+  std::int64_t value = 0;
+  double ts = 0.0;
+};
+
+struct HistoryMeta {
+  std::size_t n_processes = 0;
+  std::uint64_t captured = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t final_reads = 0;
+  std::string adt = "register-i64";
+};
+
+struct HistoryFile {
+  HistoryMeta meta;
+  std::vector<HistoryLine> lines;
+};
+
+/// Register-like ADTs whose histories can take this wire form: update
+/// payload and query output both project to int64.
+template <typename A>
+concept Int64RegisterLike =
+    UqAdt<A> && requires(const typename A::Update& u,
+                         const typename A::QueryOut& o) {
+      { u.value } -> std::convertible_to<std::int64_t>;
+      { o } -> std::convertible_to<std::int64_t>;
+    };
+
+template <Int64RegisterLike A, typename Key>
+inline void append_history_lines(const audit::OpRecorder<A, Key>& rec,
+                                 std::vector<HistoryLine>* out) {
+  for (const auto& r : rec.drain()) {
+    HistoryLine line;
+    line.pid = r.pid;
+    line.thread = r.thread;
+    line.key = std::string(r.key);
+    line.ts = r.ts;
+    switch (r.kind) {
+      case audit::OpKind::kUpdate:
+        line.op = 'u';
+        line.clock = r.stamp.clock;
+        line.value = static_cast<std::int64_t>(r.update.value);
+        break;
+      case audit::OpKind::kQuery:
+        line.op = 'q';
+        line.clock = r.stamp.clock;
+        line.value = static_cast<std::int64_t>(r.out);
+        break;
+      case audit::OpKind::kFinalRead:
+        line.op = 'f';
+        line.value = static_cast<std::int64_t>(r.out);
+        break;
+    }
+    out->push_back(std::move(line));
+  }
+}
+
+inline void write_history_jsonl(std::ostream& os, const HistoryMeta& meta,
+                                const std::vector<HistoryLine>& lines) {
+  os << "{\"meta\":{\"format\":\"ucw-history-v1\",\"adt\":\"" << meta.adt
+     << "\",\"processes\":" << meta.n_processes
+     << ",\"captured\":" << meta.captured << ",\"dropped\":" << meta.dropped
+     << ",\"final_reads\":" << meta.final_reads << "}}\n";
+  for (const auto& l : lines) {
+    os << "{\"p\":" << l.pid << ",\"t\":" << l.thread << ",\"op\":\"" << l.op
+       << "\",\"key\":";
+    JsonValue::write_escaped(os, l.key);
+    if (l.op != 'f') os << ",\"clock\":" << l.clock;
+    os << ",\"val\":" << l.value << ",\"ts\":" << l.ts << "}\n";
+  }
+}
+
+namespace detail {
+
+/// Flat scanner for one data line: a single-level object of string /
+/// number members, no nested values, simple escapes in strings only.
+/// Returns false (with *err set) on shape violations; unknown members
+/// are skipped so the format can grow fields without breaking old
+/// readers.
+inline bool parse_history_line(const std::string& s, HistoryLine* out,
+                               std::string* err) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  };
+  const auto fail = [&](const char* what) {
+    if (err) *err = what;
+    return false;
+  };
+  const auto parse_string = [&](std::string* v) {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    v->clear();
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '"') return true;
+      if (c == '\\' && i < s.size()) {
+        const char e = s[i++];
+        v->push_back(e == 'n' ? '\n' : e == 't' ? '\t' : e);
+      } else {
+        v->push_back(c);
+      }
+    }
+    return false;
+  };
+  skip_ws();
+  if (i >= s.size() || s[i] != '{') return fail("expected '{'");
+  ++i;
+  std::string name;
+  std::string sval;
+  while (true) {
+    skip_ws();
+    if (i < s.size() && s[i] == '}') break;
+    if (!parse_string(&name)) return fail("expected member name");
+    skip_ws();
+    if (i >= s.size() || s[i] != ':') return fail("expected ':'");
+    ++i;
+    skip_ws();
+    if (i < s.size() && s[i] == '"') {
+      if (!parse_string(&sval)) return fail("unterminated string");
+      if (name == "op") {
+        if (sval.size() != 1) return fail("op must be one character");
+        out->op = sval[0];
+      } else if (name == "key") {
+        out->key = sval;
+      }
+    } else {
+      const std::size_t start = i;
+      while (i < s.size() && s[i] != ',' && s[i] != '}') ++i;
+      if (i == start) return fail("expected value");
+      const std::string num = s.substr(start, i - start);
+      try {
+        if (name == "p") {
+          out->pid = static_cast<ProcessId>(std::stoul(num));
+        } else if (name == "t") {
+          out->thread = static_cast<std::uint32_t>(std::stoul(num));
+        } else if (name == "clock") {
+          out->clock = std::stoull(num);
+        } else if (name == "val") {
+          out->value = std::stoll(num);
+        } else if (name == "ts") {
+          out->ts = std::stod(num);
+        }
+      } catch (...) {
+        return fail("bad number");
+      }
+    }
+    skip_ws();
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == '}') break;
+    return fail("expected ',' or '}'");
+  }
+  if (out->op != 'u' && out->op != 'q' && out->op != 'f') {
+    return fail("op must be 'u', 'q' or 'f'");
+  }
+  return true;
+}
+
+}  // namespace detail
+
+/// Loads a JSONL history; blank lines are skipped, a malformed line is
+/// a hard error (a checker must not quietly reason over a mangled
+/// history). The meta line is optional for hand-written fixtures —
+/// without it, processes is inferred from the max pid seen.
+inline bool read_history_jsonl(std::istream& is, HistoryFile* out,
+                               std::string* err = nullptr) {
+  out->lines.clear();
+  out->meta = HistoryMeta{};
+  bool have_meta = false;
+  std::string line;
+  std::size_t lineno = 0;
+  ProcessId max_pid = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (!have_meta && out->lines.empty() &&
+        line.find("\"meta\"") != std::string::npos) {
+      JsonValue v;
+      std::string perr;
+      if (!JsonParser::parse(line, &v, &perr)) {
+        if (err) *err = "line " + std::to_string(lineno) + ": " + perr;
+        return false;
+      }
+      const JsonValue& m = v["meta"];
+      out->meta.n_processes = static_cast<std::size_t>(
+          m["processes"].as_int(0));
+      out->meta.captured = static_cast<std::uint64_t>(m["captured"].as_int(0));
+      out->meta.dropped = static_cast<std::uint64_t>(m["dropped"].as_int(0));
+      out->meta.final_reads =
+          static_cast<std::uint64_t>(m["final_reads"].as_int(0));
+      if (m.has("adt")) out->meta.adt = m["adt"].as_string();
+      have_meta = true;
+      continue;
+    }
+    HistoryLine l;
+    std::string perr;
+    if (!detail::parse_history_line(line, &l, &perr)) {
+      if (err) *err = "line " + std::to_string(lineno) + ": " + perr;
+      return false;
+    }
+    if (l.pid > max_pid) max_pid = l.pid;
+    out->lines.push_back(std::move(l));
+  }
+  if (!have_meta && !out->lines.empty()) {
+    out->meta.n_processes = static_cast<std::size_t>(max_pid) + 1;
+  }
+  return true;
+}
+
+}  // namespace ucw

@@ -25,6 +25,7 @@
 //    baseline; Algorithm 1 works with or without it).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <optional>
@@ -45,6 +46,9 @@ struct NetworkStats {
   std::uint64_t messages_dropped_crash = 0;
   std::uint64_t messages_held_partition = 0;     ///< timed (hold) splits
   std::uint64_t messages_dropped_partition = 0;  ///< explicit (drop) splits
+  /// Of messages_dropped_partition: held by an escalating split for the
+  /// grace window, then dropped because the split outlived it.
+  std::uint64_t messages_dropped_escalation = 0;
   std::uint64_t messages_duplicated = 0;  ///< at-least-once injections
   std::uint64_t restarts = 0;             ///< crash-recover rejoins
 };
@@ -152,6 +156,22 @@ class SimNetwork {
       net_trace(from, obs::TraceEventKind::kPartitionDrop, to);
       return;
     }
+    if (group_of_[from] != group_of_[to] &&
+        mode_ == PartitionMode::kEscalate) {
+      // Escalating split: buffered like a transport retrying the link,
+      // for at most the grace window from *this message's* send time. A
+      // heal inside the window releases it (see release_held_connected);
+      // the deadline event below drops it if the sides are still split —
+      // only then does the stream grow a real gap.
+      ++stats_.messages_sent;
+      ++stats_.messages_held_partition;
+      ++in_flight_from_[from];
+      const std::uint64_t id = ++next_held_id_;
+      held_.push_back(HeldMsg{id, from, to, payload});
+      scheduler_->at(scheduler_->now() + escalation_grace_,
+                     [this, id]() { expire_held(id); });
+      return;
+    }
     ++stats_.messages_sent;
     ++in_flight_from_[from];
     SimTime deliver_at = scheduler_->now() + config_.latency.sample(rng_);
@@ -233,8 +253,43 @@ class SimNetwork {
       if (mode_ != PartitionMode::kHold) return;  // re-partitioned since
       std::fill(group_of_.begin(), group_of_.end(), 0);
       mode_ = PartitionMode::kNone;
+      release_held_connected();
     });
+    release_held_connected();
   }
+
+  /// Hold→drop escalation, the way a real transport degrades: for the
+  /// first `grace` of virtual time after each cross-group send the
+  /// message sits in a retry buffer (a heal inside the window releases
+  /// it in send order with a fresh latency sample — a blip costs only
+  /// delay, like TCP riding out a short outage); once a message's
+  /// window expires with the split still in force, it is dropped and
+  /// the sender's (epoch, seq) stream grows a genuine gap for
+  /// anti-entropy to repair. Heal via heal() or a re-partition().
+  void partition_escalating(const std::vector<std::size_t>& group_of,
+                            SimTime grace) {
+    UCW_CHECK(group_of.size() == size());
+    UCW_CHECK(grace >= 0.0);
+    group_of_ = group_of;
+    escalation_grace_ = grace;
+    bool split = false;
+    for (const std::size_t g : group_of_) split = split || g != group_of_[0];
+    const PartitionMode was = mode_;
+    mode_ = split ? PartitionMode::kEscalate : PartitionMode::kNone;
+    if (mode_ == PartitionMode::kEscalate && was != PartitionMode::kEscalate) {
+      for (ProcessId p = 0; p < size(); ++p) {
+        net_trace(p, obs::TraceEventKind::kPartitionCut, group_of_[p]);
+      }
+    }
+    release_held_connected();
+  }
+
+  /// True while an escalating (hold→drop) split is in force.
+  [[nodiscard]] bool escalating() const {
+    return mode_ == PartitionMode::kEscalate;
+  }
+  /// Escalation-held messages currently buffered awaiting heal-or-drop.
+  [[nodiscard]] std::size_t held_messages() const { return held_.size(); }
 
   /// First-class long-lived split: cross-group traffic is *dropped* from
   /// now until the topology changes (heal(), or another partition()
@@ -258,19 +313,22 @@ class SimNetwork {
         net_trace(p, obs::TraceEventKind::kPartitionHeal);
       }
     }
+    release_held_connected();
   }
 
   /// Reconnects everyone (drops nothing thereafter). Messages dropped
   /// while split stay lost — catch-up is the stores' anti-entropy job.
   void heal() {
-    const bool was_drop = mode_ == PartitionMode::kDrop;
+    const bool was_split =
+        mode_ == PartitionMode::kDrop || mode_ == PartitionMode::kEscalate;
     std::fill(group_of_.begin(), group_of_.end(), 0);
     mode_ = PartitionMode::kNone;
-    if (was_drop) {
+    if (was_split) {
       for (ProcessId p = 0; p < size(); ++p) {
         net_trace(p, obs::TraceEventKind::kPartitionHeal);
       }
     }
+    release_held_connected();
   }
 
   /// Whether `a` and `b` can currently exchange messages directly.
@@ -285,9 +343,69 @@ class SimNetwork {
   }
 
  private:
-  enum class PartitionMode { kNone, kHold, kDrop };
+  enum class PartitionMode { kNone, kHold, kDrop, kEscalate };
 
   static constexpr SimTime kFifoEpsilon = 1e-6;
+
+  /// One cross-group message buffered by an escalating split.
+  struct HeldMsg {
+    std::uint64_t id = 0;
+    ProcessId from = 0;
+    ProcessId to = 0;
+    Payload payload;
+  };
+
+  /// Schedules a (previously held) message for delivery now + fresh
+  /// latency, keeping the per-link FIFO clamp honest. The in-flight
+  /// count was charged when the message was buffered.
+  void schedule_delivery(ProcessId from, ProcessId to,
+                         const Payload& payload) {
+    SimTime deliver_at = scheduler_->now() + config_.latency.sample(rng_);
+    if (config_.fifo_links) {
+      deliver_at =
+          std::max(deliver_at, last_delivery_[from][to] + kFifoEpsilon);
+      last_delivery_[from][to] = deliver_at;
+    }
+    scheduler_->at(deliver_at, [this, from, to, payload]() {
+      deliver(from, to, payload);
+    });
+  }
+
+  /// Releases every buffered message whose endpoints can talk again, in
+  /// send order (so the FIFO clamp reconstructs the original link
+  /// order). Called on every topology change.
+  void release_held_connected() {
+    if (held_.empty()) return;
+    std::vector<HeldMsg> still;
+    still.reserve(held_.size());
+    for (auto& m : held_) {
+      if (same_partition(m.from, m.to)) {
+        schedule_delivery(m.from, m.to, m.payload);
+      } else {
+        still.push_back(std::move(m));
+      }
+    }
+    held_ = std::move(still);
+  }
+
+  /// Deadline event for one buffered message: still split → the hold
+  /// escalates to a drop; healed (race with the release scan) → deliver.
+  void expire_held(std::uint64_t id) {
+    const auto it = std::find_if(held_.begin(), held_.end(),
+                                 [id](const HeldMsg& m) { return m.id == id; });
+    if (it == held_.end()) return;  // released by a heal inside the window
+    const HeldMsg m = std::move(*it);
+    held_.erase(it);
+    if (same_partition(m.from, m.to)) {
+      schedule_delivery(m.from, m.to, m.payload);
+      return;
+    }
+    UCW_CHECK(in_flight_from_[m.from] > 0);
+    --in_flight_from_[m.from];
+    ++stats_.messages_dropped_partition;
+    ++stats_.messages_dropped_escalation;
+    net_trace(m.from, obs::TraceEventKind::kPartitionDrop, m.to);
+  }
 
   /// Thread-scoped instant on `p`'s router track, if `p` has a tracer.
   void net_trace(ProcessId p, obs::TraceEventKind kind, std::uint64_t a = 0,
@@ -323,6 +441,9 @@ class SimNetwork {
   std::vector<std::size_t> group_of_;
   PartitionMode mode_ = PartitionMode::kNone;
   SimTime heal_at_ = 0.0;
+  SimTime escalation_grace_ = 0.0;
+  std::uint64_t next_held_id_ = 0;
+  std::vector<HeldMsg> held_;
   std::vector<std::vector<SimTime>> last_delivery_;
   std::vector<obs::Tracer*> tracers_;
   NetworkStats stats_;

@@ -9,11 +9,13 @@
 // receivers.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "clock/timestamp.hpp"
@@ -75,6 +77,16 @@ class Inbox {
 };
 
 /// N processes' inboxes plus broadcast; message = (from, payload).
+///
+/// Partition injection is *hold-mode only*: a split buffers cross-group
+/// messages per link (in send order) and heal() releases them, again in
+/// send order, so every per-link FIFO stream stays gap-free — delayed,
+/// never dropped. That is the deliberate scope: this transport has no
+/// epochs or point-to-point sends, so the stores on it are not
+/// catch-up-capable and a *dropping* partition would diverge them with
+/// no anti-entropy to repair it. Hold-mode gives the stress tests and
+/// the audit pipeline real partition blips under genuine concurrency
+/// while keeping reliable-broadcast semantics intact.
 template <typename Payload>
 class ThreadNetwork {
  public:
@@ -84,16 +96,68 @@ class ThreadNetwork {
   };
 
   explicit ThreadNetwork(std::size_t n_processes)
-      : inboxes_(n_processes) {}
+      : inboxes_(n_processes), group_of_(n_processes, 0) {}
 
   [[nodiscard]] std::size_t size() const { return inboxes_.size(); }
 
   /// Enqueues to every *other* process. Local delivery is the caller's
   /// synchronous responsibility (matching SimNetwork's self-delivery).
+  /// Under a split, cross-group messages are buffered until heal().
   void broadcast_others(ProcessId from, const Payload& payload) {
-    for (ProcessId to = 0; to < inboxes_.size(); ++to) {
-      if (to != from) inboxes_[to].push(Envelope{from, payload});
+    if (!partitioned_.load(std::memory_order_acquire)) {
+      // Fast path: no split in force. A message that raced a concurrent
+      // partition() through here behaves like one already in flight at
+      // cut time — delivered, and ordered before anything the same
+      // sender buffers afterwards.
+      for (ProcessId to = 0; to < inboxes_.size(); ++to) {
+        if (to != from) inboxes_[to].push(Envelope{from, payload});
+      }
+      return;
     }
+    std::lock_guard lock(topology_mutex_);
+    for (ProcessId to = 0; to < inboxes_.size(); ++to) {
+      if (to == from) continue;
+      if (group_of_[from] == group_of_[to]) {
+        inboxes_[to].push(Envelope{from, payload});
+      } else {
+        held_[link(from, to)].push_back(payload);
+        held_count_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Splits the processes into groups; cross-group messages buffer
+  /// until the groups rejoin. Any thread.
+  void partition(const std::vector<std::size_t>& group_of) {
+    std::lock_guard lock(topology_mutex_);
+    UCW_CHECK(group_of.size() == inboxes_.size());
+    group_of_ = group_of;
+    bool split = false;
+    for (const std::size_t g : group_of_) split = split || g != group_of_[0];
+    if (held_count_.load(std::memory_order_relaxed) > 0) {
+      release_connected_locked();
+    }
+    // Flag last: a fast-path sender that loads `false` is ordered after
+    // this store, hence after the release above — it cannot push a
+    // fresh message ahead of a still-buffered older one on any link.
+    partitioned_.store(split, std::memory_order_release);
+  }
+
+  /// Reconnects everyone and releases every buffered message, per link
+  /// in send order (FIFO per link is preserved end-to-end). Any thread.
+  void heal() { partition(std::vector<std::size_t>(inboxes_.size(), 0)); }
+
+  /// Whether `a` and `b` can currently exchange messages directly.
+  [[nodiscard]] bool same_partition(ProcessId a, ProcessId b) const {
+    UCW_CHECK(a < size() && b < size());
+    if (!partitioned_.load(std::memory_order_acquire)) return true;
+    std::lock_guard lock(topology_mutex_);
+    return group_of_[a] == group_of_[b];
+  }
+
+  /// Cross-group messages currently buffered awaiting heal().
+  [[nodiscard]] std::size_t held_messages() const {
+    return held_count_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] Inbox<Envelope>& inbox(ProcessId p) {
@@ -106,7 +170,35 @@ class ThreadNetwork {
   }
 
  private:
+  [[nodiscard]] std::size_t link(ProcessId from, ProcessId to) const {
+    return static_cast<std::size_t>(from) * inboxes_.size() + to;
+  }
+
+  /// Pushes every buffered message whose endpoints can talk again, per
+  /// link in send order. topology_mutex_ holder only.
+  void release_connected_locked() {
+    for (ProcessId from = 0; from < inboxes_.size(); ++from) {
+      for (ProcessId to = 0; to < inboxes_.size(); ++to) {
+        if (from == to || group_of_[from] != group_of_[to]) continue;
+        const auto it = held_.find(link(from, to));
+        if (it == held_.end()) continue;
+        for (auto& payload : it->second) {
+          inboxes_[to].push(Envelope{from, std::move(payload)});
+          held_count_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        held_.erase(it);
+      }
+    }
+  }
+
   std::vector<Inbox<Envelope>> inboxes_;
+  /// Split state: the atomic flag is the hot-path gate, everything else
+  /// (groups, held buffers) is guarded by the mutex.
+  std::atomic<bool> partitioned_{false};
+  mutable std::mutex topology_mutex_;
+  std::vector<std::size_t> group_of_;
+  std::unordered_map<std::size_t, std::deque<Payload>> held_;
+  std::atomic<std::size_t> held_count_{0};
 };
 
 }  // namespace ucw

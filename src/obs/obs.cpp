@@ -468,13 +468,16 @@ void print_observability(std::ostream& os, const Report& report) {
   // Every kind of silent loss, in one place. "none" is worth a line:
   // it says the run really was lossless, not that nobody checked.
   std::uint64_t env_crash = 0, ent_crash = 0, ack_crash = 0, trace_drop = 0;
+  std::uint64_t history_drop = 0;
   for (const ProcessReport& p : report.processes) {
     env_crash += p.store.envelopes_dropped_crash;
     ent_crash += p.store.entries_dropped_crash;
     ack_crash += p.store.acks_dropped_crash;
     trace_drop += p.trace_events_dropped;
+    history_drop += p.history_records_dropped;
   }
   const std::uint64_t total = env_crash + ent_crash + ack_crash + trace_drop +
+                              history_drop +
                               report.net.messages_dropped_crash +
                               report.net.messages_dropped_partition;
   if (total == 0) {
@@ -485,7 +488,8 @@ void print_observability(std::ostream& os, const Report& report) {
        << report.net.messages_dropped_crash << " messages dropped at crash, "
        << report.net.messages_dropped_partition
        << " messages dropped at partitions, " << trace_drop
-       << " trace events overwritten\n";
+       << " trace events overwritten, " << history_drop
+       << " history records dropped\n";
   }
 }
 
@@ -528,14 +532,17 @@ void fill_registry(MetricsRegistry& reg, const ProcessReport& proc) {
   c("ae_snapshots_installed", s.ae_snapshots_installed);
   c("ae_entries_installed", s.ae_entries_installed);
   c("ae_entries_served", s.ae_entries_served);
+  c("ae_entries_skipped_covered", s.ae_entries_skipped_covered);
   c("ae_bytes_served", s.ae_bytes_served);
   c("trace_events_recorded", proc.trace_events_recorded);
+  c("history_records_captured", proc.history_records_captured);
   // Canonical loss counters: every way this process can silently shed
   // data, under one `dropped_` prefix.
   c("dropped_envelopes_crash", s.envelopes_dropped_crash);
   c("dropped_entries_crash", s.entries_dropped_crash);
   c("dropped_acks_crash", s.acks_dropped_crash);
   c("dropped_trace_events", proc.trace_events_dropped);
+  c("dropped_history_records", proc.history_records_dropped);
 
   reg.gauge("stability_floor").set(static_cast<std::int64_t>(s.stability_floor));
   reg.gauge("stability_floor_lag")
@@ -566,6 +573,8 @@ void export_metrics_json(std::ostream& os, const Report& report) {
   net.counter("dropped_messages_crash").add(report.net.messages_dropped_crash);
   net.counter("dropped_messages_partition")
       .add(report.net.messages_dropped_partition);
+  net.counter("dropped_messages_escalation")
+      .add(report.net.messages_dropped_escalation);
   net.write_json(os, 2);
   os << "\n}\n";
 }

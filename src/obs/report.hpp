@@ -34,6 +34,13 @@ struct ProcessReport {
   std::uint64_t view_staleness = 0;      ///< clock − stalest engine apply
   std::uint64_t trace_events_recorded = 0;
   std::uint64_t trace_events_dropped = 0;  ///< ring overwrites
+
+  // Audit recorder accounting; zeros when the run records no history.
+  std::uint64_t history_records_captured = 0;
+  /// Op records lost to a full recorder ring — every one voids UC
+  /// certification of the exported history, so like every other silent
+  /// loss it rides the metrics snapshot as a dropped_* counter.
+  std::uint64_t history_records_dropped = 0;
 };
 
 struct Report {

@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "audit/recorder.hpp"
+#include "history/jsonl.hpp"
 #include "net/scheduler.hpp"
 #include "net/sim_network.hpp"
 #include "obs/report.hpp"
@@ -67,6 +69,11 @@ struct PartitionPlan {
   std::vector<std::size_t> group_of{};
   bool anti_entropy = true;
   SimTime ae_delay = 1.0;
+  /// 0 = drop mode (messages lost at the cut). Positive = hold→drop
+  /// escalation: cross-group messages buffer for this much virtual time
+  /// from their send, then drop if the split still holds — a heal
+  /// inside the window costs only delay (see SimNetwork).
+  SimTime escalation_grace = 0.0;
 };
 
 struct StoreRunConfig {
@@ -79,6 +86,10 @@ struct StoreRunConfig {
   std::size_t n_keys = 64;
   double skew = 0.99;
   std::size_t ops_per_process = 100;
+  /// When non-empty, per-process op counts overriding ops_per_process —
+  /// the schedule shrinker's handle for trimming one process's workload
+  /// at a time. Size must be n_processes when set.
+  std::vector<std::size_t> ops_per_process_override{};
   double update_ratio = 0.9;  ///< else a keyed query is issued
   LatencyModel think_time = LatencyModel::exponential(200.0);
   StoreConfig store{};
@@ -97,6 +108,17 @@ struct StoreRunConfig {
   /// Metrics-snapshot JSON path ({"processes":[…],"net":{…}}); also
   /// turns the derived convergence metrics on.
   std::string metrics_out{};
+  /// Op-history JSONL path for the audit pipeline; non-empty turns
+  /// recording on (int64-register-like ADTs only — see
+  /// history/jsonl.hpp). Every client-visible op plus one post-
+  /// quiescence "final read" per (alive process, key) is captured.
+  std::string history_out{};
+  /// Record the history in memory (StoreRunOutput::history) without
+  /// writing a file — what run_scenario audits in-process.
+  bool record_history = false;
+  /// Recorder ring capacity per process; overflow drops the newest
+  /// records and is reported (the auditor then refuses to certify).
+  std::size_t history_capacity = std::size_t{1} << 20;
 };
 
 template <UqAdt A>
@@ -124,6 +146,9 @@ struct StoreRunOutput {
   /// Full observability report (per-process stats + derived convergence
   /// metrics + network totals) — feed to obs::print_observability.
   obs::Report report;
+  /// Recorded op history (populated when history_out/record_history is
+  /// set and the ADT is int64-register-like; empty otherwise).
+  HistoryFile history;
 };
 
 /// Runs one multi-key simulation. `gen` draws the next update for a
@@ -178,10 +203,26 @@ template <UqAdt A, typename GenFn>
     return sc;
   };
 
+  // Op-history recorders (audit pipeline): like the tracers they live
+  // here, outside the stores, so a restarted incarnation appends to the
+  // same process's history — one recorded history spans the whole
+  // crash/recover timeline. Sim stores are single-owner: one ring each.
+  const bool record_on = cfg.record_history || !cfg.history_out.empty();
+  std::vector<std::unique_ptr<audit::OpRecorder<A, std::string>>> recorders;
+  if (record_on) {
+    for (ProcessId p = 0; p < cfg.n_processes; ++p) {
+      recorders.push_back(std::make_unique<audit::OpRecorder<A, std::string>>(
+          p, /*threads=*/1, cfg.history_capacity,
+          +[](void* s) { return static_cast<SimScheduler*>(s)->now(); },
+          &scheduler));
+    }
+  }
+
   std::vector<std::unique_ptr<Store>> stores;
   stores.reserve(cfg.n_processes);
   for (ProcessId p = 0; p < cfg.n_processes; ++p) {
     stores.push_back(std::make_unique<Store>(adt, p, net, store_config_for(p)));
+    if (record_on) stores[p]->set_recorder(recorders[p].get());
   }
 
   ZipfianKeys keyspace(cfg.n_keys, cfg.skew);
@@ -215,8 +256,11 @@ template <UqAdt A, typename GenFn>
                       [issue, remaining] { (*issue)(remaining - 1); });
     };
     issuers.push_back(issue);
+    const std::size_t n_ops = cfg.ops_per_process_override.empty()
+                                  ? cfg.ops_per_process
+                                  : cfg.ops_per_process_override.at(p);
     scheduler.after(cfg.think_time.sample(*rng),
-                    [issue, n = cfg.ops_per_process] { (*issue)(n); });
+                    [issue, n = n_ops] { (*issue)(n); });
   }
 
   for (const CrashPlan& crash : cfg.crashes) {
@@ -247,6 +291,9 @@ template <UqAdt A, typename GenFn>
       stores[plan.pid] =
           std::make_unique<Store>(stores[plan.pid]->adt(), plan.pid, net,
                                   store_config_for(plan.pid));
+      if (!recorders.empty()) {
+        stores[plan.pid]->set_recorder(recorders[plan.pid].get());
+      }
       ProcessId donor = plan.pid;
       for (ProcessId q = 0; q < cfg.n_processes; ++q) {
         if (q != plan.pid && !net.crashed(q)) {
@@ -276,12 +323,17 @@ template <UqAdt A, typename GenFn>
       std::make_shared<std::vector<std::size_t>>(cfg.n_processes, 0);
   auto apply_topology = [&net, &scheduler, &stores, groups, n = cfg.n_processes](
                             const std::vector<std::size_t>& group_of,
-                            bool anti_entropy, SimTime ae_delay) {
+                            bool anti_entropy, SimTime ae_delay,
+                            SimTime escalation_grace) {
     UCW_CHECK_MSG(group_of.size() == n,
                   "PartitionPlan group map size != n_processes");
     const std::vector<std::size_t> before = *groups;
     *groups = group_of;
-    net.partition(group_of);
+    if (escalation_grace > 0.0) {
+      net.partition_escalating(group_of, escalation_grace);
+    } else {
+      net.partition(group_of);
+    }
     if (!anti_entropy) return;
     for (ProcessId p = 0; p < n; ++p) {
       if (net.crashed(p)) continue;
@@ -308,7 +360,8 @@ template <UqAdt A, typename GenFn>
   };
   for (const PartitionPlan& plan : cfg.partitions) {
     scheduler.at(plan.at, [&apply_topology, plan] {
-      apply_topology(plan.group_of, plan.anti_entropy, plan.ae_delay);
+      apply_topology(plan.group_of, plan.anti_entropy, plan.ae_delay,
+                     plan.escalation_grace);
     });
   }
 
@@ -331,9 +384,10 @@ template <UqAdt A, typename GenFn>
   // convergence check for a partition that simply never healed: heal
   // it (with the anti-entropy sweep) before quiescing, mirroring what
   // any real operator of a partitionable deployment eventually gets.
-  if (net.partitioned()) {
+  if (net.partitioned() || net.escalating()) {
     apply_topology(std::vector<std::size_t>(cfg.n_processes, 0),
-                   /*anti_entropy=*/true, /*ae_delay=*/1.0);
+                   /*anti_entropy=*/true, /*ae_delay=*/1.0,
+                   /*escalation_grace=*/0.0);
     scheduler.run();
   }
   // Quiescence: ship any trailing partial batches, then drain. Enough
@@ -365,13 +419,23 @@ template <UqAdt A, typename GenFn>
   out.converged = !alive.empty();
   for (const std::string& k : keys) {
     if (alive.empty()) break;
+    // These reads double as the history's ω-observations: one final
+    // read per (alive process, key), recorded even (especially) when
+    // the replicas disagree — the auditor refutes from the divergence.
     const typename A::State s0 = stores[alive.front()]->state_of(k);
-    for (std::size_t i = 1; i < alive.size(); ++i) {
-      if (!(stores[alive[i]]->state_of(k) == s0)) {
-        out.converged = false;
-        out.diverged_keys.push_back(k);
-        break;
+    bool key_diverged = false;
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      const typename A::State si =
+          i == 0 ? s0 : stores[alive[i]]->state_of(k);
+      if (record_on) {
+        recorders[alive[i]]->record_final_read(
+            k, stores[alive[i]]->adt().output(si, typename A::QueryIn{}));
       }
+      if (i > 0 && !(si == s0)) key_diverged = true;
+    }
+    if (key_diverged) {
+      out.converged = false;
+      out.diverged_keys.push_back(k);
     }
     out.final_states.emplace(k, s0);
   }
@@ -387,6 +451,32 @@ template <UqAdt A, typename GenFn>
   }
   out.report.net = out.net;
   out.duration = scheduler.now();
+
+  if (record_on) {
+    for (ProcessId p = 0; p < cfg.n_processes; ++p) {
+      out.report.processes[p].history_records_captured =
+          recorders[p]->captured() + recorders[p]->final_reads_recorded();
+      out.report.processes[p].history_records_dropped =
+          recorders[p]->dropped();
+    }
+    if constexpr (Int64RegisterLike<A>) {
+      for (ProcessId p = 0; p < cfg.n_processes; ++p) {
+        out.history.meta.captured += recorders[p]->captured();
+        out.history.meta.dropped += recorders[p]->dropped();
+        out.history.meta.final_reads += recorders[p]->final_reads_recorded();
+        append_history_lines(*recorders[p], &out.history.lines);
+      }
+      out.history.meta.n_processes = cfg.n_processes;
+      if (!cfg.history_out.empty()) {
+        std::ofstream f(cfg.history_out);
+        UCW_CHECK_MSG(f.good(), "cannot open history_out for writing");
+        write_history_jsonl(f, out.history.meta, out.history.lines);
+      }
+    } else {
+      UCW_CHECK_MSG(cfg.history_out.empty(),
+                    "history export requires an int64-register-like ADT");
+    }
+  }
 
   if (!cfg.trace_out.empty()) {
     std::vector<const obs::Tracer*> views;

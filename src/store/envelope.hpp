@@ -82,6 +82,13 @@ struct BatchEnvelope {
   /// kAntiEntropyRequest: also serve yourself from me (one call heals
   /// both directions of a pair).
   bool ae_reciprocate = false;
+  /// kAntiEntropyRequest: the requester's stability rows — per origin
+  /// process, the largest stamp clock it provably received everything
+  /// below (raised only by first-hand, gap-gated acks; see
+  /// recovery/stability.hpp). A donor may skip any suffix entry with
+  /// stamp.clock <= ae_floors[stamp.pid]: the requester already holds
+  /// it live. Empty when the requester runs without stability tracking.
+  std::vector<LogicalTime> ae_floors;
 };
 
 /// Fixed per-message framing cost assumed by the bytes-saved estimate:
@@ -148,6 +155,7 @@ template <UqAdt A, typename Key>
   }
   if (e.snapshot) bytes += wire_size(*e.snapshot);
   bytes += e.sync_markers.size() * sizeof(std::uint64_t);
+  bytes += e.ae_floors.size() * sizeof(LogicalTime);
   return bytes;
 }
 

@@ -117,6 +117,13 @@ struct StoreConfig {
   /// 1 = full fidelity; the default keeps the hot path inside the
   /// tracing-overhead budget.
   std::size_t trace_sample_every = 16;
+  /// TEST-ONLY consistency-bug injection for the audit pipeline: lets
+  /// the stability tracker observe acks from streams with a detected
+  /// gap. GC then folds the floor over entries anti-entropy has yet to
+  /// redeliver, the repair is absorbed below the floor, and replicas
+  /// diverge permanently — exactly the class of bug the black-box
+  /// auditor exists to catch. Never set this outside audit tests.
+  bool unsafe_fold_acks_across_gaps = false;
 };
 
 /// Per-shard aggregate view (rendered by print_shard_table in

@@ -70,6 +70,7 @@
 #include <utility>
 #include <vector>
 
+#include "audit/recorder.hpp"
 #include "clock/timestamp.hpp"
 #include "obs/store_obs.hpp"
 #include "recovery/catchup.hpp"
@@ -192,6 +193,18 @@ class StoreCore {
   /// histogram.
   [[nodiscard]] const obs::StoreObs* obs_state() const { return obs_.get(); }
 
+  /// Attaches a caller-owned op-history recorder (audit pipeline), or
+  /// detaches with nullptr. Same ownership discipline as the tracer:
+  /// the store never owns it, recording-off costs one branch on a null
+  /// pointer. Call before issuing ops (harness wiring time) — the
+  /// pointer itself is not synchronized.
+  void set_recorder(audit::OpRecorder<A, Key>* recorder) {
+    recorder_ = recorder;
+  }
+  [[nodiscard]] audit::OpRecorder<A, Key>* recorder() const {
+    return recorder_;
+  }
+
   /// Wait-free keyed update: stamp from the store clock, apply to the
   /// owning engine's replica now (synchronous self-delivery), broadcast
   /// when the batch fills (or on the next flush tick). Returns the
@@ -213,6 +226,7 @@ class StoreCore {
       obs_->tracer->instant(0, obs::TraceEventKind::kUpdateStamp,
                             stamp.clock);
     }
+    if (recorder_) recorder_->record_update(0, key, stamp, u);
     Engine& eng = engine_of(key);
     eng.local_update(key, UpdateMessage<A>{stamp, std::move(u), {}});
     ++pending_total_;
@@ -230,7 +244,9 @@ class StoreCore {
   [[nodiscard]] typename A::QueryOut query(const Key& key,
                                            const typename A::QueryIn& qi) {
     poll();
-    return engine_of(key).query(key, qi);
+    typename A::QueryOut out = engine_of(key).query(key, qi);
+    if (recorder_) recorder_->record_query(0, key, clock_.now(), out);
+    return out;
   }
 
   /// Folds queued envelopes in when the transport has a pollable inbox
@@ -364,6 +380,12 @@ class StoreCore {
         req.sync_markers = snap_markers_[peer];
         req.sync_markers_epoch = snap_marker_epochs_[peer];
       }
+      // Coverage summary on the wire: ship our stability rows so the
+      // donor can skip suffix entries we provably received live (rows
+      // are raised only by gap-gated first-hand acks, so "stamp.clock
+      // <= rows[origin]" really means "already held here" — even
+      // across drops, because a gapped stream stops raising its row).
+      if (stability_) req.ae_floors = stability_->rows();
       net_->send(pid_, peer, req);
       return true;
     } else {
@@ -689,8 +711,13 @@ class StoreCore {
     // as genuinely-new below-floor entries. Observing such an ack would
     // let GC fold over them. The gap clears (and acks resume) when an
     // anti-entropy round or a catch-up session proves the prefix.
+    // `unsafe_fold_acks_across_gaps` is the audit pipeline's injected
+    // consistency bug (test-only): folding over a known gap lets GC
+    // absorb the floor past entries anti-entropy has yet to redeliver,
+    // which the offline auditor must catch as divergence.
     if (stability_ && e.ack_clock > 0 &&
-        !(from < peers_.size() && peers_[from].gapped)) {
+        (config_.unsafe_fold_acks_across_gaps ||
+         !(from < peers_.size() && peers_[from].gapped))) {
       stability_->observe_ack(from, e.ack_clock);
     }
   }
@@ -760,7 +787,8 @@ class StoreCore {
   void ship_snapshots(ProcessId requester, std::uint64_t round,
                       EnvelopeKind kind,
                       const std::vector<std::uint64_t>& markers,
-                      std::uint64_t markers_epoch) {
+                      std::uint64_t markers_epoch,
+                      const std::vector<LogicalTime>& requester_floors = {}) {
     if constexpr (kCatchupCapable) {
       // Snapshots ship base + unstable suffix: compact first, and fold
       // *every* dirty engine regardless of the incremental budget — a
@@ -775,6 +803,20 @@ class StoreCore {
       for (std::size_t i = 0; i < engines_.size(); ++i) {
         auto snap = std::make_shared<Snapshot>(engines_[i]->encode_snapshot(
             engines_.size(), deltas ? markers[i] : 0, requester));
+        // Entry-level dedup from the requester's coverage summary:
+        // anything below its per-origin row rode a live envelope it
+        // already delivered. Bases ship untouched — only the unstable
+        // suffixes thin out.
+        if (!requester_floors.empty()) {
+          for (auto& ks : snap->keys) {
+            const std::size_t before = ks.suffix.size();
+            std::erase_if(ks.suffix, [&](const auto& entry) {
+              return entry.stamp.pid < requester_floors.size() &&
+                     entry.stamp.clock <= requester_floors[entry.stamp.pid];
+            });
+            stats_.ae_entries_skipped_covered += before - ks.suffix.size();
+          }
+        }
         snap->donor_clock = clock_.now();
         if (stability_) snap->donor_rows = stability_->rows();
         snap->coverage = coverage;
@@ -803,6 +845,7 @@ class StoreCore {
       (void)kind;
       (void)markers;
       (void)markers_epoch;
+      (void)requester_floors;
     }
   }
 
@@ -878,7 +921,7 @@ class StoreCore {
                               req.seq);
       }
       ship_snapshots(requester, req.seq, EnvelopeKind::kAntiEntropyDelta,
-                     req.sync_markers, req.sync_markers_epoch);
+                     req.sync_markers, req.sync_markers_epoch, req.ae_floors);
       if (req.ae_reciprocate) (void)anti_entropy_round(requester, false);
     }
   }
@@ -1319,6 +1362,11 @@ class StoreCore {
   /// Allocated iff config_.tracing — the "off ≈ one branch" gate every
   /// instrumentation hook tests.
   std::unique_ptr<obs::StoreObs> obs_;
+  /// Caller-owned op-history recorder, null when auditing is off (same
+  /// lifetime discipline as the tracer). Protected like the rest: the
+  /// pooled frontend records through it with real producer slots
+  /// instead of thread 0.
+  audit::OpRecorder<A, Key>* recorder_ = nullptr;
 };
 
 }  // namespace ucw

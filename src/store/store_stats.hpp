@@ -100,6 +100,11 @@ struct StoreStats {
   std::uint64_t ae_entries_installed = 0;  ///< suffix entries via AE
   std::uint64_t ae_entries_served = 0;     ///< suffix entries shipped as donor
   std::uint64_t ae_bytes_served = 0;       ///< est. wire bytes, AE serves
+  /// Suffix entries a donor did NOT ship because the requester's AE
+  /// request carried stability rows proving it received them live
+  /// (coverage summaries on the wire — entry-level dedup on top of the
+  /// per-key delta codec).
+  std::uint64_t ae_entries_skipped_covered = 0;
 
   /// Mean keyed updates per envelope (== broadcast-reduction factor).
   [[nodiscard]] double batch_occupancy() const {
@@ -204,13 +209,15 @@ inline void print_anti_entropy_table(
     std::ostream& os, const std::vector<StoreStats>& per_process) {
   TextTable t({"process", "gaps", "ae started", "ae served", "ae done",
                "ae snaps in", "ae entries in", "ae entries out",
-               "ae bytes out", "keys served", "keys skipped"});
+               "ae skip covered", "ae bytes out", "keys served",
+               "keys skipped"});
   StoreStats total;
   for (std::size_t p = 0; p < per_process.size(); ++p) {
     const StoreStats& s = per_process[p];
     t.add(p, s.stream_gaps_detected, s.ae_rounds_started, s.ae_rounds_served,
           s.ae_rounds_completed, s.ae_snapshots_installed,
-          s.ae_entries_installed, s.ae_entries_served, s.ae_bytes_served,
+          s.ae_entries_installed, s.ae_entries_served,
+          s.ae_entries_skipped_covered, s.ae_bytes_served,
           s.snapshot_keys_served, s.snapshot_keys_skipped_delta);
     total.stream_gaps_detected += s.stream_gaps_detected;
     total.ae_rounds_started += s.ae_rounds_started;
@@ -219,6 +226,7 @@ inline void print_anti_entropy_table(
     total.ae_snapshots_installed += s.ae_snapshots_installed;
     total.ae_entries_installed += s.ae_entries_installed;
     total.ae_entries_served += s.ae_entries_served;
+    total.ae_entries_skipped_covered += s.ae_entries_skipped_covered;
     total.ae_bytes_served += s.ae_bytes_served;
     total.snapshot_keys_served += s.snapshot_keys_served;
     total.snapshot_keys_skipped_delta += s.snapshot_keys_skipped_delta;
@@ -226,8 +234,9 @@ inline void print_anti_entropy_table(
   t.add("total", total.stream_gaps_detected, total.ae_rounds_started,
         total.ae_rounds_served, total.ae_rounds_completed,
         total.ae_snapshots_installed, total.ae_entries_installed,
-        total.ae_entries_served, total.ae_bytes_served,
-        total.snapshot_keys_served, total.snapshot_keys_skipped_delta);
+        total.ae_entries_served, total.ae_entries_skipped_covered,
+        total.ae_bytes_served, total.snapshot_keys_served,
+        total.snapshot_keys_skipped_delta);
   t.print(os);
 }
 

@@ -138,13 +138,20 @@ class ThreadUcStore
     // The claim protocol around the tick (see file header): kClaiming
     // before drawing, the stamp until the ring push lands, kIdle after.
     // Everything seq_cst — stamp_barrier() reasons in the total order.
-    ClaimSlot& slot = claim_slots_[producer_index()];
+    const std::size_t producer = producer_index();
+    ClaimSlot& slot = claim_slots_[producer];
     slot.claim.store(kClaiming, std::memory_order_seq_cst);
     const Stamp stamp = this->clock_.tick(std::memory_order_seq_cst);
     slot.claim.store(stamp.clock, std::memory_order_seq_cst);
     if (const auto& o = this->obs_;
         o && o->tracer && o->sampled(stamp.clock)) {
       o->tracer->instant(0, obs::TraceEventKind::kUpdateStamp, stamp.clock);
+    }
+    // Each client thread writes its own recorder ring (slot == producer
+    // slot), so the captured per-(process, thread) chains really are
+    // program order — the relation the offline auditor reasons over.
+    if (this->recorder_) {
+      this->recorder_->record_update(producer, key, stamp, u);
     }
     pool_->enqueue_update(this->shard_index(key), key,
                           UpdateMessage<A>{stamp, std::move(u), {}});
@@ -163,8 +170,13 @@ class ThreadUcStore
                                            const typename A::QueryIn& qi) {
     if (!pool_) return Core::query(key, qi);
     (void)try_route_inbox();
-    return pool_->run_query(this->shard_index(key), key, qi,
-                            /*promote=*/false);
+    typename A::QueryOut out = pool_->run_query(this->shard_index(key), key,
+                                                qi, /*promote=*/false);
+    if (this->recorder_) {
+      this->recorder_->record_query(producer_index(), key,
+                                    this->clock_.now(), out);
+    }
+    return out;
   }
 
   /// The wait-free read path: a hot key answers from its seqlock-
@@ -181,12 +193,22 @@ class ThreadUcStore
     if (auto state = this->engine(this->shard_index(key))
                          .try_read_published(key)) {
       published_reads_.fetch_add(1, std::memory_order_relaxed);
-      return this->adt().output(*state, qi);
+      typename A::QueryOut out = this->adt().output(*state, qi);
+      if (this->recorder_) {
+        this->recorder_->record_query(producer_index(), key,
+                                      this->clock_.now(), out);
+      }
+      return out;
     }
     ring_reads_.fetch_add(1, std::memory_order_relaxed);
     (void)try_route_inbox();
-    return pool_->run_query(this->shard_index(key), key, qi,
-                            /*promote=*/true);
+    typename A::QueryOut out = pool_->run_query(this->shard_index(key), key,
+                                                qi, /*promote=*/true);
+    if (this->recorder_) {
+      this->recorder_->record_query(producer_index(), key,
+                                    this->clock_.now(), out);
+    }
+    return out;
   }
 
   /// Drains the process inbox into the engines (via the rings, pooled).
@@ -437,7 +459,14 @@ class ThreadUcStore
       pool_->enqueue_remote(this->shard_index(entry.key), from, entry.key,
                             entry.msg);
     }
-    if (this->stability_ && e.ack_clock > 0) {
+    // Same gap gate as the single-owner deliver() path: a gapped
+    // stream's piggybacked ack proves nothing about what the partition
+    // dropped (the thread transport's hold-mode partitions never drop,
+    // so gaps cannot arise there today — but the gate is a soundness
+    // invariant of ack observation, not a transport property).
+    if (this->stability_ && e.ack_clock > 0 &&
+        (this->config().unsafe_fold_acks_across_gaps ||
+         !this->stream_gapped(from))) {
       this->stability_->observe_ack(from, e.ack_clock);
     }
   }

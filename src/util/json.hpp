@@ -1,0 +1,376 @@
+// Minimal JSON value + recursive-descent parser and writer.
+//
+// The repo writes JSON in several places (Chrome traces, metrics
+// snapshots) but until the audit pipeline nothing needed to *read* it
+// back: scenario files (audit/scenario.hpp) and history meta lines
+// (history/jsonl.hpp) do. This is deliberately a small, strict-enough
+// subset — objects, arrays, strings (with \" \\ \n \t \r \u escapes),
+// doubles, bools, null — with no streaming and no comments, sized for
+// kilobyte-scale config documents, not bulk data (the per-op JSONL
+// lines use a hand-rolled flat scanner for speed; see jsonl.hpp).
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ucw {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}
+  JsonValue(bool b) : v_(b) {}
+  JsonValue(double d) : v_(d) {}
+  JsonValue(std::int64_t i) : v_(static_cast<double>(i)) {}
+  JsonValue(std::string s) : v_(std::move(s)) {}
+  JsonValue(const char* s) : v_(std::string(s)) {}
+  JsonValue(Array a) : v_(std::move(a)) {}
+  JsonValue(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return is_bool() ? std::get<bool>(v_) : fallback;
+  }
+  [[nodiscard]] double as_double(double fallback = 0.0) const {
+    return is_number() ? std::get<double>(v_) : fallback;
+  }
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(std::get<double>(v_))
+                       : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    static const std::string kEmpty;
+    return is_string() ? std::get<std::string>(v_) : kEmpty;
+  }
+  [[nodiscard]] const Array& as_array() const {
+    static const Array kEmpty;
+    return is_array() ? std::get<Array>(v_) : kEmpty;
+  }
+  [[nodiscard]] const Object& as_object() const {
+    static const Object kEmpty;
+    return is_object() ? std::get<Object>(v_) : kEmpty;
+  }
+
+  /// Object member lookup; a null value when absent or not an object.
+  [[nodiscard]] const JsonValue& operator[](const std::string& key) const {
+    static const JsonValue kNull;
+    if (!is_object()) return kNull;
+    const auto& o = std::get<Object>(v_);
+    const auto it = o.find(key);
+    return it == o.end() ? kNull : it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return is_object() && std::get<Object>(v_).count(key) > 0;
+  }
+
+  /// Serializes (compact, no trailing newline).
+  [[nodiscard]] std::string dump() const {
+    std::ostringstream os;
+    write(os);
+    return os.str();
+  }
+
+  void write(std::ostream& os) const {
+    if (is_null()) {
+      os << "null";
+    } else if (is_bool()) {
+      os << (std::get<bool>(v_) ? "true" : "false");
+    } else if (is_number()) {
+      const double d = std::get<double>(v_);
+      // Integers round-trip without a fraction; config files stay tidy.
+      const auto i = static_cast<std::int64_t>(d);
+      if (static_cast<double>(i) == d) {
+        os << i;
+      } else {
+        os << d;
+      }
+    } else if (is_string()) {
+      write_escaped(os, std::get<std::string>(v_));
+    } else if (is_array()) {
+      os << '[';
+      const auto& a = std::get<Array>(v_);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i != 0) os << ',';
+        a[i].write(os);
+      }
+      os << ']';
+    } else {
+      os << '{';
+      const auto& o = std::get<Object>(v_);
+      bool first = true;
+      for (const auto& [k, val] : o) {
+        if (!first) os << ',';
+        first = false;
+        write_escaped(os, k);
+        os << ':';
+        val.write(os);
+      }
+      os << '}';
+    }
+  }
+
+  static void write_escaped(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        case '\r': os << "\\r"; break;
+        default: os << c;
+      }
+    }
+    os << '"';
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parses one JSON document; returns nullopt-style failure via `ok`.
+/// Trailing content after the document is an error (use for whole files
+/// or single lines, not streams).
+class JsonParser {
+ public:
+  static bool parse(const std::string& text, JsonValue* out,
+                    std::string* err = nullptr) {
+    JsonParser p(text);
+    JsonValue v;
+    if (!p.value(&v)) {
+      if (err) *err = p.err_ + " at offset " + std::to_string(p.pos_);
+      return false;
+    }
+    p.skip_ws();
+    if (p.pos_ != text.size()) {
+      if (err) *err = "trailing content at offset " + std::to_string(p.pos_);
+      return false;
+    }
+    *out = std::move(v);
+    return true;
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* what) {
+    err_ = what;
+    return false;
+  }
+
+  bool value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      std::string str;
+      if (!string(&str)) return false;
+      *out = JsonValue(std::move(str));
+      return true;
+    }
+    if (c == 't' || c == 'f' || c == 'n') return keyword(out);
+    return number(out);
+  }
+
+  bool object(JsonValue* out) {
+    ++pos_;  // '{'
+    JsonValue::Object o;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      *out = JsonValue(std::move(o));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      JsonValue v;
+      if (!value(&v)) return false;
+      o.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        *out = JsonValue(std::move(o));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue* out) {
+    ++pos_;  // '['
+    JsonValue::Array a;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      *out = JsonValue(std::move(a));
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!value(&v)) return false;
+      a.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        *out = JsonValue(std::move(a));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    std::string r;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') {
+        *out = std::move(r);
+        return true;
+      }
+      if (c != '\\') {
+        r.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return fail("bad escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': r.push_back('"'); break;
+        case '\\': r.push_back('\\'); break;
+        case '/': r.push_back('/'); break;
+        case 'n': r.push_back('\n'); break;
+        case 't': r.push_back('\t'); break;
+        case 'r': r.push_back('\r'); break;
+        case 'b': r.push_back('\b'); break;
+        case 'f': r.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // ASCII only; anything wider encodes as UTF-8.
+          if (code < 0x80) {
+            r.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            r.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            r.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            r.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            r.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            r.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool keyword(JsonValue* out) {
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = JsonValue(true);
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = JsonValue(false);
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = JsonValue(nullptr);
+      return true;
+    }
+    return fail("bad keyword");
+  }
+
+  bool number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    try {
+      *out = JsonValue(std::stod(s_.substr(start, pos_ - start)));
+    } catch (...) {
+      return fail("bad number");
+    }
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace ucw

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validate an exported op-history JSONL file (the ucaudit interchange).
+
+CI records a randomized fault scenario with `ucaudit record` and feeds
+the artifact through this script before gating on `ucaudit check`, so a
+refactor that breaks the wire format — or silently stops recording a
+class of ops — fails the build on the *format* level with a readable
+message, separately from the consistency verdict.
+
+Checked:
+  * line 1 is the meta header: {"meta": {"format": "ucw-history-v1",
+    "adt", "processes", "captured", "dropped", "final_reads"}};
+  * every data line carries p/t/op/key/ts, with clock+val on updates,
+    clock+val on queries, val (no clock) on final reads, and nothing
+    else for an op kind;
+  * pids fit the meta process count; op is one of u/q/f;
+  * per (p, t) stream, update stamps are strictly increasing — the
+    recorder captures program order, and per-chain Lamport stamps grow
+    along it (a violation means recording corruption, and the offline
+    auditor would refuse the chain as "unordered-chain");
+  * the meta counters match the file: captured = #u + #q lines,
+    final_reads = #f lines;
+  * --require-complete: dropped must be 0 (ring never overflowed) — a
+    certification gate is meaningless on a truncated history;
+  * --min-ops N: at least N data lines (the smoke really ran).
+
+Usage:
+  check_history.py HISTORY.jsonl [--require-complete] [--min-ops N]
+
+stdlib only — no pip installs in CI.
+"""
+
+import argparse
+import json
+import sys
+
+META_FIELDS = ("format", "adt", "processes", "captured", "dropped",
+               "final_reads")
+LINE_FIELDS = ("p", "t", "op", "key", "ts")
+OPS = {"u", "q", "f"}
+
+
+def fail(failures):
+    for f in failures:
+        print(f"FAIL: {f}")
+    print(f"{len(failures)} check(s) failed")
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("history")
+    ap.add_argument("--require-complete", action="store_true",
+                    help="fail if the recorder dropped any records")
+    ap.add_argument("--min-ops", type=int, default=1,
+                    help="minimum number of data lines")
+    args = ap.parse_args()
+
+    failures = []
+    with open(args.history, "r", encoding="utf-8") as f:
+        raw_lines = [ln for ln in (l.strip() for l in f) if ln]
+    if not raw_lines:
+        fail(["empty history file"])
+
+    try:
+        head = json.loads(raw_lines[0])
+    except json.JSONDecodeError as e:
+        fail([f"line 1 is not JSON: {e}"])
+    meta = head.get("meta")
+    if not isinstance(meta, dict):
+        fail(["line 1 is not a meta header"])
+    for field in META_FIELDS:
+        if field not in meta:
+            failures.append(f"meta is missing '{field}'")
+    if meta.get("format") != "ucw-history-v1":
+        failures.append(f"unknown format {meta.get('format')!r}")
+    if failures:
+        fail(failures)
+
+    n_processes = meta["processes"]
+    counts = {"u": 0, "q": 0, "f": 0}
+    last_update_clock = {}  # (p, t) -> last 'u' clock
+    for i, raw in enumerate(raw_lines[1:], start=2):
+        try:
+            line = json.loads(raw)
+        except json.JSONDecodeError as e:
+            failures.append(f"line {i}: not JSON: {e}")
+            continue
+        for field in LINE_FIELDS:
+            if field not in line:
+                failures.append(f"line {i}: missing '{field}'")
+        op = line.get("op")
+        if op not in OPS:
+            failures.append(f"line {i}: unknown op {op!r}")
+            continue
+        counts[op] += 1
+        if not isinstance(line.get("p"), int) or not (
+                0 <= line["p"] < n_processes):
+            failures.append(
+                f"line {i}: pid {line.get('p')!r} outside 0..{n_processes - 1}")
+        if op in ("u", "q") and "clock" not in line:
+            failures.append(f"line {i}: '{op}' line without clock")
+        if op == "f" and "clock" in line:
+            failures.append(f"line {i}: final read carries a clock")
+        if "val" not in line:
+            failures.append(f"line {i}: no val")
+        if op == "u" and isinstance(line.get("clock"), int):
+            chain = (line.get("p"), line.get("t"))
+            prev = last_update_clock.get(chain)
+            if prev is not None and line["clock"] <= prev:
+                failures.append(
+                    f"line {i}: chain p{chain[0]}/t{chain[1]} update clock "
+                    f"{line['clock']} not above previous {prev} — "
+                    "program-order stamps must be strictly increasing")
+            last_update_clock[chain] = line["clock"]
+        if len(failures) > 20:
+            failures.append("too many failures; stopping early")
+            break
+
+    data_lines = counts["u"] + counts["q"] + counts["f"]
+    if data_lines < args.min_ops:
+        failures.append(
+            f"only {data_lines} data lines; --min-ops {args.min_ops}")
+    if meta["captured"] != counts["u"] + counts["q"]:
+        failures.append(
+            f"meta.captured={meta['captured']} but file has "
+            f"{counts['u'] + counts['q']} update/query lines")
+    if meta["final_reads"] != counts["f"]:
+        failures.append(
+            f"meta.final_reads={meta['final_reads']} but file has "
+            f"{counts['f']} final-read lines")
+    if args.require_complete and meta["dropped"] != 0:
+        failures.append(
+            f"meta.dropped={meta['dropped']}: the recorder overflowed, "
+            "certification of this history would be withheld")
+
+    if failures:
+        fail(failures)
+    print(f"OK: {data_lines} ops ({counts['u']} updates, {counts['q']} "
+          f"queries, {counts['f']} final reads) over {n_processes} "
+          f"processes, dropped={meta['dropped']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,219 @@
+// ucaudit — black-box consistency auditor for recorded op histories.
+//
+//   ucaudit check <history.jsonl> [--dot-dir=DIR]
+//       Load a JSONL history and certify update consistency per key.
+//   ucaudit record --out=H.jsonl [--scenario=S.json | --random-faults]
+//       Run a simulated scenario, record its history, audit it.
+//   ucaudit replay <scenario.json> [--out=H.jsonl] [--dot-dir=DIR]
+//       Re-run a saved scenario deterministically and re-audit.
+//   ucaudit shrink <scenario.json> --out=MIN.json [--max-evals=N]
+//       Reduce a failing scenario to a 1-minimal still-failing one.
+//
+// Exit codes: 0 = UC certified, 1 = UC refuted, 2 = usage/IO error,
+// 3 = verdict unknown (incomplete recording or no certificate found).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "audit/auditor.hpp"
+#include "audit/scenario.hpp"
+#include "audit/shrink.hpp"
+#include "history/jsonl.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace ucw;
+using namespace ucw::audit;
+
+constexpr int kCertified = 0;
+constexpr int kRefuted = 1;
+constexpr int kUsage = 2;
+constexpr int kUnknown = 3;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  ucaudit check <history.jsonl> [--dot-dir=DIR]\n"
+         "  ucaudit record --out=H.jsonl [--scenario=S.json]\n"
+         "                 [--random-faults --seed=N --processes=N --ops=N\n"
+         "                  --inject-bug] [--scenario-out=S.json]\n"
+         "  ucaudit replay <scenario.json> [--out=H.jsonl] [--dot-dir=DIR]\n"
+         "  ucaudit shrink <scenario.json> --out=MIN.json [--max-evals=N]\n"
+         "                 [--verbose]\n"
+         "exit: 0 certified, 1 refuted, 2 usage/io error, 3 unknown\n";
+  return kUsage;
+}
+
+int verdict_exit(const AuditReport& report) {
+  if (report.certified()) return kCertified;
+  if (report.refuted()) return kRefuted;
+  return kUnknown;
+}
+
+void print_report(const AuditReport& report) {
+  std::cout << report.summary() << "\n";
+  for (const KeyAudit& ka : report.problems) {
+    std::cout << "  key " << ka.key << ": uc=" << to_string(ka.uc)
+              << " (" << ka.method << ")"
+              << (ka.detail.empty() ? "" : " — " + ka.detail) << "\n";
+  }
+  for (const std::string& f : report.dot_files) {
+    std::cout << "  witness: " << f << "\n";
+  }
+}
+
+bool load_spec(const std::string& path, ScenarioSpec* spec) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "ucaudit: cannot open scenario " << path << "\n";
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonValue v;
+  std::string err;
+  if (!JsonParser::parse(buf.str(), &v, &err)) {
+    std::cerr << "ucaudit: bad scenario JSON in " << path << ": " << err
+              << "\n";
+    return false;
+  }
+  if (!ScenarioSpec::from_json(v, spec, &err)) {
+    std::cerr << "ucaudit: invalid scenario " << path << ": " << err << "\n";
+    return false;
+  }
+  return true;
+}
+
+bool save_spec(const ScenarioSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "ucaudit: cannot write " << path << "\n";
+    return false;
+  }
+  spec.to_json().write(out);
+  out << "\n";
+  return out.good();
+}
+
+int cmd_check(const Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const std::string path = flags.positional()[1];
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "ucaudit: cannot open history " << path << "\n";
+    return kUsage;
+  }
+  HistoryFile h;
+  std::string err;
+  if (!read_history_jsonl(in, &h, &err)) {
+    std::cerr << "ucaudit: " << path << ": " << err << "\n";
+    return kUsage;
+  }
+  AuditOptions opt;
+  opt.dot_dir = flags.get("dot-dir", "");
+  const AuditReport report = audit_history(h, opt);
+  print_report(report);
+  return verdict_exit(report);
+}
+
+int run_and_report(const ScenarioSpec& spec, const Flags& flags,
+                   const std::string& history_out) {
+  AuditOptions opt;
+  opt.dot_dir = flags.get("dot-dir", "");
+  const ScenarioResult result = run_scenario(spec, history_out, opt);
+  std::cout << "run: " << result.total_updates << " updates over "
+            << spec.n_processes << " processes in " << result.duration_us
+            << " virtual us | converged=" << (result.converged ? "yes" : "no")
+            << "\n";
+  print_report(result.audit);
+  return verdict_exit(result.audit);
+}
+
+int cmd_record(const Flags& flags) {
+  if (flags.get("out", "").empty()) return usage();
+  ScenarioSpec spec;
+  if (const std::string sp = flags.get("scenario", ""); !sp.empty()) {
+    if (!load_spec(sp, &spec)) return kUsage;
+  } else {
+    // --random-faults is the CI smoke's entry point; a fixed default
+    // scenario otherwise.
+    spec = random_fault_scenario(
+        static_cast<std::uint64_t>(flags.get_int("seed", 1)),
+        static_cast<std::size_t>(flags.get_int("processes", 3)),
+        static_cast<std::size_t>(flags.get_int("ops", 120)),
+        flags.get_bool("inject-bug", false));
+    if (!flags.get_bool("random-faults", false)) {
+      spec.crashes.clear();
+      spec.restarts.clear();
+    }
+  }
+  if (const std::string so = flags.get("scenario-out", ""); !so.empty()) {
+    if (!save_spec(spec, so)) return kUsage;
+    std::cout << "scenario: " << so << "\n";
+  }
+  return run_and_report(spec, flags, flags.get("out", ""));
+}
+
+int cmd_replay(const Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  ScenarioSpec spec;
+  if (!load_spec(flags.positional()[1], &spec)) return kUsage;
+  return run_and_report(spec, flags, flags.get("out", ""));
+}
+
+int cmd_shrink(const Flags& flags) {
+  if (flags.positional().size() < 2 || flags.get("out", "").empty()) {
+    return usage();
+  }
+  ScenarioSpec spec;
+  if (!load_spec(flags.positional()[1], &spec)) return kUsage;
+
+  const auto is_failing = [](const ScenarioSpec& s) {
+    return run_scenario(s).audit.refuted();
+  };
+  if (!is_failing(spec)) {
+    std::cerr << "ucaudit: scenario does not refute UC; nothing to shrink\n";
+    return kUsage;
+  }
+
+  ShrinkOptions opt;
+  opt.max_evaluations =
+      static_cast<std::size_t>(flags.get_int("max-evals", 400));
+  if (flags.get_bool("verbose", false)) {
+    opt.progress = [](std::size_t evals, std::size_t ops,
+                      std::size_t faults) {
+      std::cerr << "\r  shrink: " << evals << " replays, " << ops
+                << " ops, " << faults << " fault events" << std::flush;
+    };
+  }
+  const ShrinkResult result = shrink_scenario(spec, is_failing, opt);
+  if (flags.get_bool("verbose", false)) std::cerr << "\n";
+
+  if (!save_spec(result.spec, flags.get("out", ""))) return kUsage;
+  std::cout << "shrunk: " << spec.total_ops() << " ops/"
+            << spec.fault_events() << " faults -> "
+            << result.spec.total_ops() << " ops/"
+            << result.spec.fault_events() << " faults in "
+            << result.evaluations << " replays ("
+            << (result.minimal ? "1-minimal" : "budget exhausted") << ")\n";
+  std::cout << "minimal scenario: " << flags.get("out", "") << "\n";
+  // --out here is the shrunk *scenario*; the confirming replay keeps
+  // its history in memory (use `ucaudit replay` to export it).
+  return run_and_report(result.spec, flags, "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ucw::Flags flags = ucw::Flags::parse(argc, argv);
+  if (flags.positional().empty()) return usage();
+  const std::string& cmd = flags.positional().front();
+  if (cmd == "check") return cmd_check(flags);
+  if (cmd == "record") return cmd_record(flags);
+  if (cmd == "replay") return cmd_replay(flags);
+  if (cmd == "shrink") return cmd_shrink(flags);
+  return usage();
+}
