@@ -95,6 +95,15 @@ class AtomicLamportClock {
     return Stamp{time_.fetch_add(1, order) + 1, pid_};
   }
 
+  /// Draws `n` consecutive stamps with one fetch-add and returns the
+  /// FIRST; the caller owns clocks [first, first + n). Batch stamping
+  /// for update_batch: uniqueness and per-process monotonicity hold
+  /// exactly as for n single ticks, at 1/n the contended RMWs.
+  [[nodiscard]] Stamp tick_n(
+      LogicalTime n, std::memory_order order = std::memory_order_relaxed) {
+    return Stamp{time_.fetch_add(n, order) + 1, pid_};
+  }
+
   /// Merges a remote logical time (CAS-max).
   void observe(LogicalTime remote) {
     LogicalTime cur = time_.load(std::memory_order_relaxed);

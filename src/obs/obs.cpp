@@ -440,6 +440,7 @@ void print_observability(std::ostream& os, const Report& report) {
   for (const ProcessReport& p : report.processes) per.push_back(p.store);
 
   print_store_table(os, per, report.net);
+  print_saturation_line(os, per);
   if (any_recovery(per)) print_recovery_table(os, per);
   if (any_anti_entropy(per)) print_anti_entropy_table(os, per);
 
@@ -504,6 +505,12 @@ void fill_registry(MetricsRegistry& reg, const ProcessReport& proc) {
   c("queries", s.queries);
   c("published_reads", s.published_reads);
   c("ring_reads", s.ring_reads);
+  c("inbox_deliveries", s.inbox_deliveries);
+  c("router_deliveries", s.router_deliveries);
+  c("ring_batch_claims", s.ring_batch_claims);
+  c("ring_batch_ops", s.ring_batch_ops);
+  c("zero_copy_reads", s.zero_copy_reads);
+  c("ryw_ring_fallbacks", s.ryw_ring_fallbacks);
   c("envelopes_sent", s.envelopes_sent);
   c("entries_sent", s.entries_sent);
   c("flushes_full", s.flushes_full);
@@ -549,6 +556,13 @@ void fill_registry(MetricsRegistry& reg, const ProcessReport& proc) {
       .set(static_cast<std::int64_t>(s.stability_floor_lag));
   reg.gauge("published_view_staleness")
       .set(static_cast<std::int64_t>(proc.view_staleness));
+  // Mean ops amortized per multi-slot ring CAS (rounded down; 0 when
+  // nothing batched) — the saturation bench's CAS-per-op input.
+  if (s.ring_batch_claims > 0) {
+    reg.gauge("ring_ops_per_claim")
+        .set(static_cast<std::int64_t>(s.ring_batch_ops /
+                                       s.ring_batch_claims));
+  }
 
   reg.histogram("replication_lag").merge(proc.replication_lag);
 }

@@ -97,6 +97,22 @@ struct StoreConfig {
   /// round trip in flush ticks, or rounds are superseded before they
   /// can complete.
   std::size_t ae_patience_ticks = 6;
+  /// Opt-in core affinity: worker w of a pooled ThreadUcStore pins
+  /// itself to core w mod hardware_concurrency() on startup (Linux
+  /// only; a no-op hint elsewhere — see util/affinity.hpp). Producer
+  /// threads belong to the application and pin themselves via
+  /// pin_current_thread_to_core() when they care.
+  bool pin_workers = false;
+  /// COMPARISON ARM: restore the pre-saturation-rework frontend on the
+  /// same binary — remote envelopes fanned out to worker rings by
+  /// whichever thread holds the router lock (instead of sharded
+  /// straight into per-worker remote inboxes with no lock), workers
+  /// popping one op per loop (instead of block drains), and published
+  /// get()s copying the state out of the seqlock (instead of answering
+  /// from the immutable shared snapshot). Kept so the E14 saturation
+  /// bench can price the rework end to end; not intended for
+  /// production use.
+  bool router_delivery = false;
 
   // ----- observability (src/obs/) --------------------------------------
   /// Master switch for the tracing + derived-metrics hooks. Always
@@ -146,6 +162,14 @@ struct ShardStats {
   std::uint64_t snapshots_exported = 0;  ///< served to catching-up peers
   std::uint64_t snapshots_installed = 0; ///< installed during catch-up
   std::size_t approx_bytes = 0;
+  /// Read-view registry copy accounting (pooled stores only). Promotion
+  /// publishes an immutable snapshot of the key→view registry map;
+  /// `view_registry_keys_copied` is the total keys copied across all
+  /// such publishes. The geometric republish schedule keeps this O(live
+  /// views) even under a cold-key get() scan — the regression test in
+  /// store_read_path_test.cpp pins that bound.
+  std::uint64_t view_registry_publishes = 0;
+  std::uint64_t view_registry_keys_copied = 0;
 };
 
 template <UqAdt A, typename Key = std::string>

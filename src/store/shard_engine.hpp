@@ -138,33 +138,42 @@ class ShardEngine {
 
   // ----- published read views (the wait-free read path) ----------------
 
-  /// Marks `key` hot (owner thread only; idempotent): creates its view,
-  /// publishes the current state, and ships a fresh immutable snapshot
-  /// of the whole registry for readers — O(hot set) per promotion,
-  /// which is why only get() fallbacks promote (the registry resettles
-  /// once the read-hot set does). Called by the pool worker on such a
-  /// fallback — the ring round trip that promotes is the last one that
-  /// key's readers ever pay.
+  /// Marks `key` hot (owner thread only; idempotent): creates its view
+  /// and publishes the current state. The *registry* snapshot readers
+  /// navigate by is NOT republished per promotion — that made a get()
+  /// scan over N cold keys cost O(N²) map copies. Instead the republish
+  /// is amortized geometrically: ship a fresh registry only once the
+  /// hot set has doubled since the last one (total copy work across N
+  /// promotions: 1+2+4+…≈2N = O(N)), plus once per flush tick whenever
+  /// promotions are pending (bounded staleness — an unlisted hot key
+  /// just keeps falling back to the ring until the next tick, which is
+  /// correct, merely not yet fast).
   void promote(const Key& key) {
     if (views_owner_.count(key) > 0) return;
     auto view = std::make_shared<View>();
     view->publish(state_of(key));
     views_owner_.emplace(key, std::move(view));
-    views_.publish(views_owner_);  // fresh immutable snapshot for readers
+    ++pending_promotions_;
+    if (views_owner_.size() >= 2 * last_registry_size_) {
+      republish_registry();
+    }
   }
 
   /// Wait-free read of `key`'s published state from *any* thread:
   /// immutable registry-snapshot load → hash lookup → bounded-retry
-  /// seqlock read. nullopt when the key is cold (never promoted) or a
-  /// racing publish exhausted the retry budget — the caller falls back
-  /// to the ring round trip (which promotes).
-  [[nodiscard]] std::optional<typename A::State> try_read_published(
+  /// seqlock read. The returned pointer is an immutable shared snapshot
+  /// — ZERO state copies on this path; later applies publish new
+  /// snapshots and never mutate this one. Null when the key is cold
+  /// (never promoted, or promoted but not yet listed in the registry
+  /// snapshot) or a racing publish exhausted the retry budget — the
+  /// caller falls back to the ring round trip (which promotes).
+  [[nodiscard]] std::shared_ptr<const typename A::State> try_read_published(
       const Key& key) const {
     const std::shared_ptr<const ViewMap> views = views_.try_read_shared();
-    if (!views) return std::nullopt;
+    if (!views) return nullptr;
     const auto it = views->find(key);
-    if (it == views->end()) return std::nullopt;
-    return it->second->try_read();
+    if (it == views->end()) return nullptr;
+    return it->second->try_read_shared();
   }
 
   /// Live published views (hot keys) of this engine. Owner thread.
@@ -204,6 +213,7 @@ class ShardEngine {
   /// since the last tick (EWMA, clamped to [1, cap]; the tick period is
   /// the implicit latency bound).
   void on_flush_tick() {
+    if (pending_promotions_ > 0) republish_registry();
     if (adaptive_) {
       const double observed = static_cast<double>(updates_this_tick_);
       ewma_per_tick_ = ewma_per_tick_ < 0.0
@@ -331,6 +341,8 @@ class ShardEngine {
     ShardStats s = shard_.stats();
     s.batch_window = window_;
     s.published_keys = views_owner_.size();
+    s.view_registry_publishes = registry_publishes_;
+    s.view_registry_keys_copied = registry_keys_copied_;
     return s;
   }
 
@@ -388,6 +400,17 @@ class ShardEngine {
     it->second->publish(rep.current_state());
   }
 
+  /// Ships a fresh immutable registry snapshot to readers and resets
+  /// the amortization bookkeeping. O(hot set) per call — the geometric
+  /// schedule in promote() bounds the total to O(hot set), not O(N²).
+  void republish_registry() {
+    views_.publish(views_owner_);
+    ++registry_publishes_;
+    registry_keys_copied_ += views_owner_.size();
+    last_registry_size_ = views_owner_.size();
+    pending_promotions_ = 0;
+  }
+
   A adt_;
   std::size_t index_;
   std::size_t window_;      ///< current flush window (adapted)
@@ -406,6 +429,11 @@ class ShardEngine {
   /// never sees a rehashing map — registry load, hash lookup, view
   /// read, all bounded.
   SeqlockView<ViewMap> views_;
+  /// Registry-republish amortization (see promote()).
+  std::size_t last_registry_size_ = 0;   ///< hot-set size at last publish
+  std::size_t pending_promotions_ = 0;   ///< views not yet in a snapshot
+  std::uint64_t registry_publishes_ = 0;
+  std::uint64_t registry_keys_copied_ = 0;
   LogicalTime min_unfolded_ = kNoUnfolded;  ///< GC dirty cursor anchor
   /// Delta-snapshot dirty-set entry: the advance mark of the key's last
   /// log-growing apply/install, plus install provenance for echo

@@ -40,6 +40,27 @@ struct StoreStats {
   std::uint64_t ring_reads = 0;       ///< get() fell back to a ring
                                       ///< round trip (cold key/racing
                                       ///< publisher); promotes the key
+
+  // -- single-node saturation (pooled ThreadUcStore hot paths).
+  /// Remote entries shipped straight into worker remote inboxes by the
+  /// sharded delivery path (no router lock) vs fanned out under the
+  /// router lock (the legacy StoreConfig::router_delivery arm). During
+  /// steady state on the default path, router_deliveries stays 0.
+  std::uint64_t inbox_deliveries = 0;
+  std::uint64_t router_deliveries = 0;
+  /// Producer-side multi-slot ring claims (one CAS covering >1 op) and
+  /// the logical ops they carried — update_batch's per-worker groups.
+  /// ring_batch_ops / ring_batch_claims is the mean ops amortized per
+  /// CAS; singles (plain update()) pay one CAS each on top of these.
+  std::uint64_t ring_batch_claims = 0;
+  std::uint64_t ring_batch_ops = 0;
+  /// get()s answered from the immutable shared snapshot — zero state
+  /// copies (a subset split-out of published_reads; equal to it unless
+  /// a future read path copies).
+  std::uint64_t zero_copy_reads = 0;
+  /// get()s that took the ring because the caller's own last write to
+  /// the owning worker was not yet applied (read-your-writes fallback).
+  std::uint64_t ryw_ring_fallbacks = 0;
   std::uint64_t envelopes_sent = 0;   ///< reliable broadcasts issued
   std::uint64_t entries_sent = 0;     ///< keyed updates those carried
   std::uint64_t flushes_full = 0;     ///< batch window filled
@@ -161,6 +182,39 @@ inline void print_store_table(std::ostream& os,
      << net.messages_sent << " p2p messages, " << net.messages_delivered
      << " delivered, " << net.messages_duplicated << " duplicated, "
      << net.restarts << " restarts\n";
+}
+
+/// One line of cluster-wide single-node-saturation counters: how remote
+/// entries were delivered (sharded inboxes vs the legacy router lock),
+/// how well ring CAS claims amortized, and how the read path split
+/// between zero-copy snapshots and read-your-writes fallbacks. Printed
+/// by print_observability whenever any of them is nonzero.
+inline void print_saturation_line(
+    std::ostream& os, const std::vector<StoreStats>& per_process) {
+  StoreStats t;
+  for (const StoreStats& s : per_process) {
+    t.inbox_deliveries += s.inbox_deliveries;
+    t.router_deliveries += s.router_deliveries;
+    t.ring_batch_claims += s.ring_batch_claims;
+    t.ring_batch_ops += s.ring_batch_ops;
+    t.zero_copy_reads += s.zero_copy_reads;
+    t.ryw_ring_fallbacks += s.ryw_ring_fallbacks;
+  }
+  if (t.inbox_deliveries + t.router_deliveries + t.ring_batch_claims +
+          t.zero_copy_reads + t.ryw_ring_fallbacks ==
+      0) {
+    return;
+  }
+  const double ops_per_claim =
+      t.ring_batch_claims == 0
+          ? 0.0
+          : static_cast<double>(t.ring_batch_ops) /
+                static_cast<double>(t.ring_batch_claims);
+  os << "saturation: " << t.inbox_deliveries << " inbox deliveries, "
+     << t.router_deliveries << " router deliveries, "
+     << t.ring_batch_claims << " batch claims (" << ops_per_claim
+     << " ops/claim), " << t.zero_copy_reads << " zero-copy reads, "
+     << t.ryw_ring_fallbacks << " ryw fallbacks\n";
 }
 
 /// One row per process of recovery activity: GC folds, the stability

@@ -23,21 +23,30 @@
 //     by index mod M — stable across restarts) and apply, batch, flush,
 //     and GC-fold their own engines only.
 //   * get() is the wait-free read path: a hot key (any key get() has
-//     read once) has a seqlock-published view the reading thread
-//     copies with bounded retries — no ring, no parking behind a
-//     worker tick, no locks. Cold keys fall back to the ring round
-//     trip, which promotes them (query() never promotes — the hot set
-//     grows only with keys actually read through get()). get() reads
-//     a recent
-//     *applied* state (own updates still queued in a ring may be
-//     missing — the update/query split of Mostéfaoui et al.'s causal-
-//     consistency work); use query() when per-thread read-your-writes
-//     matters more than latency.
-//   * one *router* role — whichever thread holds the router lock:
-//     poll()/flush() take it, update()/query()/get() opportunistically
-//     try it — drains the process inbox, observes store-wide
-//     bookkeeping (stream positions, stability acks) and fans keyed
-//     entries out to the owning workers' rings.
+//     read once) has a seqlock-published view the reading thread loads
+//     as an immutable shared snapshot with bounded retries — ZERO state
+//     copies, no ring, no parking behind a worker tick, no locks. Cold
+//     keys fall back to the ring round trip, which promotes them
+//     (query() never promotes — the hot set grows only with keys
+//     actually read through get()). get() is also read-your-writes per
+//     thread: every update() returns after recording a ring-position
+//     ticket, and get() serves from the view only once the owning
+//     worker's processed count passed the caller's last ticket for that
+//     worker — otherwise it falls back to the ring (FIFO behind the
+//     caller's own updates, counted in `ryw_ring_fallbacks`).
+//   * network *delivery* is inbox-sharded: any thread that notices
+//     inbound envelopes (update/query/get try, poll/flush insist)
+//     drains the process inbox under a dedicated delivery spinlock — a
+//     try-lock, never the router lock — and pushes each envelope's
+//     entries straight into the owning workers' remote inboxes with
+//     only a shard-index computation. The envelope *header* (epoch,
+//     seq, ack clock) is queued on a small duty ring for the router.
+//   * the *router* role — whichever thread holds the router lock:
+//     poll()/flush() take it — is off the per-op hot path entirely: it
+//     drains the duty ring (stream positions, stability acks), runs
+//     the flush/heartbeat/GC tick, and owns recovery bookkeeping.
+//     StoreConfig::router_delivery restores the old fan-out-under-the-
+//     router-lock path as a measurable comparison arm (bench E14).
 //
 // Ack honesty under concurrent stamping: a pooled batch envelope ships
 // ack_clock = 0 (one worker cannot vouch for the whole process stream),
@@ -54,7 +63,18 @@
 // their engine folds). Every participant of the protocol — producer
 // registration, claim stores, the clock tick, the router's clock read,
 // the scan bound and the claim scan — is seq_cst: the argument is
-// about their single total order.
+// about their single total order. update_batch() extends the protocol
+// to multi-slot claims: one tick_n draws k consecutive stamps and the
+// slot holds the SMALLEST of them until every multi-slot push lands, so
+// the barrier stays below the whole batch while any of it is in flight.
+//
+// Ack honesty on the *receiving* side of sharded delivery: an
+// envelope's entries are pushed into worker remote inboxes strictly
+// before its header note is pushed onto the duty ring, so by the time
+// the router observes the piggybacked ack, the entries it vouches for
+// are already in inboxes — and a worker drains its remote inbox before
+// every GC fold (worker_pool.hpp), so the floor that ack feeds can
+// never fold over an entry still in flight.
 //
 // What the pool still trades away is cross-object *causality* of
 // stamps: a client thread stamps before workers finish merging remote
@@ -72,10 +92,13 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "net/thread_network.hpp"
 #include "store/store_core.hpp"
 #include "store/worker_pool.hpp"
+#include "util/mpsc_ring.hpp"
 
 namespace ucw {
 
@@ -103,6 +126,14 @@ class ThreadUcStore
     if (config.workers > 1) {
       UCW_CHECK(config.max_producers >= 1);
       claim_slots_ = std::make_unique<ClaimSlot[]>(config.max_producers);
+      for (std::size_t i = 0; i < config.max_producers; ++i) {
+        claim_slots_[i].last_ticket =
+            std::make_unique<std::uint64_t[]>(config.workers);
+        for (std::size_t w = 0; w < config.workers; ++w) {
+          claim_slots_[i].last_ticket[w] = Pool::kNoTicket;
+        }
+      }
+      scratch_batches_.resize(config.workers);
       pool_ = std::make_unique<Pool>(*this, config.workers);
     }
   }
@@ -134,7 +165,7 @@ class ThreadUcStore
   /// Pooled: safe from up to `max_producers` concurrent client threads.
   Stamp update(const Key& key, typename A::Update u) {
     if (!pool_) return Core::update(key, u);
-    (void)try_route_inbox();
+    (void)try_deliver_inbox();
     // The claim protocol around the tick (see file header): kClaiming
     // before drawing, the stamp until the ring push lands, kIdle after.
     // Everything seq_cst — stamp_barrier() reasons in the total order.
@@ -153,10 +184,90 @@ class ThreadUcStore
     if (this->recorder_) {
       this->recorder_->record_update(producer, key, stamp, u);
     }
-    pool_->enqueue_update(this->shard_index(key), key,
-                          UpdateMessage<A>{stamp, std::move(u), {}});
+    const std::size_t engine = this->shard_index(key);
+    const std::uint64_t ticket = pool_->enqueue_update(
+        engine, key, UpdateMessage<A>{stamp, std::move(u), {}});
     slot.claim.store(kIdle, std::memory_order_release);
+    // The returned stamp doubles as this thread's session token: the
+    // ticket recorded here is what get() checks to honor read-your-
+    // writes automatically (no token passing needed).
+    slot.last_ticket[pool_->worker_of(engine)] = ticket;
     return stamp;
+  }
+
+  /// Batched wait-free updates: stamps all k ops with ONE clock
+  /// fetch-add (tick_n — op i gets clock first+i, so stamps stay unique
+  /// and per-producer monotone) and enqueues each owning worker's group
+  /// with one multi-slot ring claim (one CAS per worker touched, not
+  /// per op). Returns the arbitration stamps in input order. Ack
+  /// honesty under multi-slot claims: the claim slot holds the SMALLEST
+  /// stamp of the batch from before the first push until the last one
+  /// lands, so stamp_barrier() stays below the entire batch while any
+  /// of it is in flight. FIFO per producer is preserved — each group
+  /// occupies contiguous ring positions in input order. Consumes `ops`
+  /// (elements are moved out; the vector is left cleared with its
+  /// capacity intact, so a caller looping batches reuses one buffer
+  /// allocation-free). Pooled: safe from concurrent client threads;
+  /// unpooled it degenerates to a loop of plain updates.
+  std::vector<Stamp> update_batch(
+      std::vector<std::pair<Key, typename A::Update>>& ops) {
+    std::vector<Stamp> stamps;
+    if (ops.empty()) return stamps;
+    stamps.reserve(ops.size());
+    if (!pool_) {
+      for (auto& [key, u] : ops) {
+        stamps.push_back(Core::update(key, std::move(u)));
+      }
+      ops.clear();
+      return stamps;
+    }
+    (void)try_deliver_inbox();
+    const std::size_t producer = producer_index();
+    ClaimSlot& slot = claim_slots_[producer];
+    slot.claim.store(kClaiming, std::memory_order_seq_cst);
+    const Stamp first =
+        this->clock_.tick_n(ops.size(), std::memory_order_seq_cst);
+    slot.claim.store(first.clock, std::memory_order_seq_cst);
+    const std::size_t nw = pool_->workers();
+    // Thread-local grouping scratch: cleared group-by-group after each
+    // enqueue below, so steady-state batches allocate only the
+    // returned stamps vector.
+    static thread_local std::vector<
+        std::vector<typename Pool::BatchUpdate>>
+        groups;
+    if (groups.size() < nw) groups.resize(nw);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const Stamp stamp{first.clock + i, first.pid};
+      stamps.push_back(stamp);
+      if (const auto& o = this->obs_;
+          o && o->tracer && o->sampled(stamp.clock)) {
+        o->tracer->instant(0, obs::TraceEventKind::kUpdateStamp,
+                           stamp.clock);
+      }
+      if (this->recorder_) {
+        this->recorder_->record_update(producer, ops[i].first, stamp,
+                                       ops[i].second);
+      }
+      const std::size_t engine = this->shard_index(ops[i].first);
+      groups[pool_->worker_of(engine)].push_back(
+          {static_cast<std::uint32_t>(engine), std::move(ops[i].first),
+           UpdateMessage<A>{stamp, std::move(ops[i].second), {}}});
+    }
+    for (std::size_t w = 0; w < nw; ++w) {
+      if (groups[w].empty()) continue;
+      const std::uint64_t group_ops = groups[w].size();
+      std::uint64_t claims = 0;
+      const std::uint64_t ticket =
+          pool_->enqueue_update_batch(w, groups[w], &claims);
+      slot.last_ticket[w] = ticket;
+      if (group_ops > 1) {
+        ring_batch_claims_.fetch_add(claims, std::memory_order_relaxed);
+        ring_batch_ops_.fetch_add(group_ops, std::memory_order_relaxed);
+      }
+    }
+    slot.claim.store(kIdle, std::memory_order_release);
+    ops.clear();  // inputs were moved from; capacity stays for reuse
+    return stamps;
   }
 
   /// Keyed query with per-thread read-your-writes: rides the owning
@@ -169,7 +280,7 @@ class ThreadUcStore
   [[nodiscard]] typename A::QueryOut query(const Key& key,
                                            const typename A::QueryIn& qi) {
     if (!pool_) return Core::query(key, qi);
-    (void)try_route_inbox();
+    (void)try_deliver_inbox();
     typename A::QueryOut out = pool_->run_query(this->shard_index(key), key,
                                                 qi, /*promote=*/false);
     if (this->recorder_) {
@@ -180,44 +291,87 @@ class ThreadUcStore
   }
 
   /// The wait-free read path: a hot key answers from its seqlock-
-  /// published view — bounded retries, no ring, no locks, never parks
-  /// behind a worker tick. A cold key (or a view racing its publisher
-  /// past the retry budget) falls back to the ring round trip, which
-  /// promotes it. Reads a recent *applied* state: the calling thread's
-  /// own updates still queued in a ring may be missing — use query()
-  /// when read-your-writes matters more than latency. Unpooled this is
-  /// exactly query(). Pooled: safe from concurrent client threads.
+  /// published view — an immutable shared snapshot, ZERO state copies,
+  /// bounded retries, no ring, no locks, never parks behind a worker
+  /// tick. A cold key (or a view racing its publisher past the retry
+  /// budget) falls back to the ring round trip, which promotes it.
+  /// Read-your-writes per thread: the view is served only when the
+  /// owning worker's processed count passed the calling thread's last
+  /// update ticket for that worker (the stamp update() returned doubles
+  /// as the session token — tracked internally, nothing to pass).
+  /// Otherwise get() takes the ring round trip, which dequeues FIFO
+  /// behind the caller's own updates (`ryw_ring_fallbacks` counts
+  /// these). Unpooled this is exactly query(). Pooled: safe from
+  /// concurrent client threads.
   [[nodiscard]] typename A::QueryOut get(const Key& key,
                                          const typename A::QueryIn& qi) {
     if (!pool_) return Core::query(key, qi);
-    if (auto state = this->engine(this->shard_index(key))
-                         .try_read_published(key)) {
-      published_reads_.fetch_add(1, std::memory_order_relaxed);
-      typename A::QueryOut out = this->adt().output(*state, qi);
-      if (this->recorder_) {
-        this->recorder_->record_query(producer_index(), key,
-                                      this->clock_.now(), out);
+    const std::size_t engine = this->shard_index(key);
+    const std::size_t w = pool_->worker_of(engine);
+    const std::size_t producer = producer_index();
+    const std::uint64_t ticket = claim_slots_[producer].last_ticket[w];
+    // Ticket check BEFORE the view read: the worker publishes the view
+    // during the apply and only then releases `processed`, so the
+    // acquire load here passing the ticket orders the snapshot read
+    // after this thread's own last write to that worker.
+    const bool own_writes_visible =
+        ticket == Pool::kNoTicket || pool_->worker_processed(w) > ticket;
+    if (own_writes_visible) {
+      if (auto state = this->engine(engine).try_read_published(key)) {
+        published_reads_.fetch_add(1, std::memory_order_relaxed);
+        typename A::QueryOut out;
+        if (this->config().router_delivery) {
+          // Comparison arm: the pre-rework read copied the state out
+          // of the seqlock before producing the answer.
+          const typename A::State copy = *state;
+          out = this->adt().output(copy, qi);
+        } else {
+          zero_copy_reads_.fetch_add(1, std::memory_order_relaxed);
+          out = this->adt().output(*state, qi);
+        }
+        if (this->recorder_) {
+          this->recorder_->record_query(producer, key, this->clock_.now(),
+                                        out);
+        }
+        return out;
       }
-      return out;
+    } else {
+      ryw_ring_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     }
     ring_reads_.fetch_add(1, std::memory_order_relaxed);
-    (void)try_route_inbox();
-    typename A::QueryOut out = pool_->run_query(this->shard_index(key), key,
-                                                qi, /*promote=*/true);
+    (void)try_deliver_inbox();
+    typename A::QueryOut out =
+        pool_->run_query(engine, key, qi, /*promote=*/true);
     if (this->recorder_) {
-      this->recorder_->record_query(producer_index(), key,
-                                    this->clock_.now(), out);
+      this->recorder_->record_query(producer, key, this->clock_.now(), out);
     }
     return out;
   }
 
+  /// The raw zero-copy primitive behind get(): the immutable shared
+  /// snapshot of a hot key's published state, or nullptr when the key
+  /// is cold (never promoted through get()) or the store is unpooled.
+  /// The pointee NEVER changes — later applies publish new snapshots;
+  /// holding the pointer pins this version only. Any thread.
+  [[nodiscard]] std::shared_ptr<const typename A::State> try_get_snapshot(
+      const Key& key) {
+    if (!pool_) return nullptr;
+    return this->engine(this->shard_index(key)).try_read_published(key);
+  }
+
   /// Drains the process inbox into the engines (via the rings, pooled).
-  /// Returns envelopes folded in. Pooled: any thread (takes the router
-  /// lock; concurrent callers serialize).
+  /// Returns envelopes folded in. Pooled: any thread; the duty-ring
+  /// drain serializes on the router lock.
   std::size_t poll() {
     if (!pool_) return Core::poll();
+    if (this->config().router_delivery) {
+      std::lock_guard lock(router_mutex_);
+      return route_inbox_locked();
+    }
+    const std::size_t delivered = try_deliver_inbox();
     std::lock_guard lock(router_mutex_);
-    return route_inbox_locked();
+    (void)drain_duty_locked();
+    return delivered;
   }
 
   /// Ships every pending batch, heartbeats the stability ack, and runs
@@ -228,7 +382,12 @@ class ThreadUcStore
   std::size_t flush() {
     if (!pool_) return Core::flush();
     std::lock_guard lock(router_mutex_);
-    (void)route_inbox_locked();
+    if (this->config().router_delivery) {
+      (void)route_inbox_locked();
+    } else {
+      (void)try_deliver_inbox();
+      (void)drain_duty_locked();
+    }
     // The barrier *before* the flush ops: every stamp at or below it is
     // already in a ring, so the kFlush behind it drains it onto the
     // wire, and the heartbeat broadcast *after* flush_all is behind
@@ -281,6 +440,15 @@ class ThreadUcStore
     if (pool_) pool_->merge_stats(s);
     s.published_reads = published_reads_.load(std::memory_order_relaxed);
     s.ring_reads = ring_reads_.load(std::memory_order_relaxed);
+    s.inbox_deliveries = inbox_deliveries_.load(std::memory_order_relaxed);
+    s.router_deliveries =
+        router_deliveries_.load(std::memory_order_relaxed);
+    s.ring_batch_claims =
+        ring_batch_claims_.load(std::memory_order_relaxed);
+    s.ring_batch_ops = ring_batch_ops_.load(std::memory_order_relaxed);
+    s.zero_copy_reads = zero_copy_reads_.load(std::memory_order_relaxed);
+    s.ryw_ring_fallbacks =
+        ryw_ring_fallbacks_.load(std::memory_order_relaxed);
     return s;
   }
   [[nodiscard]] std::vector<ShardStats> shard_stats() const {
@@ -323,18 +491,30 @@ class ThreadUcStore
       return;
     }
     for (;;) {
-      {
+      if (this->config().router_delivery) {
         std::lock_guard lock(router_mutex_);
         (void)route_inbox_locked();
+      } else {
+        (void)try_deliver_inbox();
+        std::lock_guard lock(router_mutex_);
+        (void)drain_duty_locked();
       }
-      // The inbox is empty, but routed entries may still sit in worker
-      // rings — wait them out before deciding we are short.
+      // The inbox is empty, but delivered entries may still sit in
+      // worker rings/inboxes — wait them out before deciding short.
       pool_->quiesce();
       if (applied_entries() >= total_entries) return;
       auto env = this->net_->inbox(this->pid_).pop_wait();
       if (!env.has_value()) return;  // closed
-      std::lock_guard lock(router_mutex_);
-      route(env->from, env->payload);
+      if (this->config().router_delivery) {
+        std::lock_guard lock(router_mutex_);
+        route(env->from, env->payload);
+      } else {
+        while (deliver_lock_.test_and_set(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        deliver_sharded(env->from, std::move(env->payload));
+        deliver_lock_.clear(std::memory_order_release);
+      }
     }
   }
 
@@ -353,9 +533,23 @@ class ThreadUcStore
       std::numeric_limits<std::uint64_t>::max();
   static constexpr std::uint64_t kClaiming = kIdle - 1;
 
-  /// One client thread's stamp-in-flight slot (see file header).
+  /// One client thread's stamp-in-flight slot (see file header), plus
+  /// its read-your-writes tickets: `last_ticket[w]` is the ring
+  /// position of this thread's newest update enqueued to worker w
+  /// (Pool::kNoTicket = none yet). Plain storage — only the owning
+  /// thread ever touches its own slot's tickets.
   struct alignas(64) ClaimSlot {
     std::atomic<std::uint64_t> claim{kIdle};
+    std::unique_ptr<std::uint64_t[]> last_ticket;
+  };
+
+  /// A delivered envelope's header, queued for the router's stream/ack
+  /// bookkeeping while its entries go straight to worker inboxes.
+  struct StreamNote {
+    ProcessId from = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t seq = 0;
+    LogicalTime ack_clock = 0;
   };
 
   void sync_engines() const {
@@ -420,6 +614,106 @@ class ThreadUcStore
     }
   }
 
+  /// The default delivery entry point (any thread, NO router lock):
+  /// try-acquires the dedicated delivery spinlock — the serialization
+  /// that keeps per-sender envelope order intact on the way into worker
+  /// inboxes — and drains the process inbox. A losing thread returns
+  /// immediately (someone else is delivering). With router_delivery set
+  /// this degrades to the legacy router-locked fan-out.
+  std::size_t try_deliver_inbox() {
+    if (this->config().router_delivery) return try_route_inbox();
+    if (deliver_lock_.test_and_set(std::memory_order_acquire)) return 0;
+    std::size_t delivered = 0;
+    while (auto env = this->net_->inbox(this->pid_).try_pop()) {
+      deliver_sharded(env->from, std::move(env->payload));
+      ++delivered;
+    }
+    deliver_lock_.clear(std::memory_order_release);
+    return delivered;
+  }
+
+  /// Sharded delivery of one envelope (delivery-lock holder): partition
+  /// its entries by owning worker with a shard-index computation each,
+  /// push each touched worker's group straight into that worker's
+  /// remote inbox (one multi-slot claim; no allocation — the scratch
+  /// groups keep their capacity — and no key/payload copies: delivery
+  /// owns the popped envelope, entries MOVE through the scratch into
+  /// the ring slots), then queue the envelope header on the duty
+  /// ring for the router's stream/ack bookkeeping. ORDER IS LOAD-
+  /// BEARING: entries land in inboxes strictly before the header note
+  /// is visible to the router, so an ack the router observes only ever
+  /// vouches for entries already in worker inboxes — and workers drain
+  /// those before any GC fold (see worker_pool.hpp).
+  void deliver_sharded(ProcessId from, Envelope&& e) {
+    if (const auto& o = this->obs_; o) {
+      // Tracer rings are multi-writer safe (fetch_add slot claim) and
+      // the lag histogram is atomic — safe without the router lock.
+      if (o->tracer && !e.entries.empty()) {
+        o->tracer->instant(0, obs::TraceEventKind::kDeliver, from,
+                           e.entries.size());
+      }
+      const LogicalTime now = this->clock_.now();
+      for (const auto& entry : e.entries) {
+        const LogicalTime sc = entry.msg.stamp.clock;
+        if (o->sampled(sc)) {
+          o->replication_lag.record(now > sc ? now - sc : 0);
+        }
+      }
+    }
+    const std::size_t nw = pool_->workers();
+    for (auto& entry : e.entries) {
+      const std::size_t engine = this->shard_index(entry.key);
+      scratch_batches_[pool_->worker_of(engine)].push_back(
+          {static_cast<std::uint32_t>(engine), from, std::move(entry.key),
+           std::move(entry.msg)});
+    }
+    for (std::size_t w = 0; w < nw; ++w) {
+      if (scratch_batches_[w].empty()) continue;
+      // Not counted in ring_batch_claims_: those meter producer-side
+      // multi-slot claims on the worker op rings.
+      pool_->deliver_remote(w, scratch_batches_[w]);
+    }
+    inbox_deliveries_.fetch_add(e.entries.size(),
+                                std::memory_order_relaxed);
+    StreamNote note{from, e.epoch, e.seq, e.ack_clock};
+    while (!duty_ring_.try_push(std::move(note))) {
+      // Duty ring full — the router has not ticked in a long while.
+      // Become the router briefly if the lock is free; otherwise the
+      // holder is draining right now, just wait it out.
+      std::unique_lock lock(router_mutex_, std::try_to_lock);
+      if (lock.owns_lock()) {
+        (void)drain_duty_locked();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Router duty (router-lock holder): folds queued envelope headers
+  /// into the store-wide stream/stability bookkeeping. The duty ring's
+  /// single consumer is whoever holds the router lock, so per-sender
+  /// note order (the delivery lock serialized the pushes) is preserved
+  /// into note_stream.
+  std::size_t drain_duty_locked() {
+    std::size_t drained = 0;
+    while (auto note = duty_ring_.try_pop()) {
+      Envelope header{};
+      header.epoch = note->epoch;
+      header.seq = note->seq;
+      header.ack_clock = note->ack_clock;
+      this->note_stream(note->from, header);
+      // Same gap gate as route(): a gapped stream's piggybacked ack
+      // proves nothing about what a partition dropped.
+      if (this->stability_ && note->ack_clock > 0 &&
+          (this->config().unsafe_fold_acks_across_gaps ||
+           !this->stream_gapped(note->from))) {
+        this->stability_->observe_ack(note->from, note->ack_clock);
+      }
+      ++drained;
+    }
+    return drained;
+  }
+
   std::size_t try_route_inbox() {
     std::unique_lock lock(router_mutex_, std::try_to_lock);
     if (!lock.owns_lock()) return 0;  // someone else is routing
@@ -459,6 +753,8 @@ class ThreadUcStore
       pool_->enqueue_remote(this->shard_index(entry.key), from, entry.key,
                             entry.msg);
     }
+    router_deliveries_.fetch_add(e.entries.size(),
+                                 std::memory_order_relaxed);
     // Same gap gate as the single-owner deliver() path: a gapped
     // stream's piggybacked ack proves nothing about what the partition
     // dropped (the thread transport's hold-mode partitions never drop,
@@ -479,8 +775,30 @@ class ThreadUcStore
   /// peers_, stability_, stats_, gc_floor_ — everything route() and the
   /// flush tick touch outside the engines.
   mutable std::mutex router_mutex_;
+  /// Delivery spinlock: serializes sharded inbox drains (per-sender
+  /// envelope order into worker inboxes) without ever touching the
+  /// router lock. try-acquired from the op surface, spin-acquired only
+  /// in drain_until.
+  std::atomic_flag deliver_lock_ = ATOMIC_FLAG_INIT;
+  /// Envelope headers awaiting the router (single consumer: whoever
+  /// holds router_mutex_). Sized so even a long gap between router
+  /// ticks cannot fill it under realistic envelope rates; when it does
+  /// fill, the delivery path drains it itself under a try-lock.
+  MpscRing<StreamNote> duty_ring_{4096};
+  /// Per-worker envelope-slice assembly buffers; deliver-lock holder
+  /// only (reused across envelopes to avoid per-delivery allocation).
+  /// Per-worker grouping scratch for deliver_sharded (delivery-lock
+  /// holder only); deliver_remote clears each group with capacity
+  /// intact, so steady-state delivery allocates nothing.
+  std::vector<std::vector<typename Pool::RemoteItem>> scratch_batches_;
   std::atomic<std::uint64_t> published_reads_{0};
   std::atomic<std::uint64_t> ring_reads_{0};
+  std::atomic<std::uint64_t> inbox_deliveries_{0};
+  std::atomic<std::uint64_t> router_deliveries_{0};
+  std::atomic<std::uint64_t> ring_batch_claims_{0};
+  std::atomic<std::uint64_t> ring_batch_ops_{0};
+  std::atomic<std::uint64_t> zero_copy_reads_{0};
+  std::atomic<std::uint64_t> ryw_ring_fallbacks_{0};
 };
 
 }  // namespace ucw

@@ -11,13 +11,24 @@
 //     function of key and config, so shard→worker assignment is stable
 //     across restarts and identical on every replica of a config;
 //   * the frontend is multi-producer: every client thread of the store
-//     (plus whichever thread holds the router lock and fans remote
-//     entries in) enqueues to the owning worker over an MPSC ring
+//     enqueues to the owning worker over an MPSC ring
 //     (util/mpsc_ring.hpp). The ring keeps FIFO *per producer* — a
 //     thread's query dequeues behind its own updates, preserving
 //     read-your-writes per thread without blocking anyone — while
 //     cross-thread interleaving is as arbitrary as the network already
-//     makes delivery;
+//     makes delivery. Batches of updates ride multi-slot claims
+//     (try_push_n: one CAS for k contiguous ops, still FIFO per
+//     producer) and workers drain in blocks (try_pop_n);
+//   * every worker also owns a *remote inbox*: a second MPSC ring of
+//     pre-sharded entries that network delivery fills with only a
+//     shard-index computation — the router lock is no longer on the
+//     delivery path at all (see ThreadUcStore::deliver_sharded). The
+//     worker drains it opportunistically every loop, and *always*
+//     before folding in a GC op: fold ops ride the op ring behind the
+//     router's floor computation, and the floor only covers entries
+//     whose envelopes were delivered (hence pushed to remote inboxes)
+//     before it was computed — draining the inbox first preserves
+//     "every entry at or below the floor is applied before the fold";
 //   * flush, GC-fold, and heartbeat ticks run per worker: each worker
 //     drains its own engines into one envelope (seq drawn from the
 //     router's atomic stream counter), folds its own engines to the
@@ -25,8 +36,8 @@
 //     concurrent ticks never share a cache line, let alone a lock.
 //
 // Store-wide concerns stay behind the router lock (ThreadUcStore): the
-// stability tracker is fed by envelope-level acks the routing thread
-// observes *before* fanning entries out, and the GC floor is computed
+// stability tracker is fed by envelope-header notes queued at delivery
+// time and folded in on the router's tick, and the GC floor is computed
 // there and handed to workers as a ring op — engine state is touched by
 // its owner only, always. A get() that falls back to the ring promotes
 // its key to a published read view (shard_engine.hpp), which is what
@@ -40,10 +51,12 @@
 // under full concurrency.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -52,6 +65,7 @@
 #include "obs/store_obs.hpp"
 #include "store/shard_engine.hpp"
 #include "store/store_stats.hpp"
+#include "util/affinity.hpp"
 #include "util/mpsc_ring.hpp"
 
 namespace ucw {
@@ -63,6 +77,26 @@ class StoreWorkerPool {
   using Engine = typename Store::Engine;
   using FlushCause = typename Store::FlushCause;
 
+ public:
+  /// One pre-sharded remote entry: the owning engine plus the keyed
+  /// update itself (already stamped by the sender). What the network
+  /// delivery path pushes into worker remote inboxes — by value, one
+  /// ring slot per entry, a whole per-worker group under one multi-
+  /// slot claim (no allocation on the delivery path).
+  struct RemoteItem {
+    std::uint32_t engine = 0;
+    ProcessId from = 0;
+    Key key{};
+    UpdateMessage<A> msg{};
+  };
+  /// One element of a client-side update batch (enqueue_update_batch).
+  struct BatchUpdate {
+    std::uint32_t engine = 0;
+    Key key{};
+    UpdateMessage<A> msg{};
+  };
+
+ private:
   struct Op {
     enum class Kind : std::uint8_t {
       kUpdate,
@@ -87,12 +121,20 @@ class StoreWorkerPool {
 
   struct Worker {
     MpscRing<Op> ring{kRingCapacity};
+    /// Remote inbox: pre-sharded entries pushed straight from the
+    /// network delivery path (no router lock), one envelope-slice per
+    /// multi-slot claim. Sized in entries, to ride out router-tick
+    /// gaps a few thousand deliveries long.
+    MpscRing<RemoteItem> remote{kRemoteRingCapacity};
     std::vector<Engine*> engines;  ///< this worker's disjoint subset
     StoreStats stats;              ///< private flush/GC accounting slice
+    std::vector<Op> block;         ///< reusable try_pop_n drain buffer
+    std::vector<RemoteItem> rblock;  ///< reusable remote drain buffer
     std::uint16_t track = 0;       ///< trace track (worker w → track w+1)
     std::size_t pending = 0;       ///< buffered entries across its engines
     std::size_t gc_cursor = 0;     ///< incremental-fold resume point
     std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::uint64_t> remote_processed{0};  ///< entries applied
     // Idle parking: after a spin budget the worker sleeps on the cv
     // (bounded by a timeout, so a lost wake costs a millisecond, never
     // liveness); producers only take the lock when `sleeping` says
@@ -105,6 +147,12 @@ class StoreWorkerPool {
 
  public:
   static constexpr std::size_t kRingCapacity = 4096;
+  static constexpr std::size_t kRemoteRingCapacity = 4096;
+  /// Ops a worker takes from its ring per try_pop_n block.
+  static constexpr std::size_t kDrainBlock = 64;
+  /// "No writes yet" ticket sentinel (see enqueue_update).
+  static constexpr std::uint64_t kNoTicket =
+      std::numeric_limits<std::uint64_t>::max();
 
   StoreWorkerPool(Store& store, std::size_t n_workers) : store_(store) {
     UCW_CHECK(n_workers >= 1);
@@ -142,14 +190,91 @@ class StoreWorkerPool {
   }
 
   /// Any client thread; FIFO with that thread's other ops only.
-  void enqueue_update(std::size_t engine_index, const Key& key,
-                      UpdateMessage<A> msg) {
+  /// Returns the op's ring-position *ticket*: the consumer pops in
+  /// position order and bumps `processed` once per op, so
+  /// `worker_processed(w) > ticket` is a precise "my update has been
+  /// applied" test — the read-your-writes check behind get().
+  std::uint64_t enqueue_update(std::size_t engine_index, const Key& key,
+                               UpdateMessage<A> msg) {
     Op op;
     op.kind = Op::Kind::kUpdate;
     op.engine = static_cast<std::uint32_t>(engine_index);
     op.key = key;
     op.msg = std::move(msg);
-    push(*workers_[worker_of(engine_index)], std::move(op));
+    return push(*workers_[worker_of(engine_index)], std::move(op));
+  }
+
+  /// Batched enqueue: every element must belong to `worker` (the caller
+  /// grouped by worker_of already). One multi-slot ring claim per chunk
+  /// — a single CAS covers up to kRingCapacity/2 ops — and the block
+  /// occupies contiguous positions, so per-producer FIFO is exactly as
+  /// for singles. Returns the LAST claimed position (the batch's
+  /// read-your-writes ticket) and reports claims made via `claims_out`.
+  std::uint64_t enqueue_update_batch(std::size_t worker,
+                                     std::vector<BatchUpdate>& ops,
+                                     std::uint64_t* claims_out = nullptr) {
+    UCW_CHECK(!ops.empty());
+    Worker& w = *workers_[worker];
+    // Thread-local staging keeps the batch path allocation-free in
+    // steady state (the buffer is private to one call at a time —
+    // cleared on entry, never used across calls).
+    static thread_local std::vector<Op> block;
+    block.clear();
+    block.reserve(ops.size());
+    for (BatchUpdate& u : ops) {
+      Op op;
+      op.kind = Op::Kind::kUpdate;
+      op.engine = u.engine;
+      op.key = std::move(u.key);
+      op.msg = std::move(u.msg);
+      block.push_back(std::move(op));
+    }
+    ops.clear();  // elements were moved from; capacity stays for reuse
+    std::uint64_t last_pos = 0;
+    std::uint64_t claims = 0;
+    std::size_t off = 0;
+    while (off < block.size()) {
+      // Chunk at half the ring so a large batch cannot deadlock against
+      // a full ring (the consumer is guaranteed to free slots).
+      const std::size_t n =
+          std::min(block.size() - off, kRingCapacity / 2);
+      std::uint64_t pos = 0;
+      while (!w.ring.try_push_n(block.data() + off, n, &pos)) {
+        std::this_thread::yield();
+      }
+      ++claims;
+      last_pos = pos + n - 1;
+      off += n;
+      wake(w);
+    }
+    if (claims_out != nullptr) *claims_out = claims;
+    return last_pos;
+  }
+
+  /// Network delivery path (any thread, NO router lock): moves one
+  /// envelope's pre-sharded slice into `worker`'s remote inbox — one
+  /// multi-slot claim per chunk, one wake — and clears `items` with
+  /// its capacity intact, so a reused scratch group allocates nothing
+  /// in steady state.
+  void deliver_remote(std::size_t worker, std::vector<RemoteItem>& items) {
+    Worker& w = *workers_[worker];
+    std::size_t off = 0;
+    while (off < items.size()) {
+      const std::size_t n =
+          std::min(items.size() - off, kRemoteRingCapacity / 2);
+      while (!w.remote.try_push_n(items.data() + off, n)) {
+        wake(w);  // full ring: the owner is behind, get it moving
+        std::this_thread::yield();
+      }
+      off += n;
+    }
+    items.clear();
+    wake(w);
+  }
+
+  /// Acquire-load of worker `w`'s processed-op count (ticket check).
+  [[nodiscard]] std::uint64_t worker_processed(std::size_t w) const {
+    return workers_[w]->processed.load(std::memory_order_acquire);
   }
 
   /// Any thread (in practice: whichever one holds the router lock).
@@ -242,6 +367,11 @@ class StoreWorkerPool {
   /// producers still running it is only a point-in-time drain barrier.
   void quiesce() const {
     for (const auto& w : workers_) {
+      const std::uint64_t remote_target = w->remote.pushed();
+      while (w->remote_processed.load(std::memory_order_acquire) <
+             remote_target) {
+        std::this_thread::yield();
+      }
       const std::uint64_t target = w->ring.pushed();
       while (w->processed.load(std::memory_order_acquire) < target) {
         std::this_thread::yield();
@@ -256,8 +386,14 @@ class StoreWorkerPool {
   }
 
  private:
-  void push(Worker& w, Op&& op) {
-    while (!w.ring.try_push(std::move(op))) std::this_thread::yield();
+  std::uint64_t push(Worker& w, Op&& op) {
+    std::uint64_t pos = 0;
+    while (!w.ring.try_push(std::move(op), &pos)) std::this_thread::yield();
+    wake(w);
+    return pos;
+  }
+
+  void wake(Worker& w) {
     if (w.sleeping.load(std::memory_order_seq_cst)) {
       // Parked consumer: the lock pairs the notify with its wait-check
       // so the wake cannot slip between "ring empty" and "sleep".
@@ -266,11 +402,56 @@ class StoreWorkerPool {
     }
   }
 
-  void worker_main(Worker& w) {
-    std::size_t idle = 0;
+  /// Applies every remote entry currently in `w`'s inbox (owner thread
+  /// only), block-draining into the reusable buffer. Called
+  /// opportunistically each loop iteration and — load-bearing for GC
+  /// soundness — at the top of every kGc op: the floor the fold
+  /// carries only covers entries delivered (pushed here) before it was
+  /// computed, so draining first guarantees no fold over an entry
+  /// still in the inbox.
+  void drain_remote(Worker& w) {
     for (;;) {
-      auto op = w.ring.try_pop();
-      if (!op) {
+      w.rblock.clear();
+      const std::size_t got = w.remote.try_pop_n(w.rblock, kDrainBlock);
+      if (got == 0) return;
+      for (RemoteItem& item : w.rblock) {
+        (void)store_.engine(item.engine)
+            .apply_remote(item.from, item.key, item.msg);
+        if (const auto& o = store_.obs_;
+            o && o->tracer && o->sampled(item.msg.stamp.clock)) {
+          o->tracer->instant(w.track, obs::TraceEventKind::kApplyRemote,
+                             item.msg.stamp.clock);
+        }
+      }
+      w.remote_processed.fetch_add(got, std::memory_order_release);
+    }
+  }
+
+  void worker_main(Worker& w) {
+    if (store_.config().pin_workers) {
+      (void)pin_current_thread_to_core(static_cast<std::size_t>(w.track) - 1);
+    }
+    std::size_t idle = 0;
+    w.block.reserve(kDrainBlock);
+    w.rblock.reserve(kDrainBlock);
+    // The comparison arm (StoreConfig::router_delivery) restores the
+    // pre-rework consumer too: one pop per loop, no block drains — so
+    // a benchmark flipping the flag measures the whole saturation
+    // rework, not just where delivery entries land.
+    const bool legacy_pops = store_.config().router_delivery;
+    for (;;) {
+      drain_remote(w);
+      w.block.clear();
+      std::size_t got = 0;
+      if (legacy_pops) {
+        if (auto op = w.ring.try_pop()) {
+          w.block.push_back(std::move(*op));
+          got = 1;
+        }
+      } else {
+        got = w.ring.try_pop_n(w.block, kDrainBlock);
+      }
+      if (got == 0) {
         // Brief spin for the common back-to-back case, a yield phase so
         // an oversubscribed host (or a producer on a single core) runs,
         // then park — an idle pool must not burn a core per worker. The
@@ -281,8 +462,9 @@ class StoreWorkerPool {
         } else if (idle > 4096) {
           std::unique_lock lock(w.mutex);
           w.sleeping.store(true, std::memory_order_seq_cst);
-          w.cv.wait_for(lock, std::chrono::milliseconds(1),
-                        [&] { return !w.ring.empty(); });
+          w.cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+            return !w.ring.empty() || !w.remote.empty();
+          });
           w.sleeping.store(false, std::memory_order_relaxed);
           idle = 65;  // back to the yield phase, not the hot spin
         }
@@ -290,89 +472,98 @@ class StoreWorkerPool {
       }
       idle = 0;
       bool stop = false;
-      switch (op->kind) {
-        case Op::Kind::kUpdate: {
-          Engine& e = store_.engine(op->engine);
-          const LogicalTime sc = op->msg.stamp.clock;
-          e.local_update(op->key, std::move(op->msg));
-          if (const auto& o = store_.obs_;
-              o && o->tracer && o->sampled(sc)) {
-            o->tracer->instant(w.track, obs::TraceEventKind::kApplyLocal, sc);
+      for (Op& popped : w.block) {
+        Op* op = &popped;
+        switch (op->kind) {
+          case Op::Kind::kUpdate: {
+            Engine& e = store_.engine(op->engine);
+            const LogicalTime sc = op->msg.stamp.clock;
+            e.local_update(op->key, std::move(op->msg));
+            if (const auto& o = store_.obs_;
+                o && o->tracer && o->sampled(sc)) {
+              o->tracer->instant(w.track, obs::TraceEventKind::kApplyLocal,
+                                 sc);
+            }
+            ++w.pending;
+            const bool full =
+                store_.config().adaptive_window
+                    ? e.window_filled()
+                    : w.pending >= store_.config().batch_window;
+            if (full) {
+              (void)store_.flush_engines(w.engines, FlushCause::kWindowFull,
+                                         w.stats, /*piggyback_ack=*/false,
+                                         w.track);
+              w.pending = 0;
+            }
+            break;
           }
-          ++w.pending;
-          const bool full =
-              store_.config().adaptive_window
-                  ? e.window_filled()
-                  : w.pending >= store_.config().batch_window;
-          if (full) {
-            (void)store_.flush_engines(w.engines, FlushCause::kWindowFull,
-                                       w.stats, /*piggyback_ack=*/false,
-                                       w.track);
+          case Op::Kind::kRemote:
+            // Legacy router-fanned delivery (StoreConfig::router_delivery).
+            (void)store_.engine(op->engine).apply_remote(op->from, op->key,
+                                                         op->msg);
+            if (const auto& o = store_.obs_;
+                o && o->tracer && o->sampled(op->msg.stamp.clock)) {
+              o->tracer->instant(w.track, obs::TraceEventKind::kApplyRemote,
+                                 op->msg.stamp.clock);
+            }
+            break;
+          case Op::Kind::kQuery: {
+            Engine& e = store_.engine(op->engine);
+            *op->query_out = e.query(op->key, *op->query_in);
+            // A get() fallback promotes: from here on this key answers
+            // get() from its published view, no ring round trip.
+            if (op->promote_key) e.promote(op->key);
+            op->done->store(1, std::memory_order_release);
+            break;
+          }
+          case Op::Kind::kFlush: {
+            for (Engine* e : w.engines) e->on_flush_tick();
+            const std::size_t n = store_.flush_engines(
+                w.engines, FlushCause::kManual, w.stats,
+                /*piggyback_ack=*/false, w.track);
             w.pending = 0;
+            op->counted->fetch_add(n, std::memory_order_relaxed);
+            op->done->fetch_add(1, std::memory_order_release);
+            break;
           }
-          break;
+          case Op::Kind::kGc: {
+            // Entries the floor covers may still sit in the remote
+            // inbox (they were pushed there before the floor was
+            // computed): apply them before folding.
+            drain_remote(w);
+            // op->engine carries the per-worker budget (0 = every dirty
+            // engine); the dirty-cursor skip keeps clean engines O(1).
+            std::size_t budget = op->engine;
+            const std::size_t n = w.engines.size();
+            if (budget == 0 || budget > n) budget = n;
+            std::size_t folded = 0;
+            std::size_t visited = 0;
+            std::size_t step = 0;
+            for (; step < n && visited < budget; ++step) {
+              Engine& e = *w.engines[(w.gc_cursor + step) % n];
+              if (!e.gc_pending(op->gc_floor)) continue;
+              folded += e.fold_to(op->gc_floor);
+              ++visited;
+            }
+            w.gc_cursor = n == 0 ? 0 : (w.gc_cursor + step) % n;
+            if (visited > 0) {
+              ++w.stats.gc_runs;
+              w.stats.gc_folded += folded;
+            }
+            if (const auto& o = store_.obs_; o && o->tracer && folded > 0) {
+              o->tracer->instant(w.track, obs::TraceEventKind::kGcFold,
+                                 folded, op->gc_floor);
+            }
+            op->counted->fetch_add(folded, std::memory_order_relaxed);
+            op->done->fetch_add(1, std::memory_order_release);
+            break;
+          }
+          case Op::Kind::kStop:
+            stop = true;
+            break;
         }
-        case Op::Kind::kRemote:
-          (void)store_.engine(op->engine).apply_remote(op->from, op->key,
-                                                       op->msg);
-          if (const auto& o = store_.obs_;
-              o && o->tracer && o->sampled(op->msg.stamp.clock)) {
-            o->tracer->instant(w.track, obs::TraceEventKind::kApplyRemote,
-                               op->msg.stamp.clock);
-          }
-          break;
-        case Op::Kind::kQuery: {
-          Engine& e = store_.engine(op->engine);
-          *op->query_out = e.query(op->key, *op->query_in);
-          // A get() fallback promotes: from here on this key answers
-          // get() from its published view, no ring round trip.
-          if (op->promote_key) e.promote(op->key);
-          op->done->store(1, std::memory_order_release);
-          break;
-        }
-        case Op::Kind::kFlush: {
-          for (Engine* e : w.engines) e->on_flush_tick();
-          const std::size_t n = store_.flush_engines(
-              w.engines, FlushCause::kManual, w.stats,
-              /*piggyback_ack=*/false, w.track);
-          w.pending = 0;
-          op->counted->fetch_add(n, std::memory_order_relaxed);
-          op->done->fetch_add(1, std::memory_order_release);
-          break;
-        }
-        case Op::Kind::kGc: {
-          // op->engine carries the per-worker budget (0 = every dirty
-          // engine); the dirty-cursor skip keeps clean engines O(1).
-          std::size_t budget = op->engine;
-          const std::size_t n = w.engines.size();
-          if (budget == 0 || budget > n) budget = n;
-          std::size_t folded = 0;
-          std::size_t visited = 0;
-          std::size_t step = 0;
-          for (; step < n && visited < budget; ++step) {
-            Engine& e = *w.engines[(w.gc_cursor + step) % n];
-            if (!e.gc_pending(op->gc_floor)) continue;
-            folded += e.fold_to(op->gc_floor);
-            ++visited;
-          }
-          w.gc_cursor = n == 0 ? 0 : (w.gc_cursor + step) % n;
-          if (visited > 0) {
-            ++w.stats.gc_runs;
-            w.stats.gc_folded += folded;
-          }
-          if (const auto& o = store_.obs_; o && o->tracer && folded > 0) {
-            o->tracer->instant(w.track, obs::TraceEventKind::kGcFold, folded,
-                               op->gc_floor);
-          }
-          op->counted->fetch_add(folded, std::memory_order_relaxed);
-          op->done->fetch_add(1, std::memory_order_release);
-          break;
-        }
-        case Op::Kind::kStop:
-          stop = true;
-          break;
+        w.processed.fetch_add(1, std::memory_order_release);
       }
-      w.processed.fetch_add(1, std::memory_order_release);
       if (stop) return;
     }
   }

@@ -1,0 +1,42 @@
+// Opt-in thread→core affinity pinning.
+//
+// Pinning matters for single-node saturation: the pooled store's hot
+// paths are ring handoffs between producer and worker threads, and the
+// scheduler migrating either side mid-run costs cache warmth and makes
+// bench numbers noisy. `StoreConfig::pin_workers` pins pool workers via
+// this helper; producer threads (owned by the application, not the
+// store) can call it themselves — see bench/single_node_saturation.cpp.
+//
+// Only Linux exposes a portable-enough affinity call
+// (`pthread_setaffinity_np`); elsewhere this is a no-op returning
+// false, and pinning stays a pure hint — correctness never depends on
+// where a thread runs.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace ucw {
+
+/// Pins the calling thread to core `core % hardware_concurrency()`.
+/// Returns true iff the affinity mask was actually applied.
+inline bool pin_current_thread_to_core(std::size_t core) {
+#if defined(__linux__)
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % cores, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace ucw

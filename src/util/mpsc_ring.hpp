@@ -59,8 +59,12 @@ class MpscRing {
 
   /// Producer side; safe from any number of threads concurrently.
   /// False when the ring is full (nothing is consumed from `v` in that
-  /// case); the producer spins/yields and retries.
-  [[nodiscard]] bool try_push(T&& v) {
+  /// case); the producer spins/yields and retries. On success the
+  /// claimed position is written through `pos_out` (when non-null):
+  /// because the consumer pops strictly in position order and bumps its
+  /// processed count once per op, "processed > position" is a precise
+  /// this-op-was-consumed test — the ticket behind read-your-writes.
+  [[nodiscard]] bool try_push(T&& v, std::uint64_t* pos_out = nullptr) {
     std::uint64_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       Slot& s = buf_[pos & mask_];
@@ -73,6 +77,7 @@ class MpscRing {
                                         std::memory_order_relaxed)) {
           s.value = std::move(v);
           s.seq.store(pos + 1, std::memory_order_release);
+          if (pos_out != nullptr) *pos_out = pos;
           return true;
         }
         // CAS reloaded `pos`; retry against the new position.
@@ -82,6 +87,49 @@ class MpscRing {
         return false;
       } else {
         // Another producer claimed `pos` already; chase the head.
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Batched producer push: claims `n` consecutive slots with ONE CAS
+  /// on `head_` and publishes them in position order. All-or-nothing —
+  /// false leaves `vals` untouched. Why checking only the LAST slot of
+  /// the range suffices: the single consumer releases slots strictly in
+  /// position order, so slot `pos + n - 1` being free for this lap
+  /// implies every earlier slot of the range is too; and the CAS
+  /// excludes other producers from the whole range at once. Per-
+  /// producer FIFO is preserved exactly as for single pushes: the
+  /// block occupies contiguous positions in the claimer's program
+  /// order. `pos_out` (when non-null) receives the FIRST claimed
+  /// position; the block spans [pos, pos + n).
+  [[nodiscard]] bool try_push_n(T* vals, std::size_t n,
+                                std::uint64_t* pos_out = nullptr) {
+    if (n == 0) return true;
+    if (n == 1) return try_push(std::move(vals[0]), pos_out);
+    if (n > buf_.size()) return false;
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& last = buf_[(pos + n - 1) & mask_];
+      const std::uint64_t seq = last.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::int64_t>(seq) -
+                       static_cast<std::int64_t>(pos + n - 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + n,
+                                        std::memory_order_relaxed)) {
+          for (std::size_t i = 0; i < n; ++i) {
+            Slot& s = buf_[(pos + i) & mask_];
+            s.value = std::move(vals[i]);
+            s.seq.store(pos + i + 1, std::memory_order_release);
+          }
+          if (pos_out != nullptr) *pos_out = pos;
+          return true;
+        }
+        // CAS reloaded `pos`; retry against the new position.
+      } else if (dif < 0) {
+        // Not enough contiguous room this lap: back-pressure.
+        return false;
+      } else {
         pos = head_.load(std::memory_order_relaxed);
       }
     }
@@ -103,6 +151,29 @@ class MpscRing {
     ++tail_;
     popped_.store(tail_, std::memory_order_release);
     return v;
+  }
+
+  /// Block drain (single consumer only): appends up to `max` ready ops
+  /// to `out` and returns how many were taken. Stops early at the first
+  /// not-yet-published slot, exactly like repeated try_pop, but pays
+  /// one `popped_` release store for the whole block.
+  [[nodiscard]] std::size_t try_pop_n(std::vector<T>& out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max) {
+      Slot& s = buf_[tail_ & mask_];
+      const std::uint64_t seq = s.seq.load(std::memory_order_acquire);
+      if (static_cast<std::int64_t>(seq) -
+              static_cast<std::int64_t>(tail_ + 1) < 0) {
+        break;
+      }
+      out.push_back(std::move(s.value));
+      s.value = T{};
+      s.seq.store(tail_ + buf_.size(), std::memory_order_release);
+      ++tail_;
+      ++n;
+    }
+    if (n > 0) popped_.store(tail_, std::memory_order_release);
+    return n;
   }
 
   /// Total successful pushes ever (the claim counter). A quiesce

@@ -45,6 +45,22 @@ class SpscRing {
     return true;
   }
 
+  /// Batched producer push: writes up to `n` values and publishes the
+  /// whole block with ONE release store on `head_` (vs one per op).
+  /// Returns how many were consumed from `vals` — partial pushes are
+  /// fine in SPSC, the block stays contiguous and in order.
+  [[nodiscard]] std::size_t try_push_n(T* vals, std::size_t n) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t room = buf_.size() - static_cast<std::size_t>(head - tail);
+    const std::size_t take = n < room ? n : room;
+    for (std::size_t i = 0; i < take; ++i) {
+      buf_[(head + i) & mask_] = std::move(vals[i]);
+    }
+    if (take > 0) head_.store(head + take, std::memory_order_release);
+    return take;
+  }
+
   /// Consumer side. Empty optional when nothing is queued.
   [[nodiscard]] std::optional<T> try_pop() {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
@@ -53,6 +69,20 @@ class SpscRing {
     std::optional<T> v(std::move(buf_[tail & mask_]));
     tail_.store(tail + 1, std::memory_order_release);
     return v;
+  }
+
+  /// Block drain: appends up to `max` queued values to `out`, returns
+  /// how many were taken; one release store on `tail_` for the block.
+  [[nodiscard]] std::size_t try_pop_n(std::vector<T>& out, std::size_t max) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::size_t ready = static_cast<std::size_t>(head - tail);
+    const std::size_t take = max < ready ? max : ready;
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(buf_[(tail + i) & mask_]));
+    }
+    if (take > 0) tail_.store(tail + take, std::memory_order_release);
+    return take;
   }
 
   /// Racy-but-monotone emptiness hint (either side may call).

@@ -202,6 +202,80 @@ TEST(ReadPathTest, NoTornReadsThroughStoreUnderTsan) {
   net.close_all();
 }
 
+TEST(ReadPathTest, HotGetsAreZeroCopyAndSnapshotsAreImmutable) {
+  // The acceptance check for the zero-copy read path: every hot-key
+  // get() answers from the immutable shared snapshot without copying
+  // the state (zero_copy_reads moves one-for-one with the reads), and
+  // the snapshot a reader holds NEVER changes — later applies publish
+  // new snapshots, they don't mutate pinned ones.
+  ThreadNetwork<TS::Envelope> net(1);
+  StoreConfig cfg;
+  cfg.workers = 2;
+  cfg.batch_window = 64;
+  TS store(S{}, 0, net, cfg);
+  store.update("hot", S::insert(1));
+  store.update("hot", S::insert(2));
+  (void)store.get("hot", S::read());  // cold get: ring read, promotes
+  EXPECT_EQ(store.stats().zero_copy_reads, 0u);
+
+  const auto snap = store.try_get_snapshot("hot");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(*snap, (std::set<int>{1, 2}));
+
+  constexpr std::uint64_t kReads = 200;
+  for (std::uint64_t i = 0; i < kReads; ++i) {
+    EXPECT_EQ(store.get("hot", S::read()), (std::set<int>{1, 2}));
+  }
+  EXPECT_EQ(store.stats().zero_copy_reads, kReads);
+
+  // A new apply republishes: get() sees the new state through a NEW
+  // snapshot object, while the pinned one still holds the old version
+  // byte for byte.
+  store.update("hot", S::insert(3));
+  (void)store.query("hot", S::read());  // ring barrier: apply landed
+  EXPECT_EQ(store.get("hot", S::read()), (std::set<int>{1, 2, 3}));
+  const auto snap2 = store.try_get_snapshot("hot");
+  ASSERT_NE(snap2, nullptr);
+  EXPECT_NE(snap2, snap) << "republish must swap snapshots, not mutate";
+  EXPECT_EQ(*snap2, (std::set<int>{1, 2, 3}));
+  EXPECT_EQ(*snap, (std::set<int>{1, 2}))
+      << "a pinned snapshot changed under a reader";
+  net.close_all();
+}
+
+TEST(ReadPathTest, PromotionRepublishIsLinearInLiveViews) {
+  // Promoting N keys republishes the key→view registry as it grows.
+  // A naive copy-per-promotion is quadratic (1+2+…+N ≈ N²/2 keys
+  // copied — 524k for N=1024); the geometric schedule (copy on
+  // doubling, catch-up on the flush tick) keeps the total linear.
+  // The 6N bound leaves slack for flush-tick catch-up publishes while
+  // sitting three orders of magnitude under quadratic.
+  constexpr int kN = 1024;
+  ThreadNetwork<TS::Envelope> net(1);
+  StoreConfig cfg;
+  cfg.workers = 2;
+  cfg.shard_count = 4;
+  cfg.batch_window = 8;
+  TS store(S{}, 0, net, cfg);
+  for (int i = 0; i < kN; ++i) {
+    const std::string k = "k" + std::to_string(i);
+    store.update(k, S::insert(i));
+    (void)store.get(k, S::read());  // cold get: promotes
+  }
+  std::uint64_t copied = 0, publishes = 0, published = 0;
+  for (const ShardStats& s : store.shard_stats()) {
+    copied += s.view_registry_keys_copied;
+    publishes += s.view_registry_publishes;
+    published += s.published_keys;
+  }
+  EXPECT_EQ(published, static_cast<std::size_t>(kN));
+  EXPECT_GT(publishes, 0u);
+  EXPECT_LE(copied, 6u * kN)
+      << "registry republish went superlinear (" << copied
+      << " keys copied for " << kN << " promotions)";
+  net.close_all();
+}
+
 TEST(ReadPathTest, UnpooledGetIsQuery) {
   // workers == 1: no rings, no views — get() is exactly the wait-free
   // local query, and the pooled counters stay zero.

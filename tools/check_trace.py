@@ -20,11 +20,15 @@ Checked on the metrics snapshot (--metrics FILE):
   * shape is {"processes": [{"pid", "metrics": {...}}...], "net": {...}};
   * every per-process counter set carries the canonical loss counters
     (dropped_*_crash, dropped_trace_events) and the net section the
-    partition/crash drop counters — silent loss must stay reportable.
+    partition/crash drop counters — silent loss must stay reportable;
+  * --require-counter NAME names must appear in at least one process's
+    counter set (e.g. inbox_deliveries after the sharded-delivery
+    rework: a refactor that stops exporting the counter fails CI).
 
 Usage:
-  check_trace.py TRACE.json [--metrics METRICS.json]
+  check_trace.py [TRACE.json] [--metrics METRICS.json]
                  [--require name[@pid] ...]
+                 [--require-counter name ...]
 
 stdlib only — no pip installs in CI.
 """
@@ -110,7 +114,7 @@ def check_trace(path, required):
     return failures
 
 
-def check_metrics(path):
+def check_metrics(path, required_counters=()):
     failures = []
     try:
         with open(path, encoding="utf-8") as f:
@@ -128,6 +132,15 @@ def check_metrics(path):
             if name not in counters:
                 failures.append(
                     f"{path}: process {pid} missing loss counter '{name}'")
+    # A required counter only needs to show up in SOME process's
+    # counter set — what matters is that the store still exports it,
+    # not which processes happened to exercise it in this run.
+    for name in required_counters:
+        if not any(name in p.get("metrics", {}).get("counters", {})
+                   for p in processes):
+            failures.append(
+                f"{path}: required counter '{name}' missing from "
+                f"every process")
     net = doc.get("net")
     if not isinstance(net, dict):
         failures.append(f"{path}: missing 'net' section")
@@ -149,6 +162,7 @@ def main() -> int:
     trace_path = None
     metrics_path = None
     required = []
+    required_counters = []
     i = 0
     while i < len(args):
         if args[i] == "--metrics":
@@ -158,6 +172,12 @@ def main() -> int:
             i += 1
             while i < len(args) and not args[i].startswith("--"):
                 required.append(args[i])
+                i += 1
+            continue
+        elif args[i] == "--require-counter":
+            i += 1
+            while i < len(args) and not args[i].startswith("--"):
+                required_counters.append(args[i])
                 i += 1
             continue
         elif trace_path is None:
@@ -171,7 +191,10 @@ def main() -> int:
     if trace_path is not None:
         failures += check_trace(trace_path, required)
     if metrics_path is not None:
-        failures += check_metrics(metrics_path)
+        failures += check_metrics(metrics_path, required_counters)
+    elif required_counters:
+        print("--require-counter needs --metrics")
+        return 2
     for f in failures:
         print(f)
     print(f"{len(failures)} problems")
