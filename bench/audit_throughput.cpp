@@ -26,9 +26,12 @@
 #include "adt/register.hpp"
 #include "audit/auditor.hpp"
 #include "audit/recorder.hpp"
+#include "audit/scenario.hpp"
+#include "faults/fault_spec.hpp"
 #include "history/jsonl.hpp"
 #include "runtime/keyspace.hpp"
 #include "store/all.hpp"
+#include "util/assert.hpp"
 
 namespace {
 
@@ -213,9 +216,53 @@ void print_live_million_op_table() {
   std::cout << report.summary() << "\n";
 }
 
+void print_mutation_detection_table() {
+  // E13c — what detection costs, mutant by mutant: each corpus entry's
+  // first gated seed run through record + certify, next to the clean
+  // control on the same schedule. The verdict column is the campaign
+  // gate in miniature (every mutant non-certified, the control never
+  // refuted — an honest "unknown" is legal on both sides); the ms
+  // columns price the record and audit halves.
+  std::cout << "\nE13c — mutation-corpus detection cost "
+               "(first gated seed per mutant, 3 processes x 120 ops)\n";
+  TextTable t({"mutant", "seed", "ops", "record ms", "audit ms", "uc",
+               "clean uc"});
+  for (const FaultInfo& info : fault_corpus()) {
+    if (info.gated_seeds.empty()) continue;
+    const std::uint64_t seed = info.gated_seeds.front();
+    audit::ScenarioShape shape;
+    shape.fault = info.name;
+    shape.force_crash_restart = info.wants_restart;
+    shape.three_way = info.wants_three_way;
+    audit::ScenarioSpec spec = audit::random_fault_scenario(seed, shape);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const audit::ScenarioResult r = audit::run_scenario(spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    const audit::AuditReport re = audit::audit_history(r.history);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    spec.fault = "none";
+    const audit::ScenarioResult clean = audit::run_scenario(spec);
+
+    t.add(info.name, seed, r.history.lines.size(),
+          static_cast<std::uint64_t>(wall_seconds(t0, t1) * 1e3),
+          static_cast<std::uint64_t>(wall_seconds(t1, t2) * 1e3),
+          to_string(re.uc), to_string(clean.audit.uc));
+    UCW_CHECK_MSG(!r.audit.certified(),
+                  "E13c: a corpus mutant certified on its gated seed");
+    UCW_CHECK_MSG(!clean.audit.refuted(),
+                  "E13c: clean control refuted — auditor false positive");
+  }
+  t.print(std::cout);
+  std::cout << "(gate: no mutant row certifies, no clean column "
+               "refutes)\n";
+}
+
 void print_tables() {
   print_audit_scaling_table();
   print_live_million_op_table();
+  print_mutation_detection_table();
 }
 
 // Microbenchmark twin of E13a for the google-benchmark harness.

@@ -14,6 +14,7 @@
 
 #include "adt/register.hpp"
 #include "audit/auditor.hpp"
+#include "faults/fault_spec.hpp"
 #include "runtime/store_harness.hpp"
 #include "util/json.hpp"
 
@@ -35,9 +36,10 @@ struct ScenarioSpec {
   std::size_t batch_window = 4;
   std::size_t shard_count = 8;
   bool gc = true;
-  /// The injected consistency bug (StoreConfig::
-  /// unsafe_fold_acks_across_gaps) — the refutation target.
-  bool fold_acks_across_gaps = false;
+  /// The injected consistency bug — a mutation-corpus wire name
+  /// (src/faults/fault_spec.hpp); "none" is the clean store. The
+  /// refutation target of the audit/fuzz pipeline.
+  std::string fault = "none";
   std::vector<CrashPlan> crashes{};
   std::vector<RestartPlan> restarts{};
   std::vector<PartitionPlan> partitions{};
@@ -71,11 +73,19 @@ struct ScenarioSpec {
     cfg.store.batch_window = batch_window;
     cfg.store.shard_count = shard_count;
     cfg.store.gc = gc;
-    cfg.store.unsafe_fold_acks_across_gaps = fold_acks_across_gaps;
+    Fault f = Fault::kNone;
+    (void)fault_from_name(fault, &f);  // validated at from_json/parse time
+    cfg.store.fault = FaultSpec{f};
     cfg.crashes = crashes;
     cfg.restarts = restarts;
     cfg.partitions = partitions;
     cfg.record_history = true;
+    // Mutant runs can livelock recovery (a retry loop whose repair the
+    // fault suppresses forever); the ceiling is ~10x a healthy run's
+    // virtual span, so it only ever bites on a broken store — which
+    // then final-reads its diverged states and gets refuted instead of
+    // spinning the DES unboundedly.
+    cfg.sim_horizon = 250'000.0;
     return cfg;
   }
 
@@ -104,7 +114,7 @@ struct ScenarioSpec {
                    JsonValue(static_cast<double>(batch_window)));
     o.emplace("shard_count", JsonValue(static_cast<double>(shard_count)));
     o.emplace("gc", JsonValue(gc));
-    o.emplace("fold_acks_across_gaps", JsonValue(fold_acks_across_gaps));
+    o.emplace("fault", JsonValue(fault));
     JsonValue::Array cr;
     for (const CrashPlan& c : crashes) {
       JsonValue::Object e;
@@ -171,8 +181,17 @@ struct ScenarioSpec {
     s.shard_count = static_cast<std::size_t>(
         v["shard_count"].as_int(static_cast<std::int64_t>(s.shard_count)));
     s.gc = v["gc"].as_bool(s.gc);
-    s.fold_acks_across_gaps =
-        v["fold_acks_across_gaps"].as_bool(s.fold_acks_across_gaps);
+    if (v["fault"].is_string()) {
+      s.fault = v["fault"].as_string();
+    } else if (v["fold_acks_across_gaps"].as_bool(false)) {
+      // Legacy specs (pre-corpus) carried the one injected bug as a bool.
+      s.fault = "fold_acks_across_gaps";
+    }
+    Fault parsed_fault = Fault::kNone;
+    if (!fault_from_name(s.fault, &parsed_fault)) {
+      if (err) *err = "unknown fault name: " + s.fault;
+      return false;
+    }
     if (v["crashes"].is_array()) {
       for (const JsonValue& e : v["crashes"].as_array()) {
         CrashPlan c;
@@ -220,32 +239,59 @@ struct ScenarioSpec {
   }
 };
 
+/// Shaping knobs for the random scenario generator. The defaults
+/// reproduce the legacy generator draw-for-draw; the extra flags steer
+/// a schedule toward the code path a corpus mutant lives on (the fuzz
+/// driver sets them from FaultInfo) without perturbing the base draws —
+/// a given seed's schedule is the legacy one, possibly with a forced
+/// crash appended or the cuts widened to three groups.
+struct ScenarioShape {
+  std::size_t n_processes = 3;
+  std::size_t ops_per_process = 120;
+  /// Corpus mutant wire name ("none" = clean store).
+  std::string fault = "none";
+  /// Guarantee a crash/restart in the schedule (recovery-path mutants
+  /// need a catch-up session to bite).
+  bool force_crash_restart = false;
+  /// Cut into three groups instead of two (relay/echo mutants need a
+  /// third party whose content must transit a representative).
+  bool three_way = false;
+};
+
 /// A randomized partition/crash schedule over the run window — the
 /// CI smoke's scenario generator. Deterministic in `seed`; the returned
 /// spec replays (and shrinks) like any hand-written one.
 inline ScenarioSpec random_fault_scenario(std::uint64_t seed,
-                                          std::size_t n_processes = 3,
-                                          std::size_t ops_per_process = 120,
-                                          bool inject_bug = false) {
+                                          const ScenarioShape& shape) {
+  const std::size_t n_processes = shape.n_processes;
+  const std::size_t ops_per_process = shape.ops_per_process;
   ScenarioSpec s;
   s.n_processes = n_processes;
   s.seed = seed;
   s.ops_per_process.assign(n_processes, ops_per_process);
-  s.fold_acks_across_gaps = inject_bug;
+  s.fault = shape.fault;
   Rng rng = Rng(seed).fork("fault-schedule");
   // Ops are spaced ~mean_think_us apart per process; faults land inside
   // the active window so they actually interleave with traffic.
   const double horizon =
       static_cast<double>(ops_per_process) * s.mean_think_us;
   // 1-3 partition episodes: cut, then heal after a sub-window. Groups
-  // split the cluster in two at a random boundary.
+  // split the cluster in two at a random boundary (three contiguous
+  // groups when the shape asks — the boundary draw is consumed either
+  // way, so a seed's schedule differs only in the cut's group map).
   const int episodes = static_cast<int>(rng.uniform_int(1, 3));
   double t = rng.uniform_real(0.1, 0.3) * horizon;
   for (int i = 0; i < episodes && t < horizon; ++i) {
     std::vector<std::size_t> cut(n_processes, 0);
     const std::size_t boundary = static_cast<std::size_t>(
         rng.uniform_int(1, static_cast<std::int64_t>(n_processes) - 1));
-    for (std::size_t p = boundary; p < n_processes; ++p) cut[p] = 1;
+    if (shape.three_way && n_processes >= 3) {
+      for (std::size_t p = 0; p < n_processes; ++p) {
+        cut[p] = p * 3 / n_processes;
+      }
+    } else {
+      for (std::size_t p = boundary; p < n_processes; ++p) cut[p] = 1;
+    }
     PartitionPlan split;
     split.at = t;
     split.group_of = cut;
@@ -262,8 +308,13 @@ inline ScenarioSpec random_fault_scenario(std::uint64_t seed,
     s.partitions.push_back(heal);
     t += rng.uniform_real(0.1, 0.25) * horizon;
   }
-  // Optional crash/restart of one process, clear of the last heal.
-  if (n_processes >= 3 && rng.chance(0.5)) {
+  // Optional crash/restart of one process, clear of the last heal
+  // (mandatory under force_crash_restart; the coin is tossed first
+  // either way so the base schedule of a seed never shifts).
+  bool want_crash = n_processes >= 3 && rng.chance(0.5);
+  want_crash = want_crash ||
+               (shape.force_crash_restart && n_processes >= 2);
+  if (want_crash) {
     const ProcessId victim =
         static_cast<ProcessId>(rng.uniform_int(0, n_processes - 1));
     CrashPlan crash;
@@ -277,6 +328,19 @@ inline ScenarioSpec random_fault_scenario(std::uint64_t seed,
     s.restarts.push_back(restart);
   }
   return s;
+}
+
+/// Legacy signature (pre-corpus): `inject_bug` selects the original
+/// fold-acks-across-gaps bug.
+inline ScenarioSpec random_fault_scenario(std::uint64_t seed,
+                                          std::size_t n_processes = 3,
+                                          std::size_t ops_per_process = 120,
+                                          bool inject_bug = false) {
+  ScenarioShape shape;
+  shape.n_processes = n_processes;
+  shape.ops_per_process = ops_per_process;
+  shape.fault = inject_bug ? "fold_acks_across_gaps" : "none";
+  return random_fault_scenario(seed, shape);
 }
 
 struct ScenarioResult {

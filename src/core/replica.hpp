@@ -90,6 +90,9 @@ class ReplayReplica {
     /// e.g. at-least-once duplicates, or live envelopes overlapping an
     /// installed snapshot after catch-up.
     bool absorb_below_floor = false;
+    /// Arbitration order for the log (mutation corpus only; anything but
+    /// kLexicographic is a deliberately injected bug — see src/faults/).
+    StampOrder stamp_order = StampOrder::kLexicographic;
   };
 
   ReplayReplica(A adt, ProcessId pid, Config config = {})
@@ -101,6 +104,7 @@ class ReplayReplica {
         cache_(adt_.initial()),
         scratch_(adt_.initial()) {
     UCW_CHECK(config_.snapshot_interval >= 1);
+    log_.set_order(config_.stamp_order);
   }
 
   [[nodiscard]] ProcessId pid() const { return pid_; }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -25,6 +26,20 @@
 #include "util/assert.hpp"
 
 namespace ucw {
+
+/// Arbitration order of the log. kLexicographic is Algorithm 1's stamp
+/// order — (clock, pid) — the only correct one. The other two are
+/// mutation-corpus perversions (src/faults/): clock-major orders that
+/// break ties wrongly, kept here because the tie-break lives in the
+/// log's insertion comparator. Both still extend the per-process clock
+/// order (stamps of one process strictly increase), so fold/install_base
+/// prefix arithmetic — which works by clock alone — stays valid; only
+/// the cross-replica agreement on tie winners is perverted.
+enum class StampOrder : std::uint8_t {
+  kLexicographic,        ///< (clock, pid): the paper's total order
+  kClockThenArrival,     ///< FAULT: equal clocks keep arrival order
+  kClockThenPidInverted, ///< FAULT: equal clocks order by *descending* pid
+};
 
 template <UqAdt A>
 class StampedLog {
@@ -40,6 +55,14 @@ class StampedLog {
   [[nodiscard]] const Entry& at(std::size_t i) const { return entries_[i]; }
   [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
 
+  /// Selects the arbitration order (mutation corpus only; see StampOrder).
+  /// Must be set before the first insert.
+  void set_order(StampOrder order) {
+    UCW_CHECK(entries_.empty());
+    order_ = order;
+  }
+  [[nodiscard]] StampOrder order() const { return order_; }
+
   /// Inserts in stamp order; returns the position, or nullopt for a
   /// duplicate stamp (reliable broadcast may not dedupe; Algorithm 1's
   /// set-union does).
@@ -49,14 +72,24 @@ class StampedLog {
                   "update stamped below the GC floor: stability tracking "
                   "requires FIFO links");
     // Fast path: append at the tail.
-    if (entries_.empty() || entries_.back().stamp < stamp) {
+    if (entries_.empty() || stamp_less(entries_.back().stamp, stamp)) {
       entries_.push_back(Entry{stamp, std::move(update)});
       return entries_.size() - 1;
     }
-    auto it = std::lower_bound(
+    // upper_bound (not lower_bound): under the fault orders, equal-clock
+    // stamps compare equivalent, and inserting after the run is what
+    // makes kClockThenArrival actually preserve arrival order. The exact
+    // duplicate check then scans the equivalence run backwards.
+    auto it = std::upper_bound(
         entries_.begin(), entries_.end(), stamp,
-        [](const Entry& e, const Stamp& s) { return e.stamp < s; });
-    if (it != entries_.end() && it->stamp == stamp) return std::nullopt;
+        [this](const Stamp& s, const Entry& e) {
+          return stamp_less(s, e.stamp);
+        });
+    for (auto p = it; p != entries_.begin();) {
+      --p;
+      if (stamp_less(p->stamp, stamp)) break;
+      if (p->stamp == stamp) return std::nullopt;
+    }
     const std::size_t pos = static_cast<std::size_t>(it - entries_.begin());
     entries_.insert(it, Entry{stamp, std::move(update)});
     return pos;
@@ -116,9 +149,22 @@ class StampedLog {
   }
 
  private:
+  [[nodiscard]] bool stamp_less(const Stamp& a, const Stamp& b) const {
+    switch (order_) {
+      case StampOrder::kLexicographic:
+        return a < b;
+      case StampOrder::kClockThenArrival:
+        return a.clock < b.clock;
+      case StampOrder::kClockThenPidInverted:
+        return a.clock != b.clock ? a.clock < b.clock : b.pid < a.pid;
+    }
+    return a < b;
+  }
+
   std::vector<Entry> entries_;
   typename A::State base_state_;
   LogicalTime floor_ = 0;
+  StampOrder order_ = StampOrder::kLexicographic;
 };
 
 }  // namespace ucw

@@ -6,7 +6,8 @@
 // they sit alongside.
 //
 //   {"meta":{"format":"ucw-history-v1","adt":"register-i64",
-//            "processes":3,"captured":1200,"dropped":0,"final_reads":96}}
+//            "processes":3,"captured":1200,"dropped":0,"final_reads":96,
+//            "seed":7,"fault":"none"}}
 //   {"p":0,"t":1,"op":"u","key":"k3","clock":42,"val":7,"ts":12.5}
 //   {"p":2,"t":0,"op":"q","key":"k3","clock":57,"val":7,"ts":19.0}
 //   {"p":2,"t":0,"op":"f","key":"k3","val":9,"ts":310.0}
@@ -53,6 +54,11 @@ struct HistoryMeta {
   std::uint64_t dropped = 0;
   std::uint64_t final_reads = 0;
   std::string adt = "register-i64";
+  /// Scenario provenance: the generator seed and the injected corpus
+  /// mutant ("none" = clean store). Makes a failing artifact
+  /// reproducible standalone — the header alone names the run.
+  std::uint64_t seed = 0;
+  std::string fault = "none";
 };
 
 struct HistoryFile {
@@ -104,7 +110,10 @@ inline void write_history_jsonl(std::ostream& os, const HistoryMeta& meta,
   os << "{\"meta\":{\"format\":\"ucw-history-v1\",\"adt\":\"" << meta.adt
      << "\",\"processes\":" << meta.n_processes
      << ",\"captured\":" << meta.captured << ",\"dropped\":" << meta.dropped
-     << ",\"final_reads\":" << meta.final_reads << "}}\n";
+     << ",\"final_reads\":" << meta.final_reads << ",\"seed\":" << meta.seed
+     << ",\"fault\":";
+  JsonValue::write_escaped(os, meta.fault);
+  os << "}}\n";
   for (const auto& l : lines) {
     os << "{\"p\":" << l.pid << ",\"t\":" << l.thread << ",\"op\":\"" << l.op
        << "\",\"key\":";
@@ -236,6 +245,8 @@ inline bool read_history_jsonl(std::istream& is, HistoryFile* out,
       out->meta.final_reads =
           static_cast<std::uint64_t>(m["final_reads"].as_int(0));
       if (m.has("adt")) out->meta.adt = m["adt"].as_string();
+      out->meta.seed = static_cast<std::uint64_t>(m["seed"].as_int(0));
+      if (m.has("fault")) out->meta.fault = m["fault"].as_string();
       have_meta = true;
       continue;
     }

@@ -82,7 +82,11 @@ template <UqAdt A, typename Key>
 /// Installs one key's snapshot into a replica: adopt the donor base,
 /// then replay the suffix through apply() (overlaps with entries the
 /// replica picked up live are absorbed as duplicates). Returns suffix
-/// entries replayed.
+/// entries replayed. Base-without-suffix is NOT a valid install — the
+/// suffix holds exactly the entries the donor had not yet folded, and
+/// nothing else will redeliver them (the `install_skips_suffix` corpus
+/// mutant is this function with the loop deleted, and the auditor
+/// refutes it).
 template <UqAdt A, typename Key>
 std::size_t install_key_snapshot(ReplayReplica<A>& rep,
                                  const KeySnapshot<A, Key>& ks) {
@@ -104,7 +108,9 @@ std::size_t install_key_snapshot(ReplayReplica<A>& rep,
 /// fully covered — is the only claim the recovery protocols may make to
 /// peers: under drops, "largest seq seen" over-claims (the classic FIFO
 /// shortcut), and an over-claimed coverage row would let a catching-up
-/// peer verify a stream whose gap entries nobody shipped it.
+/// peer verify a stream whose gap entries nobody shipped it — exactly
+/// the `coverage_claims_last_seq` corpus mutant, which swaps prefix()
+/// for last() at the claim site and loses the gap entries for good.
 class SeqCoverage {
  public:
   /// One seq received live (duplicates and overlaps are fine).

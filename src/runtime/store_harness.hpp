@@ -100,6 +100,14 @@ struct StoreRunConfig {
   std::vector<RestartPlan> restarts{};
   std::vector<PartitionPlan> partitions{};
   SimTime drain_margin = 1.0;
+  /// Hard virtual-time ceiling on the whole run; 0 = unbounded. A
+  /// *correct* store quiesces long before any sane ceiling, but a
+  /// fault-injected one (src/faults/) can livelock recovery — e.g. an
+  /// anti-entropy retry loop whose repair the mutant suppresses forever
+  /// — and an event-driven run() would never drain. The audit/fuzz
+  /// pipeline sets this so a livelocked mutant run still terminates,
+  /// final-reads its diverged states, and gets refuted.
+  SimTime sim_horizon = 0.0;
   /// Chrome trace_event JSON path; non-empty turns tracing on (one
   /// tracer per process on the virtual-time axis — a restart keeps
   /// appending to the same pid's tracks, so one trace holds the whole
@@ -379,7 +387,18 @@ template <UqAdt A, typename GenFn>
     scheduler.after(cfg.flush_period, *tick);
   }
 
-  scheduler.run();
+  // Event-driven run, optionally under the sim_horizon ceiling: once
+  // the clock reaches the horizon, later events stay queued (each
+  // rescheduling lands past it), so even a livelocked recovery loop
+  // terminates and falls through to the final reads.
+  const auto bounded_run = [&scheduler, &cfg] {
+    if (cfg.sim_horizon > 0.0) {
+      (void)scheduler.run_until(cfg.sim_horizon);
+    } else {
+      scheduler.run();
+    }
+  };
+  bounded_run();
   // A run whose last plan left the network split must not fail the
   // convergence check for a partition that simply never healed: heal
   // it (with the anti-entropy sweep) before quiescing, mirroring what
@@ -388,7 +407,7 @@ template <UqAdt A, typename GenFn>
     apply_topology(std::vector<std::size_t>(cfg.n_processes, 0),
                    /*anti_entropy=*/true, /*ae_delay=*/1.0,
                    /*escalation_grace=*/0.0);
-    scheduler.run();
+    bounded_run();
   }
   // Quiescence: ship any trailing partial batches, then drain. Enough
   // rounds that even a *stalled* catch-up (lost request — e.g. the
@@ -401,7 +420,7 @@ template <UqAdt A, typename GenFn>
       static_cast<int>(cfg.store.sync_patience_ticks) + 4;
   for (int round = 0; round < quiesce_rounds; ++round) {
     for (auto& s : stores) (void)s->flush();
-    scheduler.run();
+    bounded_run();
   }
   scheduler.run_until(scheduler.now() + cfg.drain_margin);
   for (auto& i : issuers) *i = nullptr;
@@ -467,6 +486,8 @@ template <UqAdt A, typename GenFn>
         append_history_lines(*recorders[p], &out.history.lines);
       }
       out.history.meta.n_processes = cfg.n_processes;
+      out.history.meta.seed = cfg.seed;
+      out.history.meta.fault = to_string(cfg.store.fault.fault);
       if (!cfg.history_out.empty()) {
         std::ofstream f(cfg.history_out);
         UCW_CHECK_MSG(f.good(), "cannot open history_out for writing");

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/replica.hpp"
+#include "faults/fault_spec.hpp"
 #include "store/envelope.hpp"
 #include "util/hash.hpp"
 
@@ -133,13 +134,12 @@ struct StoreConfig {
   /// 1 = full fidelity; the default keeps the hot path inside the
   /// tracing-overhead budget.
   std::size_t trace_sample_every = 16;
-  /// TEST-ONLY consistency-bug injection for the audit pipeline: lets
-  /// the stability tracker observe acks from streams with a detected
-  /// gap. GC then folds the floor over entries anti-entropy has yet to
-  /// redeliver, the repair is absorbed below the floor, and replicas
-  /// diverge permanently — exactly the class of bug the black-box
-  /// auditor exists to catch. Never set this outside audit tests.
-  bool unsafe_fold_acks_across_gaps = false;
+  /// TEST-ONLY consistency-bug injection for the audit/fuzz pipeline:
+  /// selects one mutant from the mutation corpus (src/faults/) — a
+  /// deliberately broken merge/GC/ack/recovery variant the black-box
+  /// auditor must catch. Fault::kNone (the default) is the clean store.
+  /// Never set a fault outside the audit/fuzz tests.
+  FaultSpec fault{};
 };
 
 /// Per-shard aggregate view (rendered by print_shard_table in

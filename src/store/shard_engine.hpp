@@ -79,6 +79,7 @@ class ShardEngine {
         window_(config.batch_window),
         window_cap_(config.batch_window),
         adaptive_(config.adaptive_window),
+        fault_(config.fault),
         shard_(adt, pid, rep_cfg) {}
 
   ShardEngine(const ShardEngine&) = delete;
@@ -272,8 +273,15 @@ class ShardEngine {
           const auto it = dirty_marks_.find(k);
           if (it == dirty_marks_.end()) return false;
           const DirtyMark& d = it->second;
+          // FAULT kEchoSuppressThirdParty: suppress on last-donor alone,
+          // ignoring the non_donor_mark anchor — third-party content
+          // that rode in since the requester's baseline is dropped too,
+          // and the heal-time relay silently loses it.
           const std::uint64_t effective =
-              d.donor == requester ? d.non_donor_mark : d.mark;
+              d.donor != requester ? d.mark
+              : fault_.is(Fault::kEchoSuppressThirdParty)
+                  ? 0
+                  : d.non_donor_mark;
           return effective > since_marker;
         });
     snap.delta_marker = advance_marker_;
@@ -298,12 +306,28 @@ class ShardEngine {
     auto& rep = shard_.replica(ks.key);
     const LogicalTime floor_before = rep.log().floor();
     const std::size_t log_before = rep.log().size();
-    const std::size_t replayed = install_key_snapshot(rep, ks);
+    std::size_t replayed = 0;
+    if (fault_.is(Fault::kInstallSkipsSuffix)) {
+      // FAULT: adopt the donor's compacted base but never replay the
+      // unstable suffix — every entry only this snapshot could deliver
+      // is silently lost, and nothing ever redelivers it (the donor
+      // thinks it shipped).
+      (void)rep.install_base(ks.base, ks.floor);
+    } else {
+      replayed = install_key_snapshot(rep, ks);
+    }
     *floor_raised = rep.log().floor() > floor_before;
     if (*floor_raised || rep.log().size() > log_before) {
-      mark_dirty_from(ks.key, donor);
+      // FAULT kInstallSkipsDirtyMark: installed knowledge never joins
+      // the dirty set, so deltas served from this store omit everything
+      // it learned second-hand and relays stop at one hop.
+      if (!fault_.is(Fault::kInstallSkipsDirtyMark)) {
+        mark_dirty_from(ks.key, donor);
+      }
     }
-    for (const auto& e : ks.suffix) note_stamp(e.stamp.clock);
+    if (!fault_.is(Fault::kInstallSkipsSuffix)) {
+      for (const auto& e : ks.suffix) note_stamp(e.stamp.clock);
+    }
     maybe_republish(ks.key, rep);
     return replayed;
   }
@@ -416,6 +440,7 @@ class ShardEngine {
   std::size_t window_;      ///< current flush window (adapted)
   std::size_t window_cap_;  ///< == StoreConfig::batch_window
   bool adaptive_;
+  FaultSpec fault_;  ///< mutation-corpus switch (src/faults/)
   double ewma_per_tick_ = -1.0;  ///< updates/tick EWMA; <0 = unseeded
   std::uint64_t updates_this_tick_ = 0;
   Shard shard_;

@@ -142,6 +142,16 @@ class StoreCore {
     // installs bases with positive floors, and an overlapping live
     // envelope must be absorbed, not treated as a protocol violation.
     rep_cfg.absorb_below_floor = config_.gc || kCatchupCapable;
+    // Mutation corpus (src/faults/): arbitration-order mutants live in
+    // the log comparator. kMergeTiesByArrival perverts every replica the
+    // same way (divergence needs ties to *arrive* in different orders);
+    // kLwwTieSkew perverts only odd pids (mixed-version skew — replicas
+    // disagree on the tie winner even for identical arrival orders).
+    if (config_.fault.is(Fault::kMergeTiesByArrival)) {
+      rep_cfg.stamp_order = StampOrder::kClockThenArrival;
+    } else if (config_.fault.is(Fault::kLwwTieSkew) && pid_ % 2 == 1) {
+      rep_cfg.stamp_order = StampOrder::kClockThenPidInverted;
+    }
     engines_.reserve(config_.shard_count);
     engine_ptrs_.reserve(config_.shard_count);
     for (std::size_t i = 0; i < config_.shard_count; ++i) {
@@ -567,6 +577,11 @@ class StoreCore {
       // pin every peer's floor at zero. Pool workers pass false (see
       // above) and leave acks to the router heartbeat.
       env.ack_clock = clock_.now();
+      // FAULT kAckOverstatesClock: vouch for one stamp beyond what this
+      // store has broadcast. A peer that trusts the ack folds its floor
+      // past an entry still in flight (or about to be stamped), then
+      // absorbs the real delivery below the floor.
+      if (config_.fault.is(Fault::kAckOverstatesClock)) env.ack_clock += 1;
       raise_last_ack(env.ack_clock);
     }
     st.envelopes_sent += 1;
@@ -615,7 +630,12 @@ class StoreCore {
     // a partitioned-away peer freezes everyone's floor (its rows stop
     // advancing cluster-wide), and on heal its first envelope — or one
     // gap retry — verifies its stream here and retires the session.
-    if (session_.active()) return 0;
+    // FAULT kGcDuringCatchupSession: skip the pause and fold mid-sync
+    // on exactly the untrustworthy rows described above.
+    if (session_.active() &&
+        !config_.fault.is(Fault::kGcDuringCatchupSession)) {
+      return 0;
+    }
     refresh_crash_knowledge();
     // Without the self row a read-only replica (whose clock moves only
     // by observation) would pin its *own* floor at zero and never
@@ -711,12 +731,12 @@ class StoreCore {
     // as genuinely-new below-floor entries. Observing such an ack would
     // let GC fold over them. The gap clears (and acks resume) when an
     // anti-entropy round or a catch-up session proves the prefix.
-    // `unsafe_fold_acks_across_gaps` is the audit pipeline's injected
-    // consistency bug (test-only): folding over a known gap lets GC
-    // absorb the floor past entries anti-entropy has yet to redeliver,
-    // which the offline auditor must catch as divergence.
+    // FAULT kFoldAcksAcrossGaps (the mutation corpus's founding member):
+    // folding over a known gap lets GC absorb the floor past entries
+    // anti-entropy has yet to redeliver, which the offline auditor must
+    // catch as divergence.
     if (stability_ && e.ack_clock > 0 &&
-        (config_.unsafe_fold_acks_across_gaps ||
+        (config_.fault.is(Fault::kFoldAcksAcrossGaps) ||
          !(from < peers_.size() && peers_[from].gapped))) {
       stability_->observe_ack(from, e.ack_clock);
     }
@@ -959,7 +979,15 @@ class StoreCore {
     }
     r.coverage = snap.coverage;  // every snapshot of a round carries the same
     r.donor_rows = snap.donor_rows;
-    if (r.installed_count < r.installed.size()) return;
+    // FAULT kAeAdoptOnFirstDelta: adopt the peer's coverage/stability
+    // rows after the round's *first* installed delta instead of the
+    // complete batch — vouching for data still riding in the round's
+    // remaining shards. The gap clears early, acks resume, and GC can
+    // fold over entries the unfinished deltas were about to deliver.
+    if (r.installed_count < r.installed.size() &&
+        !config_.fault.is(Fault::kAeAdoptOnFirstDelta)) {
+      return;
+    }
     r.active = false;
     ++stats_.ae_rounds_completed;
     if (obs_ && obs_->tracer) {
@@ -1190,6 +1218,9 @@ class StoreCore {
     ack.epoch = epoch_;
     ack.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
     ack.ack_clock = ack_clock;
+    // FAULT kAckOverstatesClock: heartbeat twin of the flush-path
+    // perversion — vouch for a stamp not yet broadcast.
+    if (config_.fault.is(Fault::kAckOverstatesClock)) ack.ack_clock += 1;
     raise_last_ack(ack.ack_clock);
     ++stats_.acks_sent;
     net_->broadcast_others(pid_, ack);
@@ -1238,9 +1269,16 @@ class StoreCore {
       // shortcut before drop-mode partitions existed; with drops it
       // over-claims — the segments beyond the first hole were received,
       // but nothing proves the hole's envelopes are held here.
-      cov[q].any = ps.any && ps.recv.has_prefix();
+      // FAULT kCoverageClaimsLastSeq: resurrect exactly that shortcut —
+      // claim through the last seq seen and call gapped streams drained,
+      // so a joiner "verifies" streams whose hole entries nobody ships.
+      const bool claim_last =
+          config_.fault.is(Fault::kCoverageClaimsLastSeq);
+      cov[q].any = claim_last ? ps.any : ps.any && ps.recv.has_prefix();
       cov[q].epoch = ps.epoch;
-      cov[q].seq = cov[q].any ? ps.recv.prefix() : 0;
+      cov[q].seq = !cov[q].any ? 0
+                   : claim_last ? ps.recv.last()
+                                : ps.recv.prefix();
       if constexpr (kInFlightAware) {
         // Settled stream (crashed or merely silent): with nothing of q
         // in flight, this store's prefix is q's complete output so far.
@@ -1251,8 +1289,8 @@ class StoreCore {
         if constexpr (kReachabilityAware) {
           reachable = net_->same_partition(pid_, q);
         }
-        cov[q].drained = net_->in_flight_from(q) == 0 && !ps.gapped &&
-                         reachable;
+        cov[q].drained = net_->in_flight_from(q) == 0 &&
+                         (claim_last || !ps.gapped) && reachable;
       }
     }
     return cov;

@@ -705,7 +705,7 @@ class ThreadUcStore
       // Same gap gate as route(): a gapped stream's piggybacked ack
       // proves nothing about what a partition dropped.
       if (this->stability_ && note->ack_clock > 0 &&
-          (this->config().unsafe_fold_acks_across_gaps ||
+          (this->config().fault.is(Fault::kFoldAcksAcrossGaps) ||
            !this->stream_gapped(note->from))) {
         this->stability_->observe_ack(note->from, note->ack_clock);
       }
@@ -761,7 +761,7 @@ class ThreadUcStore
     // so gaps cannot arise there today — but the gate is a soundness
     // invariant of ack observation, not a transport property).
     if (this->stability_ && e.ack_clock > 0 &&
-        (this->config().unsafe_fold_acks_across_gaps ||
+        (this->config().fault.is(Fault::kFoldAcksAcrossGaps) ||
          !this->stream_gapped(from))) {
       this->stability_->observe_ack(from, e.ack_clock);
     }

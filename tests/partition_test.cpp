@@ -22,6 +22,7 @@
 #include "recovery/all.hpp"
 #include "runtime/store_harness.hpp"
 #include "store/all.hpp"
+#include "test_seeds.hpp"
 #include "util/assert.hpp"
 
 namespace ucw {
@@ -121,6 +122,73 @@ TEST(SeqCoverageTest, AddPrefixSwallowsOnlyReachableSegments) {
   c.add_prefix(8);  // abuts {9}: swallowed
   EXPECT_TRUE(c.contiguous());
   EXPECT_EQ(c.prefix(), 9u);
+}
+
+TEST(SeqCoverageTest, AdjacentArrivalsCoalesceAtBothEnds) {
+  SeqCoverage c;
+  c.add(5);
+  // Extend the segment's upper end, then its lower end: adjacency must
+  // absorb into the existing segment, never open a new one.
+  c.add(6);
+  EXPECT_EQ(c.segments(), 1u);
+  c.add(4);
+  EXPECT_EQ(c.segments(), 1u);
+  EXPECT_EQ(c.last(), 6u);
+  // A fill that is adjacent to two segments at once bridges them into
+  // exactly one.
+  c.add(8);
+  EXPECT_EQ(c.segments(), 2u);
+  c.add(7);
+  EXPECT_EQ(c.segments(), 1u);
+  EXPECT_EQ(c.last(), 8u);
+  EXPECT_FALSE(c.has_prefix());  // [4,8] still floats above seq 0
+  c.add_prefix(3);
+  EXPECT_TRUE(c.contiguous());
+  EXPECT_EQ(c.prefix(), 8u);
+}
+
+TEST(SeqCoverageTest, AddPrefixAfterGapClaimsOnlyTheProvenPrefix) {
+  SeqCoverage c;
+  // Live stream with a partition hole: [0,1] received, 2-6 dropped,
+  // [7,8] received after the heal.
+  c.add(0);
+  c.add(1);
+  c.add(7);
+  c.add(8);
+  EXPECT_EQ(c.segments(), 2u);
+  EXPECT_EQ(c.prefix(), 1u);
+  // An AE round proves [0,4]: the prefix advances, the floating segment
+  // beyond the remaining hole must not be swallowed.
+  c.add_prefix(4);
+  EXPECT_EQ(c.segments(), 2u);
+  EXPECT_EQ(c.prefix(), 4u);
+  EXPECT_FALSE(c.contiguous());
+  // A later round proves [0,6]: now adjacent to [7,8] — one segment.
+  c.add_prefix(6);
+  EXPECT_TRUE(c.contiguous());
+  EXPECT_EQ(c.prefix(), 8u);
+}
+
+TEST(SeqCoverageTest, RepeatedAdoptionOfTheSameClaimIsIdempotent) {
+  // AE rounds are at-least-once: the same peer coverage claim can be
+  // adopted on every repeated round (retries, duplicated completions).
+  // Re-adoption must neither regress the prefix nor split segments.
+  SeqCoverage c;
+  c.add(10);
+  c.add(11);
+  c.add_prefix(9);
+  EXPECT_TRUE(c.contiguous());
+  EXPECT_EQ(c.prefix(), 11u);
+  for (int round = 0; round < 3; ++round) {
+    c.add_prefix(9);  // the identical claim, re-adopted
+    EXPECT_TRUE(c.contiguous());
+    EXPECT_EQ(c.segments(), 1u);
+    EXPECT_EQ(c.prefix(), 11u);
+  }
+  // A stale round's *older* claim is absorbed too — monotone, no split.
+  c.add_prefix(2);
+  EXPECT_TRUE(c.contiguous());
+  EXPECT_EQ(c.prefix(), 11u);
 }
 
 // ----- SimNetwork drop-mode partitions --------------------------------
@@ -541,7 +609,8 @@ TEST(PartitionTest, UpdatesIssuedDuringHealExchangeAreNotLost) {
 TEST(PartitionHarnessTest, PartitionPlanSplitsHealsAndConverges) {
   StoreRunConfig cfg;
   cfg.n_processes = 4;
-  cfg.seed = 21;
+  cfg.seed = test::seed_or(21);
+  SCOPED_TRACE(test::seed_trace(cfg.seed));
   cfg.fifo_links = true;
   cfg.n_keys = 40;
   cfg.ops_per_process = 80;
@@ -575,7 +644,8 @@ TEST(PartitionHarnessTest, PartitionPlanSplitsHealsAndConverges) {
 TEST(PartitionHarnessTest, UnhealedFinalSplitIsHealedBeforeTheCheck) {
   StoreRunConfig cfg;
   cfg.n_processes = 3;
-  cfg.seed = 9;
+  cfg.seed = test::seed_or(9);
+  SCOPED_TRACE(test::seed_trace(cfg.seed));
   cfg.fifo_links = true;
   cfg.n_keys = 20;
   cfg.ops_per_process = 50;
@@ -646,7 +716,8 @@ TEST(PartitionHarnessTest, EscalatingPlanHealedInsideGraceLosesNothing) {
   // detection and no anti-entropy to converge.
   StoreRunConfig cfg;
   cfg.n_processes = 3;
-  cfg.seed = 31;
+  cfg.seed = test::seed_or(31);
+  SCOPED_TRACE(test::seed_trace(cfg.seed));
   cfg.fifo_links = true;
   cfg.n_keys = 20;
   cfg.ops_per_process = 60;
@@ -675,7 +746,8 @@ TEST(PartitionHarnessTest, EscalationOutlivingGraceDropsAndAeRepairs) {
   // existing repair path.
   StoreRunConfig cfg;
   cfg.n_processes = 3;
-  cfg.seed = 32;
+  cfg.seed = test::seed_or(32);
+  SCOPED_TRACE(test::seed_trace(cfg.seed));
   cfg.fifo_links = true;
   cfg.n_keys = 20;
   cfg.ops_per_process = 80;

@@ -34,6 +34,7 @@
 #include "recovery/all.hpp"
 #include "runtime/store_harness.hpp"
 #include "store/all.hpp"
+#include "test_seeds.hpp"
 
 namespace ucw {
 namespace {
@@ -121,7 +122,10 @@ std::map<std::string, std::set<int>> deliver_batched(
 }
 
 TEST(StorePropertyTest, BatchedAndUnbatchedDeliveryAgreeExactly) {
-  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+  for (std::uint64_t seed : test::property_seeds(
+           {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18,
+            19, 20})) {
+    SCOPED_TRACE(test::seed_trace(seed));
     Rng rng(seed);
     const auto stream = make_stream(rng, /*n_processes=*/5, /*ops=*/400,
                                     /*n_keys=*/40, /*skew=*/0.99);
@@ -138,7 +142,8 @@ TEST(StorePropertyTest, BatchedAndUnbatchedDeliveryAgreeExactly) {
 }
 
 TEST(StorePropertyTest, EndToEndConvergesForEveryWindow) {
-  for (std::uint64_t seed : {3u, 11u, 27u}) {
+  for (std::uint64_t seed : test::property_seeds({3, 11, 27})) {
+    SCOPED_TRACE(test::seed_trace(seed));
     for (std::size_t window : {1u, 4u, 16u}) {
       StoreRunConfig cfg;
       cfg.n_processes = 5;
@@ -190,7 +195,9 @@ TEST(StorePropertyTest, IdenticallySeededRunsReplayBitForBit) {
 TEST(StorePropertyTest, SnapshotInstallAbsorbsStaleAndDuplicateRedelivery) {
   ReplayReplica<S>::Config absorb_cfg;
   absorb_cfg.absorb_below_floor = true;
-  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+  for (std::uint64_t seed :
+       test::property_seeds({1, 2, 3, 4, 5, 6, 7, 8, 9, 10})) {
+    SCOPED_TRACE(test::seed_trace(seed));
     Rng rng(seed);
     const auto stream = make_stream(rng, /*n_processes=*/5, /*ops=*/300,
                                     /*n_keys=*/25, /*skew=*/0.99);
@@ -238,7 +245,8 @@ TEST(StorePropertyTest, SnapshotInstallAbsorbsStaleAndDuplicateRedelivery) {
 }
 
 TEST(StorePropertyTest, ConvergesThroughCrashRestartInterleavings) {
-  for (std::uint64_t seed : {5u, 21u, 42u}) {
+  for (std::uint64_t seed : test::property_seeds({5, 21, 42})) {
+    SCOPED_TRACE(test::seed_trace(seed));
     StoreRunConfig cfg;
     cfg.n_processes = 5;
     cfg.seed = seed;
@@ -319,7 +327,8 @@ TEST(StorePropertyTest, RandomPartitionCrashScheduleStillConverges) {
   // every split keep writing, heal-time anti-entropy reconciles, and
   // every surviving store ends identical per key. The schedule itself
   // is drawn from the seed, so a failure names its reproduction.
-  for (const std::uint64_t seed : {13u, 29u, 57u}) {
+  for (const std::uint64_t seed : test::property_seeds({13, 29, 57})) {
+    SCOPED_TRACE(test::seed_trace(seed));
     Rng rng(seed);
     StoreRunConfig cfg;
     cfg.n_processes = 5;

@@ -1,0 +1,54 @@
+// Reproducibility helpers for randomized property tests.
+//
+// Every randomized schedule in the suite draws its seeds through here,
+// so a red run always names the seed that broke it and a developer can
+// replay exactly that schedule with
+//
+//   UCW_SEED=<n> ./store_property_test --gtest_filter=...
+//
+// UCW_SEED overrides the whole seed list with the single given seed —
+// the test then runs its property once, on the schedule under
+// investigation. Use SCOPED_TRACE(seed_trace(seed)) inside the per-seed
+// loop so any assertion failure beneath it carries the seed.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace ucw::test {
+
+/// The UCW_SEED env override, if set and parseable.
+inline bool env_seed(std::uint64_t* out) {
+  const char* s = std::getenv("UCW_SEED");
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+/// The seed list a property test iterates: the given defaults, or the
+/// single UCW_SEED when the override is set.
+inline std::vector<std::uint64_t> property_seeds(
+    std::vector<std::uint64_t> defaults) {
+  std::uint64_t s = 0;
+  if (env_seed(&s)) return {s};
+  return defaults;
+}
+
+/// One seed (fixed-schedule tests): the default, or UCW_SEED.
+inline std::uint64_t seed_or(std::uint64_t def) {
+  std::uint64_t s = 0;
+  return env_seed(&s) ? s : def;
+}
+
+/// SCOPED_TRACE message naming the failing seed and how to replay it.
+inline std::string seed_trace(std::uint64_t seed) {
+  return "seed=" + std::to_string(seed) +
+         " (replay with UCW_SEED=" + std::to_string(seed) + ")";
+}
+
+}  // namespace ucw::test

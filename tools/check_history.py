@@ -22,10 +22,15 @@ Checked:
     final_reads = #f lines;
   * --require-complete: dropped must be 0 (ring never overflowed) — a
     certification gate is meaningless on a truncated history;
-  * --min-ops N: at least N data lines (the smoke really ran).
+  * --min-ops N: at least N data lines (the smoke really ran);
+  * provenance: when the meta carries `seed` (non-negative int) and
+    `fault` (mutation-corpus wire name or "none") they must be
+    well-typed, and --require-provenance demands they are present — a
+    fuzz-campaign artifact without them cannot be replayed.
 
 Usage:
   check_history.py HISTORY.jsonl [--require-complete] [--min-ops N]
+                   [--require-provenance]
 
 stdlib only — no pip installs in CI.
 """
@@ -54,6 +59,8 @@ def main():
                     help="fail if the recorder dropped any records")
     ap.add_argument("--min-ops", type=int, default=1,
                     help="minimum number of data lines")
+    ap.add_argument("--require-provenance", action="store_true",
+                    help="fail unless the meta names its seed and fault")
     args = ap.parse_args()
 
     failures = []
@@ -74,6 +81,22 @@ def main():
             failures.append(f"meta is missing '{field}'")
     if meta.get("format") != "ucw-history-v1":
         failures.append(f"unknown format {meta.get('format')!r}")
+    # Provenance fields (seed + injected fault) arrived after v1 shipped,
+    # so they are validated when present and only *required* on demand.
+    if "seed" in meta and (not isinstance(meta["seed"], int)
+                           or meta["seed"] < 0):
+        failures.append(f"meta.seed {meta['seed']!r} is not a "
+                        "non-negative integer")
+    if "fault" in meta and (not isinstance(meta["fault"], str)
+                            or not meta["fault"]):
+        failures.append(f"meta.fault {meta['fault']!r} is not a non-empty "
+                        "string (expect a corpus wire name or 'none')")
+    if args.require_provenance:
+        for field in ("seed", "fault"):
+            if field not in meta:
+                failures.append(
+                    f"meta is missing '{field}' but --require-provenance "
+                    "was given — the artifact cannot be replayed")
     if failures:
         fail(failures)
 
@@ -136,9 +159,13 @@ def main():
 
     if failures:
         fail(failures)
+    provenance = ""
+    if "seed" in meta or "fault" in meta:
+        provenance = (f", seed={meta.get('seed', '?')}"
+                      f", fault={meta.get('fault', '?')}")
     print(f"OK: {data_lines} ops ({counts['u']} updates, {counts['q']} "
           f"queries, {counts['f']} final reads) over {n_processes} "
-          f"processes, dropped={meta['dropped']}")
+          f"processes, dropped={meta['dropped']}{provenance}")
 
 
 if __name__ == "__main__":

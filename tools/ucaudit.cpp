@@ -39,7 +39,8 @@ int usage() {
          "  ucaudit check <history.jsonl> [--dot-dir=DIR]\n"
          "  ucaudit record --out=H.jsonl [--scenario=S.json]\n"
          "                 [--random-faults --seed=N --processes=N --ops=N\n"
-         "                  --inject-bug] [--scenario-out=S.json]\n"
+         "                  --inject-bug | --fault=NAME]\n"
+         "                 [--scenario-out=S.json]\n"
          "  ucaudit replay <scenario.json> [--out=H.jsonl] [--dot-dir=DIR]\n"
          "  ucaudit shrink <scenario.json> --out=MIN.json [--max-evals=N]\n"
          "                 [--verbose]\n"
@@ -148,6 +149,17 @@ int cmd_record(const Flags& flags) {
     if (!flags.get_bool("random-faults", false)) {
       spec.crashes.clear();
       spec.restarts.clear();
+    }
+    // --fault=NAME selects a mutation-corpus mutant by wire name
+    // (supersedes --inject-bug, which remains as the legacy spelling of
+    // --fault=fold_acks_across_gaps).
+    if (const std::string fname = flags.get("fault", ""); !fname.empty()) {
+      Fault f = Fault::kNone;
+      if (!fault_from_name(fname, &f)) {
+        std::cerr << "ucaudit: unknown fault name: " << fname << "\n";
+        return kUsage;
+      }
+      spec.fault = fname;
     }
   }
   if (const std::string so = flags.get("scenario-out", ""); !so.empty()) {

@@ -1,0 +1,451 @@
+// ucfuzz — mutation-corpus fuzz harness that certifies the certifier.
+//
+//   ucfuzz list
+//       Print the mutation corpus (mutant → violated invariant).
+//   ucfuzz sweep --fault=NAME|all --seeds=A-B|a,b,c [--ops=N]
+//                [--processes=N]
+//       Per-seed detection sweep for curating gated seed sets: runs the
+//       mutant on each seed (schedule shaped per its FaultInfo) and
+//       prints the verdict per seed plus the detecting-seed list.
+//   ucfuzz campaign [--seeds=A-B] [--faults=a,b|all] [--ops=N]
+//                   [--processes=N] [--no-shrink] [--max-evals=N]
+//                   [--shrink-cap=N] [--out=report.json] [--gate]
+//       The full matrix: seeds × corpus mutants × a clean control arm,
+//       each run record→certify→(on refute) shrink. Emits a
+//       machine-readable campaign report: per-mutant detection rate,
+//       clean-arm false-positive rate (must be 0), mean ops / fault
+//       events / evaluations of the shrunk counterexamples, and wall
+//       time per arm. With --gate, additionally runs every mutant on
+//       its curated gated seeds and exits nonzero on any missed
+//       detection there, any clean-arm refutation, or any refutation
+//       the shrinker could not drive to 1-minimality.
+//
+// Exit codes: 0 ok / gate passed, 1 gate failed, 2 usage error.
+//
+// Deterministic end to end: scenarios run under the DES, so a report is
+// reproducible from its seed list alone.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.hpp"
+#include "audit/scenario.hpp"
+#include "audit/shrink.hpp"
+#include "faults/fault_spec.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ucw;
+using namespace ucw::audit;
+
+constexpr int kOk = 0;
+constexpr int kGateFailed = 1;
+constexpr int kUsage = 2;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  ucfuzz list\n"
+         "  ucfuzz sweep --fault=NAME|all --seeds=A-B|a,b,c [--ops=N]\n"
+         "               [--processes=N]\n"
+         "  ucfuzz campaign [--seeds=A-B] [--faults=a,b|all] [--ops=N]\n"
+         "                  [--processes=N] [--no-shrink] [--max-evals=N]\n"
+         "                  [--shrink-cap=N] [--out=report.json] [--gate]\n"
+         "exit: 0 ok, 1 gate failed, 2 usage error\n";
+  return kUsage;
+}
+
+/// "3", "1,4,9", and "1-20" (inclusive) all parse; combinations of
+/// comma-separated atoms may mix singletons and ranges.
+bool parse_seed_list(const std::string& s, std::vector<std::uint64_t>* out) {
+  out->clear();
+  std::stringstream ss(s);
+  std::string atom;
+  while (std::getline(ss, atom, ',')) {
+    if (atom.empty()) return false;
+    const std::size_t dash = atom.find('-');
+    try {
+      if (dash == std::string::npos) {
+        out->push_back(std::stoull(atom));
+      } else {
+        const std::uint64_t lo = std::stoull(atom.substr(0, dash));
+        const std::uint64_t hi = std::stoull(atom.substr(dash + 1));
+        if (hi < lo || hi - lo > 10'000) return false;
+        for (std::uint64_t v = lo; v <= hi; ++v) out->push_back(v);
+      }
+    } catch (...) {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+/// The corpus subset a --faults/--fault value names ("all" / "" = all).
+bool select_mutants(const std::string& names,
+                    std::vector<const FaultInfo*>* out) {
+  out->clear();
+  if (names.empty() || names == "all") {
+    for (const FaultInfo& info : fault_corpus()) out->push_back(&info);
+    return true;
+  }
+  std::stringstream ss(names);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    Fault f = Fault::kNone;
+    if (!fault_from_name(name, &f) || f == Fault::kNone) {
+      std::cerr << "ucfuzz: unknown fault name: " << name << "\n";
+      return false;
+    }
+    out->push_back(fault_info(f));
+  }
+  return !out->empty();
+}
+
+ScenarioSpec shaped_scenario(std::uint64_t seed, const FaultInfo* mutant,
+                             std::size_t processes, std::size_t ops) {
+  ScenarioShape shape;
+  shape.n_processes = processes;
+  shape.ops_per_process = ops;
+  if (mutant != nullptr) {
+    shape.fault = mutant->name;
+    shape.force_crash_restart = mutant->wants_restart;
+    shape.three_way = mutant->wants_three_way;
+  }
+  return random_fault_scenario(seed, shape);
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ----- sweep -----------------------------------------------------------
+
+int cmd_sweep(const Flags& flags) {
+  std::vector<std::uint64_t> seeds;
+  if (!parse_seed_list(flags.get("seeds", "1-20"), &seeds)) return usage();
+  std::vector<const FaultInfo*> mutants;
+  if (!select_mutants(flags.get("fault", "all"), &mutants)) return kUsage;
+  const auto processes =
+      static_cast<std::size_t>(flags.get_int("processes", 3));
+  const auto ops = static_cast<std::size_t>(flags.get_int("ops", 120));
+  for (const FaultInfo* m : mutants) {
+    std::vector<std::uint64_t> detecting;
+    std::vector<std::uint64_t> confounded;
+    std::cout << m->name << ":";
+    for (const std::uint64_t seed : seeds) {
+      const ScenarioSpec spec = shaped_scenario(seed, m, processes, ops);
+      const ScenarioResult r = run_scenario(spec);
+      char mark = r.audit.refuted() ? 'R'
+                  : r.audit.certified() ? '.'
+                                        : '?';
+      if (!r.audit.certified()) {
+        // Clean twin: the same shaped schedule with the fault switched
+        // off. If it also refutes, the verdict is schedule-induced (a
+        // crash can destroy a recorded-but-unreplicated update), not
+        // mutant-induced — such a seed must not be gated.
+        ScenarioSpec clean = spec;
+        clean.fault = "none";
+        if (run_scenario(clean).audit.refuted()) {
+          mark = 'C';
+          confounded.push_back(seed);
+        } else {
+          detecting.push_back(seed);
+        }
+      }
+      std::cout << ' ' << seed << mark << std::flush;
+    }
+    std::cout << "\n  detecting:";
+    for (const std::uint64_t s : detecting) std::cout << ' ' << s;
+    std::cout << "  (" << detecting.size() << "/" << seeds.size() << ")";
+    if (!confounded.empty()) {
+      std::cout << "  confounded:";
+      for (const std::uint64_t s : confounded) std::cout << ' ' << s;
+    }
+    std::cout << "\n";
+  }
+  return kOk;
+}
+
+// ----- campaign --------------------------------------------------------
+
+struct ShrinkStats {
+  std::size_t count = 0;       ///< refutations shrunk
+  std::size_t minimal = 0;     ///< reached 1-minimality within budget
+  double sum_ops = 0;          ///< total ops across shrunk specs
+  double sum_fault_events = 0; ///< partitions+crashes+restarts across them
+  double sum_evaluations = 0;  ///< replays the shrinker spent
+};
+
+struct ArmTally {
+  std::size_t runs = 0;
+  std::size_t certified = 0;
+  std::size_t refuted = 0;
+  std::size_t unknown = 0;
+  double ms = 0;
+  ShrinkStats shrunk;
+
+  [[nodiscard]] std::size_t detected() const { return refuted + unknown; }
+};
+
+/// One record→certify→(on refute) shrink pipeline run. `shrink_budget`
+/// (nullable = unlimited) is decremented per shrink: a capped campaign
+/// shrinks the first N refutations of each mutant and only tallies the
+/// rest — the minimality gate applies to what was shrunk.
+void run_arm(const ScenarioSpec& spec, bool shrink, std::size_t max_evals,
+             std::size_t* shrink_budget, ArmTally* tally,
+             std::vector<std::string>* gate_failures,
+             const char* gate_label) {
+  const double t0 = now_ms();
+  const ScenarioResult r = run_scenario(spec);
+  ++tally->runs;
+  if (r.audit.certified()) {
+    ++tally->certified;
+  } else if (r.audit.refuted()) {
+    ++tally->refuted;
+  } else {
+    ++tally->unknown;
+  }
+  if (r.audit.refuted() && shrink &&
+      (shrink_budget == nullptr || *shrink_budget > 0)) {
+    if (shrink_budget != nullptr) --*shrink_budget;
+    ShrinkOptions opt;
+    opt.max_evaluations = max_evals;
+    const auto is_failing = [](const ScenarioSpec& s) {
+      return run_scenario(s).audit.refuted();
+    };
+    const ShrinkResult sres = shrink_scenario(spec, is_failing, opt);
+    ShrinkStats& st = tally->shrunk;
+    ++st.count;
+    if (sres.minimal) ++st.minimal;
+    st.sum_ops += static_cast<double>(sres.spec.total_ops());
+    st.sum_fault_events += static_cast<double>(sres.spec.fault_events());
+    st.sum_evaluations += static_cast<double>(sres.evaluations);
+    if (!sres.minimal && gate_failures != nullptr) {
+      gate_failures->push_back(std::string(gate_label) + " seed " +
+                               std::to_string(spec.seed) +
+                               ": shrink exhausted its budget before "
+                               "1-minimality");
+    }
+  }
+  tally->ms += now_ms() - t0;
+}
+
+JsonValue shrink_json(const ShrinkStats& st) {
+  JsonValue::Object o;
+  o.emplace("count", JsonValue(static_cast<double>(st.count)));
+  o.emplace("minimal", JsonValue(static_cast<double>(st.minimal)));
+  const double n = st.count > 0 ? static_cast<double>(st.count) : 1.0;
+  o.emplace("mean_ops", JsonValue(st.sum_ops / n));
+  o.emplace("mean_fault_events", JsonValue(st.sum_fault_events / n));
+  o.emplace("mean_evaluations", JsonValue(st.sum_evaluations / n));
+  return JsonValue(std::move(o));
+}
+
+int cmd_campaign(const Flags& flags) {
+  std::vector<std::uint64_t> seeds;
+  if (!parse_seed_list(flags.get("seeds", "1-10"), &seeds)) return usage();
+  std::vector<const FaultInfo*> mutants;
+  if (!select_mutants(flags.get("faults", "all"), &mutants)) return kUsage;
+  const auto processes =
+      static_cast<std::size_t>(flags.get_int("processes", 3));
+  const auto ops = static_cast<std::size_t>(flags.get_int("ops", 120));
+  const bool shrink = !flags.get_bool("no-shrink", false);
+  const auto max_evals =
+      static_cast<std::size_t>(flags.get_int("max-evals", 400));
+  // --shrink-cap=N: shrink at most N refutations per mutant (0 = all).
+  // A full report shrinks everything; the CI smoke caps at 1 so its
+  // wall clock is bounded by runs, not by ddmin replays.
+  const auto shrink_cap =
+      static_cast<std::size_t>(flags.get_int("shrink-cap", 0));
+  const bool gate = flags.get_bool("gate", false);
+  std::vector<std::string> gate_failures;
+  const double campaign_t0 = now_ms();
+
+  // Clean control arm: every seed, no mutant, unshaped schedule. Any
+  // refutation here is a false positive of the auditor itself.
+  ArmTally clean;
+  for (const std::uint64_t seed : seeds) {
+    run_arm(shaped_scenario(seed, nullptr, processes, ops), shrink,
+            max_evals, nullptr, &clean, nullptr, "");
+  }
+  if (clean.refuted > 0) {
+    gate_failures.push_back("clean arm refuted on " +
+                            std::to_string(clean.refuted) + "/" +
+                            std::to_string(clean.runs) + " seeds");
+  }
+  std::cout << "clean: " << clean.certified << "/" << clean.runs
+            << " certified, " << clean.refuted << " refuted (must be 0), "
+            << clean.unknown << " unknown\n";
+
+  JsonValue::Array mutant_rows;
+  for (const FaultInfo* m : mutants) {
+    // Exploration arm: the shared seed list, shaped for this mutant.
+    // Reported (detection_rate) but not gated — random schedules need
+    // not all tickle the bug.
+    std::size_t budget =
+        shrink_cap > 0 ? shrink_cap : std::numeric_limits<std::size_t>::max();
+    // Gated arm first: those refutations are the ones the gate demands
+    // be reproducible, so a capped budget spends itself there.
+    ArmTally gated;
+    std::size_t confounded = 0;
+    for (const std::uint64_t seed : m->gated_seeds) {
+      const ScenarioSpec spec = shaped_scenario(seed, m, processes, ops);
+      run_arm(spec, shrink, max_evals, &budget, &gated,
+              gate ? &gate_failures : nullptr, m->name);
+      // Clean twin of the gated schedule: the same shape with the fault
+      // off must NOT refute, or the gated detection is schedule-induced
+      // (e.g. a crash destroying an unreplicated update) rather than
+      // mutant-induced — and it doubles as the shaped-schedule false-
+      // positive gate on the auditor.
+      ScenarioSpec twin = spec;
+      twin.fault = "none";
+      if (run_scenario(twin).audit.refuted()) ++confounded;
+    }
+    if (confounded > 0) {
+      gate_failures.push_back(std::string(m->name) +
+                              ": clean twin refuted on " +
+                              std::to_string(confounded) + "/" +
+                              std::to_string(gated.runs) +
+                              " gated schedules");
+    }
+    ArmTally arm;
+    for (const std::uint64_t seed : seeds) {
+      run_arm(shaped_scenario(seed, m, processes, ops), shrink, max_evals,
+              &budget, &arm, nullptr, "");
+    }
+    if (gated.certified > 0) {
+      gate_failures.push_back(std::string(m->name) + ": missed on " +
+                              std::to_string(gated.certified) + "/" +
+                              std::to_string(gated.runs) +
+                              " gated seeds");
+    }
+    const double rate =
+        arm.runs > 0
+            ? static_cast<double>(arm.detected()) / static_cast<double>(arm.runs)
+            : 0.0;
+    std::cout << m->name << ": " << arm.detected() << "/" << arm.runs
+              << " detected (rate " << rate << "), gated "
+              << gated.detected() << "/" << gated.runs << "\n";
+
+    JsonValue::Object row;
+    row.emplace("fault", JsonValue(std::string(m->name)));
+    row.emplace("invariant", JsonValue(std::string(m->invariant)));
+    row.emplace("runs", JsonValue(static_cast<double>(arm.runs)));
+    row.emplace("detected", JsonValue(static_cast<double>(arm.detected())));
+    row.emplace("refuted", JsonValue(static_cast<double>(arm.refuted)));
+    row.emplace("unknown", JsonValue(static_cast<double>(arm.unknown)));
+    row.emplace("detection_rate", JsonValue(rate));
+    JsonValue::Array gs;
+    for (const std::uint64_t s : m->gated_seeds) {
+      gs.push_back(JsonValue(static_cast<double>(s)));
+    }
+    row.emplace("gated_seeds", JsonValue(std::move(gs)));
+    row.emplace("gated_runs", JsonValue(static_cast<double>(gated.runs)));
+    row.emplace("gated_detected",
+                JsonValue(static_cast<double>(gated.detected())));
+    row.emplace("gated_clean_refuted",
+                JsonValue(static_cast<double>(confounded)));
+    ShrinkStats merged = arm.shrunk;
+    merged.count += gated.shrunk.count;
+    merged.minimal += gated.shrunk.minimal;
+    merged.sum_ops += gated.shrunk.sum_ops;
+    merged.sum_fault_events += gated.shrunk.sum_fault_events;
+    merged.sum_evaluations += gated.shrunk.sum_evaluations;
+    row.emplace("shrunk", shrink_json(merged));
+    row.emplace("ms", JsonValue(arm.ms + gated.ms));
+    mutant_rows.push_back(JsonValue(std::move(row)));
+  }
+
+  JsonValue::Object report;
+  report.emplace("format", JsonValue(std::string("ucw-fuzz-campaign-v1")));
+  JsonValue::Array seed_arr;
+  for (const std::uint64_t s : seeds) {
+    seed_arr.push_back(JsonValue(static_cast<double>(s)));
+  }
+  report.emplace("seeds", JsonValue(std::move(seed_arr)));
+  report.emplace("processes", JsonValue(static_cast<double>(processes)));
+  report.emplace("ops_per_process", JsonValue(static_cast<double>(ops)));
+  report.emplace("shrink", JsonValue(shrink));
+  {
+    JsonValue::Object c;
+    c.emplace("runs", JsonValue(static_cast<double>(clean.runs)));
+    c.emplace("certified", JsonValue(static_cast<double>(clean.certified)));
+    c.emplace("refuted", JsonValue(static_cast<double>(clean.refuted)));
+    c.emplace("unknown", JsonValue(static_cast<double>(clean.unknown)));
+    c.emplace("false_positive_rate",
+              JsonValue(clean.runs > 0
+                            ? static_cast<double>(clean.refuted) /
+                                  static_cast<double>(clean.runs)
+                            : 0.0));
+    c.emplace("ms", JsonValue(clean.ms));
+    report.emplace("clean", JsonValue(std::move(c)));
+  }
+  report.emplace("mutants", JsonValue(std::move(mutant_rows)));
+  {
+    JsonValue::Object g;
+    g.emplace("enabled", JsonValue(gate));
+    g.emplace("passed", JsonValue(gate_failures.empty()));
+    JsonValue::Array fa;
+    for (const std::string& f : gate_failures) {
+      fa.push_back(JsonValue(f));
+    }
+    g.emplace("failures", JsonValue(std::move(fa)));
+    report.emplace("gate", JsonValue(std::move(g)));
+  }
+  report.emplace("elapsed_ms", JsonValue(now_ms() - campaign_t0));
+
+  const std::string out = flags.get("out", "");
+  if (!out.empty()) {
+    std::ofstream f(out);
+    if (!f.good()) {
+      std::cerr << "ucfuzz: cannot open " << out << " for writing\n";
+      return kUsage;
+    }
+    f << JsonValue(std::move(report)).dump() << "\n";
+    std::cout << "report: " << out << "\n";
+  } else {
+    std::cout << JsonValue(std::move(report)).dump() << "\n";
+  }
+
+  if (!gate_failures.empty()) {
+    for (const std::string& f : gate_failures) {
+      std::cerr << "ucfuzz: GATE FAIL: " << f << "\n";
+    }
+    if (gate) return kGateFailed;
+  }
+  return kOk;
+}
+
+int cmd_list() {
+  for (const FaultInfo& m : fault_corpus()) {
+    std::cout << m.name << "\n  invariant: " << m.invariant
+              << "\n  perversion: " << m.summary << "\n  shape:"
+              << (m.wants_restart ? " crash-restart" : "")
+              << (m.wants_three_way ? " three-way" : "")
+              << ((m.wants_restart || m.wants_three_way) ? "" : " default")
+              << "\n  gated seeds:";
+    for (const std::uint64_t s : m.gated_seeds) std::cout << ' ' << s;
+    std::cout << "\n";
+  }
+  return kOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  if (flags.positional().empty()) return usage();
+  const std::string& cmd = flags.positional()[0];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "sweep") return cmd_sweep(flags);
+  if (cmd == "campaign") return cmd_campaign(flags);
+  return usage();
+}
