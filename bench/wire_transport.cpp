@@ -1,0 +1,298 @@
+// E15 — Wire transport: real UDP bytes/op and convergence drain vs the
+// in-process transport, plus codec microbenchmarks.
+//
+// The batching benches charge kFrameOverheadBytes per envelope as an
+// *estimate*; this experiment puts the same workload on a real socket
+// and reports what the wire actually carried. Three arms, same seeded
+// 3-node register workload: the in-process ThreadNetwork (estimated
+// bytes only — objects move by pointer), UDP on a clean localhost
+// loop, and UDP with 3% injected drop + 2% reorder. Headline columns:
+// real bytes/op vs the estimator (how honest was the estimate), and
+// the drain time — what loss does to time-to-converge when repair runs
+// over the same socket it is repairing (gap detection + anti-entropy,
+// the rotating rounds covering tail losses exactly as
+// examples/cluster_node.cpp does).
+//
+// The microbenchmarks price the codec itself: envelope encode/decode
+// per batch size, and the per-frame CRC32.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/register.hpp"
+#include "net/thread_network.hpp"
+#include "net/wire.hpp"
+#include "store/thread_store.hpp"
+#include "store/udp_store.hpp"
+
+namespace {
+
+using namespace ucw;
+using Reg = RegisterAdt<std::int64_t>;
+
+constexpr std::size_t kNodes = 3;
+constexpr std::size_t kKeys = 64;
+constexpr std::size_t kOpsPerNode = 1'000;
+
+struct ArmResult {
+  std::uint64_t real_dgrams = 0;
+  std::uint64_t real_bytes = 0;   ///< from transport stats (0 = n/a)
+  std::uint64_t est_bytes = 0;    ///< StoreStats bytes_batched
+  std::uint64_t gaps = 0;
+  std::uint64_t ae_completed = 0;
+  std::uint64_t injected_drops = 0;
+  double drain_ms = 0.0;
+  bool converged = false;
+};
+
+StoreConfig store_config() {
+  StoreConfig cfg;
+  cfg.batch_window = 8;
+  cfg.gc = true;
+  cfg.auto_anti_entropy = true;
+  return cfg;
+}
+
+/// Seeded interleaved write load, identical across arms.
+template <typename Store>
+void drive_load(std::vector<std::unique_ptr<Store>>& stores,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < kOpsPerNode; ++i) {
+    for (std::size_t p = 0; p < stores.size(); ++p) {
+      const std::string key = "k" + std::to_string(rng.uniform_int(
+                                        0, static_cast<int>(kKeys) - 1));
+      (void)stores[p]->update(
+          key, Reg::write(static_cast<std::int64_t>((p + 1) * 1'000'000 + i)));
+    }
+    if (i % 8 == 7) {
+      for (auto& s : stores) (void)s->flush();
+    }
+  }
+  for (auto& s : stores) (void)s->flush();
+}
+
+/// Poll/flush (+ rotating anti-entropy for tail losses) until every
+/// store agrees on every key, gap-free, nothing pending. Returns true
+/// on convergence within the iteration budget.
+template <typename Store>
+bool drain(std::vector<std::unique_ptr<Store>>& stores, int max_iters) {
+  const std::size_t n = stores.size();
+  int stable = 0;
+  std::vector<std::int64_t> last;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    for (auto& s : stores) {
+      (void)s->poll();
+      (void)s->flush();
+    }
+    bool gapped = false;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = 0; q < n; ++q) {
+        gapped = gapped || (q != p && stores[p]->stream_gapped(
+                                          static_cast<ProcessId>(q)));
+      }
+    }
+    if (iter % 20 == 19) {
+      for (std::size_t p = 0; p < n; ++p) {
+        std::size_t peer = (p + 1 + static_cast<std::size_t>(iter) / 20) % n;
+        if (peer == p) peer = (p + 1) % n;
+        (void)stores[p]->anti_entropy_round(static_cast<ProcessId>(peer),
+                                            /*reciprocate=*/true);
+      }
+    }
+    std::vector<std::int64_t> now;
+    now.reserve(n * kKeys);
+    bool agree = true;
+    for (std::size_t k = 0; k < kKeys; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      const std::int64_t v0 = stores[0]->state_of(key);
+      now.push_back(v0);
+      for (std::size_t p = 1; p < n; ++p) {
+        const std::int64_t vp = stores[p]->state_of(key);
+        now.push_back(vp);
+        agree = agree && vp == v0;
+      }
+    }
+    bool pending = false;
+    for (auto& s : stores) pending = pending || s->pending() != 0;
+    stable = (agree && !gapped && !pending && now == last) ? stable + 1 : 0;
+    last = std::move(now);
+    if (stable >= 5) return true;
+  }
+  return false;
+}
+
+template <typename Store>
+void collect_store_stats(std::vector<std::unique_ptr<Store>>& stores,
+                         ArmResult* r) {
+  for (auto& s : stores) {
+    const StoreStats ss = s->stats();
+    r->est_bytes += ss.bytes_batched;
+    r->gaps += ss.stream_gaps_detected;
+    r->ae_completed += ss.ae_rounds_completed;
+  }
+}
+
+ArmResult run_thread_arm(std::uint64_t seed) {
+  using Store = ThreadUcStore<Reg>;
+  ThreadNetwork<BatchEnvelope<Reg, std::string>> net(kNodes);
+  std::vector<std::unique_ptr<Store>> stores;
+  for (std::size_t p = 0; p < kNodes; ++p) {
+    stores.push_back(std::make_unique<Store>(
+        Reg{}, static_cast<ProcessId>(p), net, store_config()));
+  }
+  drive_load(stores, seed);
+  ArmResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  r.converged = drain(stores, 4'000);
+  r.drain_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  collect_store_stats(stores, &r);
+  return r;
+}
+
+ArmResult run_udp_arm(std::uint64_t seed, double drop, double reorder) {
+  using Store = UdpUcStore<Reg>;
+  std::vector<std::unique_ptr<UdpTransport<Reg>>> nets;
+  std::vector<UdpEndpoint> blank(kNodes);  // ephemeral ports
+  for (std::size_t p = 0; p < kNodes; ++p) {
+    UdpTransportOptions topt;
+    topt.drop = drop;
+    topt.reorder = reorder;
+    topt.fault_seed = splitmix64(seed ^ (0xE15 + p));
+    nets.push_back(std::make_unique<UdpTransport<Reg>>(
+        static_cast<ProcessId>(p), blank, topt));
+  }
+  std::vector<UdpEndpoint> real(kNodes);
+  for (std::size_t p = 0; p < kNodes; ++p) {
+    real[p].port = nets[p]->local_port();
+  }
+  for (std::size_t p = 0; p < kNodes; ++p) {
+    nets[p]->set_peers(real);
+  }
+  std::vector<std::unique_ptr<Store>> stores;
+  for (std::size_t p = 0; p < kNodes; ++p) {
+    stores.push_back(std::make_unique<Store>(
+        Reg{}, static_cast<ProcessId>(p), *nets[p], store_config()));
+  }
+  drive_load(stores, seed);
+  ArmResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  r.converged = drain(stores, 4'000);
+  r.drain_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  collect_store_stats(stores, &r);
+  for (auto& n : nets) {
+    const UdpTransportStats ts = n->stats();
+    r.real_dgrams += ts.datagrams_sent;
+    r.real_bytes += ts.bytes_sent;
+    r.injected_drops += ts.injected_drops;
+  }
+  for (auto& n : nets) n->close_all();
+  return r;
+}
+
+void print_tables() {
+  print_banner(
+      std::cout,
+      "E15: wire transport — real UDP bytes/op vs the in-process "
+      "estimate, and drain time under injected loss (3 nodes, " +
+          std::to_string(kOpsPerNode) + " ops/node, " +
+          std::to_string(kKeys) + " keys, window 8)");
+  TextTable t({"transport", "drop", "dgrams out", "real B out",
+               "real B/op", "est B/op", "est/real", "gaps",
+               "ae done", "drain ms", "converged"});
+  const std::uint64_t seed = 29;
+  const double total_ops = kNodes * kOpsPerNode;
+
+  const ArmResult thread_arm = run_thread_arm(seed);
+  t.add("thread (in-proc)", "-", "-", "-", "-",
+        thread_arm.est_bytes / total_ops, "-", thread_arm.gaps,
+        thread_arm.ae_completed, thread_arm.drain_ms,
+        thread_arm.converged ? "yes" : "no");
+
+  for (const double drop : {0.0, 0.03}) {
+    const ArmResult r = run_udp_arm(seed, drop, drop > 0 ? 0.02 : 0.0);
+    t.add("udp (localhost)", drop, r.real_dgrams, r.real_bytes,
+          r.real_bytes / total_ops, r.est_bytes / total_ops,
+          r.real_bytes == 0
+              ? 0.0
+              : static_cast<double>(r.est_bytes) /
+                    static_cast<double>(r.real_bytes),
+          r.gaps, r.ae_completed, r.drain_ms, r.converged ? "yes" : "no");
+  }
+  t.print(std::cout);
+  std::cout << "\n(est = StoreStats bytes_batched, the per-envelope "
+               "kFrameOverheadBytes model; real = sendto() bytes incl. "
+               "per-fragment frame headers and repair traffic.)\n\n";
+}
+
+// ------------------------------------------------------- microbenches
+
+BatchEnvelope<Reg, std::string> make_batch(std::size_t entries) {
+  BatchEnvelope<Reg, std::string> e;
+  e.kind = EnvelopeKind::kBatch;
+  e.epoch = 1;
+  e.seq = 7;
+  e.ack_clock = 99;
+  for (std::size_t i = 0; i < entries; ++i) {
+    KeyedUpdate<Reg, std::string> ku;
+    ku.key = "key-" + std::to_string(i % 64);
+    ku.msg.stamp = Stamp{static_cast<LogicalTime>(1'000 + i),
+                         static_cast<ProcessId>(i % 3)};
+    ku.msg.update = Reg::write(static_cast<std::int64_t>(i) * 31);
+    e.entries.push_back(std::move(ku));
+  }
+  return e;
+}
+
+void BM_EnvelopeEncode(benchmark::State& state) {
+  const auto e = make_batch(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> bytes;
+  for (auto _ : state) {
+    bytes.clear();
+    wire::encode_envelope(e, &bytes);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_EnvelopeEncode)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_EnvelopeDecode(benchmark::State& state) {
+  const auto e = make_batch(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> bytes;
+  wire::encode_envelope(e, &bytes);
+  BatchEnvelope<Reg, std::string> out;
+  for (auto _ : state) {
+    const bool ok = wire::decode_envelope(bytes.data(), bytes.size(), &out);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_EnvelopeDecode)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_FrameCrc32(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  Rng rng(5);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::crc32(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FrameCrc32)->Arg(64)->Arg(1'024)->Arg(60'000);
+
+}  // namespace
+
+UCW_BENCH_MAIN(print_tables)

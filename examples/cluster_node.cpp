@@ -1,0 +1,235 @@
+// cluster_node — one replica of a real multi-process UCStore cluster.
+//
+//   $ ./cluster_node --pid=0 --peers=127.0.0.1:9000,127.0.0.1:9001,...
+//                    [--ops=120] [--keys=16] [--seed=7] [--window=4]
+//                    [--drop=0.0] [--reorder=0.0]
+//                    [--history-out=hist-0.jsonl] [--timeout-ms=20000]
+//
+// Each invocation is one OS process running one ThreadUcStore over a
+// UdpTransport: N of these on localhost are the paper's system for
+// real — separate address spaces, real datagrams, real loss. The node
+// issues a seeded randomized write load against a shared keyspace,
+// then drains: it keeps polling, flushing (which drives gap-triggered
+// anti-entropy), and running periodic rotating anti-entropy rounds
+// until its view of the keyspace is stable, no peer stream has a
+// detected gap, and the wire has gone quiet — the rotating rounds are
+// what repairs *tail* losses, which leave no seq gap for the automatic
+// repair to notice. Finally it records one final read per key and
+// exports its op history as JSONL; the launcher merges the per-node
+// files and `ucaudit check` certifies update consistency offline.
+//
+// Exit codes: 0 = converged + history written; 2 = usage error;
+// 3 = could not bind the UDP port (launchers retry with fresh ports);
+// 4 = no convergence before --timeout-ms.
+//
+// Values are written as (pid+1)*1e6 + i, so every update in the merged
+// history is globally unique — the strongest certification regime for
+// the offline auditor.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adt/register.hpp"
+#include "audit/recorder.hpp"
+#include "history/jsonl.hpp"
+#include "store/udp_store.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ucw;
+using Reg = RegisterAdt<std::int64_t>;  // the history interchange ADT
+using Transport = UdpTransport<Reg>;
+using Store = UdpUcStore<Reg>;
+
+bool parse_peers(const std::string& spec, std::vector<UdpEndpoint>* out) {
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= item.size()) return false;
+    UdpEndpoint ep;
+    ep.host = item.substr(0, colon);
+    try {
+      const unsigned long port = std::stoul(item.substr(colon + 1));
+      if (port == 0 || port > 0xFFFF) return false;
+      ep.port = static_cast<std::uint16_t>(port);
+    } catch (...) {
+      return false;
+    }
+    out->push_back(std::move(ep));
+  }
+  return out->size() >= 2;
+}
+
+/// Order-insensitive digest of the whole keyspace view (value per key).
+/// Stability of this across sweeps — plus no gapped streams, nothing
+/// pending, and a quiet wire — is the node's convergence heuristic;
+/// the *guarantee* is the offline audit of the merged histories.
+std::uint64_t keyspace_fingerprint(Store& store, std::size_t keys) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t k = 0; k < keys; ++k) {
+    const std::int64_t v = store.state_of("k" + std::to_string(k));
+    h ^= splitmix64(static_cast<std::uint64_t>(v) + k * 0x9E3779B9ULL);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const ProcessId pid = static_cast<ProcessId>(flags.get_int("pid", 0));
+  std::vector<UdpEndpoint> peers;
+  if (!parse_peers(flags.get("peers", ""), &peers) || pid >= peers.size()) {
+    std::cerr << "cluster_node: need --pid=N and --peers=host:port,... "
+                 "(>= 2 peers, pid in range)\n";
+    return 2;
+  }
+  const std::size_t ops =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, flags.get_int("ops", 120)));
+  const std::size_t keys =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, flags.get_int("keys", 16)));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const std::string history_out = flags.get("history-out", "");
+  const auto timeout =
+      std::chrono::milliseconds(flags.get_int("timeout-ms", 20000));
+  const auto quiet_for = std::chrono::milliseconds(
+      flags.get_int("quiet-ms", 250));
+
+  UdpTransportOptions topt;
+  topt.drop = flags.get_double("drop", 0.0);
+  topt.reorder = flags.get_double("reorder", 0.0);
+  topt.fault_seed = splitmix64(seed ^ (0xFA010ULL + pid));
+  Transport net(pid, peers, topt);
+  if (!net.bound()) {
+    std::cerr << "cluster_node: pid " << pid << " cannot bind "
+              << peers[pid].host << ":" << peers[pid].port << "\n";
+    return 3;
+  }
+
+  StoreConfig cfg;
+  cfg.batch_window = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, flags.get_int("window", 4)));
+  cfg.gc = true;                 // stability acks + heartbeats on the wire
+  cfg.auto_anti_entropy = true;  // seq gaps repair themselves
+  Store store(Reg{}, pid, net, cfg);
+
+  audit::OpRecorder<Reg> recorder(pid, /*threads=*/1,
+                                  /*capacity=*/ops + keys + 64);
+  store.set_recorder(&recorder);
+
+  // ---- load phase: seeded writes against the shared keyspace --------
+  Rng rng = Rng(seed).fork(0x10AD + pid);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::string key = "k" + std::to_string(rng.uniform_int(
+                                      0, static_cast<std::int64_t>(keys) - 1));
+    const std::int64_t value =
+        static_cast<std::int64_t>(pid + 1) * 1000000 +
+        static_cast<std::int64_t>(i);
+    (void)store.update(key, Reg::write(value));
+    if (i % 8 == 7) {
+      (void)store.flush();
+      // Yield so the peers' receiver threads interleave with the load —
+      // pure back-to-back sends would serialize the whole experiment.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  (void)store.flush();
+
+  // ---- drain phase: converge under (possibly injected) real loss ----
+  const auto started = std::chrono::steady_clock::now();
+  std::uint64_t last_fp = 0;
+  std::size_t stable_sweeps = 0;
+  std::uint64_t quiet_rx_mark = 0;
+  auto quiet_since = std::chrono::steady_clock::now();
+  ProcessId rotate = (pid + 1) % static_cast<ProcessId>(peers.size());
+  std::size_t iter = 0;
+  bool converged = false;
+  while (std::chrono::steady_clock::now() - started < timeout) {
+    (void)store.poll();
+    (void)store.flush();  // drives auto anti-entropy + ack heartbeats
+
+    bool gapped = false;
+    for (ProcessId q = 0; q < peers.size(); ++q) {
+      gapped = gapped || (q != pid && store.stream_gapped(q));
+    }
+    const std::uint64_t fp = keyspace_fingerprint(store, keys);
+    const bool locally_stable =
+        fp == last_fp && !gapped && store.pending() == 0;
+    stable_sweeps = locally_stable ? stable_sweeps + 1 : 0;
+    last_fp = fp;
+
+    // Rotating anti-entropy while unstable: tail losses leave no seq
+    // gap, so only an explicit round can surface them. Incremental
+    // snapshots make a no-change round nearly free. Stop initiating
+    // once stable, or the cluster never goes quiet.
+    if (!locally_stable && ++iter % 25 == 0 && peers.size() > 1) {
+      if (rotate == pid) rotate = (rotate + 1) % peers.size();
+      (void)store.anti_entropy_round(rotate, /*reciprocate=*/true);
+      rotate = (rotate + 1) % static_cast<ProcessId>(peers.size());
+    }
+
+    // Quiet wire: no datagram received for `quiet_for`. Keeps this
+    // node alive as an anti-entropy donor while any peer still pulls.
+    const std::uint64_t rx = net.stats().datagrams_received;
+    if (rx != quiet_rx_mark) {
+      quiet_rx_mark = rx;
+      quiet_since = std::chrono::steady_clock::now();
+    }
+    if (stable_sweeps >= 10 &&
+        std::chrono::steady_clock::now() - quiet_since >= quiet_for) {
+      converged = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // ---- final reads + history export ---------------------------------
+  for (std::size_t k = 0; k < keys; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    recorder.record_final_read(key, store.state_of(key));
+  }
+  if (!history_out.empty()) {
+    HistoryMeta meta;
+    meta.n_processes = peers.size();
+    meta.captured = recorder.captured();
+    meta.dropped = recorder.dropped();
+    meta.final_reads = recorder.final_reads_recorded();
+    meta.seed = seed;
+    meta.fault = "none";
+    std::vector<HistoryLine> lines;
+    append_history_lines(recorder, &lines);
+    std::ofstream out(history_out);
+    if (!out.good()) {
+      std::cerr << "cluster_node: cannot write " << history_out << "\n";
+      return 2;
+    }
+    write_history_jsonl(out, meta, lines);
+  }
+
+  const UdpTransportStats ns = net.stats();
+  const StoreStats ss = store.stats();
+  std::cout << "node " << pid << ": " << ops << " ops | wire "
+            << ns.datagrams_sent << " dgrams out / " << ns.datagrams_received
+            << " in, " << ns.bytes_sent << " B out | injected drops "
+            << ns.injected_drops << ", reorders " << ns.injected_reorders
+            << " | gaps " << ss.stream_gaps_detected << ", ae completed "
+            << ss.ae_rounds_completed << " | converged="
+            << (converged ? "yes" : "no") << "\n";
+
+  store.set_recorder(nullptr);
+  net.close_all();
+  if (!converged) {
+    std::cerr << "cluster_node: pid " << pid
+              << " did not converge before timeout\n";
+    return 4;
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Merging per-process op histories into one auditable file.
+//
+// A multi-process cluster records one history per OS process (each
+// node's OpRecorder only sees its own pids), but the offline auditor
+// certifies a *global* history. The merge is sound because the format's
+// ordering unit is the per-(process, thread) chain: each part carries
+// complete chains for its own pids and nothing for anyone else's, so
+// concatenation preserves every chain's program order and invents no
+// cross-chain order that was not recorded. The only real work is
+// validating that the parts actually fit together — overlapping pids
+// or mismatched ADTs would make the concatenation a lie, and a merged
+// meta header must keep the counters and provenance honest.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "history/jsonl.hpp"
+
+namespace ucw {
+
+/// Merges per-process histories into one. Requirements checked:
+/// parts non-empty, one shared ADT name, pids disjoint across parts,
+/// and one shared (seed, fault) provenance — each node of a cluster
+/// run is launched with the same seed, so a mismatch means the parts
+/// are from different runs. Counters are summed; process count is the
+/// max (pids are global ids, not per-part). Returns false with *err
+/// set on any violation.
+inline bool merge_histories(const std::vector<HistoryFile>& parts,
+                            HistoryFile* out, std::string* err = nullptr) {
+  const auto fail = [&](const std::string& what) {
+    if (err) *err = what;
+    return false;
+  };
+  if (parts.empty()) return fail("no histories to merge");
+  out->lines.clear();
+  out->meta = HistoryMeta{};
+  out->meta.adt = parts.front().meta.adt;
+  out->meta.seed = parts.front().meta.seed;
+  out->meta.fault = parts.front().meta.fault;
+  std::set<ProcessId> seen_pids;
+  std::size_t total_lines = 0;
+  for (const HistoryFile& p : parts) total_lines += p.lines.size();
+  out->lines.reserve(total_lines);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const HistoryFile& p = parts[i];
+    const std::string part = "part " + std::to_string(i);
+    if (p.meta.adt != out->meta.adt) {
+      return fail(part + ": adt '" + p.meta.adt + "' != '" + out->meta.adt +
+                  "'");
+    }
+    if (p.meta.seed != out->meta.seed) {
+      return fail(part + ": seed " + std::to_string(p.meta.seed) +
+                  " != " + std::to_string(out->meta.seed) +
+                  " — parts are from different runs");
+    }
+    if (p.meta.fault != out->meta.fault) {
+      return fail(part + ": fault '" + p.meta.fault + "' != '" +
+                  out->meta.fault + "'");
+    }
+    std::set<ProcessId> part_pids;
+    for (const HistoryLine& l : p.lines) part_pids.insert(l.pid);
+    for (const ProcessId pid : part_pids) {
+      if (!seen_pids.insert(pid).second) {
+        return fail(part + ": pid " + std::to_string(pid) +
+                    " already contributed by an earlier part — chains "
+                    "would interleave unrecorded");
+      }
+    }
+    if (p.meta.n_processes > out->meta.n_processes) {
+      out->meta.n_processes = p.meta.n_processes;
+    }
+    out->meta.captured += p.meta.captured;
+    out->meta.dropped += p.meta.dropped;
+    out->meta.final_reads += p.meta.final_reads;
+    out->lines.insert(out->lines.end(), p.lines.begin(), p.lines.end());
+  }
+  for (const ProcessId pid : seen_pids) {
+    if (pid >= out->meta.n_processes) {
+      out->meta.n_processes = static_cast<std::size_t>(pid) + 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace ucw

@@ -110,18 +110,25 @@ inline std::uint64_t next_thread_store_uid() {
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
-template <UqAdt A, typename Key = std::string>
-class ThreadUcStore
-    : public StoreCore<A, ThreadNetwork<BatchEnvelope<A, Key>>, Key> {
-  using Core = StoreCore<A, ThreadNetwork<BatchEnvelope<A, Key>>, Key>;
-  using Pool = StoreWorkerPool<ThreadUcStore<A, Key>>;
+/// The real-concurrency frontend, generic over the transport: `Net`
+/// defaults to the in-process ThreadNetwork (the classic thread store),
+/// and any transport exposing the same `inbox(pid)` pull surface — the
+/// UDP socket transport in net/udp_transport.hpp — slots in unchanged.
+/// StoreCore's concept detection does the rest: a transport that also
+/// offers p2p sends and epochs (UDP does) lights up catch-up and
+/// anti-entropy, one that offers partitions (ThreadNetwork) keeps its
+/// hold-mode semantics.
+template <UqAdt A, typename Key = std::string,
+          typename Net = ThreadNetwork<BatchEnvelope<A, Key>>>
+class ThreadUcStore : public StoreCore<A, Net, Key> {
+  using Core = StoreCore<A, Net, Key>;
+  using Pool = StoreWorkerPool<ThreadUcStore<A, Key, Net>>;
   friend Pool;
 
  public:
   using Envelope = typename Core::Envelope;
 
-  ThreadUcStore(A adt, ProcessId pid, ThreadNetwork<Envelope>& net,
-                StoreConfig config = {})
+  ThreadUcStore(A adt, ProcessId pid, Net& net, StoreConfig config = {})
       : Core(std::move(adt), pid, net, config), uid_(next_thread_store_uid()) {
     if (config.workers > 1) {
       UCW_CHECK(config.max_producers >= 1);

@@ -1,0 +1,20 @@
+// UdpUcStore: a ThreadUcStore whose transport is a real UDP socket.
+//
+// One OS process = one store = one UdpTransport; N of them on localhost
+// form a real multi-process cluster (examples/cluster_node.cpp). The
+// alias exists so callers name the pairing once — everything else is
+// the generic frontend over the generic core: the transport's pull
+// inbox satisfies kPollableInbox, its p2p send + epoch light up
+// catch-up and anti-entropy, and its *absent* crash/topology oracles
+// gate those simulator-only features off.
+#pragma once
+
+#include "net/udp_transport.hpp"
+#include "store/thread_store.hpp"
+
+namespace ucw {
+
+template <UqAdt A, typename Key = std::string>
+using UdpUcStore = ThreadUcStore<A, Key, UdpTransport<A, Key>>;
+
+}  // namespace ucw

@@ -1,0 +1,199 @@
+// Loopback integration: a real multi-process cluster, certified.
+//
+// fork/execs 3 `cluster_node` processes (separate address spaces, real
+// UDP datagrams on 127.0.0.1), waits for all of them to converge and
+// export their op histories, merges the per-process files in-process,
+// and gates on the offline auditor: uc=yes for every key of the merged
+// global history. A second case injects real packet loss and reorder so
+// the certified run includes gap detection and anti-entropy repair over
+// actual sockets.
+//
+// The cluster_node binary path arrives via the UCW_CLUSTER_NODE_BIN
+// compile definition, set only when examples are built — sanitizer CI
+// configures -DUCW_BUILD_EXAMPLES=OFF, so these tests GTEST_SKIP there
+// (the in-process equivalents in net_udp_test.cpp still run).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.hpp"
+#include "history/jsonl.hpp"
+#include "history/merge.hpp"
+#include "test_seeds.hpp"
+#include "util/rng.hpp"
+
+namespace ucw {
+namespace {
+
+#ifndef UCW_CLUSTER_NODE_BIN
+
+TEST(NetClusterTest, SkippedWithoutExamples) {
+  GTEST_SKIP() << "cluster_node not built (UCW_BUILD_EXAMPLES=OFF)";
+}
+
+#else
+
+constexpr int kBindFailed = 3;  // cluster_node's "could not bind"
+
+struct NodeSpec {
+  int pid = 0;
+  std::string history;
+};
+
+/// Spawns one cluster_node. Returns the child pid or -1.
+pid_t spawn_node(const std::string& bin, const NodeSpec& node,
+                 const std::string& peers, std::uint64_t seed, int ops,
+                 int keys, double drop, double reorder) {
+  const pid_t child = ::fork();
+  if (child != 0) return child;
+  // Child: exec the node; inherit stdout/stderr (shows in --output-on-failure).
+  const std::string a_pid = "--pid=" + std::to_string(node.pid);
+  const std::string a_peers = "--peers=" + peers;
+  const std::string a_ops = "--ops=" + std::to_string(ops);
+  const std::string a_keys = "--keys=" + std::to_string(keys);
+  const std::string a_seed = "--seed=" + std::to_string(seed);
+  const std::string a_drop = "--drop=" + std::to_string(drop);
+  const std::string a_reorder = "--reorder=" + std::to_string(reorder);
+  const std::string a_hist = "--history-out=" + node.history;
+  ::execl(bin.c_str(), bin.c_str(), a_pid.c_str(), a_peers.c_str(),
+          a_ops.c_str(), a_keys.c_str(), a_seed.c_str(), a_drop.c_str(),
+          a_reorder.c_str(), a_hist.c_str(), "--timeout-ms=30000",
+          static_cast<char*>(nullptr));
+  ::_exit(127);  // exec failed
+}
+
+/// One cluster attempt at a given base port. Returns the per-node exit
+/// codes (empty on spawn failure).
+std::vector<int> run_cluster_once(const std::string& bin, int n,
+                                  std::uint16_t base_port,
+                                  std::vector<NodeSpec>* nodes,
+                                  std::uint64_t seed, int ops, int keys,
+                                  double drop, double reorder) {
+  std::string peers;
+  for (int p = 0; p < n; ++p) {
+    if (p > 0) peers += ",";
+    peers += "127.0.0.1:" + std::to_string(base_port + p);
+  }
+  std::vector<pid_t> children;
+  for (const NodeSpec& node : *nodes) {
+    const pid_t c =
+        spawn_node(bin, node, peers, seed, ops, keys, drop, reorder);
+    if (c < 0) {
+      for (const pid_t k : children) ::kill(k, SIGKILL);
+      return {};
+    }
+    children.push_back(c);
+  }
+  std::vector<int> codes;
+  for (const pid_t c : children) {
+    int status = 0;
+    ::waitpid(c, &status, 0);
+    codes.push_back(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+  }
+  return codes;
+}
+
+/// Full run with port-clash retry; returns true once every node exits 0.
+bool run_cluster(const std::string& bin, int n, std::vector<NodeSpec>* nodes,
+                 std::uint64_t seed, int ops, int keys, double drop,
+                 double reorder) {
+  // Different ctest shards pick different bases; retry on bind failure.
+  Rng port_rng(static_cast<std::uint64_t>(::getpid()) * 2654435761u + seed);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const auto base = static_cast<std::uint16_t>(
+        port_rng.uniform_int(20000, 59000));
+    const std::vector<int> codes = run_cluster_once(
+        bin, n, base, nodes, seed, ops, keys, drop, reorder);
+    if (codes.empty()) return false;
+    bool clash = false, all_ok = true;
+    for (const int c : codes) {
+      clash = clash || c == kBindFailed;
+      all_ok = all_ok && c == 0;
+    }
+    if (all_ok) return true;
+    if (!clash) {
+      ADD_FAILURE() << "cluster_node exit codes: "
+                    << ::testing::PrintToString(codes);
+      return false;
+    }
+  }
+  ADD_FAILURE() << "no free port range after 5 attempts";
+  return false;
+}
+
+/// Loads, merges, and audits the per-node histories.
+void merge_and_certify(const std::vector<NodeSpec>& nodes, int n, int ops,
+                       int keys) {
+  std::vector<HistoryFile> parts;
+  for (const NodeSpec& node : nodes) {
+    std::ifstream in(node.history);
+    ASSERT_TRUE(in.good()) << "missing history " << node.history;
+    HistoryFile h;
+    std::string err;
+    ASSERT_TRUE(read_history_jsonl(in, &h, &err))
+        << node.history << ": " << err;
+    EXPECT_EQ(h.meta.dropped, 0u) << "recorder overflowed on node "
+                                  << node.pid;
+    parts.push_back(std::move(h));
+  }
+  HistoryFile merged;
+  std::string err;
+  ASSERT_TRUE(merge_histories(parts, &merged, &err)) << err;
+  EXPECT_EQ(merged.meta.n_processes, static_cast<std::size_t>(n));
+  EXPECT_EQ(merged.meta.captured, static_cast<std::uint64_t>(n) * ops);
+  EXPECT_EQ(merged.meta.final_reads,
+            static_cast<std::uint64_t>(n) * keys);
+
+  const audit::AuditReport report = audit::audit_history(merged, {});
+  EXPECT_TRUE(report.certified())
+      << "merged cluster history did not certify: " << report.summary();
+}
+
+void cluster_case(std::uint64_t seed, double drop, double reorder) {
+  const std::string bin = UCW_CLUSTER_NODE_BIN;
+  if (::access(bin.c_str(), X_OK) != 0) {
+    GTEST_SKIP() << "cluster_node binary not found at " << bin;
+  }
+  constexpr int kN = 3;
+  constexpr int kOps = 100;
+  constexpr int kKeys = 12;
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::vector<NodeSpec> nodes;
+  for (int p = 0; p < kN; ++p) {
+    nodes.push_back(NodeSpec{
+        p, ::testing::TempDir() + "ucw-" + info->name() + "-hist-" +
+               std::to_string(p) + "-" + std::to_string(::getpid()) +
+               ".jsonl"});
+  }
+  ASSERT_TRUE(
+      run_cluster(bin, kN, &nodes, seed, kOps, kKeys, drop, reorder));
+  merge_and_certify(nodes, kN, kOps, kKeys);
+  for (const NodeSpec& node : nodes) {
+    (void)::unlink(node.history.c_str());
+  }
+}
+
+TEST(NetClusterTest, ThreeProcessesCleanWireCertifies) {
+  const std::uint64_t seed = ucw::test::seed_or(7);
+  SCOPED_TRACE(ucw::test::seed_trace(seed));
+  cluster_case(seed, /*drop=*/0.0, /*reorder=*/0.0);
+}
+
+TEST(NetClusterTest, ThreeProcessesUnderLossCertify) {
+  const std::uint64_t seed = ucw::test::seed_or(13);
+  SCOPED_TRACE(ucw::test::seed_trace(seed));
+  cluster_case(seed, /*drop=*/0.03, /*reorder=*/0.02);
+}
+
+#endif  // UCW_CLUSTER_NODE_BIN
+
+}  // namespace
+}  // namespace ucw

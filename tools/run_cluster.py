@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Launch a real multi-process UCStore cluster on localhost UDP.
+
+Spawns N `cluster_node` processes (one store each, talking over real
+datagrams), waits for every node to converge and export its op history,
+merges the per-node histories with `ucaudit merge`, and gates on
+`ucaudit check` — the offline update-consistency certification of the
+whole cluster run. With --drop/--reorder the transport injects real
+packet loss and inversions, so the run exercises SeqCoverage gap
+detection and anti-entropy repair over actual sockets.
+
+Usage:
+  run_cluster.py --bin=build/cluster_node --ucaudit=build/ucaudit
+                 [--nodes=3] [--ops=120] [--keys=16] [--seed=7]
+                 [--drop=0.0] [--reorder=0.0] [--out-dir=.]
+                 [--timeout=60]
+
+Exit: 0 when every node converges AND the merged history certifies;
+nonzero otherwise. Port collisions (another process grabbed the range)
+are retried with a fresh base port up to 5 times.
+
+stdlib only — no pip installs in CI.
+"""
+
+import argparse
+import os
+import random
+import subprocess
+import sys
+
+
+BIND_FAILED = 3  # cluster_node's "could not bind" exit code
+
+
+def launch_once(args, base_port, out_dir):
+    """One attempt at a full cluster run. Returns (ok, bind_clash)."""
+    peers = ",".join(f"127.0.0.1:{base_port + i}" for i in range(args.nodes))
+    procs = []
+    hist = []
+    for pid in range(args.nodes):
+        h = os.path.join(out_dir, f"cluster-hist-{pid}.jsonl")
+        hist.append(h)
+        cmd = [
+            args.bin,
+            f"--pid={pid}",
+            f"--peers={peers}",
+            f"--ops={args.ops}",
+            f"--keys={args.keys}",
+            f"--seed={args.seed}",
+            f"--drop={args.drop}",
+            f"--reorder={args.reorder}",
+            f"--history-out={h}",
+            f"--timeout-ms={args.timeout * 1000}",
+        ]
+        procs.append(subprocess.Popen(cmd))
+    codes = []
+    for p in procs:
+        try:
+            codes.append(p.wait(timeout=args.timeout + 30))
+        except subprocess.TimeoutExpired:
+            p.kill()
+            codes.append(-9)
+    if BIND_FAILED in codes:
+        for p in procs:
+            if p.poll() is None:
+                p.kill()
+        return False, True
+    if any(c != 0 for c in codes):
+        print(f"run_cluster: node exit codes {codes}", file=sys.stderr)
+        return False, False
+
+    merged = os.path.join(out_dir, "cluster-merged.jsonl")
+    merge = subprocess.run(
+        [args.ucaudit, "merge", f"--out={merged}"] + hist)
+    if merge.returncode != 0:
+        print("run_cluster: history merge failed", file=sys.stderr)
+        return False, False
+    check = subprocess.run([args.ucaudit, "check", merged])
+    if check.returncode != 0:
+        print(f"run_cluster: ucaudit check exited {check.returncode} — "
+              "the merged history did NOT certify", file=sys.stderr)
+        return False, False
+    print(f"run_cluster: {args.nodes} nodes, {args.ops} ops/node, "
+          f"drop={args.drop} reorder={args.reorder}: certified "
+          f"({merged})")
+    return True, False
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bin", required=True, help="path to cluster_node")
+    ap.add_argument("--ucaudit", required=True, help="path to ucaudit")
+    ap.add_argument("--nodes", type=int, default=3)
+    ap.add_argument("--ops", type=int, default=120)
+    ap.add_argument("--keys", type=int, default=16)
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--drop", type=float, default=0.0)
+    ap.add_argument("--reorder", type=float, default=0.0)
+    ap.add_argument("--out-dir", default=".")
+    ap.add_argument("--timeout", type=int, default=60,
+                    help="per-node convergence timeout, seconds")
+    args = ap.parse_args()
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    # Deterministic-ish base port per invocation, re-rolled on a clash.
+    rng = random.Random(os.getpid() * 2654435761 % 2**32)
+    for attempt in range(5):
+        base_port = rng.randrange(20000, 60000 - args.nodes)
+        ok, clash = launch_once(args, base_port, args.out_dir)
+        if ok:
+            return 0
+        if not clash:
+            return 1
+        print(f"run_cluster: port clash at base {base_port}, retrying "
+              f"({attempt + 1}/5)", file=sys.stderr)
+    print("run_cluster: could not find a free port range", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

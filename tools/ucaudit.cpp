@@ -8,9 +8,13 @@
 //       Re-run a saved scenario deterministically and re-audit.
 //   ucaudit shrink <scenario.json> --out=MIN.json [--max-evals=N]
 //       Reduce a failing scenario to a 1-minimal still-failing one.
+//   ucaudit merge --out=MERGED.jsonl <part.jsonl> [<part.jsonl>...]
+//       Merge per-process histories (a multi-process cluster records
+//       one file per node) into one globally auditable history.
 //
 // Exit codes: 0 = UC certified, 1 = UC refuted, 2 = usage/IO error,
 // 3 = verdict unknown (incomplete recording or no certificate found).
+// `merge` exits 0 on success, 2 on any load/validate/write failure.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -21,6 +25,7 @@
 #include "audit/scenario.hpp"
 #include "audit/shrink.hpp"
 #include "history/jsonl.hpp"
+#include "history/merge.hpp"
 #include "util/flags.hpp"
 
 namespace {
@@ -44,6 +49,7 @@ int usage() {
          "  ucaudit replay <scenario.json> [--out=H.jsonl] [--dot-dir=DIR]\n"
          "  ucaudit shrink <scenario.json> --out=MIN.json [--max-evals=N]\n"
          "                 [--verbose]\n"
+         "  ucaudit merge --out=MERGED.jsonl <part.jsonl> [<part.jsonl>..]\n"
          "exit: 0 certified, 1 refuted, 2 usage/io error, 3 unknown\n";
   return kUsage;
 }
@@ -217,6 +223,48 @@ int cmd_shrink(const Flags& flags) {
   return run_and_report(result.spec, flags, "");
 }
 
+int cmd_merge(const Flags& flags) {
+  const std::string out_path = flags.get("out", "");
+  if (out_path.empty() || flags.positional().size() < 2) return usage();
+  std::vector<HistoryFile> parts;
+  for (std::size_t i = 1; i < flags.positional().size(); ++i) {
+    const std::string& path = flags.positional()[i];
+    std::ifstream in(path);
+    if (!in.good()) {
+      std::cerr << "ucaudit: cannot open history " << path << "\n";
+      return kUsage;
+    }
+    HistoryFile h;
+    std::string err;
+    if (!read_history_jsonl(in, &h, &err)) {
+      std::cerr << "ucaudit: " << path << ": " << err << "\n";
+      return kUsage;
+    }
+    parts.push_back(std::move(h));
+  }
+  HistoryFile merged;
+  std::string err;
+  if (!merge_histories(parts, &merged, &err)) {
+    std::cerr << "ucaudit: merge: " << err << "\n";
+    return kUsage;
+  }
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::cerr << "ucaudit: cannot write " << out_path << "\n";
+    return kUsage;
+  }
+  write_history_jsonl(out, merged.meta, merged.lines);
+  if (!out.good()) {
+    std::cerr << "ucaudit: write failed for " << out_path << "\n";
+    return kUsage;
+  }
+  std::cout << "merged: " << parts.size() << " parts, "
+            << merged.lines.size() << " lines, "
+            << merged.meta.n_processes << " processes -> " << out_path
+            << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,5 +275,6 @@ int main(int argc, char** argv) {
   if (cmd == "record") return cmd_record(flags);
   if (cmd == "replay") return cmd_replay(flags);
   if (cmd == "shrink") return cmd_shrink(flags);
+  if (cmd == "merge") return cmd_merge(flags);
   return usage();
 }
